@@ -1,0 +1,257 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (one benchmark per artifact, in Quick mode so `go test
+// -bench=.` stays tractable), plus microbenchmarks of the primitives the
+// paper's numbers decompose into: trampoline dispatch, kernel launch,
+// checkpoint, restart.
+//
+// Regenerate the full-size artifacts with:
+//
+//	go run ./cmd/cracbench -exp all
+package crac_test
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"testing"
+
+	crac "repro"
+	"repro/internal/crt"
+	"repro/internal/harness"
+	"repro/internal/kernels"
+)
+
+// runExperiment executes one harness experiment in Quick mode b.N times.
+func runExperiment(b *testing.B, id string) {
+	e := harness.ByID(id)
+	if e == nil {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	opt := harness.Options{Quick: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tables, err := e.Run(opt)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if i == 0 && testing.Verbose() {
+			for _, t := range tables {
+				t.Fprint(io.Discard)
+			}
+		}
+	}
+}
+
+// One benchmark per paper artifact (Section 4, Figures 2-6, Tables 1-3).
+
+func BenchmarkIntroTop500(b *testing.B)            { runExperiment(b, "intro") }
+func BenchmarkTable1Characterization(b *testing.B) { runExperiment(b, "table1") }
+func BenchmarkTable2CommandLines(b *testing.B)     { runExperiment(b, "table2") }
+func BenchmarkFig2RodiniaOverhead(b *testing.B)    { runExperiment(b, "fig2") }
+func BenchmarkFig3CheckpointRestart(b *testing.B)  { runExperiment(b, "fig3") }
+func BenchmarkFig4aSimpleStreams(b *testing.B)     { runExperiment(b, "fig4a") }
+func BenchmarkFig4bKernelTime(b *testing.B)        { runExperiment(b, "fig4b") }
+func BenchmarkFig5aStreamBenchmarks(b *testing.B)  { runExperiment(b, "fig5a") }
+func BenchmarkFig5bRealWorld(b *testing.B)         { runExperiment(b, "fig5b") }
+func BenchmarkFig5cCheckpointRestart(b *testing.B) { runExperiment(b, "fig5c") }
+func BenchmarkTable3BLASvsIPC(b *testing.B)        { runExperiment(b, "table3") }
+func BenchmarkFig6FSGSBASE(b *testing.B)           { runExperiment(b, "fig6") }
+func BenchmarkAblationDesignChoices(b *testing.B)  { runExperiment(b, "ablations") }
+
+// Microbenchmarks of the primitives.
+
+// benchSession builds a CRAC session with a registered kernel module and
+// one device buffer.
+func benchSession(b *testing.B, cfg crac.Config) (*crac.Session, crt.Runtime, crt.FatBinHandle, uint64) {
+	b.Helper()
+	s, err := crac.NewSession(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(s.Close)
+	rt := s.Runtime()
+	fat, err := rt.RegisterFatBinary(kernels.Module)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for name, k := range kernels.Table() {
+		if err := rt.RegisterFunction(fat, name, k); err != nil {
+			b.Fatal(err)
+		}
+	}
+	buf, err := rt.Malloc(1 << 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s, rt, fat, buf
+}
+
+// BenchmarkDispatchNative measures a small CUDA call through the direct
+// binding (the baseline of every overhead figure).
+func BenchmarkDispatchNative(b *testing.B) {
+	rt, err := crac.NewNative(crac.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Close()
+	buf, _ := rt.Malloc(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := rt.Memset(buf, byte(i), 4096); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDispatchCRACSyscall measures the same call through the CRAC
+// trampoline with syscall-based fs switching (unpatched kernel).
+func BenchmarkDispatchCRACSyscall(b *testing.B) {
+	_, rt, _, buf := benchSession(b, crac.Config{Switch: crac.SwitchSyscall})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := rt.Memset(buf, byte(i), 4096); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDispatchCRACFSGSBase measures the trampoline with the
+// FSGSBASE register write (Section 4.4.5).
+func BenchmarkDispatchCRACFSGSBase(b *testing.B) {
+	_, rt, _, buf := benchSession(b, crac.Config{Switch: crac.SwitchFSGSBase})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := rt.Memset(buf, byte(i), 4096); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKernelLaunchCRAC measures a full kernel launch + sync cycle
+// under CRAC (three trampoline crossings per the paper's formula).
+func BenchmarkKernelLaunchCRAC(b *testing.B) {
+	_, rt, fat, buf := benchSession(b, crac.Config{})
+	lc := crt.LaunchConfig{Grid: crt.Dim3{X: 1}, Block: crt.Dim3{X: 256}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := rt.LaunchKernel(fat, "fill", lc, crt.DefaultStream, buf, kernels.F32Arg(1), 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := rt.DeviceSynchronize(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkMallocFreeCRAC measures the logged cudaMalloc/cudaFree pair
+// (including the modelled driver latency that dominates restart replay).
+func BenchmarkMallocFreeCRAC(b *testing.B) {
+	_, rt, _, _ := benchSession(b, crac.Config{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := rt.Malloc(4096)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := rt.Free(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCheckpoint measures writing a checkpoint image of a session
+// with 16 MiB of active device memory.
+func BenchmarkCheckpoint(b *testing.B) {
+	s, rt, _, _ := benchSession(b, crac.Config{})
+	big, err := rt.Malloc(16 << 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := rt.Memset(big, 0xAB, 16<<20); err != nil {
+		b.Fatal(err)
+	}
+	var img bytes.Buffer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		img.Reset()
+		if _, err := s.Checkpoint(&img); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(img.Len()))
+}
+
+// BenchmarkRestart measures the full restart path: fresh lower half,
+// upper-half restore, log replay, memory refill.
+func BenchmarkRestart(b *testing.B) {
+	s, rt, _, _ := benchSession(b, crac.Config{})
+	// A log with some churn, so replay has work to do.
+	for i := 0; i < 32; i++ {
+		a, err := rt.Malloc(64 << 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i%2 == 0 {
+			if err := rt.Free(a); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	var img bytes.Buffer
+	if _, err := s.Checkpoint(&img); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Restart(bytes.NewReader(img.Bytes())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUVMFaultRoundTrip measures one host→device→host page
+// migration cycle through the pager.
+func BenchmarkUVMFaultRoundTrip(b *testing.B) {
+	_, rt, fat, _ := benchSession(b, crac.Config{})
+	m, err := rt.MallocManaged(4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lc := crt.LaunchConfig{Grid: crt.Dim3{X: 1}, Block: crt.Dim3{X: 1}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Host write faults the page to the host...
+		if _, err := rt.HostAccess(m, 8, true); err != nil {
+			b.Fatal(err)
+		}
+		// ...the kernel faults it back to the device.
+		if err := rt.LaunchKernel(fat, "fill", lc, crt.DefaultStream, m, kernels.F32Arg(1), 2); err != nil {
+			b.Fatal(err)
+		}
+		if err := rt.DeviceSynchronize(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Example output comparing dispatch costs, for the documentation.
+func ExampleSession() {
+	s, err := crac.NewSession(crac.Config{})
+	if err != nil {
+		panic(err)
+	}
+	defer s.Close()
+	rt := s.Runtime()
+	if _, err := rt.Malloc(1 << 20); err != nil {
+		panic(err)
+	}
+	var img bytes.Buffer
+	if _, err := s.Checkpoint(&img); err != nil {
+		panic(err)
+	}
+	if err := s.Restart(bytes.NewReader(img.Bytes())); err != nil {
+		panic(err)
+	}
+	fmt.Println("restarted:", s.Generation() == 1)
+	// Output: restarted: true
+}

@@ -1,0 +1,104 @@
+// Command cracbench regenerates the tables and figures of the CRAC paper
+// (Jain & Cooperman, SC'20) on the simulated substrate.
+//
+// Usage:
+//
+//	cracbench -list
+//	cracbench -exp fig2 [-scale 1.0] [-iters 3] [-out results/]
+//	cracbench -exp all [-quick]
+//
+// Each experiment prints the paper-style table to stdout; with -out, a
+// CSV per table is written as well.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		expID   = flag.String("exp", "all", "experiment id (see -list) or \"all\"")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		scale   = flag.Float64("scale", 1.0, "workload scale factor (1.0 = repository default)")
+		iters   = flag.Int("iters", 3, "timed repetitions per data point (paper: 10)")
+		quick   = flag.Bool("quick", false, "shrink workloads for a fast smoke run")
+		full    = flag.Bool("full", false, "enable the most expensive data points (Table 3 sgemm@100MB)")
+		outDir  = flag.String("out", "", "directory for CSV output (optional)")
+		verbose = flag.Bool("v", true, "print progress")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("Experiments (paper artifact → id):")
+		for _, e := range harness.All() {
+			fmt.Printf("  %-10s %s\n", e.ID, e.Title)
+			fmt.Printf("  %-10s paper: %s\n", "", e.Paper)
+		}
+		return
+	}
+
+	opt := harness.Options{
+		Scale:      *scale,
+		Iterations: *iters,
+		Quick:      *quick,
+		Full:       *full,
+	}
+	if *verbose {
+		opt.Log = os.Stderr
+	}
+
+	var exps []*harness.Experiment
+	if *expID == "all" {
+		exps = harness.All()
+	} else {
+		for _, id := range strings.Split(*expID, ",") {
+			e := harness.ByID(strings.TrimSpace(id))
+			if e == nil {
+				fmt.Fprintf(os.Stderr, "cracbench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			exps = append(exps, e)
+		}
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "cracbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	for _, e := range exps {
+		start := time.Now()
+		fmt.Fprintf(os.Stderr, "--- running %s: %s\n", e.ID, e.Title)
+		tables, err := e.Run(opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cracbench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		for i, t := range tables {
+			t.Fprint(os.Stdout)
+			if *outDir != "" {
+				name := t.ID
+				if len(tables) > 1 {
+					name = fmt.Sprintf("%s_%d", t.ID, i)
+				}
+				f, err := os.Create(filepath.Join(*outDir, name+".csv"))
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "cracbench: %v\n", err)
+					os.Exit(1)
+				}
+				t.CSV(f)
+				f.Close()
+			}
+		}
+		fmt.Fprintf(os.Stderr, "--- %s done in %v\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

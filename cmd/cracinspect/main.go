@@ -1,0 +1,89 @@
+// Command cracinspect dumps the contents of a CRAC checkpoint image:
+// the upper-half memory regions, the plugin payload sections, the CUDA
+// call log, and the active resources the log implies.
+//
+// Usage:
+//
+//	cracinspect image.img
+//	cracinspect -log image.img     # include the full call log
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cracplugin"
+	"repro/internal/dmtcp"
+	"repro/internal/replaylog"
+)
+
+func main() {
+	showLog := flag.Bool("log", false, "dump every call-log entry")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: cracinspect [-log] <image>")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cracinspect:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	img, err := dmtcp.ReadImage(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cracinspect:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("CRAC checkpoint image: %s\n", flag.Arg(0))
+	fmt.Printf("  compression: gzip=%v\n", img.Gzip)
+	fmt.Printf("  upper-half regions: %d (%d bytes)\n", len(img.Regions), img.TotalRegionBytes())
+	for _, r := range img.Regions {
+		fmt.Printf("    %012x-%012x %8d  %v  %s\n", r.Start, r.Start+r.Len, r.Len, r.Prot, r.Label)
+	}
+	fmt.Printf("  sections: %d\n", len(img.Sections.Names()))
+	for _, name := range img.Sections.Names() {
+		data, _ := img.Sections.Get(name)
+		fmt.Printf("    %-16s %d bytes\n", name, len(data))
+	}
+
+	logBytes, ok := img.Sections.Get(cracplugin.SectionLog)
+	if !ok {
+		fmt.Println("  (no CUDA call log section)")
+		return
+	}
+	log, err := replaylog.Decode(bytes.NewReader(logBytes))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cracinspect: decoding log:", err)
+		os.Exit(1)
+	}
+	as := log.Active()
+	fmt.Printf("  CUDA call log: %d entries\n", log.Len())
+	fmt.Printf("  active at checkpoint:\n")
+	fmt.Printf("    cudaMalloc:        %d buffers (%d bytes)\n", len(as.Device), sumAlloc(as.Device))
+	fmt.Printf("    cudaMallocHost:    %d buffers (%d bytes)\n", len(as.Pinned), sumAlloc(as.Pinned))
+	fmt.Printf("    cudaHostAlloc:     %d buffers (%d bytes)\n", len(as.Host), sumAlloc(as.Host))
+	fmt.Printf("    cudaMallocManaged: %d buffers (%d bytes)\n", len(as.Managed), sumAlloc(as.Managed))
+	fmt.Printf("    streams: %d, events: %d, fat binaries: %d\n",
+		len(as.Streams), len(as.Events), len(as.FatBins))
+	for _, fb := range as.FatBins {
+		fmt.Printf("      module %q: %d kernels\n", fb.Module, len(fb.Functions))
+	}
+	if *showLog {
+		fmt.Println("  log entries:")
+		for i, e := range log.Entries() {
+			fmt.Printf("    %5d  %s\n", i, e)
+		}
+	}
+}
+
+func sumAlloc(as []replaylog.Allocation) uint64 {
+	var n uint64
+	for _, a := range as {
+		n += a.Size
+	}
+	return n
+}

@@ -1,0 +1,163 @@
+// Command cracrun runs one of the paper's benchmark applications under a
+// chosen runtime binding, optionally checkpointing mid-run and restarting
+// from the image (the cracrun/cracrestart flow of a real CRAC
+// deployment, collapsed into one process for the simulated substrate).
+//
+// Usage:
+//
+//	cracrun -list
+//	cracrun -app Hotspot -mode crac -scale 0.5
+//	cracrun -app LULESH -mode crac -ckpt lulesh.img -ckpt-step 50
+//	cracrun -app BFS -mode native
+//	cracrun -app UnifiedMemoryStreams -mode proxy-pipe   # CRUM-style baseline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/gpusim"
+	"repro/internal/harness"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+	"repro/internal/workloads/hpgmg"
+	"repro/internal/workloads/hypre"
+	"repro/internal/workloads/lulesh"
+	"repro/internal/workloads/rodinia"
+	"repro/internal/workloads/streamapps"
+)
+
+func apps() []*workloads.App {
+	out := rodinia.AllApps()
+	out = append(out, streamapps.SimpleStreams(), streamapps.UnifiedMemoryStreams(),
+		lulesh.App(), hpgmg.App(), hypre.App())
+	return out
+}
+
+func findApp(name string) *workloads.App {
+	for _, a := range apps() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+func parseMode(s string) (harness.Mode, error) {
+	switch s {
+	case "native":
+		return harness.ModeNative, nil
+	case "crac":
+		return harness.ModeCRAC, nil
+	case "crac-fsgsbase":
+		return harness.ModeCRACFSGSBase, nil
+	case "proxy-pipe":
+		return harness.ModeProxyPipe, nil
+	case "proxy-cma":
+		return harness.ModeProxyCMA, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q (native, crac, crac-fsgsbase, proxy-pipe, proxy-cma)", s)
+	}
+}
+
+func main() {
+	var (
+		appName  = flag.String("app", "", "application name (see -list)")
+		list     = flag.Bool("list", false, "list applications and exit")
+		modeStr  = flag.String("mode", "crac", "runtime binding: native, crac, crac-fsgsbase, proxy-pipe, proxy-cma")
+		scale    = flag.Float64("scale", 1.0, "workload scale factor")
+		streams  = flag.Int("streams", 0, "stream count override (0 = app default)")
+		seed     = flag.Int64("seed", 7, "workload seed")
+		device   = flag.String("device", "v100", "simulated device: v100 or k600")
+		ckptPath = flag.String("ckpt", "", "checkpoint to this file mid-run (crac modes only)")
+		ckptStep = flag.Int("ckpt-step", 1, "hook step at which to checkpoint")
+		restart  = flag.Bool("restart", true, "restart from the image immediately after checkpointing")
+		profile  = flag.Bool("profile", false, "print an nvprof-style per-API call summary")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("Applications:")
+		for _, a := range apps() {
+			fmt.Printf("  %-22s %s\n", a.Name, a.Char.Description)
+			fmt.Printf("  %-22s paper args: %s\n", "", a.PaperArgs)
+		}
+		return
+	}
+	app := findApp(*appName)
+	if app == nil {
+		fmt.Fprintf(os.Stderr, "cracrun: unknown app %q (use -list)\n", *appName)
+		os.Exit(2)
+	}
+	mode, err := parseMode(*modeStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cracrun:", err)
+		os.Exit(2)
+	}
+	prop := gpusim.TeslaV100()
+	if *device == "k600" {
+		prop = gpusim.QuadroK600()
+	}
+
+	runner, err := harness.NewRunner(mode, prop)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cracrun:", err)
+		os.Exit(1)
+	}
+	defer runner.Close()
+
+	cfg := workloads.RunConfig{Scale: *scale, Streams: *streams, Seed: *seed}
+	if *ckptPath != "" {
+		if runner.Session == nil {
+			fmt.Fprintln(os.Stderr, "cracrun: -ckpt requires a crac mode")
+			os.Exit(2)
+		}
+		step := 0
+		cfg.Hook = func(int) error {
+			step++
+			if step != *ckptStep {
+				return nil
+			}
+			t0 := time.Now()
+			size, _, err := runner.Session.CheckpointFile(*ckptPath)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("checkpoint: %s (%d bytes) in %v\n", *ckptPath, size, time.Since(t0).Round(time.Millisecond))
+			if *restart {
+				t0 = time.Now()
+				if err := runner.Session.RestartFile(*ckptPath); err != nil {
+					return err
+				}
+				fmt.Printf("restart: completed in %v\n", time.Since(t0).Round(time.Millisecond))
+			}
+			return nil
+		}
+	}
+
+	rt := runner.RT
+	var prof *trace.Profiler
+	if *profile {
+		prof = trace.New(rt)
+		rt = prof
+	}
+	res, err := app.Run(rt, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cracrun: %s under %v: %v\n", app.Name, mode, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s under %v:\n", app.Name, mode)
+	fmt.Printf("  runtime:    %v\n", res.Elapsed.Round(time.Millisecond))
+	fmt.Printf("  CUDA calls: %d (CPS %.0f, per the paper's Eq. 2)\n",
+		res.Calls.TotalCUDACalls(), res.CPS())
+	fmt.Printf("  checksum:   %v\n", res.Checksum)
+	for k, v := range res.Detail {
+		fmt.Printf("  %s: %.3f\n", k, v)
+	}
+	if prof != nil {
+		fmt.Println()
+		prof.Fprint(os.Stdout)
+	}
+}

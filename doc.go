@@ -1,0 +1,27 @@
+// Package crac is a reproduction of "CRAC: Checkpoint-Restart
+// Architecture for CUDA with Streams and UVM" (Jain & Cooperman,
+// SC 2020) as a pure-Go library over a simulated CUDA substrate.
+//
+// The package exposes CRAC's user-facing surface:
+//
+//   - Session: a split-process CUDA execution — the application's upper
+//     half plus a lower-half helper program owning the (simulated) CUDA
+//     library — that can be checkpointed to an image and restarted, with
+//     streams and Unified Virtual Memory fully supported.
+//   - NewNative: the uninstrumented baseline binding, for measuring
+//     CRAC's runtime overhead exactly as the paper does.
+//   - The crt.Runtime interface (re-exported concepts), which application
+//     code programs against so the same code runs natively, under CRAC,
+//     or under the proxy-based baseline (internal/proxy) used in the
+//     paper's Table 3 comparison.
+//
+// A checkpoint drains all CUDA streams, saves the memory of active
+// mallocs and the CUDA call log together with every upper-half memory
+// region, and omits the CUDA library itself. A restart loads a fresh
+// lower half, restores the upper half, and replays the log so all
+// allocations reappear at their original addresses (the paper's
+// log-and-replay design, Section 3).
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduction of every table and figure in the paper's evaluation.
+package crac

@@ -1,0 +1,97 @@
+// Quickstart: run a CUDA vector addition under CRAC, checkpoint it,
+// simulate a failure, restart from the image, and keep computing — the
+// minimal end-to-end tour of the library.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	crac "repro"
+	"repro/internal/crt"
+	"repro/internal/cuda"
+	"repro/internal/kernels"
+)
+
+func main() {
+	// 1. Launch a CRAC session: one simulated process with the
+	// application in the upper half and a disposable CUDA library in the
+	// lower half.
+	session, err := crac.NewSession(crac.Config{})
+	if err != nil {
+		log.Fatalf("crac: %v", err)
+	}
+	defer session.Close()
+	rt := session.Runtime()
+
+	// 2. Register the kernel library (the application's fat binary) and
+	// set up device memory.
+	fat, err := rt.RegisterFatBinary(kernels.Module)
+	check(err)
+	for name, k := range kernels.Table() {
+		check(rt.RegisterFunction(fat, name, k))
+	}
+	const n = 1 << 16
+	a, err := rt.Malloc(4 * n)
+	check(err)
+	b, err := rt.Malloc(4 * n)
+	check(err)
+	c, err := rt.Malloc(4 * n)
+	check(err)
+	check(rt.LaunchKernel(fat, "iota", kernels1D(n), crt.DefaultStream, a, kernels.F32Arg(1), n))
+	check(rt.LaunchKernel(fat, "iota", kernels1D(n), crt.DefaultStream, b, kernels.F32Arg(2), n))
+
+	// 3. First half of the computation: c = a + b.
+	check(rt.LaunchKernel(fat, "vecAdd", kernels1D(n), crt.DefaultStream, a, b, c, n))
+	check(rt.DeviceSynchronize())
+	fmt.Printf("before checkpoint: c[100] = %v (want %v)\n", peek(rt, c, 100), 300.0)
+
+	// 4. Checkpoint: drains the device, saves the upper half, the call
+	// log, and the memory of active mallocs. The CUDA library itself is
+	// NOT saved.
+	var image bytes.Buffer
+	stats, err := session.Checkpoint(&image)
+	check(err)
+	fmt.Printf("checkpoint: %d upper-half regions, %d KiB image\n",
+		stats.Regions, image.Len()/1024)
+
+	// 5. Simulated failure + restart: the old lower half is discarded, a
+	// fresh CUDA library is brought up, the log is replayed so a, b, c
+	// reappear at the same addresses, and their contents are refilled.
+	check(session.Restart(bytes.NewReader(image.Bytes())))
+	fmt.Printf("restarted (generation %d)\n", session.Generation())
+
+	// 6. The application continues with the same handles and pointers:
+	// c *= 2.
+	check(rt.LaunchKernel(fat, "scale", kernels1D(n), crt.DefaultStream, c, kernels.F32Arg(2), n))
+	check(rt.DeviceSynchronize())
+	got := peek(rt, c, 100)
+	fmt.Printf("after restart:   c[100] = %v (want %v)\n", got, 600.0)
+	if got != 600 {
+		log.Fatal("MISMATCH — checkpoint/restart was not transparent")
+	}
+	fmt.Println("OK: computation transparent across checkpoint/restart")
+}
+
+func kernels1D(n int) crt.LaunchConfig {
+	return crt.LaunchConfig{Grid: crt.Dim3{X: (n + 255) / 256}, Block: crt.Dim3{X: 256}}
+}
+
+// peek reads one float32 element from device memory.
+func peek(rt crt.Runtime, dev uint64, idx int) float32 {
+	host, err := rt.AppAlloc(4)
+	check(err)
+	check(rt.Memcpy(host, dev+uint64(4*idx), 4, cuda.MemcpyDeviceToHost))
+	v, err := crt.HostF32(rt, host, 1)
+	check(err)
+	return v[0]
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

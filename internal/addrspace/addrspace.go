@@ -1,0 +1,620 @@
+// Package addrspace simulates a single Linux process virtual address space
+// shared by a "host" (CPU) and a "device" (GPU), as required by CUDA's
+// Unified Virtual Addressing (UVA).
+//
+// The space is divided into two windows, mirroring CRAC's split-process
+// design (Jain & Cooperman, SC'20, Section 3.1):
+//
+//   - the lower half holds the helper program and the active CUDA library,
+//     including the device, pinned and managed allocation arenas;
+//   - the upper half holds the checkpointed application.
+//
+// Regions are page-granular mappings with protection bits, created with
+// MMap and destroyed with MUnmap, like the kernel primitives CRAC
+// interposes on. MapsView reproduces the /proc/PID/maps behaviour that
+// complicates checkpointing (Section 3.2.2): adjacent regions with equal
+// protection are presented merged, losing the upper/lower attribution,
+// which is why CRAC keeps its own per-region bookkeeping.
+package addrspace
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// PageSize is the simulated page size in bytes.
+const PageSize = 4096
+
+// Prot is a bitmask of page protection flags.
+type Prot uint8
+
+// Protection bits, mirroring PROT_READ/PROT_WRITE/PROT_EXEC.
+const (
+	ProtRead Prot = 1 << iota
+	ProtWrite
+	ProtExec
+
+	ProtNone Prot = 0
+	ProtRW        = ProtRead | ProtWrite
+)
+
+// String renders the protection like a /proc/PID/maps permission column.
+func (p Prot) String() string {
+	b := []byte("---")
+	if p&ProtRead != 0 {
+		b[0] = 'r'
+	}
+	if p&ProtWrite != 0 {
+		b[1] = 'w'
+	}
+	if p&ProtExec != 0 {
+		b[2] = 'x'
+	}
+	return string(b)
+}
+
+// Half identifies which half of the split process owns a mapping.
+type Half uint8
+
+// Halves of the split process.
+const (
+	HalfUnknown Half = iota
+	HalfLower
+	HalfUpper
+	// HalfMixed marks a merged maps-view entry that spans both halves;
+	// it is the attribution hazard described in the paper (Section 3.2.2).
+	HalfMixed
+)
+
+// String names the half.
+func (h Half) String() string {
+	switch h {
+	case HalfLower:
+		return "lower"
+	case HalfUpper:
+		return "upper"
+	case HalfMixed:
+		return "mixed"
+	default:
+		return "unknown"
+	}
+}
+
+// MapFlags alter MMap behaviour.
+type MapFlags uint8
+
+// Mapping flags.
+const (
+	// MapFixed places the mapping exactly at the hint address, silently
+	// replacing any existing mapping in the range — the Linux MAP_FIXED
+	// semantics whose corruption hazard Section 3.2.2 describes.
+	MapFixed MapFlags = 1 << iota
+	// MapFixedNoReplace places the mapping exactly at the hint address but
+	// fails if any byte of the range is already mapped.
+	MapFixedNoReplace
+)
+
+// Window is a half-open address range [Start, End).
+type Window struct {
+	Start, End uint64
+}
+
+// Contains reports whether [addr, addr+length) lies inside the window.
+func (w Window) Contains(addr, length uint64) bool {
+	return addr >= w.Start && addr+length <= w.End && addr+length >= addr
+}
+
+// Size returns the window length in bytes.
+func (w Window) Size() uint64 { return w.End - w.Start }
+
+// Default window layout. The absolute values are arbitrary; what matters
+// is that the two windows are disjoint and the lower half is below the
+// upper half, as in CRAC.
+const (
+	DefaultLowerStart = 0x0000_1000_0000
+	DefaultLowerEnd   = 0x0000_9000_0000 // 2 GiB lower window
+	DefaultUpperStart = 0x0000_a000_0000
+	DefaultUpperEnd   = 0x0001_2000_0000 // 2 GiB upper window
+)
+
+// Errors returned by Space operations.
+var (
+	ErrUnaligned   = errors.New("addrspace: address or length not page-aligned")
+	ErrZeroLength  = errors.New("addrspace: zero length")
+	ErrNoSpace     = errors.New("addrspace: no free range in window")
+	ErrOutOfWindow = errors.New("addrspace: address outside the half's window")
+	ErrOverlap     = errors.New("addrspace: range overlaps an existing mapping")
+	ErrNotMapped   = errors.New("addrspace: address range not fully mapped")
+	ErrPerm        = errors.New("addrspace: protection does not permit access")
+	ErrSplitRange  = errors.New("addrspace: range spans multiple regions")
+)
+
+// region is a live mapping. data always has length Len.
+type region struct {
+	start uint64
+	prot  Prot
+	half  Half
+	label string
+	data  []byte
+}
+
+func (r *region) end() uint64 { return r.start + uint64(len(r.data)) }
+
+// RegionInfo is a read-only snapshot of a mapping.
+type RegionInfo struct {
+	Start uint64
+	Len   uint64
+	Prot  Prot
+	Half  Half
+	Label string
+}
+
+// End returns the exclusive end address.
+func (ri RegionInfo) End() uint64 { return ri.Start + ri.Len }
+
+// String renders the region in a /proc/PID/maps-like format.
+func (ri RegionInfo) String() string {
+	return fmt.Sprintf("%012x-%012x %s %-6s %s", ri.Start, ri.End(), ri.Prot, ri.Half, ri.Label)
+}
+
+// Space is a simulated process address space. All methods are safe for
+// concurrent use.
+type Space struct {
+	mu      sync.Mutex
+	regions []*region // sorted by start, non-overlapping
+	lower   Window
+	upper   Window
+	aslr    bool
+	rng     *rand.Rand
+
+	mmapCount   uint64 // statistics: total MMap calls
+	munmapCount uint64
+}
+
+// Option configures a Space.
+type Option func(*Space)
+
+// WithWindows overrides the default lower/upper windows.
+func WithWindows(lower, upper Window) Option {
+	return func(s *Space) { s.lower, s.upper = lower, upper }
+}
+
+// WithASLR enables address randomization with the given seed. CRAC
+// disables ASLR (via personality(ADDR_NO_RANDOMIZE)) because replay-based
+// address restoration requires deterministic placement (Section 3.2.4).
+func WithASLR(seed int64) Option {
+	return func(s *Space) {
+		s.aslr = true
+		s.rng = rand.New(rand.NewSource(seed))
+	}
+}
+
+// New creates an empty Space with the default windows and ASLR disabled.
+func New(opts ...Option) *Space {
+	s := &Space{
+		lower: Window{DefaultLowerStart, DefaultLowerEnd},
+		upper: Window{DefaultUpperStart, DefaultUpperEnd},
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// SetASLR toggles address randomization at runtime, simulating the
+// personality(ADDR_NO_RANDOMIZE) call CRAC issues.
+func (s *Space) SetASLR(on bool, seed int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.aslr = on
+	if on {
+		s.rng = rand.New(rand.NewSource(seed))
+	} else {
+		s.rng = nil
+	}
+}
+
+// ASLR reports whether address randomization is enabled.
+func (s *Space) ASLR() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.aslr
+}
+
+// LowerWindow returns the lower-half window.
+func (s *Space) LowerWindow() Window { return s.lower }
+
+// UpperWindow returns the upper-half window.
+func (s *Space) UpperWindow() Window { return s.upper }
+
+func (s *Space) window(h Half) (Window, error) {
+	switch h {
+	case HalfLower:
+		return s.lower, nil
+	case HalfUpper:
+		return s.upper, nil
+	default:
+		return Window{}, fmt.Errorf("addrspace: cannot map into half %v", h)
+	}
+}
+
+// roundUp rounds n up to a multiple of PageSize.
+func roundUp(n uint64) uint64 {
+	return (n + PageSize - 1) &^ (PageSize - 1)
+}
+
+// aligned reports whether a is page-aligned.
+func aligned(a uint64) bool { return a%PageSize == 0 }
+
+// MMap creates a new mapping of length bytes (rounded up to a page
+// multiple) in the window belonging to half. hint is the placement hint;
+// with MapFixed or MapFixedNoReplace it is mandatory. The chosen start
+// address is returned.
+func (s *Space) MMap(hint, length uint64, prot Prot, flags MapFlags, half Half, label string) (uint64, error) {
+	if length == 0 {
+		return 0, ErrZeroLength
+	}
+	length = roundUp(length)
+	w, err := s.window(half)
+	if err != nil {
+		return 0, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mmapCount++
+
+	switch {
+	case flags&MapFixed != 0:
+		if !aligned(hint) {
+			return 0, ErrUnaligned
+		}
+		if !w.Contains(hint, length) {
+			return 0, fmt.Errorf("%w: %#x+%#x not in %v window", ErrOutOfWindow, hint, length, half)
+		}
+		// MAP_FIXED replaces whatever is there.
+		s.unmapLocked(hint, length)
+		return s.insertLocked(hint, length, prot, half, label), nil
+
+	case flags&MapFixedNoReplace != 0:
+		if !aligned(hint) {
+			return 0, ErrUnaligned
+		}
+		if !w.Contains(hint, length) {
+			return 0, fmt.Errorf("%w: %#x+%#x not in %v window", ErrOutOfWindow, hint, length, half)
+		}
+		if s.overlapsLocked(hint, length) {
+			return 0, ErrOverlap
+		}
+		return s.insertLocked(hint, length, prot, half, label), nil
+
+	default:
+		start, ok := s.findFreeLocked(w, length)
+		if !ok {
+			return 0, ErrNoSpace
+		}
+		return s.insertLocked(start, length, prot, half, label), nil
+	}
+}
+
+// findFreeLocked locates a free range of the given length inside w. With
+// ASLR off it returns the lowest fit, which is what makes replay-based
+// address restoration deterministic. With ASLR on it perturbs the base.
+func (s *Space) findFreeLocked(w Window, length uint64) (uint64, bool) {
+	if s.aslr {
+		// Try a handful of random page-aligned bases, then fall back to
+		// the deterministic lowest fit.
+		for try := 0; try < 16; try++ {
+			span := w.Size() - length
+			if span > w.Size() { // underflow: window too small
+				return 0, false
+			}
+			base := w.Start + uint64(s.rng.Int63n(int64(span/PageSize+1)))*PageSize
+			if !s.overlapsLocked(base, length) {
+				return base, true
+			}
+		}
+	}
+	// Deterministic lowest-fit scan across gaps.
+	prev := w.Start
+	for _, r := range s.regions {
+		if r.end() <= w.Start || r.start >= w.End {
+			if r.start >= w.End {
+				break
+			}
+			continue
+		}
+		if r.start > prev && r.start-prev >= length {
+			return prev, true
+		}
+		if r.end() > prev {
+			prev = r.end()
+		}
+	}
+	if w.End > prev && w.End-prev >= length {
+		return prev, true
+	}
+	return 0, false
+}
+
+func (s *Space) overlapsLocked(start, length uint64) bool {
+	end := start + length
+	for _, r := range s.regions {
+		if r.start < end && start < r.end() {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Space) insertLocked(start, length uint64, prot Prot, half Half, label string) uint64 {
+	r := &region{start: start, prot: prot, half: half, label: label, data: make([]byte, length)}
+	idx := sort.Search(len(s.regions), func(i int) bool { return s.regions[i].start >= start })
+	s.regions = append(s.regions, nil)
+	copy(s.regions[idx+1:], s.regions[idx:])
+	s.regions[idx] = r
+	return start
+}
+
+// MUnmap removes any mappings in [addr, addr+length), splitting regions
+// that straddle the range, like munmap(2).
+func (s *Space) MUnmap(addr, length uint64) error {
+	if !aligned(addr) {
+		return ErrUnaligned
+	}
+	if length == 0 {
+		return ErrZeroLength
+	}
+	length = roundUp(length)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.munmapCount++
+	s.unmapLocked(addr, length)
+	return nil
+}
+
+// unmapLocked punches a hole [addr, addr+length) through the region list.
+func (s *Space) unmapLocked(addr, length uint64) {
+	end := addr + length
+	var out []*region
+	for _, r := range s.regions {
+		switch {
+		case r.end() <= addr || r.start >= end:
+			out = append(out, r) // untouched
+		case r.start >= addr && r.end() <= end:
+			// fully covered: drop
+		case r.start < addr && r.end() > end:
+			// hole in the middle: split into two
+			left := &region{start: r.start, prot: r.prot, half: r.half, label: r.label,
+				data: r.data[:addr-r.start]}
+			right := &region{start: end, prot: r.prot, half: r.half, label: r.label,
+				data: r.data[end-r.start:]}
+			out = append(out, left, right)
+		case r.start < addr:
+			// trim tail
+			r.data = r.data[:addr-r.start]
+			out = append(out, r)
+		default:
+			// trim head
+			off := end - r.start
+			r.data = r.data[off:]
+			r.start = end
+			out = append(out, r)
+		}
+	}
+	s.regions = out
+}
+
+// MProtect changes the protection of every whole region inside
+// [addr, addr+length). Regions straddling the boundary are split first.
+func (s *Space) MProtect(addr, length uint64, prot Prot) error {
+	if !aligned(addr) {
+		return ErrUnaligned
+	}
+	if length == 0 {
+		return ErrZeroLength
+	}
+	length = roundUp(length)
+	end := addr + length
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Verify full coverage first.
+	if !s.coveredLocked(addr, length) {
+		return ErrNotMapped
+	}
+	s.splitAtLocked(addr)
+	s.splitAtLocked(end)
+	for _, r := range s.regions {
+		if r.start >= addr && r.end() <= end {
+			r.prot = prot
+		}
+	}
+	return nil
+}
+
+// splitAtLocked splits any region containing addr so that addr becomes a
+// region boundary.
+func (s *Space) splitAtLocked(addr uint64) {
+	for i, r := range s.regions {
+		if r.start < addr && addr < r.end() {
+			right := &region{start: addr, prot: r.prot, half: r.half, label: r.label,
+				data: r.data[addr-r.start:]}
+			r.data = r.data[:addr-r.start]
+			rest := make([]*region, 0, len(s.regions)+1)
+			rest = append(rest, s.regions[:i+1]...)
+			rest = append(rest, right)
+			rest = append(rest, s.regions[i+1:]...)
+			s.regions = rest
+			return
+		}
+	}
+}
+
+func (s *Space) coveredLocked(addr, length uint64) bool {
+	end := addr + length
+	at := addr
+	for _, r := range s.regions {
+		if r.end() <= at {
+			continue
+		}
+		if r.start > at {
+			return false
+		}
+		at = r.end()
+		if at >= end {
+			return true
+		}
+	}
+	return at >= end
+}
+
+// findLocked returns the region containing addr, or nil.
+func (s *Space) findLocked(addr uint64) *region {
+	idx := sort.Search(len(s.regions), func(i int) bool { return s.regions[i].end() > addr })
+	if idx < len(s.regions) && s.regions[idx].start <= addr {
+		return s.regions[idx]
+	}
+	return nil
+}
+
+// ReadAt copies len(p) bytes starting at addr into p. The range may span
+// multiple contiguous regions; unmapped gaps are an error. Protection is
+// checked (ProtRead required).
+func (s *Space) ReadAt(addr uint64, p []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.accessLocked(addr, ProtRead, p, true)
+}
+
+// WriteAt copies p into the space starting at addr (ProtWrite required).
+func (s *Space) WriteAt(addr uint64, p []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.accessLocked(addr, ProtWrite, p, false)
+}
+
+// accessLocked walks regions covering [addr, addr+len(buf)) and copies
+// between the region data and buf. read selects direction (true: region→buf).
+func (s *Space) accessLocked(addr uint64, need Prot, buf []byte, read bool) error {
+	if len(buf) == 0 {
+		return nil
+	}
+	at := addr
+	remaining := buf
+	for len(remaining) > 0 {
+		r := s.findLocked(at)
+		if r == nil {
+			return fmt.Errorf("%w: %#x", ErrNotMapped, at)
+		}
+		if r.prot&need == 0 {
+			return fmt.Errorf("%w: %#x needs %v has %v", ErrPerm, at, need, r.prot)
+		}
+		off := at - r.start
+		chunk := uint64(len(r.data)) - off
+		if chunk > uint64(len(remaining)) {
+			chunk = uint64(len(remaining))
+		}
+		if read {
+			copy(remaining[:chunk], r.data[off:off+chunk])
+		} else {
+			copy(r.data[off:off+chunk], remaining[:chunk])
+		}
+		remaining = remaining[chunk:]
+		at += chunk
+	}
+	return nil
+}
+
+// Slice returns a direct, mutable view of [addr, addr+length). The range
+// must lie within a single region; this is the fast path used by kernel
+// execution (a real GPU would access this memory through UVA directly).
+func (s *Space) Slice(addr, length uint64) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := s.findLocked(addr)
+	if r == nil {
+		return nil, fmt.Errorf("%w: %#x", ErrNotMapped, addr)
+	}
+	off := addr - r.start
+	if off+length > uint64(len(r.data)) {
+		// The logical range continues into a neighbouring region: callers
+		// must fall back to ReadAt/WriteAt.
+		if s.coveredLocked(addr, length) {
+			return nil, ErrSplitRange
+		}
+		return nil, fmt.Errorf("%w: %#x+%#x", ErrNotMapped, addr, length)
+	}
+	return r.data[off : off+length : off+length], nil
+}
+
+// Regions returns a snapshot of all raw (unmerged) mappings in address
+// order. This is CRAC's own bookkeeping view, which preserves the
+// upper/lower attribution that the maps view loses.
+func (s *Space) Regions() []RegionInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]RegionInfo, 0, len(s.regions))
+	for _, r := range s.regions {
+		out = append(out, RegionInfo{Start: r.start, Len: uint64(len(r.data)), Prot: r.prot, Half: r.half, Label: r.label})
+	}
+	return out
+}
+
+// RegionsIn returns the raw mappings attributed to the given half.
+func (s *Space) RegionsIn(h Half) []RegionInfo {
+	var out []RegionInfo
+	for _, ri := range s.Regions() {
+		if ri.Half == h {
+			out = append(out, ri)
+		}
+	}
+	return out
+}
+
+// MapsView returns the /proc/PID/maps presentation: adjacent regions with
+// identical protection are merged into one entry. When a merge combines
+// regions from different halves the result is attributed HalfMixed —
+// reproducing the hazard of Section 3.2.2 that forces CRAC to track its
+// own allocations.
+func (s *Space) MapsView() []RegionInfo {
+	raw := s.Regions()
+	var out []RegionInfo
+	for _, ri := range raw {
+		if n := len(out); n > 0 {
+			last := &out[n-1]
+			if last.End() == ri.Start && last.Prot == ri.Prot {
+				last.Len += ri.Len
+				if last.Half != ri.Half {
+					last.Half = HalfMixed
+				}
+				if last.Label != ri.Label {
+					last.Label = last.Label + "+" + ri.Label
+				}
+				continue
+			}
+		}
+		out = append(out, ri)
+	}
+	return out
+}
+
+// MappedBytes returns the total bytes mapped in the given half.
+func (s *Space) MappedBytes(h Half) uint64 {
+	var n uint64
+	for _, ri := range s.Regions() {
+		if ri.Half == h {
+			n += ri.Len
+		}
+	}
+	return n
+}
+
+// Stats reports cumulative mmap/munmap call counts.
+func (s *Space) Stats() (mmaps, munmaps uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mmapCount, s.munmapCount
+}

@@ -1,0 +1,163 @@
+// Package cracplugin is the CRAC DMTCP plugin: the glue between the
+// checkpoint engine and the CUDA state managed by the cracrt runtime.
+//
+// At checkpoint time it implements the paper's sequence (Sections 2.2 and
+// 3.2.3): drain the device queues, then copy the memory of *active*
+// mallocs — and only active mallocs, not whole arenas — into image
+// sections alongside the serialized call log. At restart time (after the
+// session has replayed the log into the fresh lower half, recreating
+// every allocation at its original address) it refills those allocations
+// with the saved bytes.
+package cracplugin
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/cracrt"
+	"repro/internal/dmtcp"
+	"repro/internal/replaylog"
+)
+
+// Section names inside the checkpoint image.
+const (
+	SectionLog    = "crac.log"    // serialized replay log
+	SectionDevMem = "crac.devmem" // active-malloc memory payload
+	SectionRoot   = "crac.root"   // application root blob (pointer table)
+)
+
+// Plugin implements dmtcp.Plugin for CUDA state.
+type Plugin struct {
+	rt *cracrt.Runtime
+
+	mu   sync.Mutex
+	root []byte
+}
+
+// New creates the plugin over the CRAC runtime.
+func New(rt *cracrt.Runtime) *Plugin { return &Plugin{rt: rt} }
+
+// Name implements dmtcp.Plugin.
+func (p *Plugin) Name() string { return "crac" }
+
+// SetRootBlob stores an application-provided blob (typically a pointer
+// table) that travels in the image, letting a restarted process find its
+// data structures.
+func (p *Plugin) SetRootBlob(b []byte) {
+	p.mu.Lock()
+	p.root = append([]byte(nil), b...)
+	p.mu.Unlock()
+}
+
+// RootBlob returns the stored blob.
+func (p *Plugin) RootBlob() []byte {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]byte(nil), p.root...)
+}
+
+// PreCheckpoint implements dmtcp.Plugin: drain the queue of pending CUDA
+// kernels, then save the log and the memory of active mallocs.
+func (p *Plugin) PreCheckpoint(sections *dmtcp.SectionMap) error {
+	lib := p.rt.Library()
+
+	// Step (a) of the classic sequence: drain the queue
+	// (cudaDeviceSynchronize) so no kernel is in flight.
+	if err := lib.DeviceSynchronize(); err != nil {
+		return fmt.Errorf("cracplugin: drain: %w", err)
+	}
+
+	// Serialize the call log.
+	var logBuf bytes.Buffer
+	if err := p.rt.Log().Encode(&logBuf); err != nil {
+		return fmt.Errorf("cracplugin: encoding log: %w", err)
+	}
+	sections.Add(SectionLog, logBuf.Bytes())
+
+	// Save the memory of active mallocs in the lower-half arenas
+	// (device, pinned, managed). cudaHostAlloc buffers are upper-half
+	// regions and travel with the DMTCP image itself.
+	active := p.rt.Log().Active()
+	var mem bytes.Buffer
+	var groups = [][]replaylog.Allocation{active.Device, active.Pinned, active.Managed}
+	var count uint32
+	for _, g := range groups {
+		count += uint32(len(g))
+	}
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], count)
+	mem.Write(u32[:])
+	space := lib.Space()
+	var u64 [8]byte
+	for _, g := range groups {
+		for _, a := range g {
+			binary.LittleEndian.PutUint64(u64[:], a.Addr)
+			mem.Write(u64[:])
+			binary.LittleEndian.PutUint64(u64[:], a.Size)
+			mem.Write(u64[:])
+			buf := make([]byte, a.Size)
+			if err := space.ReadAt(a.Addr, buf); err != nil {
+				return fmt.Errorf("cracplugin: draining allocation %#x+%d: %w", a.Addr, a.Size, err)
+			}
+			mem.Write(buf)
+		}
+	}
+	sections.Add(SectionDevMem, mem.Bytes())
+
+	p.mu.Lock()
+	root := append([]byte(nil), p.root...)
+	p.mu.Unlock()
+	sections.Add(SectionRoot, root)
+	return nil
+}
+
+// Resume implements dmtcp.Plugin: nothing to undo — the device was only
+// drained, not torn down, so execution simply continues.
+func (p *Plugin) Resume() error { return nil }
+
+// Restart implements dmtcp.Plugin: refill the replayed allocations with
+// the saved bytes. The session must have rebound the runtime to the fresh
+// lower half (replaying the log) before the restart hooks run, so every
+// address written here is live again at its original value.
+func (p *Plugin) Restart(sections *dmtcp.SectionMap) error {
+	memBytes, ok := sections.Get(SectionDevMem)
+	if !ok {
+		return fmt.Errorf("cracplugin: image has no %s section", SectionDevMem)
+	}
+	space := p.rt.Library().Space()
+	r := bytes.NewReader(memBytes)
+	var u32 [4]byte
+	if _, err := io.ReadFull(r, u32[:]); err != nil {
+		return fmt.Errorf("cracplugin: devmem count: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(u32[:])
+	var u64 [8]byte
+	for i := uint32(0); i < n; i++ {
+		if _, err := io.ReadFull(r, u64[:]); err != nil {
+			return fmt.Errorf("cracplugin: devmem entry %d: %w", i, err)
+		}
+		addr := binary.LittleEndian.Uint64(u64[:])
+		if _, err := io.ReadFull(r, u64[:]); err != nil {
+			return fmt.Errorf("cracplugin: devmem entry %d: %w", i, err)
+		}
+		size := binary.LittleEndian.Uint64(u64[:])
+		buf := make([]byte, size)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return fmt.Errorf("cracplugin: devmem entry %d data: %w", i, err)
+		}
+		if err := space.WriteAt(addr, buf); err != nil {
+			return fmt.Errorf("cracplugin: refilling %#x+%d: %w", addr, size, err)
+		}
+	}
+	if root, ok := sections.Get(SectionRoot); ok {
+		p.mu.Lock()
+		p.root = append([]byte(nil), root...)
+		p.mu.Unlock()
+	}
+	return nil
+}
+
+var _ dmtcp.Plugin = (*Plugin)(nil)

@@ -1,0 +1,150 @@
+package cracplugin
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/addrspace"
+	"repro/internal/cracrt"
+	"repro/internal/cuda"
+	"repro/internal/dmtcp"
+	"repro/internal/fsgs"
+	"repro/internal/loader"
+	"repro/internal/replaylog"
+)
+
+func buildRT(t *testing.T) (*cracrt.Runtime, *cuda.Library) {
+	t.Helper()
+	space := addrspace.New()
+	helper, err := loader.NewLower(space).Load(loader.HelperSpec(cracrt.Symbols))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := cuda.NewLibrary(cuda.Config{Space: space})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(lib.Destroy)
+	entries := make(cracrt.EntryTable)
+	for _, s := range cracrt.Symbols {
+		a, _ := helper.Entry(s)
+		entries[s] = a
+	}
+	return cracrt.New(lib, entries, fsgs.None{}), lib
+}
+
+func TestPreCheckpointSectionsAndDrain(t *testing.T) {
+	rt, lib := buildRT(t)
+	d, err := rt.Malloc(8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Memset(d, 0x42, 8192); err != nil {
+		t.Fatal(err)
+	}
+	m, err := rt.MallocManaged(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = m
+	p := New(rt)
+	p.SetRootBlob([]byte("root!"))
+
+	sections := dmtcp.NewSectionMap()
+	if err := p.PreCheckpoint(sections); err != nil {
+		t.Fatal(err)
+	}
+	if !lib.Device().Drained() {
+		t.Fatal("device not drained by PreCheckpoint")
+	}
+	for _, name := range []string{SectionLog, SectionDevMem, SectionRoot} {
+		if _, ok := sections.Get(name); !ok {
+			t.Fatalf("section %s missing", name)
+		}
+	}
+	logBytes, _ := sections.Get(SectionLog)
+	log, err := replaylog.DecodeBytes(logBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := log.Active()
+	if len(as.Device) != 1 || len(as.Managed) != 1 {
+		t.Fatalf("active from image log = %+v", as)
+	}
+	if root, _ := sections.Get(SectionRoot); string(root) != "root!" {
+		t.Fatalf("root section = %q", root)
+	}
+	// The devmem payload contains the memset pattern.
+	mem, _ := sections.Get(SectionDevMem)
+	if !bytes.Contains(mem, bytes.Repeat([]byte{0x42}, 64)) {
+		t.Fatal("device payload missing drained bytes")
+	}
+	if err := p.Resume(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRestartRefills(t *testing.T) {
+	rt, _ := buildRT(t)
+	d, _ := rt.Malloc(4096)
+	if err := rt.Memset(d, 0x99, 4096); err != nil {
+		t.Fatal(err)
+	}
+	p := New(rt)
+	sections := dmtcp.NewSectionMap()
+	if err := p.PreCheckpoint(sections); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh process: new space/library, replay the log, then refill.
+	space2 := addrspace.New()
+	helper2, _ := loader.NewLower(space2).Load(loader.HelperSpec(cracrt.Symbols))
+	lib2, _ := cuda.NewLibrary(cuda.Config{Space: space2})
+	t.Cleanup(lib2.Destroy)
+	entries2 := make(cracrt.EntryTable)
+	for _, s := range cracrt.Symbols {
+		a, _ := helper2.Entry(s)
+		entries2[s] = a
+	}
+	logBytes, _ := sections.Get(SectionLog)
+	log, _ := replaylog.DecodeBytes(logBytes)
+	if err := rt.Rebind(lib2, entries2, log); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Restart(sections); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	if err := space2.ReadAt(d, buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range buf {
+		if v != 0x99 {
+			t.Fatalf("refilled byte = %#x, want 0x99", v)
+		}
+	}
+}
+
+func TestRestartWithoutDevMemSectionFails(t *testing.T) {
+	rt, _ := buildRT(t)
+	p := New(rt)
+	if err := p.Restart(dmtcp.NewSectionMap()); err == nil {
+		t.Fatal("restart without devmem section succeeded")
+	}
+}
+
+func TestRootBlobCopySemantics(t *testing.T) {
+	rt, _ := buildRT(t)
+	p := New(rt)
+	b := []byte{1, 2, 3}
+	p.SetRootBlob(b)
+	b[0] = 99 // caller mutation must not leak in
+	got := p.RootBlob()
+	if got[0] != 1 {
+		t.Fatal("root blob aliases caller memory")
+	}
+	got[1] = 99 // returned copy must not leak back
+	if p.RootBlob()[1] != 2 {
+		t.Fatal("root blob getter aliases internal memory")
+	}
+}

@@ -1,0 +1,216 @@
+package cracrt
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/crt"
+	"repro/internal/cuda"
+	"repro/internal/replaylog"
+)
+
+// ErrReplayMismatch is returned when replaying the log on a fresh lower
+// half does not reproduce the original addresses — the failure mode that
+// appears if ASLR is left enabled or the platform changes, which is why
+// CRAC disables address randomization and requires the same CUDA/GPU
+// platform on restart (Section 3.2.4).
+var ErrReplayMismatch = errors.New("cracrt: replay produced a different address (determinism violated)")
+
+// RegisterKernelTable makes module's kernels resolvable during replay in
+// a process that has not executed the original RegisterFunction calls
+// (cross-process restore). Workloads export their kernel tables so both
+// the original and the restarted process can resolve them — the
+// simulation's analogue of the fat-binary device code sitting in the
+// restored application text segment.
+func (r *Runtime) RegisterKernelTable(module string, funcs map[string]cuda.Kernel) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	mod, ok := r.kernelsByModule[module]
+	if !ok {
+		mod = make(map[string]cuda.Kernel)
+		r.kernelsByModule[module] = mod
+	}
+	for name, k := range funcs {
+		mod[name] = k
+	}
+}
+
+// Rebind installs a fresh lower half (library plus entry table) and
+// replays the call log against it, rebuilding the virtual→physical handle
+// maps. If log is non-nil it replaces the runtime's log first
+// (cross-process restore); otherwise the in-memory log is replayed.
+//
+// Per Section 3.2.4, the *entire* malloc/free history of the device,
+// pinned and managed arenas is replayed so the deterministic allocator
+// reproduces every active address, while for cudaHostAlloc buffers (whose
+// bytes were restored with the upper half) only active registrations are
+// redone. Streams, events, and fat binaries are recreated for the active
+// set only, with fat-binary handles re-mapped ("patched", Section 3.2.5).
+func (r *Runtime) Rebind(lib *cuda.Library, entries EntryTable, log *replaylog.Log) error {
+	r.mu.Lock()
+	if log != nil {
+		r.log = log
+	}
+	r.lib = lib
+	r.entries = entries
+	r.vs = make(map[crt.StreamHandle]cuda.Stream)
+	r.ve = make(map[crt.EventHandle]cuda.Event)
+	r.vf = make(map[crt.FatBinHandle]cuda.FatBinaryHandle)
+	r.fdefs = make(map[crt.FatBinHandle]*fatDef)
+	r.heap.SetSpace(lib.Space())
+	r.mu.Unlock()
+
+	active := r.log.Active()
+	activeHost := make(map[uint64]bool, len(active.Host))
+	for _, a := range active.Host {
+		activeHost[a.Addr] = true
+	}
+	activeStreams := make(map[uint64]bool, len(active.Streams))
+	for _, h := range active.Streams {
+		activeStreams[h] = true
+	}
+	activeEvents := make(map[uint64]bool, len(active.Events))
+	for _, h := range active.Events {
+		activeEvents[h] = true
+	}
+	activeFats := make(map[uint64]bool, len(active.FatBins))
+	for _, fb := range active.FatBins {
+		activeFats[fb.Handle] = true
+	}
+
+	var maxS, maxE, maxF uint64
+	for _, e := range r.log.Entries() {
+		switch e.Kind {
+		case replaylog.KindMalloc:
+			addr, err := lib.Malloc(e.Size)
+			if err != nil {
+				return fmt.Errorf("cracrt: replay %v: %w", e, err)
+			}
+			if addr != e.Addr {
+				return fmt.Errorf("%w: %v got %#x", ErrReplayMismatch, e, addr)
+			}
+		case replaylog.KindFree, replaylog.KindFreeManaged:
+			if err := lib.Free(e.Addr); err != nil {
+				return fmt.Errorf("cracrt: replay %v: %w", e, err)
+			}
+		case replaylog.KindMallocHost:
+			addr, err := lib.MallocHost(e.Size)
+			if err != nil {
+				return fmt.Errorf("cracrt: replay %v: %w", e, err)
+			}
+			if addr != e.Addr {
+				return fmt.Errorf("%w: %v got %#x", ErrReplayMismatch, e, addr)
+			}
+		case replaylog.KindFreeHost:
+			if err := lib.FreeHost(e.Addr); err != nil {
+				return fmt.Errorf("cracrt: replay %v: %w", e, err)
+			}
+		case replaylog.KindMallocManaged:
+			addr, err := lib.MallocManaged(e.Size)
+			if err != nil {
+				return fmt.Errorf("cracrt: replay %v: %w", e, err)
+			}
+			if addr != e.Addr {
+				return fmt.Errorf("%w: %v got %#x", ErrReplayMismatch, e, addr)
+			}
+		case replaylog.KindHostAlloc:
+			// The buffer bytes are already in the restored upper half;
+			// only active registrations are redone (Section 3.2.4).
+			if activeHost[e.Addr] {
+				if err := lib.HostRegister(e.Addr, e.Size); err != nil {
+					return fmt.Errorf("cracrt: replay %v: %w", e, err)
+				}
+			}
+		case replaylog.KindFreeHostAlloc:
+			// Inactive cudaHostAlloc buffers were never re-registered.
+		case replaylog.KindStreamCreate:
+			if maxS < e.Handle {
+				maxS = e.Handle
+			}
+			if activeStreams[e.Handle] {
+				ps, err := lib.StreamCreate()
+				if err != nil {
+					return fmt.Errorf("cracrt: replay %v: %w", e, err)
+				}
+				r.mu.Lock()
+				r.vs[crt.StreamHandle(e.Handle)] = ps
+				r.mu.Unlock()
+			}
+		case replaylog.KindStreamDestroy:
+			// Destroyed streams were not recreated.
+		case replaylog.KindEventCreate:
+			if maxE < e.Handle {
+				maxE = e.Handle
+			}
+			if activeEvents[e.Handle] {
+				pe, err := lib.EventCreate()
+				if err != nil {
+					return fmt.Errorf("cracrt: replay %v: %w", e, err)
+				}
+				r.mu.Lock()
+				r.ve[crt.EventHandle(e.Handle)] = pe
+				r.mu.Unlock()
+			}
+		case replaylog.KindEventDestroy:
+			// Destroyed events were not recreated.
+		case replaylog.KindRegisterFatBinary:
+			if maxF < e.Handle {
+				maxF = e.Handle
+			}
+			if activeFats[e.Handle] {
+				ph, err := lib.RegisterFatBinary(e.Module)
+				if err != nil {
+					return fmt.Errorf("cracrt: replay %v: %w", e, err)
+				}
+				r.mu.Lock()
+				r.vf[crt.FatBinHandle(e.Handle)] = ph
+				r.fdefs[crt.FatBinHandle(e.Handle)] = &fatDef{module: e.Module, funcs: make(map[string]cuda.Kernel)}
+				r.mu.Unlock()
+			}
+		case replaylog.KindRegisterFunction:
+			h := crt.FatBinHandle(e.Handle)
+			r.mu.RLock()
+			ph, ok := r.vf[h]
+			def := r.fdefs[h]
+			r.mu.RUnlock()
+			if !ok {
+				continue // fat binary no longer active
+			}
+			k := r.resolveKernel(def.module, e.Name)
+			if k == nil {
+				return fmt.Errorf("cracrt: replay %v: kernel %s/%s not resolvable; call RegisterKernelTable first",
+					e, def.module, e.Name)
+			}
+			if err := lib.RegisterFunction(ph, e.Name, k); err != nil {
+				return fmt.Errorf("cracrt: replay %v: %w", e, err)
+			}
+			r.mu.Lock()
+			def.funcs[e.Name] = k
+			r.mu.Unlock()
+		case replaylog.KindUnregisterFatBinary:
+			// Unregistered fat binaries were not recreated.
+		}
+	}
+
+	r.mu.Lock()
+	if uint64(r.nextS) < maxS {
+		r.nextS = crt.StreamHandle(maxS)
+	}
+	if uint64(r.nextE) < maxE {
+		r.nextE = crt.EventHandle(maxE)
+	}
+	if uint64(r.nextF) < maxF {
+		r.nextF = crt.FatBinHandle(maxF)
+	}
+	r.mu.Unlock()
+	return nil
+}
+
+func (r *Runtime) resolveKernel(module, name string) cuda.Kernel {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if mod, ok := r.kernelsByModule[module]; ok {
+		return mod[name]
+	}
+	return nil
+}

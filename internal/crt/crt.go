@@ -1,0 +1,566 @@
+// Package crt defines the CUDA runtime interface that applications in
+// this repository program against — the role of the "dummy libcuda" in
+// CRAC's upper half (paper Figure 1).
+//
+// The same application code runs unchanged over three bindings:
+//
+//   - the native binding in this package (direct calls into the CUDA
+//     library, no checkpoint support) — the paper's "native" baseline;
+//   - the CRAC binding (package cracrt): trampoline dispatch into the
+//     lower half with fs-register switching and call logging;
+//   - the proxy binding (package proxy): the CRCUDA/CRUM-style baseline
+//     that marshals every call to a separate proxy process.
+//
+// Handles returned to applications are *virtual*: the CRAC binding
+// re-maps them to fresh lower-half resources after restart, so
+// application code keeps working across a checkpoint/restart boundary.
+package crt
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/addrspace"
+	"repro/internal/cuda"
+	"repro/internal/gpusim"
+	"repro/internal/memview"
+)
+
+// Re-exported aliases so applications depend only on crt.
+type (
+	// MemcpyKind mirrors cudaMemcpyKind.
+	MemcpyKind = cuda.MemcpyKind
+	// LaunchConfig mirrors the kernel execution configuration.
+	LaunchConfig = gpusim.LaunchConfig
+	// Dim3 mirrors CUDA dim3.
+	Dim3 = gpusim.Dim3
+	// Kernel is a device kernel body.
+	Kernel = cuda.Kernel
+	// DevCtx is the kernel-side memory view.
+	DevCtx = cuda.DevCtx
+)
+
+// Copy directions, re-exported from the cuda package.
+const (
+	MemcpyHostToHost     = cuda.MemcpyHostToHost
+	MemcpyHostToDevice   = cuda.MemcpyHostToDevice
+	MemcpyDeviceToHost   = cuda.MemcpyDeviceToHost
+	MemcpyDeviceToDevice = cuda.MemcpyDeviceToDevice
+	MemcpyDefault        = cuda.MemcpyDefault
+)
+
+// StreamHandle is a virtual stream handle; 0 is the default stream.
+type StreamHandle uint64
+
+// DefaultStream is the implicit stream.
+const DefaultStream StreamHandle = 0
+
+// EventHandle is a virtual event handle.
+type EventHandle uint64
+
+// FatBinHandle is a virtual fat-binary handle. Virtualization is what
+// lets CRAC "patch" fat-binary handles after restart (Section 3.2.5)
+// without the application noticing.
+type FatBinHandle uint64
+
+// Counters tallies CUDA API calls made from the upper half, the data
+// nvprof provides in the paper's methodology (Section 4.3).
+type Counters struct {
+	LaunchKernel uint64 // cudaLaunchKernel count
+	OtherCalls   uint64 // all other CUDA runtime API calls
+}
+
+// TotalCUDACalls applies the paper's formula: each kernel launch costs
+// three upper→lower calls (cudaPushCallConfiguration,
+// cudaPopCallConfiguration, cudaLaunchKernel), plus the rest of the
+// runtime API calls.
+func (c Counters) TotalCUDACalls() uint64 {
+	return 3*c.LaunchKernel + c.OtherCalls
+}
+
+// CPS computes CUDA calls per second per the paper's Equation 2.
+func (c Counters) CPS(elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(c.TotalCUDACalls()) / elapsed.Seconds()
+}
+
+// Runtime is the CUDA runtime API surface used by the workloads, plus
+// the host-side memory operations an application performs on its own
+// (upper-half) memory.
+type Runtime interface {
+	// Memory management (the cudaMalloc family of Section 3.2.4).
+	Malloc(size uint64) (uint64, error)
+	Free(addr uint64) error
+	MallocHost(size uint64) (uint64, error)
+	HostAlloc(size uint64) (uint64, error)
+	FreeHost(addr uint64) error
+	MallocManaged(size uint64) (uint64, error)
+
+	// Data movement.
+	Memcpy(dst, src, n uint64, kind MemcpyKind) error
+	MemcpyAsync(dst, src, n uint64, kind MemcpyKind, s StreamHandle) error
+	Memset(addr uint64, value byte, n uint64) error
+
+	// Streams and events.
+	StreamCreate() (StreamHandle, error)
+	StreamDestroy(s StreamHandle) error
+	StreamSynchronize(s StreamHandle) error
+	EventCreate() (EventHandle, error)
+	EventDestroy(e EventHandle) error
+	EventRecord(e EventHandle, s StreamHandle) error
+	EventSynchronize(e EventHandle) error
+	EventElapsed(start, end EventHandle) (time.Duration, error)
+	// StreamWaitEvent makes subsequent work on s wait for e
+	// (cudaStreamWaitEvent), the cross-stream dependency primitive.
+	StreamWaitEvent(s StreamHandle, e EventHandle) error
+
+	// Kernel registration and launch.
+	RegisterFatBinary(module string) (FatBinHandle, error)
+	RegisterFunction(h FatBinHandle, name string, k Kernel) error
+	UnregisterFatBinary(h FatBinHandle) error
+	LaunchKernel(h FatBinHandle, name string, cfg LaunchConfig, s StreamHandle, args ...uint64) error
+
+	// Device-wide operations.
+	DeviceSynchronize() error
+	DeviceProperties() gpusim.Properties
+	// MemGetInfo mirrors cudaMemGetInfo: free and total device memory.
+	MemGetInfo() (free, total uint64, err error)
+
+	// HostAccess returns a direct host view of [addr, addr+n), faulting
+	// managed pages to the host. This is how application host code
+	// dereferences its pointers in the simulation.
+	HostAccess(addr, n uint64, write bool) ([]byte, error)
+
+	// AppAlloc and AppFree manage plain application host memory in the
+	// upper half (the application heap DMTCP checkpoints implicitly).
+	// They are not CUDA calls and are not counted or logged.
+	AppAlloc(size uint64) (uint64, error)
+	AppFree(addr uint64) error
+
+	// Counters returns the cumulative CUDA call counters.
+	Counters() Counters
+}
+
+// HostF32 is a convenience wrapper: a host float32 view of rt memory.
+func HostF32(rt Runtime, addr uint64, count int) ([]float32, error) {
+	b, err := rt.HostAccess(addr, uint64(count)*4, true)
+	if err != nil {
+		return nil, err
+	}
+	return memview.Float32s(b, count), nil
+}
+
+// HostF64 is a host float64 view of rt memory.
+func HostF64(rt Runtime, addr uint64, count int) ([]float64, error) {
+	b, err := rt.HostAccess(addr, uint64(count)*8, true)
+	if err != nil {
+		return nil, err
+	}
+	return memview.Float64s(b, count), nil
+}
+
+// HostI32 is a host int32 view of rt memory.
+func HostI32(rt Runtime, addr uint64, count int) ([]int32, error) {
+	b, err := rt.HostAccess(addr, uint64(count)*4, true)
+	if err != nil {
+		return nil, err
+	}
+	return memview.Int32s(b, count), nil
+}
+
+// HostU32 is a host uint32 view of rt memory.
+func HostU32(rt Runtime, addr uint64, count int) ([]uint32, error) {
+	b, err := rt.HostAccess(addr, uint64(count)*4, true)
+	if err != nil {
+		return nil, err
+	}
+	return memview.Uint32s(b, count), nil
+}
+
+// AppHeap is a simple deterministic allocator for plain application
+// memory in the upper half of an address space. Addresses are never
+// reused, keeping allocation deterministic regardless of free order —
+// adequate for the workloads, whose heavy malloc/free churn goes through
+// the CUDA allocators, not the app heap.
+type AppHeap struct {
+	space *addrspace.Space
+
+	mu     sync.Mutex
+	chunk  uint64 // current chunk base
+	off    uint64 // bump offset within chunk
+	size   uint64 // current chunk size
+	live   map[uint64]uint64
+	growBy uint64
+}
+
+// NewAppHeap creates an application heap over the upper half of space.
+func NewAppHeap(space *addrspace.Space) *AppHeap {
+	return &AppHeap{space: space, live: make(map[uint64]uint64), growBy: 8 << 20}
+}
+
+// Alloc returns a new upper-half allocation of the given size.
+func (h *AppHeap) Alloc(size uint64) (uint64, error) {
+	if size == 0 {
+		size = 1
+	}
+	size = (size + 255) &^ 255
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.chunk == 0 || h.off+size > h.size {
+		grow := h.growBy
+		if size > grow {
+			grow = size
+		}
+		base, err := h.space.MMap(0, grow, addrspace.ProtRW, 0, addrspace.HalfUpper, "app-heap")
+		if err != nil {
+			return 0, err
+		}
+		h.chunk, h.off = base, 0
+		h.size = (grow + addrspace.PageSize - 1) &^ (addrspace.PageSize - 1)
+	}
+	addr := h.chunk + h.off
+	h.off += size
+	h.live[addr] = size
+	return addr, nil
+}
+
+// Free releases an allocation (bookkeeping only; addresses are not
+// reused).
+func (h *AppHeap) Free(addr uint64) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.live[addr]; !ok {
+		return addrspace.ErrNotMapped
+	}
+	delete(h.live, addr)
+	return nil
+}
+
+// SetSpace re-points the heap at a different address space. Used after a
+// restart-in-place, when the restored upper-half regions (including the
+// heap's chunks, at their original addresses) live in a fresh space.
+func (h *AppHeap) SetSpace(space *addrspace.Space) {
+	h.mu.Lock()
+	h.space = space
+	h.mu.Unlock()
+}
+
+// LiveBytes returns the total live application-heap bytes.
+func (h *AppHeap) LiveBytes() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var n uint64
+	for _, s := range h.live {
+		n += s
+	}
+	return n
+}
+
+// Native is the direct binding of Runtime onto a CUDA library: the
+// configuration used for the paper's "native" baseline runs. No
+// trampoline, no logging, no checkpoint support.
+type Native struct {
+	lib  *cuda.Library
+	heap *AppHeap
+
+	launches atomic.Uint64
+	others   atomic.Uint64
+
+	mu      sync.Mutex
+	streams map[StreamHandle]cuda.Stream
+	events  map[EventHandle]cuda.Event
+	fats    map[FatBinHandle]cuda.FatBinaryHandle
+	nextS   StreamHandle
+	nextE   EventHandle
+	nextF   FatBinHandle
+}
+
+// NewNative binds a Runtime directly to lib.
+func NewNative(lib *cuda.Library) *Native {
+	return &Native{
+		lib:     lib,
+		heap:    NewAppHeap(lib.Space()),
+		streams: make(map[StreamHandle]cuda.Stream),
+		events:  make(map[EventHandle]cuda.Event),
+		fats:    make(map[FatBinHandle]cuda.FatBinaryHandle),
+	}
+}
+
+// Library exposes the bound CUDA library (for tests and the harness).
+func (n *Native) Library() *cuda.Library { return n.lib }
+
+// Close destroys the bound library (drains the device and stops its
+// stream workers).
+func (n *Native) Close() { n.lib.Destroy() }
+
+func (n *Native) call() { n.others.Add(1) }
+
+// Malloc implements Runtime.
+func (n *Native) Malloc(size uint64) (uint64, error) { n.call(); return n.lib.Malloc(size) }
+
+// Free implements Runtime.
+func (n *Native) Free(addr uint64) error { n.call(); return n.lib.Free(addr) }
+
+// MallocHost implements Runtime.
+func (n *Native) MallocHost(size uint64) (uint64, error) { n.call(); return n.lib.MallocHost(size) }
+
+// HostAlloc implements Runtime.
+func (n *Native) HostAlloc(size uint64) (uint64, error) { n.call(); return n.lib.HostAlloc(size) }
+
+// FreeHost implements Runtime.
+func (n *Native) FreeHost(addr uint64) error { n.call(); return n.lib.FreeHost(addr) }
+
+// MallocManaged implements Runtime.
+func (n *Native) MallocManaged(size uint64) (uint64, error) {
+	n.call()
+	return n.lib.MallocManaged(size)
+}
+
+// Memcpy implements Runtime.
+func (n *Native) Memcpy(dst, src, nbytes uint64, kind MemcpyKind) error {
+	n.call()
+	return n.lib.Memcpy(dst, src, nbytes, kind)
+}
+
+// MemcpyAsync implements Runtime.
+func (n *Native) MemcpyAsync(dst, src, nbytes uint64, kind MemcpyKind, s StreamHandle) error {
+	n.call()
+	ps, err := n.stream(s)
+	if err != nil {
+		return err
+	}
+	return n.lib.MemcpyAsync(dst, src, nbytes, kind, ps)
+}
+
+// Memset implements Runtime.
+func (n *Native) Memset(addr uint64, value byte, nbytes uint64) error {
+	n.call()
+	return n.lib.Memset(addr, value, nbytes)
+}
+
+func (n *Native) stream(s StreamHandle) (cuda.Stream, error) {
+	if s == DefaultStream {
+		return cuda.DefaultStream, nil
+	}
+	n.mu.Lock()
+	ps, ok := n.streams[s]
+	n.mu.Unlock()
+	if !ok {
+		return 0, &cuda.Error{Code: cuda.ErrorInvalidResourceHandle, Op: "stream", Msg: "unknown virtual stream"}
+	}
+	return ps, nil
+}
+
+// StreamCreate implements Runtime.
+func (n *Native) StreamCreate() (StreamHandle, error) {
+	n.call()
+	ps, err := n.lib.StreamCreate()
+	if err != nil {
+		return 0, err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.nextS++
+	h := n.nextS
+	n.streams[h] = ps
+	return h, nil
+}
+
+// StreamDestroy implements Runtime.
+func (n *Native) StreamDestroy(s StreamHandle) error {
+	n.call()
+	ps, err := n.stream(s)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	delete(n.streams, s)
+	n.mu.Unlock()
+	return n.lib.StreamDestroy(ps)
+}
+
+// StreamSynchronize implements Runtime.
+func (n *Native) StreamSynchronize(s StreamHandle) error {
+	n.call()
+	ps, err := n.stream(s)
+	if err != nil {
+		return err
+	}
+	return n.lib.StreamSynchronize(ps)
+}
+
+func (n *Native) event(e EventHandle) (cuda.Event, error) {
+	n.mu.Lock()
+	pe, ok := n.events[e]
+	n.mu.Unlock()
+	if !ok {
+		return 0, &cuda.Error{Code: cuda.ErrorInvalidResourceHandle, Op: "event", Msg: "unknown virtual event"}
+	}
+	return pe, nil
+}
+
+// EventCreate implements Runtime.
+func (n *Native) EventCreate() (EventHandle, error) {
+	n.call()
+	pe, err := n.lib.EventCreate()
+	if err != nil {
+		return 0, err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.nextE++
+	h := n.nextE
+	n.events[h] = pe
+	return h, nil
+}
+
+// EventDestroy implements Runtime.
+func (n *Native) EventDestroy(e EventHandle) error {
+	n.call()
+	pe, err := n.event(e)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	delete(n.events, e)
+	n.mu.Unlock()
+	return n.lib.EventDestroy(pe)
+}
+
+// EventRecord implements Runtime.
+func (n *Native) EventRecord(e EventHandle, s StreamHandle) error {
+	n.call()
+	pe, err := n.event(e)
+	if err != nil {
+		return err
+	}
+	ps, err := n.stream(s)
+	if err != nil {
+		return err
+	}
+	return n.lib.EventRecord(pe, ps)
+}
+
+// EventSynchronize implements Runtime.
+func (n *Native) EventSynchronize(e EventHandle) error {
+	n.call()
+	pe, err := n.event(e)
+	if err != nil {
+		return err
+	}
+	return n.lib.EventSynchronize(pe)
+}
+
+// EventElapsed implements Runtime.
+func (n *Native) EventElapsed(start, end EventHandle) (time.Duration, error) {
+	n.call()
+	ps, err := n.event(start)
+	if err != nil {
+		return 0, err
+	}
+	pe, err := n.event(end)
+	if err != nil {
+		return 0, err
+	}
+	return n.lib.EventElapsed(ps, pe)
+}
+
+// RegisterFatBinary implements Runtime.
+func (n *Native) RegisterFatBinary(module string) (FatBinHandle, error) {
+	n.call()
+	ph, err := n.lib.RegisterFatBinary(module)
+	if err != nil {
+		return 0, err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.nextF++
+	h := n.nextF
+	n.fats[h] = ph
+	return h, nil
+}
+
+// RegisterFunction implements Runtime.
+func (n *Native) RegisterFunction(h FatBinHandle, name string, k Kernel) error {
+	n.call()
+	n.mu.Lock()
+	ph, ok := n.fats[h]
+	n.mu.Unlock()
+	if !ok {
+		return &cuda.Error{Code: cuda.ErrorInvalidResourceHandle, Op: "registerFunction", Msg: "unknown virtual fat binary"}
+	}
+	return n.lib.RegisterFunction(ph, name, k)
+}
+
+// UnregisterFatBinary implements Runtime.
+func (n *Native) UnregisterFatBinary(h FatBinHandle) error {
+	n.call()
+	n.mu.Lock()
+	ph, ok := n.fats[h]
+	delete(n.fats, h)
+	n.mu.Unlock()
+	if !ok {
+		return &cuda.Error{Code: cuda.ErrorInvalidResourceHandle, Op: "unregisterFatBinary", Msg: "unknown virtual fat binary"}
+	}
+	return n.lib.UnregisterFatBinary(ph)
+}
+
+// LaunchKernel implements Runtime.
+func (n *Native) LaunchKernel(h FatBinHandle, name string, cfg LaunchConfig, s StreamHandle, args ...uint64) error {
+	n.launches.Add(1)
+	n.mu.Lock()
+	ph, ok := n.fats[h]
+	n.mu.Unlock()
+	if !ok {
+		return &cuda.Error{Code: cuda.ErrorInvalidResourceHandle, Op: "launchKernel", Msg: "unknown virtual fat binary"}
+	}
+	ps, err := n.stream(s)
+	if err != nil {
+		return err
+	}
+	return n.lib.LaunchKernel(ph, name, cfg, ps, args...)
+}
+
+// StreamWaitEvent implements Runtime.
+func (n *Native) StreamWaitEvent(s StreamHandle, e EventHandle) error {
+	n.call()
+	ps, err := n.stream(s)
+	if err != nil {
+		return err
+	}
+	pe, err := n.event(e)
+	if err != nil {
+		return err
+	}
+	return n.lib.StreamWaitEvent(ps, pe)
+}
+
+// MemGetInfo implements Runtime.
+func (n *Native) MemGetInfo() (uint64, uint64, error) { n.call(); return n.lib.MemGetInfo() }
+
+// DeviceSynchronize implements Runtime.
+func (n *Native) DeviceSynchronize() error { n.call(); return n.lib.DeviceSynchronize() }
+
+// DeviceProperties implements Runtime.
+func (n *Native) DeviceProperties() gpusim.Properties { return n.lib.DeviceProperties() }
+
+// HostAccess implements Runtime.
+func (n *Native) HostAccess(addr, nbytes uint64, write bool) ([]byte, error) {
+	return n.lib.HostAccess(addr, nbytes, write)
+}
+
+// AppAlloc implements Runtime.
+func (n *Native) AppAlloc(size uint64) (uint64, error) { return n.heap.Alloc(size) }
+
+// AppFree implements Runtime.
+func (n *Native) AppFree(addr uint64) error { return n.heap.Free(addr) }
+
+// Counters implements Runtime.
+func (n *Native) Counters() Counters {
+	return Counters{LaunchKernel: n.launches.Load(), OtherCalls: n.others.Load()}
+}
+
+var _ Runtime = (*Native)(nil)

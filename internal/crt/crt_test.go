@@ -1,0 +1,208 @@
+package crt
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/addrspace"
+	"repro/internal/cuda"
+	"repro/internal/gpusim"
+)
+
+func newNative(t *testing.T) *Native {
+	t.Helper()
+	lib, err := cuda.NewLibrary(cuda.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := NewNative(lib)
+	t.Cleanup(n.Close)
+	return n
+}
+
+func TestCountersFormula(t *testing.T) {
+	c := Counters{LaunchKernel: 10, OtherCalls: 5}
+	if c.TotalCUDACalls() != 35 {
+		t.Fatalf("total = %d, want 35 (3x launches + others)", c.TotalCUDACalls())
+	}
+	if cps := c.CPS(time.Second); cps != 35 {
+		t.Fatalf("cps = %v", cps)
+	}
+	if c.CPS(0) != 0 {
+		t.Fatal("cps with zero elapsed")
+	}
+}
+
+func TestNativeEndToEnd(t *testing.T) {
+	n := newNative(t)
+	fat, err := n.RegisterFatBinary("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.RegisterFunction(fat, "bump", func(ctx *cuda.DevCtx, _ gpusim.LaunchConfig, args []uint64) {
+		b := ctx.Bytes(args[0], 4)
+		b[0]++
+	}); err != nil {
+		t.Fatal(err)
+	}
+	d, err := n.Malloc(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := n.StreamCreate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := n.LaunchKernel(fat, "bump", gpusim.LaunchConfig{}, s, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.StreamSynchronize(s); err != nil {
+		t.Fatal(err)
+	}
+	host, _ := n.AppAlloc(4)
+	if err := n.Memcpy(host, d, 4, MemcpyDeviceToHost); err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.HostAccess(host, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 3 {
+		t.Fatalf("kernel ran %d times, want 3", b[0])
+	}
+}
+
+func TestNativeHandleValidation(t *testing.T) {
+	n := newNative(t)
+	if err := n.StreamSynchronize(StreamHandle(42)); err == nil {
+		t.Fatal("unknown stream accepted")
+	}
+	if err := n.EventSynchronize(EventHandle(42)); err == nil {
+		t.Fatal("unknown event accepted")
+	}
+	if err := n.LaunchKernel(FatBinHandle(42), "x", gpusim.LaunchConfig{}, DefaultStream); err == nil {
+		t.Fatal("unknown fat binary accepted")
+	}
+	if err := n.UnregisterFatBinary(FatBinHandle(42)); err == nil {
+		t.Fatal("unknown fat binary unregistered")
+	}
+}
+
+func TestNativeEventsElapsed(t *testing.T) {
+	n := newNative(t)
+	s, _ := n.StreamCreate()
+	e1, _ := n.EventCreate()
+	e2, _ := n.EventCreate()
+	if err := n.EventRecord(e1, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.EventRecord(e2, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.EventSynchronize(e2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.EventElapsed(e1, e2); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.EventDestroy(e2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppHeapBumpAndFree(t *testing.T) {
+	space := addrspace.New()
+	h := NewAppHeap(space)
+	a, err := h.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("allocations collide")
+	}
+	if h.LiveBytes() == 0 {
+		t.Fatal("live bytes zero")
+	}
+	if err := h.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Free(a); err == nil {
+		t.Fatal("double free accepted")
+	}
+	// Zero-size allocations are legal.
+	if _, err := h.Alloc(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppHeapDeterministic(t *testing.T) {
+	alloc := func() []uint64 {
+		h := NewAppHeap(addrspace.New())
+		var out []uint64
+		for i := 0; i < 50; i++ {
+			a, err := h.Alloc(uint64(100 + i*13))
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, a)
+		}
+		return out
+	}
+	a, b := alloc(), alloc()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("app heap nondeterministic at %d", i)
+		}
+	}
+}
+
+func TestAppHeapGrowth(t *testing.T) {
+	h := NewAppHeap(addrspace.New())
+	// Force chunk growth with a large allocation.
+	big, err := h.Alloc(32 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := h.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big == small {
+		t.Fatal("collision after growth")
+	}
+}
+
+func TestHostViews(t *testing.T) {
+	n := newNative(t)
+	a, err := n.AppAlloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := HostF32(n, a, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f[0] = 1.5
+	g, err := HostF64(n, a, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = g
+	i32, err := HostI32(n, a, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u32, err := HostU32(n, a, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint32(i32[0]) != u32[0] {
+		t.Fatal("views disagree")
+	}
+}

@@ -1,0 +1,154 @@
+// Package cublas simulates the subset of NVIDIA cuBLAS used by the
+// paper's Table 3 comparison: cublasSdot (inner product), cublasSgemv
+// (matrix–vector product), and cublasSgemm (matrix–matrix product).
+//
+// As in CRAC, the cuBLAS library "resides in the lower half and is
+// directly called from the upper half": the routines are device kernels
+// registered as a fat binary and launched through whatever runtime
+// binding is in use. Under the native and CRAC bindings the data buffers
+// are passed by pointer; under the proxy binding every buffer crosses the
+// IPC boundary, which is exactly the overhead Table 3 measures.
+package cublas
+
+import (
+	"sync"
+
+	"repro/internal/crt"
+	"repro/internal/cuda"
+	"repro/internal/gpusim"
+	"repro/internal/par"
+)
+
+// Module is the cuBLAS fat-binary module name.
+const Module = "cublas"
+
+// Table returns the cuBLAS kernel table.
+func Table() map[string]cuda.Kernel {
+	return map[string]cuda.Kernel{
+		"sdot":  sdotKernel,
+		"sgemv": sgemvKernel,
+		"sgemm": sgemmKernel,
+	}
+}
+
+// sdotKernel computes out[0] = dot(x, y). args: x, y, out, n.
+func sdotKernel(ctx *cuda.DevCtx, _ gpusim.LaunchConfig, args []uint64) {
+	n := int(args[3])
+	x := ctx.Float32s(args[0], n)
+	y := ctx.Float32s(args[1], n)
+	out := ctx.Float32s(args[2], 1)
+
+	const chunk = 1 << 16
+	parts := make([]float64, (n+chunk-1)/chunk)
+	var wg sync.WaitGroup
+	for c := range parts {
+		lo, hi := c*chunk, (c+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(c, lo, hi int) {
+			defer wg.Done()
+			var s float64
+			for i := lo; i < hi; i++ {
+				s += float64(x[i]) * float64(y[i])
+			}
+			parts[c] = s
+		}(c, lo, hi)
+	}
+	wg.Wait()
+	var total float64
+	for _, p := range parts {
+		total += p
+	}
+	out[0] = float32(total)
+}
+
+// sgemvKernel computes y = A·x for row-major A (m×n). args: A, x, y, m, n.
+func sgemvKernel(ctx *cuda.DevCtx, _ gpusim.LaunchConfig, args []uint64) {
+	m, n := int(args[3]), int(args[4])
+	a := ctx.Float32s(args[0], m*n)
+	x := ctx.Float32s(args[1], n)
+	y := ctx.Float32s(args[2], m)
+	par.For(m, 16, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := a[i*n : (i+1)*n]
+			var s float64
+			for j := 0; j < n; j++ {
+				s += float64(row[j]) * float64(x[j])
+			}
+			y[i] = float32(s)
+		}
+	})
+}
+
+// sgemmKernel computes C = A·B for row-major A (m×k) and B (k×n).
+// args: A, B, C, m, n, k.
+func sgemmKernel(ctx *cuda.DevCtx, _ gpusim.LaunchConfig, args []uint64) {
+	m, n, k := int(args[3]), int(args[4]), int(args[5])
+	a := ctx.Float32s(args[0], m*k)
+	b := ctx.Float32s(args[1], k*n)
+	c := ctx.Float32s(args[2], m*n)
+	par.For(m, 4, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ci := c[i*n : (i+1)*n]
+			for j := range ci {
+				ci[j] = 0
+			}
+			for l := 0; l < k; l++ {
+				ail := a[i*k+l]
+				if ail == 0 {
+					continue
+				}
+				bl := b[l*n : (l+1)*n]
+				for j := 0; j < n; j++ {
+					ci[j] += ail * bl[j]
+				}
+			}
+		}
+	})
+}
+
+// Handle is a cuBLAS context bound to one runtime (cublasCreate).
+type Handle struct {
+	rt  crt.Runtime
+	fat crt.FatBinHandle
+}
+
+// New registers the cuBLAS fat binary with rt and returns a handle.
+func New(rt crt.Runtime) (*Handle, error) {
+	fat, err := rt.RegisterFatBinary(Module)
+	if err != nil {
+		return nil, err
+	}
+	for name, k := range Table() {
+		if err := rt.RegisterFunction(fat, name, k); err != nil {
+			return nil, err
+		}
+	}
+	return &Handle{rt: rt, fat: fat}, nil
+}
+
+// launch1D builds a launch configuration covering n elements.
+func launch1D(n int) crt.LaunchConfig {
+	blocks := (n + 255) / 256
+	if blocks == 0 {
+		blocks = 1
+	}
+	return crt.LaunchConfig{Grid: crt.Dim3{X: blocks}, Block: crt.Dim3{X: 256}}
+}
+
+// Sdot launches cublasSdot: result[0] = dot(x[0:n], y[0:n]).
+func (h *Handle) Sdot(n int, x, y, result uint64, stream crt.StreamHandle) error {
+	return h.rt.LaunchKernel(h.fat, "sdot", launch1D(n), stream, x, y, result, uint64(n))
+}
+
+// Sgemv launches cublasSgemv: y = A·x, A row-major m×n.
+func (h *Handle) Sgemv(m, n int, a, x, y uint64, stream crt.StreamHandle) error {
+	return h.rt.LaunchKernel(h.fat, "sgemv", launch1D(m), stream, a, x, y, uint64(m), uint64(n))
+}
+
+// Sgemm launches cublasSgemm: C = A·B, A m×k, B k×n, all row-major.
+func (h *Handle) Sgemm(m, n, k int, a, b, c uint64, stream crt.StreamHandle) error {
+	return h.rt.LaunchKernel(h.fat, "sgemm", launch1D(m), stream, a, b, c, uint64(m), uint64(n), uint64(k))
+}

@@ -1,0 +1,202 @@
+package cublas
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/crt"
+	"repro/internal/cuda"
+)
+
+func newRT(t *testing.T) crt.Runtime {
+	t.Helper()
+	lib, err := cuda.NewLibrary(cuda.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := crt.NewNative(lib)
+	t.Cleanup(n.Close)
+	return n
+}
+
+// devF32 allocates device memory holding the given values.
+func devF32(t *testing.T, rt crt.Runtime, vals []float32) uint64 {
+	t.Helper()
+	host, err := rt.AppAlloc(uint64(4 * len(vals)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hv, err := crt.HostF32(rt, host, len(vals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(hv, vals)
+	dev, err := rt.Malloc(uint64(4 * len(vals)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Memcpy(dev, host, uint64(4*len(vals)), crt.MemcpyHostToDevice); err != nil {
+		t.Fatal(err)
+	}
+	return dev
+}
+
+// readF32 copies device memory back to host.
+func readF32(t *testing.T, rt crt.Runtime, dev uint64, n int) []float32 {
+	t.Helper()
+	host, err := rt.AppAlloc(uint64(4 * n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Memcpy(host, dev, uint64(4*n), crt.MemcpyDeviceToHost); err != nil {
+		t.Fatal(err)
+	}
+	hv, err := crt.HostF32(rt, host, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hv
+}
+
+func TestSdot(t *testing.T) {
+	rt := newRT(t)
+	h, err := New(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 10000
+	xs := make([]float32, n)
+	ys := make([]float32, n)
+	var want float64
+	for i := range xs {
+		xs[i] = float32(i%7) * 0.25
+		ys[i] = float32(i%5) * 0.5
+		want += float64(xs[i]) * float64(ys[i])
+	}
+	x := devF32(t, rt, xs)
+	y := devF32(t, rt, ys)
+	out, _ := rt.Malloc(4)
+	if err := h.Sdot(n, x, y, out, crt.DefaultStream); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.DeviceSynchronize(); err != nil {
+		t.Fatal(err)
+	}
+	got := float64(readF32(t, rt, out, 1)[0])
+	if math.Abs(got-want)/want > 1e-5 {
+		t.Fatalf("sdot = %v, want %v", got, want)
+	}
+}
+
+func TestSgemv(t *testing.T) {
+	rt := newRT(t)
+	h, _ := New(rt)
+	const m, n = 17, 23
+	av := make([]float32, m*n)
+	xv := make([]float32, n)
+	for i := range av {
+		av[i] = float32(i % 9)
+	}
+	for i := range xv {
+		xv[i] = float32(i % 4)
+	}
+	a := devF32(t, rt, av)
+	x := devF32(t, rt, xv)
+	y, _ := rt.Malloc(4 * m)
+	if err := h.Sgemv(m, n, a, x, y, crt.DefaultStream); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.DeviceSynchronize(); err != nil {
+		t.Fatal(err)
+	}
+	got := readF32(t, rt, y, m)
+	for i := 0; i < m; i++ {
+		var want float64
+		for j := 0; j < n; j++ {
+			want += float64(av[i*n+j]) * float64(xv[j])
+		}
+		if math.Abs(float64(got[i])-want) > 1e-3 {
+			t.Fatalf("y[%d] = %v, want %v", i, got[i], want)
+		}
+	}
+}
+
+func TestSgemm(t *testing.T) {
+	rt := newRT(t)
+	h, _ := New(rt)
+	const m, n, k = 9, 11, 13
+	av := make([]float32, m*k)
+	bv := make([]float32, k*n)
+	for i := range av {
+		av[i] = float32((i % 5)) * 0.5
+	}
+	for i := range bv {
+		bv[i] = float32((i % 3)) * 0.25
+	}
+	a := devF32(t, rt, av)
+	b := devF32(t, rt, bv)
+	c, _ := rt.Malloc(4 * m * n)
+	if err := h.Sgemm(m, n, k, a, b, c, crt.DefaultStream); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.DeviceSynchronize(); err != nil {
+		t.Fatal(err)
+	}
+	got := readF32(t, rt, c, m*n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var want float64
+			for l := 0; l < k; l++ {
+				want += float64(av[i*k+l]) * float64(bv[l*n+j])
+			}
+			if math.Abs(float64(got[i*n+j])-want) > 1e-3 {
+				t.Fatalf("c[%d,%d] = %v, want %v", i, j, got[i*n+j], want)
+			}
+		}
+	}
+}
+
+func TestSgemmZeroSkip(t *testing.T) {
+	// The zero-row skip in the kernel must not change results.
+	rt := newRT(t)
+	h, _ := New(rt)
+	const m, n, k = 4, 4, 4
+	av := make([]float32, m*k) // all zeros
+	bv := make([]float32, k*n)
+	for i := range bv {
+		bv[i] = 1
+	}
+	a := devF32(t, rt, av)
+	b := devF32(t, rt, bv)
+	c, _ := rt.Malloc(4 * m * n)
+	if err := h.Sgemm(m, n, k, a, b, c, crt.DefaultStream); err != nil {
+		t.Fatal(err)
+	}
+	_ = rt.DeviceSynchronize()
+	for i, v := range readF32(t, rt, c, m*n) {
+		if v != 0 {
+			t.Fatalf("c[%d] = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestLaunchOnStream(t *testing.T) {
+	rt := newRT(t)
+	h, _ := New(rt)
+	s, err := rt.StreamCreate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := devF32(t, rt, []float32{1, 2, 3})
+	y := devF32(t, rt, []float32{4, 5, 6})
+	out, _ := rt.Malloc(4)
+	if err := h.Sdot(3, x, y, out, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.StreamSynchronize(s); err != nil {
+		t.Fatal(err)
+	}
+	if got := readF32(t, rt, out, 1)[0]; got != 32 {
+		t.Fatalf("sdot = %v, want 32", got)
+	}
+}

@@ -1,0 +1,509 @@
+package cuda
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/addrspace"
+	"repro/internal/gpusim"
+	"repro/internal/uvm"
+)
+
+func newLib(t *testing.T) *Library {
+	t.Helper()
+	l, err := NewLibrary(Config{})
+	if err != nil {
+		t.Fatalf("NewLibrary: %v", err)
+	}
+	t.Cleanup(l.Destroy)
+	return l
+}
+
+func TestMallocFreeClassify(t *testing.T) {
+	l := newLib(t)
+	d, err := l.Malloc(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Classify(d) != PtrDevice {
+		t.Fatalf("classify(device) = %v", l.Classify(d))
+	}
+	p, err := l.MallocHost(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Classify(p) != PtrPinned {
+		t.Fatalf("classify(pinned) = %v", l.Classify(p))
+	}
+	m, err := l.MallocManaged(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Classify(m) != PtrManaged {
+		t.Fatalf("classify(managed) = %v", l.Classify(m))
+	}
+	h, err := l.HostAlloc(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Classify(h) != PtrHost {
+		t.Fatalf("classify(hostAlloc) = %v", l.Classify(h))
+	}
+	for _, addr := range []uint64{d, m} {
+		if err := l.Free(addr); err != nil {
+			t.Fatalf("Free(%#x): %v", addr, err)
+		}
+	}
+	if err := l.FreeHost(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.FreeHost(h); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Free(d); CodeOf(err) != ErrorInvalidDevicePointer {
+		t.Fatalf("double free err = %v", err)
+	}
+}
+
+func TestMallocAlignment(t *testing.T) {
+	l := newLib(t)
+	for _, size := range []uint64{1, 17, 255, 257, 4095} {
+		a, err := l.Malloc(size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a%allocAlign != 0 {
+			t.Fatalf("cudaMalloc(%d) returned unaligned %#x", size, a)
+		}
+	}
+}
+
+func TestMallocZeroSize(t *testing.T) {
+	l := newLib(t)
+	if _, err := l.Malloc(0); CodeOf(err) != ErrorInvalidValue {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDeviceOOM(t *testing.T) {
+	l, err := NewLibrary(Config{Prop: gpusim.Properties{
+		Name: "tiny", ComputeMajor: 7, MaxConcurrentKernels: 4, GlobalMemBytes: 1 << 20, SMCount: 1,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Destroy()
+	if _, err := l.Malloc(8 << 20); CodeOf(err) != ErrorMemoryAllocation {
+		t.Fatalf("err = %v, want cudaErrorMemoryAllocation", err)
+	}
+}
+
+func TestArenaMultipleMmapsOnFirstMalloc(t *testing.T) {
+	// Section 3.2.1: the first cudaMalloc maps a large arena with many
+	// mmap calls; later ones usually map nothing.
+	space := addrspace.New()
+	l, err := NewLibrary(Config{Space: space, GrowthMmaps: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Destroy()
+	mm0, _ := space.Stats()
+	if _, err := l.Malloc(4096); err != nil {
+		t.Fatal(err)
+	}
+	mm1, _ := space.Stats()
+	if mm1-mm0 < 2 {
+		t.Fatalf("first cudaMalloc issued %d mmaps, want several", mm1-mm0)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := l.Malloc(4096); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mm2, _ := space.Stats()
+	if mm2 != mm1 {
+		t.Fatalf("subsequent small cudaMallocs issued %d mmaps, want 0", mm2-mm1)
+	}
+}
+
+func TestMemcpyDirections(t *testing.T) {
+	l := newLib(t)
+	d, _ := l.Malloc(64)
+	h, _ := l.HostAlloc(64)
+	src := bytes.Repeat([]byte{0x5A}, 64)
+	if err := l.Space().WriteAt(h, src); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Memcpy(d, h, 64, MemcpyHostToDevice); err != nil {
+		t.Fatal(err)
+	}
+	h2, _ := l.HostAlloc(64)
+	if err := l.Memcpy(h2, d, 64, MemcpyDeviceToHost); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 64)
+	if err := l.Space().ReadAt(h2, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatal("H2D/D2H round trip corrupted data")
+	}
+	// Wrong direction declarations are rejected.
+	if err := l.Memcpy(d, h, 64, MemcpyDeviceToHost); CodeOf(err) != ErrorInvalidValue {
+		t.Fatalf("wrong-kind memcpy err = %v", err)
+	}
+	if err := l.Memcpy(h2, h, 64, MemcpyHostToDevice); CodeOf(err) != ErrorInvalidValue {
+		t.Fatalf("wrong-kind memcpy err = %v", err)
+	}
+	// MemcpyDefault infers (UVA).
+	if err := l.Memcpy(d, h, 64, MemcpyDefault); err != nil {
+		t.Fatalf("default-kind memcpy: %v", err)
+	}
+}
+
+func TestMemsetAndHostAccess(t *testing.T) {
+	l := newLib(t)
+	d, _ := l.Malloc(256)
+	if err := l.Memset(d, 0x7, 256); err != nil {
+		t.Fatal(err)
+	}
+	b, err := l.HostAccess(d, 256, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range b {
+		if v != 7 {
+			t.Fatalf("memset byte = %d", v)
+		}
+	}
+}
+
+func TestUVMFaultsThroughMemcpyAndKernels(t *testing.T) {
+	l := newLib(t)
+	m, err := l.MallocManaged(2 * 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Host writes managed memory — pages host-resident, no device faults.
+	if err := l.Memset(m, 1, 2*4096); err != nil {
+		t.Fatal(err)
+	}
+	if st := l.UVM().Stats(); st.DeviceFaults != 0 {
+		t.Fatalf("unexpected device faults: %+v", st)
+	}
+	// A kernel touches the managed range: device faults.
+	fat, _ := l.RegisterFatBinary("m")
+	if err := l.RegisterFunction(fat, "touch", func(ctx *DevCtx, _ gpusim.LaunchConfig, args []uint64) {
+		b := ctx.Bytes(args[0], args[1])
+		b[0]++
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.LaunchKernel(fat, "touch", gpusim.LaunchConfig{}, DefaultStream, m, 2*4096); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.DeviceSynchronize(); err != nil {
+		t.Fatal(err)
+	}
+	st := l.UVM().Stats()
+	if st.DeviceFaults != 2 {
+		t.Fatalf("device faults = %d, want 2 (one per page)", st.DeviceFaults)
+	}
+	// Host read faults the page back.
+	if _, err := l.HostAccess(m, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if st := l.UVM().Stats(); st.HostFaults != 1 {
+		t.Fatalf("host faults = %d, want 1", st.HostFaults)
+	}
+	// cudaFree of managed memory unregisters it.
+	if err := l.Free(m); err != nil {
+		t.Fatal(err)
+	}
+	if l.UVM().Contains(m) {
+		t.Fatal("managed region still registered after free")
+	}
+}
+
+func TestStreamLimitEnforced(t *testing.T) {
+	prop := gpusim.TeslaV100()
+	prop.MaxConcurrentKernels = 4
+	l, err := NewLibrary(Config{Prop: prop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Destroy()
+	var streams []Stream
+	for i := 0; i < 4; i++ {
+		s, err := l.StreamCreate()
+		if err != nil {
+			t.Fatalf("stream %d: %v", i, err)
+		}
+		streams = append(streams, s)
+	}
+	// The paper: "The application fails if the stream count is increased
+	// beyond the max limit."
+	if _, err := l.StreamCreate(); CodeOf(err) != ErrorLaunchFailure {
+		t.Fatalf("over-limit stream err = %v", err)
+	}
+	if err := l.StreamDestroy(streams[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.StreamCreate(); err != nil {
+		t.Fatalf("stream after destroy: %v", err)
+	}
+}
+
+func TestDefaultStreamUndestroyable(t *testing.T) {
+	l := newLib(t)
+	if err := l.StreamDestroy(DefaultStream); CodeOf(err) != ErrorInvalidResourceHandle {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestKernelLaunchUnknownNames(t *testing.T) {
+	l := newLib(t)
+	fat, _ := l.RegisterFatBinary("mod")
+	if err := l.LaunchKernel(fat, "nope", gpusim.LaunchConfig{}, DefaultStream); CodeOf(err) != ErrorInvalidValue {
+		t.Fatalf("unknown kernel err = %v", err)
+	}
+	if err := l.LaunchKernel(FatBinaryHandle(0xdead), "nope", gpusim.LaunchConfig{}, DefaultStream); CodeOf(err) != ErrorInvalidResourceHandle {
+		t.Fatalf("unknown fat binary err = %v", err)
+	}
+	if err := l.RegisterFunction(fat, "nil", nil); CodeOf(err) != ErrorInvalidValue {
+		t.Fatalf("nil kernel err = %v", err)
+	}
+}
+
+func TestFatBinaryHandlesDifferAcrossInstances(t *testing.T) {
+	// Section 3.2.5: a fresh library hands out different handles, which
+	// is why CRAC patches fat-binary handles at restart.
+	l1 := newLib(t)
+	l2 := newLib(t)
+	h1, _ := l1.RegisterFatBinary("app")
+	h2, _ := l2.RegisterFatBinary("app")
+	if h1 == h2 {
+		t.Fatalf("fat-binary handles identical across instances: %#x", uint64(h1))
+	}
+}
+
+func TestEventsThroughLibrary(t *testing.T) {
+	l := newLib(t)
+	s, _ := l.StreamCreate()
+	e1, _ := l.EventCreate()
+	e2, _ := l.EventCreate()
+	if err := l.EventRecord(e1, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.EventRecord(e2, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.EventSynchronize(e2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.EventElapsed(e1, e2); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.EventDestroy(e1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.EventSynchronize(e1); CodeOf(err) != ErrorInvalidResourceHandle {
+		t.Fatalf("destroyed event err = %v", err)
+	}
+}
+
+func TestNaiveRestoreCorruptsFreshLibrary(t *testing.T) {
+	l1 := newLib(t)
+	if _, err := l1.MallocManaged(4096); err != nil {
+		t.Fatal(err)
+	}
+	snap := l1.OpaqueStateSnapshot()
+
+	l2 := newLib(t)
+	if err := l2.RestoreOpaqueState(snap); err != nil {
+		t.Fatal(err)
+	}
+	if !l2.Corrupt() {
+		t.Fatal("fresh library accepted stale UVM state")
+	}
+	if _, err := l2.Malloc(64); CodeOf(err) != ErrorStateCorrupt {
+		t.Fatalf("corrupted library err = %v", err)
+	}
+	// Restoring a snapshot onto the SAME instance is fine (resume case).
+	if err := l1.RestoreOpaqueState(l1.OpaqueStateSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if l1.Corrupt() {
+		t.Fatal("same-instance restore corrupted the library")
+	}
+}
+
+func TestNaiveRestoreWithoutUVMIsHarmless(t *testing.T) {
+	// Pre-UVM libraries could be naively saved/restored — that is why
+	// CheCUDA worked before CUDA 4.0 (paper Section 2.2).
+	l1 := newLib(t)
+	if _, err := l1.Malloc(4096); err != nil {
+		t.Fatal(err)
+	}
+	snap := l1.OpaqueStateSnapshot()
+	l2 := newLib(t)
+	if err := l2.RestoreOpaqueState(snap); err != nil {
+		t.Fatal(err)
+	}
+	if l2.Corrupt() {
+		t.Fatal("pre-UVM snapshot corrupted a fresh library")
+	}
+}
+
+func TestActiveMallocsTracking(t *testing.T) {
+	l := newLib(t)
+	a, _ := l.Malloc(1000)
+	b, _ := l.Malloc(2000)
+	c, _ := l.Malloc(3000)
+	_ = l.Free(b)
+	act := l.ActiveDeviceMallocs()
+	if len(act) != 2 || act[0].Addr != a || act[1].Addr != c {
+		t.Fatalf("active = %+v", act)
+	}
+	devMapped, devLive, _, _, _, _ := l.ArenaFootprint()
+	if devLive >= devMapped {
+		t.Fatalf("live %d should be below mapped %d", devLive, devMapped)
+	}
+}
+
+// TestQuickAllocatorDeterminism is DESIGN.md invariant 1: replaying any
+// malloc/free sequence on a fresh library yields identical addresses
+// (the foundation of Section 3.2.4's log-and-replay).
+func TestQuickAllocatorDeterminism(t *testing.T) {
+	run := func(ops []uint16) []uint64 {
+		l, err := NewLibrary(Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Destroy()
+		var addrs []uint64
+		var live []uint64
+		for _, op := range ops {
+			if op%4 == 0 && len(live) > 0 {
+				i := int(op/4) % len(live)
+				if err := l.Free(live[i]); err == nil {
+					live = append(live[:i], live[i+1:]...)
+				}
+			} else {
+				size := uint64(op%2048) + 1
+				a, err := l.Malloc(size)
+				if err != nil {
+					continue
+				}
+				addrs = append(addrs, a)
+				live = append(live, a)
+			}
+		}
+		return addrs
+	}
+	f := func(ops []uint16) bool {
+		if len(ops) > 64 {
+			ops = ops[:64]
+		}
+		a := run(ops)
+		b := run(ops)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickArenaCoalescing property: alloc-free-alloc of the same size
+// reuses the same address (first fit over coalesced free blocks).
+func TestQuickArenaCoalescing(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		if len(sizes) > 32 {
+			sizes = sizes[:32]
+		}
+		l, err := NewLibrary(Config{})
+		if err != nil {
+			return false
+		}
+		defer l.Destroy()
+		var addrs []uint64
+		for _, sz := range sizes {
+			a, err := l.Malloc(uint64(sz) + 1)
+			if err != nil {
+				return false
+			}
+			addrs = append(addrs, a)
+		}
+		for _, a := range addrs {
+			if err := l.Free(a); err != nil {
+				return false
+			}
+		}
+		// After freeing everything, the next allocation reuses the very
+		// first address (all blocks coalesced back).
+		a, err := l.Malloc(uint64(sizes[0]) + 1)
+		return err == nil && a == addrs[0]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDestroyedLibraryRejectsCalls(t *testing.T) {
+	l, err := NewLibrary(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Destroy()
+	if _, err := l.Malloc(64); CodeOf(err) != ErrorInitializationError {
+		t.Fatalf("err = %v", err)
+	}
+	l.Destroy() // idempotent
+}
+
+func TestErrorFormatting(t *testing.T) {
+	e := errf(ErrorMemoryAllocation, "cudaMalloc", "out of memory: %d", 42)
+	if e.Error() == "" || CodeOf(e) != ErrorMemoryAllocation {
+		t.Fatal("error formatting")
+	}
+	if !errors.Is(e, &Error{Code: ErrorMemoryAllocation}) {
+		t.Fatal("errors.Is by code")
+	}
+	if CodeOf(nil) != Success {
+		t.Fatal("CodeOf(nil)")
+	}
+	if Success.String() != "cudaSuccess" || Code(99).String() == "" {
+		t.Fatal("code strings")
+	}
+}
+
+func TestMemPrefetch(t *testing.T) {
+	l := newLib(t)
+	m, _ := l.MallocManaged(4 * 4096)
+	if err := l.MemPrefetch(m, 4*4096, uvm.Device); err != nil {
+		t.Fatal(err)
+	}
+	if res, _ := l.UVM().ResidencyOf(m); res != uvm.OnDevice {
+		t.Fatalf("residency after prefetch = %v", res)
+	}
+}
+
+func TestHostRegisterRequiresMappedBuffer(t *testing.T) {
+	l := newLib(t)
+	if err := l.HostRegister(0xdeadbeef000, 4096); CodeOf(err) != ErrorInvalidHostPointer {
+		t.Fatalf("err = %v", err)
+	}
+}

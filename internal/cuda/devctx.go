@@ -1,0 +1,63 @@
+package cuda
+
+import (
+	"fmt"
+
+	"repro/internal/memview"
+	"repro/internal/uvm"
+)
+
+// DevCtx is the view of memory a running kernel has. It resolves raw
+// 64-bit pointers (UVA addresses) into typed slices over the simulated
+// memory — the analogue of a CUDA kernel dereferencing global-memory
+// pointers directly. Accesses to managed ranges fault pages onto the
+// device through the UVM pager, as the hardware would.
+//
+// Kernels are "device code": like real CUDA kernels, they have no error
+// channel, so invalid accesses panic (the simulator's equivalent of a
+// device-side fault aborting the launch).
+type DevCtx struct {
+	lib *Library
+}
+
+// resolve returns a byte view of [addr, addr+n), accounting UVM traffic.
+func (c *DevCtx) resolve(addr, n uint64) []byte {
+	if c.lib.mgdArena.contains(addr) {
+		if _, err := c.lib.uvm.Access(uvm.Device, addr, n); err != nil {
+			panic(fmt.Sprintf("cuda: device fault: %v", err))
+		}
+	}
+	b, err := c.lib.space.Slice(addr, n)
+	if err != nil {
+		panic(fmt.Sprintf("cuda: device access to %#x+%d: %v", addr, n, err))
+	}
+	return b
+}
+
+// Bytes returns a mutable byte view of device-visible memory.
+func (c *DevCtx) Bytes(addr, n uint64) []byte { return c.resolve(addr, n) }
+
+// Float32s views count float32 elements at addr.
+func (c *DevCtx) Float32s(addr uint64, count int) []float32 {
+	return memview.Float32s(c.resolve(addr, uint64(count)*4), count)
+}
+
+// Float64s views count float64 elements at addr.
+func (c *DevCtx) Float64s(addr uint64, count int) []float64 {
+	return memview.Float64s(c.resolve(addr, uint64(count)*8), count)
+}
+
+// Int32s views count int32 elements at addr.
+func (c *DevCtx) Int32s(addr uint64, count int) []int32 {
+	return memview.Int32s(c.resolve(addr, uint64(count)*4), count)
+}
+
+// Uint32s views count uint32 elements at addr.
+func (c *DevCtx) Uint32s(addr uint64, count int) []uint32 {
+	return memview.Uint32s(c.resolve(addr, uint64(count)*4), count)
+}
+
+// Uint64s views count uint64 elements at addr.
+func (c *DevCtx) Uint64s(addr uint64, count int) []uint64 {
+	return memview.Uint64s(c.resolve(addr, uint64(count)*8), count)
+}

@@ -1,0 +1,85 @@
+package cuda
+
+import "fmt"
+
+// Code is a CUDA error code, mirroring the cudaError_t values an
+// application would observe from the real runtime.
+type Code int
+
+// Error codes used by the simulated runtime.
+const (
+	Success Code = iota
+	ErrorMemoryAllocation
+	ErrorInvalidValue
+	ErrorInvalidDevicePointer
+	ErrorInvalidHostPointer
+	ErrorInvalidResourceHandle
+	ErrorLaunchFailure
+	ErrorNotReady
+	ErrorInitializationError
+	// ErrorStateCorrupt is the simulator's stand-in for the undefined
+	// behaviour observed when a checkpointed CUDA library image is
+	// restored over a fresh driver state (paper Section 3.1: "the
+	// restored CUDA library was then inconsistent when called after
+	// restart"). The real library has no such code — it simply
+	// misbehaves — but the simulation must fail detectably.
+	ErrorStateCorrupt
+)
+
+var codeNames = map[Code]string{
+	Success:                    "cudaSuccess",
+	ErrorMemoryAllocation:      "cudaErrorMemoryAllocation",
+	ErrorInvalidValue:          "cudaErrorInvalidValue",
+	ErrorInvalidDevicePointer:  "cudaErrorInvalidDevicePointer",
+	ErrorInvalidHostPointer:    "cudaErrorInvalidHostPointer",
+	ErrorInvalidResourceHandle: "cudaErrorInvalidResourceHandle",
+	ErrorLaunchFailure:         "cudaErrorLaunchFailure",
+	ErrorNotReady:              "cudaErrorNotReady",
+	ErrorInitializationError:   "cudaErrorInitializationError",
+	ErrorStateCorrupt:          "cudaErrorStateCorrupt(simulated)",
+}
+
+// String names the code like cudaGetErrorName.
+func (c Code) String() string {
+	if n, ok := codeNames[c]; ok {
+		return n
+	}
+	return fmt.Sprintf("cudaError(%d)", int(c))
+}
+
+// Error is a CUDA runtime error carrying its code.
+type Error struct {
+	Code Code
+	Op   string
+	Msg  string
+}
+
+// Error renders the error.
+func (e *Error) Error() string {
+	if e.Msg == "" {
+		return fmt.Sprintf("cuda: %s: %v", e.Op, e.Code)
+	}
+	return fmt.Sprintf("cuda: %s: %v: %s", e.Op, e.Code, e.Msg)
+}
+
+// Is allows errors.Is comparisons against another *Error by code.
+func (e *Error) Is(target error) bool {
+	t, ok := target.(*Error)
+	return ok && t.Code == e.Code
+}
+
+func errf(code Code, op, format string, args ...any) *Error {
+	return &Error{Code: code, Op: op, Msg: fmt.Sprintf(format, args...)}
+}
+
+// CodeOf extracts the CUDA error code from err (Success for nil,
+// ErrorLaunchFailure for foreign errors).
+func CodeOf(err error) Code {
+	if err == nil {
+		return Success
+	}
+	if ce, ok := err.(*Error); ok {
+		return ce.Code
+	}
+	return ErrorLaunchFailure
+}

@@ -1,0 +1,390 @@
+package cuda
+
+import (
+	"repro/internal/addrspace"
+	"repro/internal/uvm"
+)
+
+// MemcpyKind mirrors cudaMemcpyKind.
+type MemcpyKind int
+
+// Copy directions.
+const (
+	MemcpyHostToHost MemcpyKind = iota
+	MemcpyHostToDevice
+	MemcpyDeviceToHost
+	MemcpyDeviceToDevice
+	// MemcpyDefault infers the direction from the pointers, which is
+	// only possible because UVA gives host and device a single address
+	// space — the very feature that broke pre-CUDA-4.0 checkpointing.
+	MemcpyDefault
+)
+
+// String names the kind.
+func (k MemcpyKind) String() string {
+	switch k {
+	case MemcpyHostToHost:
+		return "cudaMemcpyHostToHost"
+	case MemcpyHostToDevice:
+		return "cudaMemcpyHostToDevice"
+	case MemcpyDeviceToHost:
+		return "cudaMemcpyDeviceToHost"
+	case MemcpyDeviceToDevice:
+		return "cudaMemcpyDeviceToDevice"
+	default:
+		return "cudaMemcpyDefault"
+	}
+}
+
+// PtrKind classifies an address within the library's memory model.
+type PtrKind int
+
+// Pointer classifications.
+const (
+	PtrUnknown PtrKind = iota
+	PtrDevice          // cudaMalloc arena
+	PtrPinned          // cudaMallocHost arena (lower half)
+	PtrManaged         // cudaMallocManaged arena (UVM)
+	PtrHost            // upper-half host memory (incl. cudaHostAlloc)
+)
+
+// Classify reports which memory class addr belongs to.
+func (l *Library) Classify(addr uint64) PtrKind {
+	switch {
+	case l.devArena.contains(addr):
+		return PtrDevice
+	case l.mgdArena.contains(addr):
+		return PtrManaged
+	case l.pinArena.contains(addr):
+		return PtrPinned
+	default:
+		if addr >= l.space.UpperWindow().Start && addr < l.space.UpperWindow().End {
+			return PtrHost
+		}
+		return PtrUnknown
+	}
+}
+
+// Malloc mirrors cudaMalloc: device memory from the device arena.
+func (l *Library) Malloc(size uint64) (uint64, error) {
+	if err := l.touch("cudaMalloc"); err != nil {
+		return 0, err
+	}
+	driverAlloc()
+	return l.devArena.alloc(size)
+}
+
+// Free mirrors cudaFree.
+func (l *Library) Free(addr uint64) error {
+	if err := l.touch("cudaFree"); err != nil {
+		return err
+	}
+	driverFree()
+	if l.mgdArena.contains(addr) {
+		// cudaFree also frees managed allocations.
+		if err := l.mgdArena.release(addr); err != nil {
+			return err
+		}
+		return l.uvm.Unregister(addr)
+	}
+	return l.devArena.release(addr)
+}
+
+// MallocHost mirrors cudaMallocHost: pinned host memory, allocated by the
+// library in its own (lower-half) arena. Its contents therefore are NOT
+// part of the upper-half checkpoint image and must be drained/refilled
+// explicitly (Section 3.2.4).
+func (l *Library) MallocHost(size uint64) (uint64, error) {
+	if err := l.touch("cudaMallocHost"); err != nil {
+		return 0, err
+	}
+	driverAlloc()
+	return l.pinArena.alloc(size)
+}
+
+// HostAlloc mirrors cudaHostAlloc: it pins and registers host memory that
+// logically belongs to the application. CRAC attributes these buffers to
+// the upper half, so their contents travel inside the DMTCP image and the
+// restart replay only has to re-register them (Section 3.2.4).
+func (l *Library) HostAlloc(size uint64) (uint64, error) {
+	if err := l.touch("cudaHostAlloc"); err != nil {
+		return 0, err
+	}
+	driverAlloc()
+	addr, err := l.space.MMap(0, size, addrspace.ProtRW, 0, addrspace.HalfUpper, "cudaHostAlloc")
+	if err != nil {
+		return 0, errf(ErrorMemoryAllocation, "cudaHostAlloc", "%v", err)
+	}
+	l.mu.Lock()
+	l.hostAllocs[addr] = size
+	l.mu.Unlock()
+	return addr, nil
+}
+
+// HostRegister re-registers an existing upper-half buffer as pinned, the
+// replay-time counterpart of HostAlloc: after restart the buffer's bytes
+// are already present in the restored upper half; only the library-side
+// registration must be redone.
+func (l *Library) HostRegister(addr, size uint64) error {
+	if err := l.touch("cudaHostRegister"); err != nil {
+		return err
+	}
+	if _, err := l.space.Slice(addr, size); err != nil {
+		return errf(ErrorInvalidHostPointer, "cudaHostRegister", "buffer %#x+%d not mapped: %v", addr, size, err)
+	}
+	l.mu.Lock()
+	l.hostAllocs[addr] = size
+	l.mu.Unlock()
+	return nil
+}
+
+// FreeHost mirrors cudaFreeHost, which frees both cudaMallocHost and
+// cudaHostAlloc buffers.
+func (l *Library) FreeHost(addr uint64) error {
+	if err := l.touch("cudaFreeHost"); err != nil {
+		return err
+	}
+	driverFree()
+	l.mu.Lock()
+	size, isHostAlloc := l.hostAllocs[addr]
+	if isHostAlloc {
+		delete(l.hostAllocs, addr)
+	}
+	l.mu.Unlock()
+	if isHostAlloc {
+		if err := l.space.MUnmap(addr, size); err != nil {
+			return errf(ErrorInvalidHostPointer, "cudaFreeHost", "%v", err)
+		}
+		return nil
+	}
+	return l.pinArena.release(addr)
+}
+
+// MallocManaged mirrors cudaMallocManaged: UVM memory visible to host and
+// device at one address, with on-demand page migration.
+func (l *Library) MallocManaged(size uint64) (uint64, error) {
+	if err := l.touch("cudaMallocManaged"); err != nil {
+		return 0, err
+	}
+	driverAlloc()
+	addr, err := l.mgdArena.alloc(size)
+	if err != nil {
+		return 0, err
+	}
+	l.uvm.Register(addr, size)
+	l.uvmTouched.Store(true)
+	return addr, nil
+}
+
+// MemPrefetch mirrors cudaMemPrefetchAsync (synchronously, for
+// simplicity): migrates managed pages to the requested side.
+func (l *Library) MemPrefetch(addr, size uint64, to uvm.Side) error {
+	if err := l.touch("cudaMemPrefetchAsync"); err != nil {
+		return err
+	}
+	_, err := l.uvm.Prefetch(to, addr, size)
+	return err
+}
+
+// uvmAccountCopy records UVM traffic for managed endpoints of a copy.
+func (l *Library) uvmAccountCopy(dst, src uint64, n uint64) {
+	if l.mgdArena.contains(src) {
+		_, _ = l.uvm.Access(uvm.Host, src, n)
+	}
+	if l.mgdArena.contains(dst) {
+		_, _ = l.uvm.Access(uvm.Host, dst, n)
+	}
+}
+
+// copyBytes moves n bytes inside the shared address space, using the
+// single-region fast path when possible.
+func (l *Library) copyBytes(op string, dst, src, n uint64) error {
+	if n == 0 {
+		return nil
+	}
+	sb, serr := l.space.Slice(src, n)
+	db, derr := l.space.Slice(dst, n)
+	if serr == nil && derr == nil {
+		copy(db, sb)
+		return nil
+	}
+	// Slow path across region boundaries.
+	buf := make([]byte, n)
+	if err := l.space.ReadAt(src, buf); err != nil {
+		return errf(ErrorInvalidValue, op, "read src %#x+%d: %v", src, n, err)
+	}
+	if err := l.space.WriteAt(dst, buf); err != nil {
+		return errf(ErrorInvalidValue, op, "write dst %#x+%d: %v", dst, n, err)
+	}
+	return nil
+}
+
+// Memcpy mirrors cudaMemcpy: synchronous copy, direction validated (or
+// inferred for MemcpyDefault). Thanks to the single address space the
+// copy is a direct memory move with no marshalling — the property that
+// lets CRAC pass pointers straight to the lower half (Section 1 item 1).
+//
+// As in CUDA, the synchronous copy is ordered after all prior work on
+// the (legacy) default stream: kernels launched on stream 0 complete
+// before the copy reads their output.
+func (l *Library) Memcpy(dst, src, n uint64, kind MemcpyKind) error {
+	if err := l.touch("cudaMemcpy"); err != nil {
+		return err
+	}
+	if err := l.checkKind("cudaMemcpy", dst, src, kind); err != nil {
+		return err
+	}
+	l.defaultStream.Synchronize()
+	l.uvmAccountCopy(dst, src, n)
+	return l.copyBytes("cudaMemcpy", dst, src, n)
+}
+
+// checkKind validates pointer classes against the declared direction.
+func (l *Library) checkKind(op string, dst, src uint64, kind MemcpyKind) error {
+	if kind == MemcpyDefault {
+		return nil // UVA: direction inferred, any mapped pointers are fine
+	}
+	wantDev := func(addr uint64, want bool, side string) error {
+		k := l.Classify(addr)
+		isDev := k == PtrDevice
+		if k == PtrManaged {
+			return nil // managed is valid on either side of any direction
+		}
+		if isDev != want {
+			return errf(ErrorInvalidValue, op, "%s pointer %#x is %v, inconsistent with %v", side, addr, k, kind)
+		}
+		return nil
+	}
+	switch kind {
+	case MemcpyHostToHost:
+		if err := wantDev(dst, false, "dst"); err != nil {
+			return err
+		}
+		return wantDev(src, false, "src")
+	case MemcpyHostToDevice:
+		if err := wantDev(dst, true, "dst"); err != nil {
+			return err
+		}
+		return wantDev(src, false, "src")
+	case MemcpyDeviceToHost:
+		if err := wantDev(dst, false, "dst"); err != nil {
+			return err
+		}
+		return wantDev(src, true, "src")
+	case MemcpyDeviceToDevice:
+		if err := wantDev(dst, true, "dst"); err != nil {
+			return err
+		}
+		return wantDev(src, true, "src")
+	default:
+		return errf(ErrorInvalidValue, op, "bad memcpy kind %d", int(kind))
+	}
+}
+
+// MemcpyAsync mirrors cudaMemcpyAsync: the copy is enqueued on the
+// stream and performed by the stream worker.
+func (l *Library) MemcpyAsync(dst, src, n uint64, kind MemcpyKind, stream Stream) error {
+	if err := l.touch("cudaMemcpyAsync"); err != nil {
+		return err
+	}
+	if err := l.checkKind("cudaMemcpyAsync", dst, src, kind); err != nil {
+		return err
+	}
+	s, err := l.lookupStream("cudaMemcpyAsync", stream)
+	if err != nil {
+		return err
+	}
+	return s.Copy(n, func() {
+		l.uvmAccountCopy(dst, src, n)
+		_ = l.copyBytes("cudaMemcpyAsync", dst, src, n)
+	})
+}
+
+// Memset mirrors cudaMemset: like the synchronous copy it is ordered
+// after prior default-stream work.
+func (l *Library) Memset(addr uint64, value byte, n uint64) error {
+	if err := l.touch("cudaMemset"); err != nil {
+		return err
+	}
+	if n == 0 {
+		return nil
+	}
+	l.defaultStream.Synchronize()
+	if l.mgdArena.contains(addr) {
+		_, _ = l.uvm.Access(uvm.Host, addr, n)
+	}
+	b, err := l.space.Slice(addr, n)
+	if err == nil {
+		for i := range b {
+			b[i] = value
+		}
+		return nil
+	}
+	buf := make([]byte, n)
+	for i := range buf {
+		buf[i] = value
+	}
+	if werr := l.space.WriteAt(addr, buf); werr != nil {
+		return errf(ErrorInvalidValue, "cudaMemset", "%v", werr)
+	}
+	return nil
+}
+
+// HostAccess gives the host (upper half) a direct view of memory,
+// faulting managed pages to the host first. write declares the intent
+// (both intents migrate, as hardware UVM does on any CPU touch).
+func (l *Library) HostAccess(addr, n uint64, write bool) ([]byte, error) {
+	if l.mgdArena.contains(addr) {
+		if _, err := l.uvm.Access(uvm.Host, addr, n); err != nil {
+			return nil, errf(ErrorInvalidValue, "hostAccess", "%v", err)
+		}
+	}
+	b, err := l.space.Slice(addr, n)
+	if err != nil {
+		return nil, errf(ErrorInvalidHostPointer, "hostAccess", "%#x+%d: %v", addr, n, err)
+	}
+	return b, nil
+}
+
+// MemGetInfo mirrors cudaMemGetInfo: free and total device memory. Free
+// is the device budget minus live cudaMalloc bytes (the arena's unused
+// mapped space is reusable, exactly as the real allocator's caches are).
+func (l *Library) MemGetInfo() (free, total uint64, err error) {
+	if err := l.touch("cudaMemGetInfo"); err != nil {
+		return 0, 0, err
+	}
+	total = l.dev.Properties().GlobalMemBytes
+	st := l.devArena.stats()
+	if st.Live > total {
+		return 0, total, nil
+	}
+	return total - st.Live, total, nil
+}
+
+// ActiveDeviceMallocs returns the live cudaMalloc allocations.
+func (l *Library) ActiveDeviceMallocs() []Allocation { return l.devArena.liveAllocations() }
+
+// ActivePinnedMallocs returns the live cudaMallocHost allocations.
+func (l *Library) ActivePinnedMallocs() []Allocation { return l.pinArena.liveAllocations() }
+
+// ActiveManagedMallocs returns the live cudaMallocManaged allocations.
+func (l *Library) ActiveManagedMallocs() []Allocation { return l.mgdArena.liveAllocations() }
+
+// ActiveHostAllocs returns the live cudaHostAlloc registrations.
+func (l *Library) ActiveHostAllocs() []Allocation {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Allocation, 0, len(l.hostAllocs))
+	for a, s := range l.hostAllocs {
+		out = append(out, Allocation{Addr: a, Size: s})
+	}
+	return out
+}
+
+// ArenaFootprint reports mapped vs live bytes for each arena — the gap
+// the active-malloc strategy exploits to keep checkpoint images small
+// (Section 3.2.3).
+func (l *Library) ArenaFootprint() (deviceMapped, deviceLive, pinnedMapped, pinnedLive, managedMapped, managedLive uint64) {
+	d, p, m := l.devArena.stats(), l.pinArena.stats(), l.mgdArena.stats()
+	return d.Mapped, d.Live, p.Mapped, p.Live, m.Mapped, m.Live
+}

@@ -1,0 +1,241 @@
+package cuda
+
+import (
+	"time"
+
+	"repro/internal/gpusim"
+)
+
+// StreamCreate mirrors cudaStreamCreate. User streams are bounded by the
+// device's maximum concurrent-kernel count (128 on the V100): the paper
+// notes that simpleStreams "fails if the stream count is increased beyond
+// the max limit", which this reproduces.
+func (l *Library) StreamCreate() (Stream, error) {
+	if err := l.touch("cudaStreamCreate"); err != nil {
+		return 0, err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.streams) >= l.dev.Properties().MaxConcurrentKernels {
+		return 0, errf(ErrorLaunchFailure, "cudaStreamCreate",
+			"stream limit %d exceeded", l.dev.Properties().MaxConcurrentKernels)
+	}
+	gs, err := l.dev.NewStream()
+	if err != nil {
+		return 0, errf(ErrorLaunchFailure, "cudaStreamCreate", "%v", err)
+	}
+	l.nextStream++
+	h := l.nextStream
+	l.streams[h] = gs
+	return h, nil
+}
+
+// StreamDestroy mirrors cudaStreamDestroy (drains pending work first).
+func (l *Library) StreamDestroy(h Stream) error {
+	if err := l.touch("cudaStreamDestroy"); err != nil {
+		return err
+	}
+	if h == DefaultStream {
+		return errf(ErrorInvalidResourceHandle, "cudaStreamDestroy", "cannot destroy the default stream")
+	}
+	l.mu.Lock()
+	gs, ok := l.streams[h]
+	if ok {
+		delete(l.streams, h)
+	}
+	l.mu.Unlock()
+	if !ok {
+		return errf(ErrorInvalidResourceHandle, "cudaStreamDestroy", "unknown stream %d", uint64(h))
+	}
+	gs.Destroy()
+	return nil
+}
+
+// StreamSynchronize mirrors cudaStreamSynchronize.
+func (l *Library) StreamSynchronize(h Stream) error {
+	if err := l.touch("cudaStreamSynchronize"); err != nil {
+		return err
+	}
+	gs, err := l.lookupStream("cudaStreamSynchronize", h)
+	if err != nil {
+		return err
+	}
+	gs.Synchronize()
+	return nil
+}
+
+// lookupStream resolves a stream handle (0 = default stream).
+func (l *Library) lookupStream(op string, h Stream) (*gpusim.Stream, error) {
+	if h == DefaultStream {
+		return l.defaultStream, nil
+	}
+	l.mu.Lock()
+	gs, ok := l.streams[h]
+	l.mu.Unlock()
+	if !ok {
+		return nil, errf(ErrorInvalidResourceHandle, op, "unknown stream %d", uint64(h))
+	}
+	return gs, nil
+}
+
+// StreamCount returns the number of live user streams.
+func (l *Library) StreamCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.streams)
+}
+
+// Streams returns the live user stream handles in creation order
+// (handles are assigned monotonically).
+func (l *Library) Streams() []Stream {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Stream, 0, len(l.streams))
+	for h := range l.streams {
+		out = append(out, h)
+	}
+	// insertion sort by handle; stream counts are small
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// EventCreate mirrors cudaEventCreate.
+func (l *Library) EventCreate() (Event, error) {
+	if err := l.touch("cudaEventCreate"); err != nil {
+		return 0, err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.nextEvent++
+	h := l.nextEvent
+	l.events[h] = l.dev.NewEvent()
+	return h, nil
+}
+
+// EventDestroy mirrors cudaEventDestroy.
+func (l *Library) EventDestroy(h Event) error {
+	if err := l.touch("cudaEventDestroy"); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.events[h]; !ok {
+		return errf(ErrorInvalidResourceHandle, "cudaEventDestroy", "unknown event %d", uint64(h))
+	}
+	delete(l.events, h)
+	return nil
+}
+
+// EventRecord mirrors cudaEventRecord.
+func (l *Library) EventRecord(e Event, s Stream) error {
+	if err := l.touch("cudaEventRecord"); err != nil {
+		return err
+	}
+	ge, err := l.lookupEvent("cudaEventRecord", e)
+	if err != nil {
+		return err
+	}
+	gs, err := l.lookupStream("cudaEventRecord", s)
+	if err != nil {
+		return err
+	}
+	return ge.Record(gs)
+}
+
+// EventSynchronize mirrors cudaEventSynchronize.
+func (l *Library) EventSynchronize(e Event) error {
+	if err := l.touch("cudaEventSynchronize"); err != nil {
+		return err
+	}
+	ge, err := l.lookupEvent("cudaEventSynchronize", e)
+	if err != nil {
+		return err
+	}
+	if err := ge.Synchronize(); err != nil {
+		return errf(ErrorNotReady, "cudaEventSynchronize", "%v", err)
+	}
+	return nil
+}
+
+// EventElapsed mirrors cudaEventElapsedTime.
+func (l *Library) EventElapsed(start, end Event) (time.Duration, error) {
+	if err := l.touch("cudaEventElapsedTime"); err != nil {
+		return 0, err
+	}
+	gs, err := l.lookupEvent("cudaEventElapsedTime", start)
+	if err != nil {
+		return 0, err
+	}
+	ge, err := l.lookupEvent("cudaEventElapsedTime", end)
+	if err != nil {
+		return 0, err
+	}
+	d, err := gpusim.Elapsed(gs, ge)
+	if err != nil {
+		return 0, errf(ErrorNotReady, "cudaEventElapsedTime", "%v", err)
+	}
+	return d, nil
+}
+
+func (l *Library) lookupEvent(op string, h Event) (*gpusim.Event, error) {
+	l.mu.Lock()
+	ge, ok := l.events[h]
+	l.mu.Unlock()
+	if !ok {
+		return nil, errf(ErrorInvalidResourceHandle, op, "unknown event %d", uint64(h))
+	}
+	return ge, nil
+}
+
+// StreamWaitEvent mirrors cudaStreamWaitEvent: work submitted to the
+// stream after this call waits for the event to complete.
+func (l *Library) StreamWaitEvent(s Stream, e Event) error {
+	if err := l.touch("cudaStreamWaitEvent"); err != nil {
+		return err
+	}
+	gs, err := l.lookupStream("cudaStreamWaitEvent", s)
+	if err != nil {
+		return err
+	}
+	ge, err := l.lookupEvent("cudaStreamWaitEvent", e)
+	if err != nil {
+		return err
+	}
+	return gs.WaitEvent(ge)
+}
+
+// LaunchKernel mirrors cudaLaunchKernel: it enqueues the named kernel of
+// a registered fat binary on the given stream. Pointer arguments are
+// passed directly — no marshalling — which is the source of CRAC's low
+// overhead relative to proxy approaches.
+func (l *Library) LaunchKernel(h FatBinaryHandle, name string, cfg gpusim.LaunchConfig, stream Stream, args ...uint64) error {
+	if err := l.touch("cudaLaunchKernel"); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	fb, ok := l.fat[h]
+	var k Kernel
+	if ok {
+		k = fb.kernels[name]
+	}
+	l.mu.Unlock()
+	if !ok {
+		return errf(ErrorInvalidResourceHandle, "cudaLaunchKernel", "unknown fat binary %#x", uint64(h))
+	}
+	if k == nil {
+		return errf(ErrorInvalidValue, "cudaLaunchKernel", "unknown kernel %q", name)
+	}
+	gs, err := l.lookupStream("cudaLaunchKernel", stream)
+	if err != nil {
+		return err
+	}
+	ctx := &DevCtx{lib: l}
+	argsCopy := append([]uint64(nil), args...)
+	return gs.Launch(cfg, func(c gpusim.LaunchConfig) {
+		k(ctx, c, argsCopy)
+	})
+}

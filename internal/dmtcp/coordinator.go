@@ -1,0 +1,112 @@
+package dmtcp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Member is one rank participating in a coordinated checkpoint — in the
+// paper's MPI+CUDA proof of principle (Section 6), one MPI rank running
+// a CUDA application under CRAC.
+type Member interface {
+	// Quiesce brings the rank to a checkpointable state (drained GPU,
+	// no in-flight communication).
+	Quiesce() error
+	// WriteCheckpoint writes the rank's image.
+	WriteCheckpoint(w io.Writer) error
+	// Resume lets the rank continue after the checkpoint.
+	Resume() error
+}
+
+// Coordinator drives coordinated checkpoints across ranks, like the
+// DMTCP coordinator process: all ranks quiesce (a barrier), then all
+// images are written, then all ranks resume.
+type Coordinator struct {
+	mu      sync.Mutex
+	members map[int]Member
+}
+
+// NewCoordinator returns an empty coordinator.
+func NewCoordinator() *Coordinator {
+	return &Coordinator{members: make(map[int]Member)}
+}
+
+// Add registers a rank.
+func (c *Coordinator) Add(rank int, m Member) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.members[rank] = m
+}
+
+// Remove unregisters a rank.
+func (c *Coordinator) Remove(rank int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.members, rank)
+}
+
+// Ranks returns the registered rank IDs in ascending order.
+func (c *Coordinator) Ranks() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]int, 0, len(c.members))
+	for r := range c.members {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// CheckpointAll performs a coordinated checkpoint: phase 1 quiesces every
+// rank in parallel and waits for all (the barrier), phase 2 writes every
+// image in parallel to the writer sink(rank) provides, phase 3 resumes
+// all ranks. The first error from any phase aborts with that error after
+// the phase completes on all ranks.
+func (c *Coordinator) CheckpointAll(sink func(rank int) (io.WriteCloser, error)) error {
+	c.mu.Lock()
+	members := make(map[int]Member, len(c.members))
+	for r, m := range c.members {
+		members[r] = m
+	}
+	c.mu.Unlock()
+
+	phase := func(f func(rank int, m Member) error) error {
+		var wg sync.WaitGroup
+		errs := make(chan error, len(members))
+		for r, m := range members {
+			wg.Add(1)
+			go func(r int, m Member) {
+				defer wg.Done()
+				if err := f(r, m); err != nil {
+					errs <- fmt.Errorf("rank %d: %w", r, err)
+				}
+			}(r, m)
+		}
+		wg.Wait()
+		close(errs)
+		return <-errs // nil if channel empty
+	}
+
+	if err := phase(func(_ int, m Member) error { return m.Quiesce() }); err != nil {
+		return fmt.Errorf("dmtcp: quiesce barrier: %w", err)
+	}
+	if err := phase(func(r int, m Member) error {
+		w, err := sink(r)
+		if err != nil {
+			return err
+		}
+		if err := m.WriteCheckpoint(w); err != nil {
+			w.Close()
+			return err
+		}
+		return w.Close()
+	}); err != nil {
+		return fmt.Errorf("dmtcp: image write: %w", err)
+	}
+	if err := phase(func(_ int, m Member) error { return m.Resume() }); err != nil {
+		return fmt.Errorf("dmtcp: resume: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,360 @@
+// Package dmtcp simulates the parts of DMTCP that CRAC delegates to: a
+// checkpoint engine that serializes the *upper half only* of a split
+// process to an image, a plugin interface with the
+// precheckpoint/resume/restart hook lifecycle (the DMTCP plugin model of
+// Arya et al. that CRAC builds on), and a coordinator for multi-rank
+// coordinated checkpoints (the MPI+CUDA proof of principle of Section 6).
+//
+// The image deliberately excludes every lower-half region: the active
+// CUDA library and its arenas are *not* checkpointed; a fresh lower half
+// is constructed at restart and brought up to date by the CRAC plugin's
+// log replay (paper Section 3.1).
+package dmtcp
+
+import (
+	"compress/gzip"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/addrspace"
+)
+
+// SectionMap carries named plugin payloads inside a checkpoint image.
+type SectionMap struct {
+	order []string
+	m     map[string][]byte
+}
+
+// NewSectionMap returns an empty section map.
+func NewSectionMap() *SectionMap {
+	return &SectionMap{m: make(map[string][]byte)}
+}
+
+// Add stores a section, replacing any previous content under name.
+func (s *SectionMap) Add(name string, data []byte) {
+	if _, ok := s.m[name]; !ok {
+		s.order = append(s.order, name)
+	}
+	s.m[name] = data
+}
+
+// Get returns a section's content.
+func (s *SectionMap) Get(name string) ([]byte, bool) {
+	b, ok := s.m[name]
+	return b, ok
+}
+
+// Names returns section names in insertion order.
+func (s *SectionMap) Names() []string { return append([]string(nil), s.order...) }
+
+// Plugin is a DMTCP plugin: CRAC registers one to drain the GPU and save
+// CUDA state before the image is written, and to rebuild the lower half
+// at restart.
+type Plugin interface {
+	// Name identifies the plugin.
+	Name() string
+	// PreCheckpoint runs before the image is written: quiesce, then
+	// contribute payload sections.
+	PreCheckpoint(sections *SectionMap) error
+	// Resume runs after a successful checkpoint, when the original
+	// process continues.
+	Resume() error
+	// Restart runs in the restarted process after the upper-half regions
+	// have been restored.
+	Restart(sections *SectionMap) error
+}
+
+// RegionData is one serialized upper-half region.
+type RegionData struct {
+	Start uint64
+	Len   uint64
+	Prot  addrspace.Prot
+	Label string
+	Data  []byte
+}
+
+// Image is a parsed checkpoint image.
+type Image struct {
+	Gzip     bool
+	Regions  []RegionData
+	Sections *SectionMap
+}
+
+// TotalRegionBytes sums the serialized region payloads.
+func (img *Image) TotalRegionBytes() uint64 {
+	var n uint64
+	for _, r := range img.Regions {
+		n += r.Len
+	}
+	return n
+}
+
+// Stats describes one checkpoint operation.
+type Stats struct {
+	Regions      int
+	RegionBytes  uint64
+	SectionBytes uint64
+	Duration     time.Duration
+}
+
+// Engine writes and restores checkpoint images for one process.
+type Engine struct {
+	// Gzip enables image compression. The paper's experiments disable
+	// DMTCP's default gzip compression (Section 4.4.1), so false is the
+	// default here too.
+	Gzip bool
+
+	plugins []Plugin
+}
+
+// NewEngine returns an engine with no plugins.
+func NewEngine() *Engine { return &Engine{} }
+
+// Register appends a plugin. Hooks run in registration order for
+// PreCheckpoint/Restart and reverse order for Resume.
+func (e *Engine) Register(p Plugin) { e.plugins = append(e.plugins, p) }
+
+var imageMagic = [8]byte{'C', 'R', 'A', 'C', 'I', 'M', 'G', '1'}
+
+// ErrBadImage reports a malformed checkpoint image.
+var ErrBadImage = errors.New("dmtcp: bad checkpoint image")
+
+// Checkpoint runs the plugin PreCheckpoint hooks, writes the upper half
+// of space plus all plugin sections to w, then runs the Resume hooks.
+func (e *Engine) Checkpoint(w io.Writer, space *addrspace.Space) (Stats, error) {
+	start := time.Now()
+	sections := NewSectionMap()
+	for _, p := range e.plugins {
+		if err := p.PreCheckpoint(sections); err != nil {
+			return Stats{}, fmt.Errorf("dmtcp: plugin %s precheckpoint: %w", p.Name(), err)
+		}
+	}
+	// Only upper-half regions enter the image. This relies on CRAC's own
+	// region attribution, not the merged maps view (Section 3.2.2).
+	regions := space.RegionsIn(addrspace.HalfUpper)
+	st := Stats{Regions: len(regions)}
+
+	if _, err := w.Write(imageMagic[:]); err != nil {
+		return st, err
+	}
+	var flags [4]byte
+	if e.Gzip {
+		flags[0] = 1
+	}
+	if _, err := w.Write(flags[:]); err != nil {
+		return st, err
+	}
+	body := w
+	var gz *gzip.Writer
+	if e.Gzip {
+		gz = gzip.NewWriter(w)
+		body = gz
+	}
+	if err := writeBody(body, space, regions, sections, &st); err != nil {
+		return st, err
+	}
+	if gz != nil {
+		if err := gz.Close(); err != nil {
+			return st, err
+		}
+	}
+	for i := len(e.plugins) - 1; i >= 0; i-- {
+		if err := e.plugins[i].Resume(); err != nil {
+			return st, fmt.Errorf("dmtcp: plugin %s resume: %w", e.plugins[i].Name(), err)
+		}
+	}
+	st.Duration = time.Since(start)
+	return st, nil
+}
+
+func writeBody(w io.Writer, space *addrspace.Space, regions []addrspace.RegionInfo, sections *SectionMap, st *Stats) error {
+	var u32 [4]byte
+	var u64 [8]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(regions)))
+	if _, err := w.Write(u32[:]); err != nil {
+		return err
+	}
+	buf := make([]byte, 0)
+	for _, ri := range regions {
+		binary.LittleEndian.PutUint64(u64[:], ri.Start)
+		if _, err := w.Write(u64[:]); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint64(u64[:], ri.Len)
+		if _, err := w.Write(u64[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write([]byte{byte(ri.Prot)}); err != nil {
+			return err
+		}
+		if err := writeString(w, ri.Label); err != nil {
+			return err
+		}
+		if uint64(cap(buf)) < ri.Len {
+			buf = make([]byte, ri.Len)
+		}
+		buf = buf[:ri.Len]
+		if err := space.ReadAt(ri.Start, buf); err != nil {
+			return fmt.Errorf("dmtcp: reading region %v: %w", ri, err)
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+		st.RegionBytes += ri.Len
+	}
+	names := sections.Names()
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(names)))
+	if _, err := w.Write(u32[:]); err != nil {
+		return err
+	}
+	for _, name := range names {
+		data, _ := sections.Get(name)
+		if err := writeString(w, name); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint64(u64[:], uint64(len(data)))
+		if _, err := w.Write(u64[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(data); err != nil {
+			return err
+		}
+		st.SectionBytes += uint64(len(data))
+	}
+	return nil
+}
+
+func writeString(w io.Writer, s string) error {
+	if len(s) > 0xffff {
+		return fmt.Errorf("dmtcp: string too long (%d)", len(s))
+	}
+	var n [2]byte
+	binary.LittleEndian.PutUint16(n[:], uint16(len(s)))
+	if _, err := w.Write(n[:]); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	var n [2]byte
+	if _, err := io.ReadFull(r, n[:]); err != nil {
+		return "", err
+	}
+	buf := make([]byte, binary.LittleEndian.Uint16(n[:]))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// ReadImage parses a checkpoint image.
+func ReadImage(r io.Reader) (*Image, error) {
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: magic: %v", ErrBadImage, err)
+	}
+	if magic != imageMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadImage, magic[:])
+	}
+	var flags [4]byte
+	if _, err := io.ReadFull(r, flags[:]); err != nil {
+		return nil, fmt.Errorf("%w: flags: %v", ErrBadImage, err)
+	}
+	img := &Image{Gzip: flags[0]&1 != 0, Sections: NewSectionMap()}
+	body := r
+	if img.Gzip {
+		gz, err := gzip.NewReader(r)
+		if err != nil {
+			return nil, fmt.Errorf("%w: gzip: %v", ErrBadImage, err)
+		}
+		defer gz.Close()
+		body = gz
+	}
+	var u32 [4]byte
+	var u64 [8]byte
+	if _, err := io.ReadFull(body, u32[:]); err != nil {
+		return nil, fmt.Errorf("%w: region count: %v", ErrBadImage, err)
+	}
+	nRegions := binary.LittleEndian.Uint32(u32[:])
+	for i := uint32(0); i < nRegions; i++ {
+		var rd RegionData
+		if _, err := io.ReadFull(body, u64[:]); err != nil {
+			return nil, fmt.Errorf("%w: region %d: %v", ErrBadImage, i, err)
+		}
+		rd.Start = binary.LittleEndian.Uint64(u64[:])
+		if _, err := io.ReadFull(body, u64[:]); err != nil {
+			return nil, fmt.Errorf("%w: region %d: %v", ErrBadImage, i, err)
+		}
+		rd.Len = binary.LittleEndian.Uint64(u64[:])
+		var prot [1]byte
+		if _, err := io.ReadFull(body, prot[:]); err != nil {
+			return nil, fmt.Errorf("%w: region %d: %v", ErrBadImage, i, err)
+		}
+		rd.Prot = addrspace.Prot(prot[0])
+		label, err := readString(body)
+		if err != nil {
+			return nil, fmt.Errorf("%w: region %d label: %v", ErrBadImage, i, err)
+		}
+		rd.Label = label
+		rd.Data = make([]byte, rd.Len)
+		if _, err := io.ReadFull(body, rd.Data); err != nil {
+			return nil, fmt.Errorf("%w: region %d data: %v", ErrBadImage, i, err)
+		}
+		img.Regions = append(img.Regions, rd)
+	}
+	if _, err := io.ReadFull(body, u32[:]); err != nil {
+		return nil, fmt.Errorf("%w: section count: %v", ErrBadImage, err)
+	}
+	nSections := binary.LittleEndian.Uint32(u32[:])
+	for i := uint32(0); i < nSections; i++ {
+		name, err := readString(body)
+		if err != nil {
+			return nil, fmt.Errorf("%w: section %d name: %v", ErrBadImage, i, err)
+		}
+		if _, err := io.ReadFull(body, u64[:]); err != nil {
+			return nil, fmt.Errorf("%w: section %d size: %v", ErrBadImage, i, err)
+		}
+		data := make([]byte, binary.LittleEndian.Uint64(u64[:]))
+		if _, err := io.ReadFull(body, data); err != nil {
+			return nil, fmt.Errorf("%w: section %d data: %v", ErrBadImage, i, err)
+		}
+		img.Sections.Add(name, data)
+	}
+	return img, nil
+}
+
+// RestoreRegions recreates every image region in space (attributed to the
+// upper half, at the original addresses) and fills in the saved bytes.
+func RestoreRegions(img *Image, space *addrspace.Space) error {
+	for _, rd := range img.Regions {
+		if _, err := space.MMap(rd.Start, rd.Len, rd.Prot|addrspace.ProtWrite, addrspace.MapFixedNoReplace,
+			addrspace.HalfUpper, rd.Label); err != nil {
+			return fmt.Errorf("dmtcp: restoring region %#x+%d (%s): %w", rd.Start, rd.Len, rd.Label, err)
+		}
+		if err := space.WriteAt(rd.Start, rd.Data); err != nil {
+			return fmt.Errorf("dmtcp: filling region %#x+%d: %w", rd.Start, rd.Len, err)
+		}
+		if rd.Prot&addrspace.ProtWrite == 0 {
+			if err := space.MProtect(rd.Start, rd.Len, rd.Prot); err != nil {
+				return fmt.Errorf("dmtcp: protecting region %#x+%d: %w", rd.Start, rd.Len, err)
+			}
+		}
+	}
+	return nil
+}
+
+// RunRestartHooks invokes every plugin's Restart hook with the image's
+// sections, in registration order.
+func (e *Engine) RunRestartHooks(img *Image) error {
+	for _, p := range e.plugins {
+		if err := p.Restart(img.Sections); err != nil {
+			return fmt.Errorf("dmtcp: plugin %s restart: %w", p.Name(), err)
+		}
+	}
+	return nil
+}

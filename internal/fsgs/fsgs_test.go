@@ -1,0 +1,52 @@
+package fsgs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSwitcherCounts(t *testing.T) {
+	for _, sw := range []Switcher{NewSyscall(), NewFSGSBase(), None{}} {
+		sw.Enter()
+		sw.Exit()
+		sw.Enter()
+		sw.Exit()
+		want := uint64(4)
+		if sw.Name() == "none" {
+			want = 0
+		}
+		if got := sw.Switches(); got != want {
+			t.Fatalf("%s switches = %d, want %d", sw.Name(), got, want)
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	if NewSyscall().Name() != "syscall" || NewFSGSBase().Name() != "fsgsbase" || (None{}).Name() != "none" {
+		t.Fatal("switcher names")
+	}
+}
+
+// TestCostOrdering verifies the property Figure 6 relies on: the
+// syscall-based switch is substantially more expensive than the
+// FSGSBASE register write.
+func TestCostOrdering(t *testing.T) {
+	timeIt := func(sw Switcher) time.Duration {
+		const n = 20000
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			sw.Enter()
+			sw.Exit()
+		}
+		return time.Since(start) / n
+	}
+	// Warm both paths.
+	sys, fsg := NewSyscall(), NewFSGSBase()
+	timeIt(sys)
+	timeIt(fsg)
+	tSys, tFsg := timeIt(sys), timeIt(fsg)
+	if tSys < 2*tFsg {
+		t.Fatalf("cost ordering not preserved: syscall %v vs fsgsbase %v", tSys, tFsg)
+	}
+	t.Logf("syscall switch pair: %v, fsgsbase: %v", tSys, tFsg)
+}

@@ -1,0 +1,433 @@
+// Package gpusim simulates an NVIDIA GPU at the level of detail the CRAC
+// paper's evaluation depends on: a device with a fixed number of SMs and a
+// maximum number of concurrently resident kernels (128 on the Tesla V100
+// used in the paper), FIFO streams executing kernels and copies
+// asynchronously, and events for timing and synchronization.
+//
+// Kernels are Go closures executed by per-stream workers; cross-stream
+// parallelism is real (goroutines), bounded by the device's
+// concurrent-kernel limit exactly as CUDA bounds resident kernels. The
+// "drain the queue" step of checkpointing (paper Sections 2.2 and 3) maps
+// to Device.Synchronize, which waits until every stream is empty.
+package gpusim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Dim3 is a CUDA dim3: kernel grid and block dimensions.
+type Dim3 struct {
+	X, Y, Z int
+}
+
+// Count returns the total number of elements covered by the dimensions.
+func (d Dim3) Count() int {
+	x, y, z := d.X, d.Y, d.Z
+	if x == 0 {
+		x = 1
+	}
+	if y == 0 {
+		y = 1
+	}
+	if z == 0 {
+		z = 1
+	}
+	return x * y * z
+}
+
+// LaunchConfig carries a kernel's execution configuration.
+type LaunchConfig struct {
+	Grid      Dim3
+	Block     Dim3
+	SharedMem int
+}
+
+// Threads returns the total thread count of the launch.
+func (c LaunchConfig) Threads() int { return c.Grid.Count() * c.Block.Count() }
+
+// KernelFunc is the body of a device kernel. It receives its launch
+// configuration and is responsible for covering the whole index space
+// (the simulator runs the kernel as one unit of work on the device).
+type KernelFunc func(cfg LaunchConfig)
+
+// Properties describes a simulated device, mirroring cudaDeviceProp.
+type Properties struct {
+	Name                 string
+	ComputeMajor         int
+	ComputeMinor         int
+	SMCount              int
+	MaxConcurrentKernels int
+	GlobalMemBytes       uint64
+}
+
+// ComputeCapability renders e.g. "7.0".
+func (p Properties) ComputeCapability() string {
+	return fmt.Sprintf("%d.%d", p.ComputeMajor, p.ComputeMinor)
+}
+
+// TeslaV100 returns the properties of the NVIDIA Tesla V100 (32 GB) used
+// on the PSG cluster in the paper's main experiments: compute capability
+// 7.0 with a maximum of 128 concurrent kernels.
+func TeslaV100() Properties {
+	return Properties{
+		Name:                 "Tesla V100-SXM2-32GB",
+		ComputeMajor:         7,
+		ComputeMinor:         0,
+		SMCount:              80,
+		MaxConcurrentKernels: 128,
+		GlobalMemBytes:       32 << 30,
+	}
+}
+
+// QuadroK600 returns the properties of the NVIDIA Quadro K600 (1 GB) used
+// for the FSGSBASE experiments in Section 4.4.5.
+func QuadroK600() Properties {
+	return Properties{
+		Name:                 "Quadro K600",
+		ComputeMajor:         3,
+		ComputeMinor:         0,
+		SMCount:              1,
+		MaxConcurrentKernels: 16,
+		GlobalMemBytes:       1 << 30,
+	}
+}
+
+// Metrics are cumulative device counters.
+type Metrics struct {
+	KernelsLaunched uint64
+	CopiesIssued    uint64
+	BytesCopied     uint64
+	StreamsCreated  uint64
+	EventsCreated   uint64
+	MaxConcurrent   uint64 // high-water mark of concurrently running kernels
+}
+
+// Device is a simulated GPU.
+type Device struct {
+	prop Properties
+
+	kernSlots chan struct{} // bounds concurrently resident kernels
+
+	mu      sync.Mutex
+	streams map[int]*Stream
+	nextID  int
+	dead    bool
+
+	running         atomic.Int64 // currently executing kernels
+	kernelsLaunched atomic.Uint64
+	copiesIssued    atomic.Uint64
+	bytesCopied     atomic.Uint64
+	streamsCreated  atomic.Uint64
+	eventsCreated   atomic.Uint64
+	maxConcurrent   atomic.Uint64
+}
+
+// ErrDeviceDestroyed is returned by operations on a destroyed device.
+var ErrDeviceDestroyed = errors.New("gpusim: device destroyed")
+
+// New creates a device with the given properties.
+func New(prop Properties) *Device {
+	d := &Device{
+		prop:      prop,
+		kernSlots: make(chan struct{}, prop.MaxConcurrentKernels),
+		streams:   make(map[int]*Stream),
+	}
+	return d
+}
+
+// Properties returns the device description.
+func (d *Device) Properties() Properties { return d.prop }
+
+// Metrics returns a snapshot of the device counters.
+func (d *Device) Metrics() Metrics {
+	return Metrics{
+		KernelsLaunched: d.kernelsLaunched.Load(),
+		CopiesIssued:    d.copiesIssued.Load(),
+		BytesCopied:     d.bytesCopied.Load(),
+		StreamsCreated:  d.streamsCreated.Load(),
+		EventsCreated:   d.eventsCreated.Load(),
+		MaxConcurrent:   d.maxConcurrent.Load(),
+	}
+}
+
+// Stream is a FIFO queue of device operations, executed in order by a
+// dedicated worker. Distinct streams execute concurrently, subject to the
+// device's concurrent-kernel limit.
+type Stream struct {
+	ID  int
+	dev *Device
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	queue     []func()
+	submitted uint64
+	completed uint64
+	closed    bool
+}
+
+// NewStream creates a stream (cudaStreamCreate). The device itself does
+// not bound the number of streams — the CUDA library layer enforces the
+// concurrent-kernel limit on user streams, so that the default stream
+// does not consume an application-visible slot.
+func (d *Device) NewStream() (*Stream, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.dead {
+		return nil, ErrDeviceDestroyed
+	}
+	d.nextID++
+	s := &Stream{ID: d.nextID, dev: d}
+	s.cond = sync.NewCond(&s.mu)
+	d.streams[s.ID] = s
+	d.streamsCreated.Add(1)
+	go s.run()
+	return s, nil
+}
+
+// StreamCount returns the number of live streams.
+func (d *Device) StreamCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.streams)
+}
+
+func (s *Stream) run() {
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if len(s.queue) == 0 && s.closed {
+			s.mu.Unlock()
+			return
+		}
+		f := s.queue[0]
+		s.queue = s.queue[1:]
+		s.mu.Unlock()
+
+		f()
+
+		s.mu.Lock()
+		s.completed++
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}
+}
+
+// submit enqueues an operation; returns the submission ticket.
+func (s *Stream) submit(f func()) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, fmt.Errorf("gpusim: stream %d destroyed", s.ID)
+	}
+	s.queue = append(s.queue, f)
+	s.submitted++
+	t := s.submitted
+	s.cond.Broadcast()
+	return t, nil
+}
+
+// Synchronize blocks until all work submitted so far has completed
+// (cudaStreamSynchronize).
+func (s *Stream) Synchronize() {
+	s.mu.Lock()
+	t := s.submitted
+	for s.completed < t {
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// Pending returns the number of operations submitted but not completed.
+func (s *Stream) Pending() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.submitted - s.completed
+}
+
+// Launch enqueues a kernel on the stream (cudaLaunchKernel). The kernel
+// body runs on the stream worker once a device kernel slot is available.
+func (s *Stream) Launch(cfg LaunchConfig, kernel KernelFunc) error {
+	d := s.dev
+	_, err := s.submit(func() {
+		d.kernSlots <- struct{}{} // acquire a resident-kernel slot
+		cur := uint64(d.running.Add(1))
+		for {
+			old := d.maxConcurrent.Load()
+			if cur <= old || d.maxConcurrent.CompareAndSwap(old, cur) {
+				break
+			}
+		}
+		kernel(cfg)
+		d.running.Add(-1)
+		<-d.kernSlots
+	})
+	if err == nil {
+		d.kernelsLaunched.Add(1)
+	}
+	return err
+}
+
+// Copy enqueues an asynchronous copy of n bytes executed by fn
+// (cudaMemcpyAsync). The actual data movement is performed by fn; the
+// device only accounts for it.
+func (s *Stream) Copy(n uint64, fn func()) error {
+	d := s.dev
+	_, err := s.submit(fn)
+	if err == nil {
+		d.copiesIssued.Add(1)
+		d.bytesCopied.Add(n)
+	}
+	return err
+}
+
+// Callback enqueues a host callback (cudaLaunchHostFunc).
+func (s *Stream) Callback(fn func()) error {
+	_, err := s.submit(fn)
+	return err
+}
+
+// WaitEvent enqueues a wait: subsequent work on this stream does not run
+// until the event completes (cudaStreamWaitEvent) — the cross-stream
+// dependency primitive of the CUDA stream model.
+func (s *Stream) WaitEvent(e *Event) error {
+	_, err := s.submit(func() {
+		e.mu.Lock()
+		for e.recorded && !e.complete {
+			e.cond.Wait()
+		}
+		e.mu.Unlock()
+	})
+	return err
+}
+
+// Destroy drains the stream and removes it from the device
+// (cudaStreamDestroy semantics: pending work completes first).
+func (s *Stream) Destroy() {
+	s.Synchronize()
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	s.dev.mu.Lock()
+	delete(s.dev.streams, s.ID)
+	s.dev.mu.Unlock()
+}
+
+// Synchronize blocks until every stream on the device is idle
+// (cudaDeviceSynchronize). This is the "drain the queue" step that must
+// precede a checkpoint.
+func (d *Device) Synchronize() {
+	d.mu.Lock()
+	streams := make([]*Stream, 0, len(d.streams))
+	for _, s := range d.streams {
+		streams = append(streams, s)
+	}
+	d.mu.Unlock()
+	for _, s := range streams {
+		s.Synchronize()
+	}
+}
+
+// Drained reports whether no stream has pending work.
+func (d *Device) Drained() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, s := range d.streams {
+		if s.Pending() != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Destroy synchronizes and tears down all streams, then marks the device
+// dead. Used when the lower half is discarded at restart.
+func (d *Device) Destroy() {
+	d.Synchronize()
+	d.mu.Lock()
+	streams := make([]*Stream, 0, len(d.streams))
+	for _, s := range d.streams {
+		streams = append(streams, s)
+	}
+	d.dead = true
+	d.mu.Unlock()
+	for _, s := range streams {
+		s.Destroy()
+	}
+}
+
+// Event is a CUDA event: a marker recorded into a stream, carrying the
+// completion time of all prior work in that stream.
+type Event struct {
+	dev *Device
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	recorded bool
+	complete bool
+	when     time.Time
+}
+
+// NewEvent creates an event (cudaEventCreate).
+func (d *Device) NewEvent() *Event {
+	e := &Event{dev: d}
+	e.cond = sync.NewCond(&e.mu)
+	d.eventsCreated.Add(1)
+	return e
+}
+
+// Record enqueues the event on the stream (cudaEventRecord). The event
+// completes when the stream reaches it.
+func (e *Event) Record(s *Stream) error {
+	e.mu.Lock()
+	e.recorded = true
+	e.complete = false
+	e.mu.Unlock()
+	_, err := s.submit(func() {
+		e.mu.Lock()
+		e.complete = true
+		e.when = time.Now()
+		e.cond.Broadcast()
+		e.mu.Unlock()
+	})
+	return err
+}
+
+// Synchronize blocks until the event has completed (cudaEventSynchronize).
+func (e *Event) Synchronize() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.recorded {
+		return errors.New("gpusim: event not recorded")
+	}
+	for !e.complete {
+		e.cond.Wait()
+	}
+	return nil
+}
+
+// Completed reports whether the event has fired (cudaEventQuery).
+func (e *Event) Completed() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.complete
+}
+
+// Elapsed returns the time between two completed events
+// (cudaEventElapsedTime).
+func Elapsed(start, end *Event) (time.Duration, error) {
+	if err := start.Synchronize(); err != nil {
+		return 0, err
+	}
+	if err := end.Synchronize(); err != nil {
+		return 0, err
+	}
+	return end.when.Sub(start.when), nil
+}

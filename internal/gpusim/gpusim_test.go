@@ -1,0 +1,209 @@
+package gpusim
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDim3Count(t *testing.T) {
+	if (Dim3{}).Count() != 1 {
+		t.Fatal("zero Dim3 should count 1")
+	}
+	if (Dim3{X: 4, Y: 2}).Count() != 8 {
+		t.Fatal("4x2 should count 8")
+	}
+	cfg := LaunchConfig{Grid: Dim3{X: 2}, Block: Dim3{X: 128}}
+	if cfg.Threads() != 256 {
+		t.Fatalf("threads = %d", cfg.Threads())
+	}
+}
+
+func TestProperties(t *testing.T) {
+	v100 := TeslaV100()
+	if v100.MaxConcurrentKernels != 128 || v100.ComputeCapability() != "7.0" {
+		t.Fatalf("V100 = %+v", v100)
+	}
+	k600 := QuadroK600()
+	if k600.GlobalMemBytes != 1<<30 {
+		t.Fatalf("K600 = %+v", k600)
+	}
+}
+
+func TestStreamFIFOOrder(t *testing.T) {
+	d := New(TeslaV100())
+	defer d.Destroy()
+	s, err := d.NewStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		if err := s.Callback(func() { order = append(order, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Synchronize()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("out of order: %v", order)
+		}
+	}
+}
+
+func TestCrossStreamConcurrency(t *testing.T) {
+	d := New(TeslaV100())
+	defer d.Destroy()
+	s1, _ := d.NewStream()
+	s2, _ := d.NewStream()
+	gate := make(chan struct{})
+	// A kernel on s1 blocks until a kernel on s2 runs: only possible if
+	// the two streams execute concurrently.
+	if err := s1.Launch(LaunchConfig{}, func(LaunchConfig) { <-gate }); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Launch(LaunchConfig{}, func(LaunchConfig) { close(gate) }); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { d.Synchronize(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("streams did not run concurrently")
+	}
+	if mc := d.Metrics().MaxConcurrent; mc < 1 {
+		t.Fatalf("max concurrent = %d", mc)
+	}
+}
+
+func TestConcurrentKernelLimit(t *testing.T) {
+	prop := TeslaV100()
+	prop.MaxConcurrentKernels = 2
+	d := New(prop)
+	defer d.Destroy()
+	var running, peak atomic.Int64
+	var streams []*Stream
+	for i := 0; i < 6; i++ {
+		s, err := d.NewStream()
+		if err != nil {
+			t.Fatal(err)
+		}
+		streams = append(streams, s)
+	}
+	for _, s := range streams {
+		if err := s.Launch(LaunchConfig{}, func(LaunchConfig) {
+			cur := running.Add(1)
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+			running.Add(-1)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Synchronize()
+	if p := peak.Load(); p > 2 {
+		t.Fatalf("peak concurrent kernels = %d, exceeds device limit 2", p)
+	}
+	if mc := d.Metrics().MaxConcurrent; mc > 2 {
+		t.Fatalf("device metric max concurrent = %d", mc)
+	}
+}
+
+func TestDrainSemantics(t *testing.T) {
+	d := New(TeslaV100())
+	defer d.Destroy()
+	s, _ := d.NewStream()
+	release := make(chan struct{})
+	var finished atomic.Bool
+	_ = s.Launch(LaunchConfig{}, func(LaunchConfig) {
+		<-release
+		finished.Store(true)
+	})
+	if d.Drained() {
+		t.Fatal("device claims drained with a kernel in flight")
+	}
+	close(release)
+	d.Synchronize()
+	if !finished.Load() {
+		t.Fatal("Synchronize returned before the kernel finished")
+	}
+	if !d.Drained() {
+		t.Fatal("device not drained after Synchronize")
+	}
+}
+
+func TestStreamDestroyDrainsFirst(t *testing.T) {
+	d := New(TeslaV100())
+	defer d.Destroy()
+	s, _ := d.NewStream()
+	var ran atomic.Bool
+	_ = s.Callback(func() { time.Sleep(time.Millisecond); ran.Store(true) })
+	s.Destroy()
+	if !ran.Load() {
+		t.Fatal("Destroy did not drain pending work")
+	}
+	if err := s.Callback(func() {}); err == nil {
+		t.Fatal("submit to destroyed stream succeeded")
+	}
+	if d.StreamCount() != 0 {
+		t.Fatalf("stream count = %d after destroy", d.StreamCount())
+	}
+}
+
+func TestDeviceDestroyedRejectsStreams(t *testing.T) {
+	d := New(TeslaV100())
+	d.Destroy()
+	if _, err := d.NewStream(); err != ErrDeviceDestroyed {
+		t.Fatalf("err = %v, want ErrDeviceDestroyed", err)
+	}
+}
+
+func TestEvents(t *testing.T) {
+	d := New(TeslaV100())
+	defer d.Destroy()
+	s, _ := d.NewStream()
+	start := d.NewEvent()
+	end := d.NewEvent()
+	if err := start.Synchronize(); err == nil {
+		t.Fatal("synchronize on unrecorded event succeeded")
+	}
+	if err := start.Record(s); err != nil {
+		t.Fatal(err)
+	}
+	_ = s.Callback(func() { time.Sleep(5 * time.Millisecond) })
+	if err := end.Record(s); err != nil {
+		t.Fatal(err)
+	}
+	el, err := Elapsed(start, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el < 4*time.Millisecond {
+		t.Fatalf("elapsed = %v, want >= ~5ms", el)
+	}
+	if !end.Completed() {
+		t.Fatal("event not completed after Elapsed")
+	}
+}
+
+func TestMetricsAccounting(t *testing.T) {
+	d := New(TeslaV100())
+	defer d.Destroy()
+	s, _ := d.NewStream()
+	_ = s.Launch(LaunchConfig{}, func(LaunchConfig) {})
+	_ = s.Copy(1024, func() {})
+	_ = d.NewEvent()
+	d.Synchronize()
+	m := d.Metrics()
+	if m.KernelsLaunched != 1 || m.CopiesIssued != 1 || m.BytesCopied != 1024 ||
+		m.StreamsCreated != 1 || m.EventsCreated != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}

@@ -1,0 +1,338 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/crt"
+	"repro/internal/cublas"
+	"repro/internal/gpusim"
+	"repro/internal/memview"
+	"repro/internal/proxy"
+)
+
+func init() {
+	register(&Experiment{
+		ID:    "table3",
+		Title: "CRAC vs CMA/IPC on cuBLAS calls (Table 3)",
+		Paper: "CRAC ≈1% overhead (up to 3.9% on 1MB sdot); CMA/IPC 142%–17,812% — per-call buffer copies dominate",
+		Run:   runTable3,
+	})
+}
+
+// blasCase is one Table 3 row: a cuBLAS routine at a data size.
+type blasCase struct {
+	op    string
+	bytes uint64
+	reps  int
+}
+
+func table3Cases(opt Options) []blasCase {
+	mb := uint64(1 << 20)
+	if opt.Quick {
+		return []blasCase{
+			{"cublasSdot", mb, 10},
+			{"cublasSgemv", mb, 5},
+			{"cublasSgemm", mb, 2},
+		}
+	}
+	cases := []blasCase{
+		{"cublasSdot", 1 * mb, 40},
+		{"cublasSdot", 10 * mb, 10},
+		{"cublasSdot", 100 * mb, 3},
+		{"cublasSgemv", 1 * mb, 40},
+		{"cublasSgemv", 10 * mb, 10},
+		{"cublasSgemv", 100 * mb, 3},
+		{"cublasSgemm", 1 * mb, 5},
+		{"cublasSgemm", 10 * mb, 2},
+	}
+	if opt.Full {
+		// 2·5120³ ≈ 2.7e11 flops on the simulated device: opt-in only.
+		cases = append(cases, blasCase{"cublasSgemm", 100 * mb, 1})
+	}
+	return cases
+}
+
+// dims derives the problem dimensions from the paper's rule: "the matrix
+// (or vector, for cublasSdot) had data size 1 MB, 10 MB, or 100 MB".
+func (c blasCase) dims() (m, n, k int) {
+	switch c.op {
+	case "cublasSdot":
+		return 0, int(c.bytes / 4), 0
+	case "cublasSgemv":
+		side := int(math.Sqrt(float64(c.bytes / 4)))
+		return side, side, 0
+	default: // cublasSgemm
+		side := int(math.Sqrt(float64(c.bytes / 4)))
+		return side, side, side
+	}
+}
+
+// runBlasDirect times the routine through a crt.Runtime (native or CRAC):
+// operands already live in device memory and are passed by pointer.
+func runBlasDirect(mode Mode, c blasCase) (msPerCall float64, checksum float64, err error) {
+	r, err := NewRunner(mode, gpusim.TeslaV100())
+	if err != nil {
+		return 0, 0, err
+	}
+	defer r.Close()
+	rt := r.RT
+	h, err := cublas.New(rt)
+	if err != nil {
+		return 0, 0, err
+	}
+	m, n, k := c.dims()
+
+	fill := func(addr uint64, count int, seedMul float32) error {
+		v, err := crt.HostF32(rt, addr, count)
+		if err != nil {
+			return err
+		}
+		for i := range v {
+			v[i] = seedMul / float32(1+i%31)
+		}
+		return nil
+	}
+	// Stage operands in device memory once (direct pointer passing).
+	var a, x, out uint64
+	switch c.op {
+	case "cublasSdot":
+		if a, err = rt.Malloc(uint64(4 * n)); err != nil {
+			return 0, 0, err
+		}
+		if x, err = rt.Malloc(uint64(4 * n)); err != nil {
+			return 0, 0, err
+		}
+		if out, err = rt.Malloc(4); err != nil {
+			return 0, 0, err
+		}
+		host, err := rt.AppAlloc(uint64(4 * n))
+		if err != nil {
+			return 0, 0, err
+		}
+		if err := fill(host, n, 1); err != nil {
+			return 0, 0, err
+		}
+		if err := rt.Memcpy(a, host, uint64(4*n), crt.MemcpyHostToDevice); err != nil {
+			return 0, 0, err
+		}
+		if err := fill(host, n, 2); err != nil {
+			return 0, 0, err
+		}
+		if err := rt.Memcpy(x, host, uint64(4*n), crt.MemcpyHostToDevice); err != nil {
+			return 0, 0, err
+		}
+	case "cublasSgemv":
+		if a, err = rt.Malloc(uint64(4 * m * n)); err != nil {
+			return 0, 0, err
+		}
+		if x, err = rt.Malloc(uint64(4 * n)); err != nil {
+			return 0, 0, err
+		}
+		if out, err = rt.Malloc(uint64(4 * m)); err != nil {
+			return 0, 0, err
+		}
+		host, err := rt.AppAlloc(uint64(4 * m * n))
+		if err != nil {
+			return 0, 0, err
+		}
+		if err := fill(host, m*n, 1); err != nil {
+			return 0, 0, err
+		}
+		if err := rt.Memcpy(a, host, uint64(4*m*n), crt.MemcpyHostToDevice); err != nil {
+			return 0, 0, err
+		}
+		if err := fill(host, n, 2); err != nil {
+			return 0, 0, err
+		}
+		if err := rt.Memcpy(x, host, uint64(4*n), crt.MemcpyHostToDevice); err != nil {
+			return 0, 0, err
+		}
+	default:
+		if a, err = rt.Malloc(uint64(4 * m * k)); err != nil {
+			return 0, 0, err
+		}
+		if x, err = rt.Malloc(uint64(4 * k * n)); err != nil {
+			return 0, 0, err
+		}
+		if out, err = rt.Malloc(uint64(4 * m * n)); err != nil {
+			return 0, 0, err
+		}
+		host, err := rt.AppAlloc(uint64(4 * m * k))
+		if err != nil {
+			return 0, 0, err
+		}
+		if err := fill(host, m*k, 1); err != nil {
+			return 0, 0, err
+		}
+		if err := rt.Memcpy(a, host, uint64(4*m*k), crt.MemcpyHostToDevice); err != nil {
+			return 0, 0, err
+		}
+		if err := fill(host, k*n, 2); err != nil {
+			return 0, 0, err
+		}
+		if err := rt.Memcpy(x, host, uint64(4*k*n), crt.MemcpyHostToDevice); err != nil {
+			return 0, 0, err
+		}
+	}
+
+	start := time.Now()
+	for i := 0; i < c.reps; i++ {
+		switch c.op {
+		case "cublasSdot":
+			err = h.Sdot(n, a, x, out, crt.DefaultStream)
+		case "cublasSgemv":
+			err = h.Sgemv(m, n, a, x, out, crt.DefaultStream)
+		default:
+			err = h.Sgemm(m, n, k, a, x, out, crt.DefaultStream)
+		}
+		if err != nil {
+			return 0, 0, err
+		}
+		if err = rt.DeviceSynchronize(); err != nil {
+			return 0, 0, err
+		}
+	}
+	elapsed := time.Since(start)
+
+	// Result checksum (first element suffices for cross-mode validation).
+	resHost, err := rt.AppAlloc(4)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := rt.Memcpy(resHost, out, 4, crt.MemcpyDeviceToHost); err != nil {
+		return 0, 0, err
+	}
+	rv, err := crt.HostF32(rt, resHost, 1)
+	if err != nil {
+		return 0, 0, err
+	}
+	checksum = float64(rv[0])
+	return elapsed.Seconds() * 1e3 / float64(c.reps), checksum, nil
+}
+
+// runBlasCMA times the routine through the CMA/IPC proxy: operands are
+// copied to the proxy on every call and the result copied back, the
+// paper's synthetic CMA benchmark.
+func runBlasCMA(c blasCase) (msPerCall float64, checksum float64, err error) {
+	rt, err := proxy.New(proxy.Config{TransportKind: "cma"})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer rt.Close()
+	blas := proxy.NewBLAS(rt)
+	m, n, k := c.dims()
+
+	mkBuf := func(count int, seedMul float32) []byte {
+		b := make([]byte, 4*count)
+		v := memview.Float32s(b, count)
+		for i := range v {
+			v[i] = seedMul / float32(1+i%31)
+		}
+		return b
+	}
+	var bufA, bufX []byte
+	switch c.op {
+	case "cublasSdot":
+		bufA, bufX = mkBuf(n, 1), mkBuf(n, 2)
+	case "cublasSgemv":
+		bufA, bufX = mkBuf(m*n, 1), mkBuf(n, 2)
+	default:
+		bufA, bufX = mkBuf(m*k, 1), mkBuf(k*n, 2)
+	}
+
+	start := time.Now()
+	var result []byte
+	for i := 0; i < c.reps; i++ {
+		switch c.op {
+		case "cublasSdot":
+			var f float32
+			f, err = blas.Sdot(n, bufA, bufX)
+			if err == nil {
+				checksum = float64(f)
+			}
+		case "cublasSgemv":
+			result, err = blas.Sgemv(m, n, bufA, bufX)
+		default:
+			result, err = blas.Sgemm(m, n, k, bufA, bufX)
+		}
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	elapsed := time.Since(start)
+	if len(result) >= 4 {
+		checksum = float64(memview.Float32s(result[:4], 1)[0])
+	}
+	return elapsed.Seconds() * 1e3 / float64(c.reps), checksum, nil
+}
+
+func runTable3(opt Options) ([]*Table, error) {
+	t := &Table{
+		ID:    "table3",
+		Title: "Comparison of CRAC to an IPC-based approach (as in CRCUDA and CRUM)",
+		Columns: []string{"CUDA Call", "Data size", "Native (ms)", "CRAC (ms)", "CRAC ovh %",
+			"CMA/IPC (ms)", "CMA/IPC ovh %"},
+	}
+	rounds := opt.EffIters()
+	for _, c := range table3Cases(opt) {
+		opt.logf("table3: %s %s", c.op, fmtBytes(c.bytes))
+		// Interleave the three modes across rounds and take medians, so
+		// machine noise hits all columns alike.
+		var natTs, crTs, cmaTs []float64
+		var natSum, crSum, cmaSum float64
+		for r := 0; r < rounds; r++ {
+			v, sum, err := runBlasDirect(ModeNative, c)
+			if err != nil {
+				return nil, fmt.Errorf("%s native: %w", c.op, err)
+			}
+			natTs, natSum = append(natTs, v), sum
+			v, sum, err = runBlasDirect(ModeCRAC, c)
+			if err != nil {
+				return nil, fmt.Errorf("%s CRAC: %w", c.op, err)
+			}
+			crTs, crSum = append(crTs, v), sum
+			v, sum, err = runBlasCMA(c)
+			if err != nil {
+				return nil, fmt.Errorf("%s CMA: %w", c.op, err)
+			}
+			cmaTs, cmaSum = append(cmaTs, v), sum
+		}
+		nat, cr, cma := medianOf(natTs), medianOf(crTs), medianOf(cmaTs)
+		// Cross-mode result validation.
+		if rel := relDiff(natSum, crSum); rel > 1e-4 {
+			return nil, fmt.Errorf("%s %s: native/CRAC results differ: %v vs %v", c.op, fmtBytes(c.bytes), natSum, crSum)
+		}
+		if rel := relDiff(natSum, cmaSum); rel > 1e-4 {
+			return nil, fmt.Errorf("%s %s: native/CMA results differ: %v vs %v", c.op, fmtBytes(c.bytes), natSum, cmaSum)
+		}
+		t.AddRow(c.op, fmtBytes(c.bytes), fmtF(nat, 3), fmtF(cr, 3),
+			fmtF(overheadPct(cr, nat), 1), fmtF(cma, 3), fmtF(overheadPct(cma, nat), 0))
+	}
+	if !opt.Full && !opt.Quick {
+		t.Note("cublasSgemm at 100MB (2.7e11 flops on the simulated device) requires -full")
+	}
+	t.Note("paper: CRAC -0.8%% to 3.9%%; CMA/IPC 142%% to 17,812%% — the per-call operand copies dominate")
+	return []*Table{t}, nil
+}
+
+func medianOf(ts []float64) float64 {
+	sort.Float64s(ts)
+	n := len(ts)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return ts[n/2]
+	}
+	return (ts[n/2-1] + ts[n/2]) / 2
+}
+
+func relDiff(a, b float64) float64 {
+	if a == 0 && b == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / math.Max(math.Abs(a), math.Abs(b))
+}

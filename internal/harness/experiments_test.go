@@ -1,0 +1,114 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRegistryComplete pins the experiment inventory against DESIGN.md's
+// per-experiment index.
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"table2", "fig2", "fig3", "fig6", "table1", "fig4a", "fig4b",
+		"fig5a", "fig5b", "fig5c", "table3", "intro", "ablations"}
+	have := make(map[string]bool)
+	for _, e := range All() {
+		have[e.ID] = true
+		if e.Title == "" || e.Paper == "" || e.Run == nil {
+			t.Fatalf("experiment %s incomplete", e.ID)
+		}
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Fatalf("experiment %s missing from registry", id)
+		}
+	}
+	if ByID("nonexistent") != nil {
+		t.Fatal("ByID returned something for a bogus id")
+	}
+}
+
+// TestAllExperimentsQuick regenerates every paper artifact in Quick mode
+// — the end-to-end proof that the whole evaluation harness works.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiment sweep skipped in -short mode")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables, err := e.Run(Options{Quick: true})
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tables) == 0 {
+				t.Fatalf("%s produced no tables", e.ID)
+			}
+			for _, tab := range tables {
+				if len(tab.Rows) == 0 {
+					t.Fatalf("%s table %q has no rows", e.ID, tab.Title)
+				}
+				if len(tab.Columns) == 0 {
+					t.Fatalf("%s table %q has no columns", e.ID, tab.Title)
+				}
+				for _, row := range tab.Rows {
+					if len(row) != len(tab.Columns) {
+						t.Fatalf("%s: row width %d != %d columns", e.ID, len(row), len(tab.Columns))
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		ID:      "x",
+		Title:   "demo",
+		Columns: []string{"a", "b"},
+	}
+	tab.AddRow("1", "hello, world")
+	tab.AddRow("22", "y")
+	tab.Note("footnote %d", 7)
+
+	var txt bytes.Buffer
+	tab.Fprint(&txt)
+	out := txt.String()
+	for _, want := range []string{"demo", "hello, world", "footnote 7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text output missing %q:\n%s", want, out)
+		}
+	}
+
+	var csv bytes.Buffer
+	tab.CSV(&csv)
+	if !strings.Contains(csv.String(), `"hello, world"`) {
+		t.Fatalf("csv did not quote comma cell:\n%s", csv.String())
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	var o Options
+	if o.EffScale() != 1 || o.EffIters() != 3 {
+		t.Fatalf("defaults: scale=%v iters=%d", o.EffScale(), o.EffIters())
+	}
+	q := Options{Quick: true}
+	if q.EffScale() >= 1 || q.EffIters() != 1 {
+		t.Fatalf("quick: scale=%v iters=%d", q.EffScale(), q.EffIters())
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if fmtBytes(2<<30) != "2.0GB" || fmtBytes(5<<20) != "5MB" || fmtBytes(3<<10) != "3KB" || fmtBytes(12) != "12B" {
+		t.Fatal("fmtBytes")
+	}
+	if fmtCalls(2_500_000) != "2.5M" || fmtCalls(35_000) != "35K" || fmtCalls(120) != "120" {
+		t.Fatal("fmtCalls")
+	}
+	if overheadPct(1.02, 1.0) < 1.9 || overheadPct(1.02, 1.0) > 2.1 {
+		t.Fatal("overheadPct")
+	}
+	if overheadPct(1, 0) != 0 {
+		t.Fatal("overheadPct zero base")
+	}
+}

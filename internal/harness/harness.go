@@ -1,0 +1,305 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation (Section 4). Each Experiment produces one or more text
+// tables mirroring the paper's artifacts; cmd/cracbench drives the
+// registry, and bench_test.go at the repository root exposes one
+// testing.B benchmark per experiment.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	crac "repro"
+	"repro/internal/crt"
+	"repro/internal/gpusim"
+	"repro/internal/proxy"
+)
+
+// Mode selects the runtime binding an application runs under.
+type Mode int
+
+// Execution modes.
+const (
+	// ModeNative is the uninstrumented baseline.
+	ModeNative Mode = iota
+	// ModeCRAC is CRAC with the syscall-based fs switch (unpatched
+	// kernel, the paper's main configuration).
+	ModeCRAC
+	// ModeCRACFSGSBase is CRAC with the FSGSBASE-patched fs switch
+	// (Section 4.4.5).
+	ModeCRACFSGSBase
+	// ModeProxyPipe is the CRCUDA/CRUM-style proxy over OS pipes.
+	ModeProxyPipe
+	// ModeProxyCMA is the proxy over Cross-Memory Attach (Table 3's
+	// "CMA/IPC").
+	ModeProxyCMA
+)
+
+// String names the mode as the paper's figures label it.
+func (m Mode) String() string {
+	switch m {
+	case ModeNative:
+		return "native"
+	case ModeCRAC:
+		return "CRAC"
+	case ModeCRACFSGSBase:
+		return "CRAC (FSGSBASE)"
+	case ModeProxyPipe:
+		return "proxy (pipe IPC)"
+	case ModeProxyCMA:
+		return "CMA/IPC"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Runner couples a runtime binding with its checkpointable session (for
+// the CRAC modes) and its teardown.
+type Runner struct {
+	Mode    Mode
+	RT      crt.Runtime
+	Session *crac.Session  // non-nil in CRAC modes
+	Proxy   *proxy.Runtime // non-nil in proxy modes
+}
+
+// NewRunner builds a runner for the mode over the given device.
+func NewRunner(mode Mode, prop gpusim.Properties) (*Runner, error) {
+	switch mode {
+	case ModeNative:
+		rt, err := crac.NewNative(crac.Config{Prop: prop})
+		if err != nil {
+			return nil, err
+		}
+		return &Runner{Mode: mode, RT: rt}, nil
+	case ModeCRAC, ModeCRACFSGSBase:
+		sw := crac.SwitchSyscall
+		if mode == ModeCRACFSGSBase {
+			sw = crac.SwitchFSGSBase
+		}
+		s, err := crac.NewSession(crac.Config{Prop: prop, Switch: sw})
+		if err != nil {
+			return nil, err
+		}
+		return &Runner{Mode: mode, RT: s.Runtime(), Session: s}, nil
+	case ModeProxyPipe, ModeProxyCMA:
+		kind := "pipe"
+		if mode == ModeProxyCMA {
+			kind = "cma"
+		}
+		p, err := proxy.New(proxy.Config{Prop: prop, TransportKind: kind})
+		if err != nil {
+			return nil, err
+		}
+		return &Runner{Mode: mode, RT: p, Proxy: p}, nil
+	default:
+		return nil, fmt.Errorf("harness: unknown mode %v", mode)
+	}
+}
+
+// Close releases the runner's resources.
+func (r *Runner) Close() {
+	if r.Session != nil {
+		r.Session.Close()
+	}
+	if r.Proxy != nil {
+		r.Proxy.Close()
+	}
+	if n, ok := r.RT.(*crt.Native); ok {
+		n.Close()
+	}
+}
+
+// Table is one regenerated paper artifact.
+type Table struct {
+	ID      string // experiment id, e.g. "fig2"
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Note appends a footnote.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Fprint renders the table as aligned text.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		var sb strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len(cell)
+			}
+			sb.WriteString(cell)
+			sb.WriteString(strings.Repeat(" ", pad))
+		}
+		fmt.Fprintln(w, strings.TrimRight(sb.String(), " "))
+	}
+	printRow(t.Columns)
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	fmt.Fprintln(w, strings.Repeat("-", total))
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// CSV renders the table as CSV.
+func (t *Table) CSV(w io.Writer) {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	cols := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		cols[i] = esc(c)
+	}
+	fmt.Fprintln(w, strings.Join(cols, ","))
+	for _, row := range t.Rows {
+		cells := make([]string, len(row))
+		for i, c := range row {
+			cells[i] = esc(c)
+		}
+		fmt.Fprintln(w, strings.Join(cells, ","))
+	}
+}
+
+// Options tunes an experiment run.
+type Options struct {
+	// Scale multiplies all workload sizes (1.0 = repository default).
+	Scale float64
+	// Iterations is the number of timed repetitions per data point
+	// (the paper uses 10; default here is 3).
+	Iterations int
+	// Quick further shrinks expensive experiments (used by tests).
+	Quick bool
+	// Full enables the most expensive data points (Table 3's 100 MB
+	// cublasSgemm row).
+	Full bool
+	// Log receives progress lines (nil = silent).
+	Log io.Writer
+}
+
+// EffScale returns the scale with default 1, halved in Quick mode.
+func (o Options) EffScale() float64 {
+	s := o.Scale
+	if s <= 0 {
+		s = 1
+	}
+	if o.Quick {
+		s *= 0.15
+	}
+	return s
+}
+
+// EffIters returns the iteration count (default 3, 1 in Quick mode).
+func (o Options) EffIters() int {
+	if o.Quick {
+		return 1
+	}
+	if o.Iterations <= 0 {
+		return 3
+	}
+	return o.Iterations
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Log != nil {
+		fmt.Fprintf(o.Log, format+"\n", args...)
+	}
+}
+
+// Experiment regenerates one paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	// Paper summarizes what the paper's version of the artifact shows,
+	// for side-by-side comparison in EXPERIMENTS.md.
+	Paper string
+	Run   func(opt Options) ([]*Table, error)
+}
+
+var registry []*Experiment
+
+func register(e *Experiment) { registry = append(registry, e) }
+
+// All returns every experiment in paper order.
+func All() []*Experiment { return registry }
+
+// ByID returns the experiment with the given ID, or nil.
+func ByID(id string) *Experiment {
+	for _, e := range registry {
+		if e.ID == id {
+			return e
+		}
+	}
+	return nil
+}
+
+// overheadPct computes the paper's Equation 1.
+func overheadPct(instrumented, native float64) float64 {
+	if native == 0 {
+		return 0
+	}
+	return (instrumented - native) / native * 100
+}
+
+// fmtF renders a float with sensible precision for tables.
+func fmtF(v float64, prec int) string {
+	return fmt.Sprintf("%.*f", prec, v)
+}
+
+// fmtBytes renders a byte count like the paper's figure annotations.
+func fmtBytes(n uint64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.0fMB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.0fKB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// fmtCalls renders a call count like the paper's "800K"/"6M" labels.
+func fmtCalls(n uint64) string {
+	switch {
+	case n >= 1_000_000:
+		return fmt.Sprintf("%.1fM", float64(n)/1e6)
+	case n >= 1_000:
+		return fmt.Sprintf("%.0fK", float64(n)/1e3)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}

@@ -1,0 +1,248 @@
+// Package kernels is the shared device-kernel library of the simulated
+// workloads: the __global__ functions that applications register as a fat
+// binary and launch through the runtime. Each kernel covers its whole
+// index space, fanning out over CPUs (package par) the way a real kernel
+// fans out over GPU cores.
+//
+// Argument convention: kernel arguments are raw 64-bit words, exactly
+// like the CUDA launch ABI. Pointers are passed as addresses; float32
+// scalars are passed with F32Arg and recovered with ArgF32.
+package kernels
+
+import (
+	"math"
+
+	"repro/internal/cuda"
+	"repro/internal/gpusim"
+	"repro/internal/par"
+)
+
+// Module is the fat-binary module name of this kernel library.
+const Module = "crac.kernels"
+
+// F32Arg packs a float32 scalar into a kernel argument word.
+func F32Arg(f float32) uint64 { return uint64(math.Float32bits(f)) }
+
+// ArgF32 unpacks a float32 scalar from a kernel argument word.
+func ArgF32(a uint64) float32 { return math.Float32frombits(uint32(a)) }
+
+// minPar is the element count below which a kernel runs single-threaded;
+// small kernels model the many-tiny-launch workloads (HPGMG) where
+// per-launch overhead dominates.
+const minPar = 1 << 14
+
+// Table returns the kernel table. Callers register it as a fat binary;
+// restarted processes resolve the same names from it.
+func Table() map[string]cuda.Kernel {
+	return map[string]cuda.Kernel{
+		"fill":        Fill,
+		"iota":        Iota,
+		"vecAdd":      VecAdd,
+		"axpy":        Axpy,
+		"scale":       Scale,
+		"mulElem":     MulElem,
+		"reduceSum":   ReduceSum,
+		"dotPartial":  DotPartial,
+		"stencil2d":   Stencil2D,
+		"stencil3d":   Stencil3D,
+		"initArray":   InitArray,
+		"spinCollect": SpinCollect,
+	}
+}
+
+// Fill sets n float32 elements at args[0] to the value in args[1].
+// args: ptr, F32Arg(value), n.
+func Fill(ctx *cuda.DevCtx, _ gpusim.LaunchConfig, args []uint64) {
+	n := int(args[2])
+	v := ArgF32(args[1])
+	x := ctx.Float32s(args[0], n)
+	par.For(n, minPar, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x[i] = v
+		}
+	})
+}
+
+// Iota writes x[i] = scale*i. args: ptr, F32Arg(scale), n.
+func Iota(ctx *cuda.DevCtx, _ gpusim.LaunchConfig, args []uint64) {
+	n := int(args[2])
+	s := ArgF32(args[1])
+	x := ctx.Float32s(args[0], n)
+	par.For(n, minPar, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x[i] = s * float32(i)
+		}
+	})
+}
+
+// VecAdd computes c = a + b. args: a, b, c, n.
+func VecAdd(ctx *cuda.DevCtx, _ gpusim.LaunchConfig, args []uint64) {
+	n := int(args[3])
+	a := ctx.Float32s(args[0], n)
+	b := ctx.Float32s(args[1], n)
+	c := ctx.Float32s(args[2], n)
+	par.For(n, minPar, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			c[i] = a[i] + b[i]
+		}
+	})
+}
+
+// Axpy computes y += alpha*x. args: x, y, F32Arg(alpha), n.
+func Axpy(ctx *cuda.DevCtx, _ gpusim.LaunchConfig, args []uint64) {
+	n := int(args[3])
+	alpha := ArgF32(args[2])
+	x := ctx.Float32s(args[0], n)
+	y := ctx.Float32s(args[1], n)
+	par.For(n, minPar, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			y[i] += alpha * x[i]
+		}
+	})
+}
+
+// Scale computes x *= alpha. args: x, F32Arg(alpha), n.
+func Scale(ctx *cuda.DevCtx, _ gpusim.LaunchConfig, args []uint64) {
+	n := int(args[2])
+	alpha := ArgF32(args[1])
+	x := ctx.Float32s(args[0], n)
+	par.For(n, minPar, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x[i] *= alpha
+		}
+	})
+}
+
+// MulElem computes c = a .* b. args: a, b, c, n.
+func MulElem(ctx *cuda.DevCtx, _ gpusim.LaunchConfig, args []uint64) {
+	n := int(args[3])
+	a := ctx.Float32s(args[0], n)
+	b := ctx.Float32s(args[1], n)
+	c := ctx.Float32s(args[2], n)
+	par.For(n, minPar, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			c[i] = a[i] * b[i]
+		}
+	})
+}
+
+// ReduceSum writes sum(x[0:n]) to out[0]. args: x, out, n.
+func ReduceSum(ctx *cuda.DevCtx, _ gpusim.LaunchConfig, args []uint64) {
+	n := int(args[2])
+	x := ctx.Float32s(args[0], n)
+	out := ctx.Float32s(args[1], 1)
+	var total float64
+	for i := 0; i < n; i++ {
+		total += float64(x[i])
+	}
+	out[0] = float32(total)
+}
+
+// DotPartial writes dot(a[0:n], b[0:n]) to out[0]. args: a, b, out, n.
+func DotPartial(ctx *cuda.DevCtx, _ gpusim.LaunchConfig, args []uint64) {
+	n := int(args[3])
+	a := ctx.Float32s(args[0], n)
+	b := ctx.Float32s(args[1], n)
+	out := ctx.Float32s(args[2], 1)
+	var total float64
+	for i := 0; i < n; i++ {
+		total += float64(a[i]) * float64(b[i])
+	}
+	out[0] = float32(total)
+}
+
+// Stencil2D applies one 5-point Jacobi relaxation step on a w×h grid:
+// dst = 0.2*(c + n + s + e + w). Boundary cells copy through.
+// args: src, dst, w, h.
+func Stencil2D(ctx *cuda.DevCtx, _ gpusim.LaunchConfig, args []uint64) {
+	w, h := int(args[2]), int(args[3])
+	src := ctx.Float32s(args[0], w*h)
+	dst := ctx.Float32s(args[1], w*h)
+	par.For(h, 64, func(lo, hi int) {
+		for y := lo; y < hi; y++ {
+			row := y * w
+			if y == 0 || y == h-1 {
+				copy(dst[row:row+w], src[row:row+w])
+				continue
+			}
+			dst[row] = src[row]
+			for x := 1; x < w-1; x++ {
+				i := row + x
+				dst[i] = 0.2 * (src[i] + src[i-1] + src[i+1] + src[i-w] + src[i+w])
+			}
+			dst[row+w-1] = src[row+w-1]
+		}
+	})
+}
+
+// Stencil3D applies one 7-point relaxation step on a w×h×d grid.
+// args: src, dst, w, h, d.
+func Stencil3D(ctx *cuda.DevCtx, _ gpusim.LaunchConfig, args []uint64) {
+	w, h, d := int(args[2]), int(args[3]), int(args[4])
+	src := ctx.Float32s(args[0], w*h*d)
+	dst := ctx.Float32s(args[1], w*h*d)
+	plane := w * h
+	par.For(d, 8, func(lo, hi int) {
+		for z := lo; z < hi; z++ {
+			zOff := z * plane
+			if z == 0 || z == d-1 {
+				copy(dst[zOff:zOff+plane], src[zOff:zOff+plane])
+				continue
+			}
+			for y := 0; y < h; y++ {
+				row := zOff + y*w
+				if y == 0 || y == h-1 {
+					copy(dst[row:row+w], src[row:row+w])
+					continue
+				}
+				dst[row] = src[row]
+				for x := 1; x < w-1; x++ {
+					i := row + x
+					dst[i] = (src[i] + src[i-1] + src[i+1] +
+						src[i-w] + src[i+w] + src[i-plane] + src[i+plane]) * (1.0 / 7.0)
+				}
+				dst[row+w-1] = src[row+w-1]
+			}
+		}
+	})
+}
+
+// InitArray is the simpleStreams kernel: it initializes n int32 elements
+// to a value, spending `iters` inner iterations of arithmetic per element
+// ("More iterations imply a longer-running kernel", paper Figure 4b).
+// args: ptr, n, value, iters.
+func InitArray(ctx *cuda.DevCtx, _ gpusim.LaunchConfig, args []uint64) {
+	n := int(args[1])
+	value := int32(args[2])
+	iters := int(args[3])
+	x := ctx.Int32s(args[0], n)
+	par.For(n, minPar, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			acc := int32(i)
+			for k := 0; k < iters; k++ {
+				acc = acc*1664525 + 1013904223 // LCG step: real work per iteration
+			}
+			// The result depends on the spin only through a zero term, so
+			// the stored value is deterministic but the work not elided.
+			x[i] = value + (acc^acc)&1
+		}
+	})
+}
+
+// SpinCollect is a task kernel (UnifiedMemoryStreams): it reduces n
+// float32 elements with `iters` passes, writing the result to out[0].
+// args: data, out, n, iters.
+func SpinCollect(ctx *cuda.DevCtx, _ gpusim.LaunchConfig, args []uint64) {
+	n := int(args[2])
+	iters := int(args[3])
+	x := ctx.Float32s(args[0], n)
+	out := ctx.Float32s(args[1], 1)
+	var total float64
+	for k := 0; k < iters; k++ {
+		total = 0
+		for i := 0; i < n; i++ {
+			total += float64(x[i])
+		}
+	}
+	out[0] = float32(total)
+}

@@ -1,0 +1,216 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/crt"
+	"repro/internal/cuda"
+)
+
+// rig builds a native runtime with the kernel module registered and a
+// helper to run one kernel synchronously on a device buffer.
+type rig struct {
+	rt  crt.Runtime
+	fat crt.FatBinHandle
+	t   *testing.T
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	lib, err := cuda.NewLibrary(cuda.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := crt.NewNative(lib)
+	t.Cleanup(n.Close)
+	fat, err := n.RegisterFatBinary(Module)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, k := range Table() {
+		if err := n.RegisterFunction(fat, name, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &rig{rt: n, fat: fat, t: t}
+}
+
+func (r *rig) devAlloc(bytes int) uint64 {
+	a, err := r.rt.Malloc(uint64(bytes))
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	return a
+}
+
+func (r *rig) run(name string, n int, args ...uint64) {
+	blocks := (n + 255) / 256
+	if blocks == 0 {
+		blocks = 1
+	}
+	cfg := crt.LaunchConfig{Grid: crt.Dim3{X: blocks}, Block: crt.Dim3{X: 256}}
+	if err := r.rt.LaunchKernel(r.fat, name, cfg, crt.DefaultStream, args...); err != nil {
+		r.t.Fatal(err)
+	}
+	if err := r.rt.DeviceSynchronize(); err != nil {
+		r.t.Fatal(err)
+	}
+}
+
+func (r *rig) readF32(addr uint64, n int) []float32 {
+	host, err := r.rt.AppAlloc(uint64(4 * n))
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	if err := r.rt.Memcpy(host, addr, uint64(4*n), crt.MemcpyDeviceToHost); err != nil {
+		r.t.Fatal(err)
+	}
+	v, err := crt.HostF32(r.rt, host, n)
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	return v
+}
+
+func TestF32ArgRoundTrip(t *testing.T) {
+	for _, f := range []float32{0, 1, -2.5, math.Pi, 1e-20} {
+		if ArgF32(F32Arg(f)) != f {
+			t.Fatalf("round trip %v", f)
+		}
+	}
+}
+
+func TestFillIotaScaleAxpy(t *testing.T) {
+	r := newRig(t)
+	const n = 5000
+	x := r.devAlloc(4 * n)
+	y := r.devAlloc(4 * n)
+	r.run("fill", n, y, F32Arg(2), uint64(n))
+	r.run("iota", n, x, F32Arg(0.5), uint64(n))
+	r.run("axpy", n, x, y, F32Arg(3), uint64(n)) // y = 2 + 3*(0.5*i)
+	r.run("scale", n, y, F32Arg(2), uint64(n))   // y = 4 + 3*i
+	got := r.readF32(y, n)
+	for i := 0; i < n; i++ {
+		want := 4 + 3*float32(i)
+		if math.Abs(float64(got[i]-want)) > 1e-3*float64(want+1) {
+			t.Fatalf("y[%d] = %v, want %v", i, got[i], want)
+		}
+	}
+}
+
+func TestVecAddMulElem(t *testing.T) {
+	r := newRig(t)
+	const n = 1000
+	a := r.devAlloc(4 * n)
+	b := r.devAlloc(4 * n)
+	c := r.devAlloc(4 * n)
+	r.run("iota", n, a, F32Arg(1), uint64(n))
+	r.run("fill", n, b, F32Arg(2), uint64(n))
+	r.run("vecAdd", n, a, b, c, uint64(n))
+	got := r.readF32(c, n)
+	if got[10] != 12 {
+		t.Fatalf("vecAdd[10] = %v", got[10])
+	}
+	r.run("mulElem", n, a, b, c, uint64(n))
+	got = r.readF32(c, n)
+	if got[10] != 20 {
+		t.Fatalf("mulElem[10] = %v", got[10])
+	}
+}
+
+func TestReduceAndDot(t *testing.T) {
+	r := newRig(t)
+	const n = 4096
+	x := r.devAlloc(4 * n)
+	y := r.devAlloc(4 * n)
+	out := r.devAlloc(4)
+	r.run("fill", n, x, F32Arg(0.5), uint64(n))
+	r.run("fill", n, y, F32Arg(4), uint64(n))
+	r.run("reduceSum", 1, x, out, uint64(n))
+	if got := r.readF32(out, 1)[0]; got != 0.5*n {
+		t.Fatalf("reduceSum = %v", got)
+	}
+	r.run("dotPartial", 1, x, y, out, uint64(n))
+	if got := r.readF32(out, 1)[0]; got != 2*n {
+		t.Fatalf("dot = %v", got)
+	}
+}
+
+func TestStencil2DBoundary(t *testing.T) {
+	r := newRig(t)
+	const w, h = 16, 16
+	src := r.devAlloc(4 * w * h)
+	dst := r.devAlloc(4 * w * h)
+	r.run("fill", w*h, src, F32Arg(10), uint64(w*h))
+	r.run("stencil2d", h, src, dst, uint64(w), uint64(h))
+	got := r.readF32(dst, w*h)
+	// Uniform field stays uniform in the interior.
+	if got[5*w+5] != 10 {
+		t.Fatalf("interior = %v", got[5*w+5])
+	}
+	// Boundary copies through.
+	if got[0] != 10 || got[w*h-1] != 10 {
+		t.Fatalf("boundary = %v %v", got[0], got[w*h-1])
+	}
+}
+
+func TestStencil3DUniform(t *testing.T) {
+	r := newRig(t)
+	const w = 8
+	src := r.devAlloc(4 * w * w * w)
+	dst := r.devAlloc(4 * w * w * w)
+	r.run("fill", w*w*w, src, F32Arg(7), uint64(w*w*w))
+	r.run("stencil3d", w, src, dst, uint64(w), uint64(w), uint64(w))
+	got := r.readF32(dst, w*w*w)
+	center := (w/2)*(w*w) + (w/2)*w + w/2
+	if math.Abs(float64(got[center]-7)) > 1e-5 {
+		t.Fatalf("center = %v", got[center])
+	}
+}
+
+func TestInitArrayDeterministicValue(t *testing.T) {
+	r := newRig(t)
+	const n = 2048
+	arr := r.devAlloc(4 * n)
+	r.run("initArray", n, arr, uint64(n), uint64(42), uint64(50))
+	host, _ := r.rt.AppAlloc(4 * n)
+	if err := r.rt.Memcpy(host, arr, 4*n, crt.MemcpyDeviceToHost); err != nil {
+		t.Fatal(err)
+	}
+	iv, err := crt.HostI32(r.rt, host, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range iv {
+		if v != 42 {
+			t.Fatalf("arr[%d] = %d, want 42", i, v)
+		}
+	}
+}
+
+func TestSpinCollect(t *testing.T) {
+	r := newRig(t)
+	const n = 512
+	x := r.devAlloc(4 * n)
+	out := r.devAlloc(4)
+	r.run("fill", n, x, F32Arg(2), uint64(n))
+	r.run("spinCollect", 1, x, out, uint64(n), 3)
+	if got := r.readF32(out, 1)[0]; got != 2*n {
+		t.Fatalf("spinCollect = %v", got)
+	}
+}
+
+func TestTableComplete(t *testing.T) {
+	want := []string{"fill", "iota", "vecAdd", "axpy", "scale", "mulElem",
+		"reduceSum", "dotPartial", "stencil2d", "stencil3d", "initArray", "spinCollect"}
+	tb := Table()
+	for _, name := range want {
+		if tb[name] == nil {
+			t.Fatalf("kernel %q missing from table", name)
+		}
+	}
+	if len(tb) != len(want) {
+		t.Fatalf("table has %d kernels, want %d", len(tb), len(want))
+	}
+}

@@ -1,0 +1,225 @@
+// Package loader simulates the user-space program loading mechanism that
+// CRAC uses to place the lower-half helper program (and its CUDA
+// libraries) into a restricted portion of the address space (paper
+// Section 3.1, "Single address-space design: split processes").
+//
+// The real CRAC imitates the kernel: it first loads an ELF interpreter,
+// which then loads the dynamically linked target, while interposing on
+// every mmap so each resulting memory region can be attributed to the
+// lower half and excluded from checkpoints. This package reproduces that
+// flow over the simulated address space: a ProgramSpec describes the
+// segments of an executable and its dynamic libraries; Load maps each
+// segment into the lower-half window (recording every interposed mmap),
+// and exposes the table of entry-point addresses that the helper program
+// publishes for the upper-half trampolines.
+package loader
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/addrspace"
+)
+
+// Segment describes one loadable segment of a program or library.
+type Segment struct {
+	Name string // e.g. "text", "data", "bss"
+	Size uint64 // bytes; rounded up to a page multiple when mapped
+	Prot addrspace.Prot
+}
+
+// LibSpec describes a dynamically linked library to be loaded alongside
+// the main program (e.g. libcudart, libc of the lower half).
+type LibSpec struct {
+	Name     string
+	Segments []Segment
+	// Entries lists API symbols exported by this library. Each is
+	// assigned an address inside the library's first executable segment.
+	Entries []string
+}
+
+// ProgramSpec describes the helper program to load.
+type ProgramSpec struct {
+	Name     string
+	Segments []Segment
+	Libs     []LibSpec
+}
+
+// Mapping records one interposed mmap performed during loading.
+type Mapping struct {
+	Owner   string // program or library name
+	Segment string
+	Start   uint64
+	Len     uint64
+	Prot    addrspace.Prot
+}
+
+// Program is a loaded lower-half program.
+type Program struct {
+	Name     string
+	Mappings []Mapping
+	entries  map[string]uint64
+
+	space *addrspace.Space
+	mu    sync.Mutex
+	dead  bool
+}
+
+// Loader loads programs into one half of an address space, interposing on
+// all mmap calls it issues.
+type Loader struct {
+	Space *addrspace.Space
+	Half  addrspace.Half
+}
+
+// NewLower returns a loader that places programs in the lower half, the
+// configuration CRAC uses for the helper program.
+func NewLower(s *addrspace.Space) *Loader {
+	return &Loader{Space: s, Half: addrspace.HalfLower}
+}
+
+// interpreterSegments is the simulated statically linked ELF interpreter
+// (ld.so) that the kernel-imitating loader maps first.
+var interpreterSegments = []Segment{
+	{Name: "interp-text", Size: 2 * addrspace.PageSize, Prot: addrspace.ProtRead | addrspace.ProtExec},
+	{Name: "interp-data", Size: addrspace.PageSize, Prot: addrspace.ProtRW},
+}
+
+// Load maps the interpreter, the program segments, and every library's
+// segments into the loader's half, assigning entry-point addresses for
+// all exported symbols. The mapping order is deterministic, which is what
+// lets a fresh lower half land at the same addresses on restart when ASLR
+// is disabled.
+func (l *Loader) Load(spec ProgramSpec) (*Program, error) {
+	p := &Program{
+		Name:    spec.Name,
+		entries: make(map[string]uint64),
+		space:   l.Space,
+	}
+	mapSeg := func(owner string, seg Segment) (uint64, error) {
+		start, err := l.Space.MMap(0, seg.Size, seg.Prot, 0, l.Half, owner+"/"+seg.Name)
+		if err != nil {
+			return 0, fmt.Errorf("loader: mapping %s/%s: %w", owner, seg.Name, err)
+		}
+		p.Mappings = append(p.Mappings, Mapping{Owner: owner, Segment: seg.Name, Start: start, Len: roundUp(seg.Size), Prot: seg.Prot})
+		return start, nil
+	}
+
+	// 1. The ELF interpreter, as the kernel would map it.
+	for _, seg := range interpreterSegments {
+		if _, err := mapSeg("ld.so", seg); err != nil {
+			return nil, err
+		}
+	}
+	// 2. The target executable's segments.
+	for _, seg := range spec.Segments {
+		if _, err := mapSeg(spec.Name, seg); err != nil {
+			p.Unload()
+			return nil, err
+		}
+	}
+	// 3. Each dynamic library, with entry symbols laid out in its first
+	// executable segment at deterministic offsets.
+	for _, lib := range spec.Libs {
+		var textBase uint64
+		var haveText bool
+		for _, seg := range lib.Segments {
+			start, err := mapSeg(lib.Name, seg)
+			if err != nil {
+				p.Unload()
+				return nil, err
+			}
+			if !haveText && seg.Prot&addrspace.ProtExec != 0 {
+				textBase, haveText = start, true
+			}
+		}
+		if !haveText && len(lib.Entries) > 0 {
+			p.Unload()
+			return nil, fmt.Errorf("loader: library %s exports entries but has no executable segment", lib.Name)
+		}
+		for i, sym := range lib.Entries {
+			// 16-byte aligned slots, like a PLT.
+			p.entries[sym] = textBase + uint64(16*(i+1))
+		}
+	}
+	return p, nil
+}
+
+// Entry returns the address of an exported symbol. This is the array of
+// libcuda entry addresses from Figure 1 of the paper: the lower-half
+// helper copies the CUDA entry points here and the upper-half trampoline
+// jumps through them.
+func (p *Program) Entry(sym string) (uint64, bool) {
+	a, ok := p.entries[sym]
+	return a, ok
+}
+
+// Entries returns all exported symbols in deterministic order.
+func (p *Program) Entries() []string {
+	syms := make([]string, 0, len(p.entries))
+	for s := range p.entries {
+		syms = append(syms, s)
+	}
+	sort.Strings(syms)
+	return syms
+}
+
+// MappedBytes returns the total bytes this program mapped.
+func (p *Program) MappedBytes() uint64 {
+	var n uint64
+	for _, m := range p.Mappings {
+		n += m.Len
+	}
+	return n
+}
+
+// Unload unmaps every region the program mapped. A fresh lower half is
+// loaded on restart, so the old one must be fully discarded.
+func (p *Program) Unload() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.dead {
+		return
+	}
+	p.dead = true
+	for _, m := range p.Mappings {
+		// Best effort: regions may already have been replaced.
+		_ = p.space.MUnmap(m.Start, m.Len)
+	}
+}
+
+func roundUp(n uint64) uint64 {
+	return (n + addrspace.PageSize - 1) &^ (addrspace.PageSize - 1)
+}
+
+// HelperSpec returns the canonical lower-half helper ProgramSpec used by
+// CRAC: a tiny CUDA program linked against its own libc and the real
+// CUDA runtime, exporting the entry points the upper half needs.
+func HelperSpec(entries []string) ProgramSpec {
+	return ProgramSpec{
+		Name: "crac-helper",
+		Segments: []Segment{
+			{Name: "text", Size: 4 * addrspace.PageSize, Prot: addrspace.ProtRead | addrspace.ProtExec},
+			{Name: "data", Size: 2 * addrspace.PageSize, Prot: addrspace.ProtRW},
+			{Name: "bss", Size: 2 * addrspace.PageSize, Prot: addrspace.ProtRW},
+		},
+		Libs: []LibSpec{
+			{
+				Name: "libc.lower",
+				Segments: []Segment{
+					{Name: "text", Size: 16 * addrspace.PageSize, Prot: addrspace.ProtRead | addrspace.ProtExec},
+					{Name: "data", Size: 4 * addrspace.PageSize, Prot: addrspace.ProtRW},
+				},
+			},
+			{
+				Name: "libcudart.lower",
+				Segments: []Segment{
+					{Name: "text", Size: 64 * addrspace.PageSize, Prot: addrspace.ProtRead | addrspace.ProtExec},
+					{Name: "data", Size: 16 * addrspace.PageSize, Prot: addrspace.ProtRW},
+				},
+				Entries: entries,
+			},
+		},
+	}
+}

@@ -1,0 +1,120 @@
+package loader
+
+import (
+	"testing"
+
+	"repro/internal/addrspace"
+)
+
+func testSpec() ProgramSpec {
+	return HelperSpec([]string{"cudaMalloc", "cudaFree", "cudaLaunchKernel"})
+}
+
+func TestLoadHelper(t *testing.T) {
+	s := addrspace.New()
+	p, err := NewLower(s).Load(testSpec())
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	// Every mapping is in the lower half.
+	for _, ri := range s.Regions() {
+		if ri.Half != addrspace.HalfLower {
+			t.Fatalf("region %v not in lower half", ri)
+		}
+	}
+	// The interposed mmap record matches the space.
+	if got, want := p.MappedBytes(), s.MappedBytes(addrspace.HalfLower); got != want {
+		t.Fatalf("mapped bytes: recorded %d, space %d", got, want)
+	}
+	// Interpreter first, then program, then libraries (the kernel
+	// loading order the paper's Section 3.1 describes).
+	if p.Mappings[0].Owner != "ld.so" {
+		t.Fatalf("first mapping owner = %q, want ld.so", p.Mappings[0].Owner)
+	}
+}
+
+func TestEntryTable(t *testing.T) {
+	s := addrspace.New()
+	p, err := NewLower(s).Load(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sym := range []string{"cudaMalloc", "cudaFree", "cudaLaunchKernel"} {
+		addr, ok := p.Entry(sym)
+		if !ok || addr == 0 {
+			t.Fatalf("entry %q missing", sym)
+		}
+	}
+	if _, ok := p.Entry("cudaBogus"); ok {
+		t.Fatal("unknown symbol resolved")
+	}
+	if got := p.Entries(); len(got) != 3 {
+		t.Fatalf("entries = %v", got)
+	}
+	// Entry addresses land inside the libcudart text segment.
+	a, _ := p.Entry("cudaMalloc")
+	var found bool
+	for _, m := range p.Mappings {
+		if m.Owner == "libcudart.lower" && m.Segment == "text" &&
+			a >= m.Start && a < m.Start+m.Len {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("entry %#x outside libcudart text", a)
+	}
+}
+
+func TestDeterministicReload(t *testing.T) {
+	// A fresh lower half in a fresh space loads at identical addresses —
+	// the property restart depends on (Section 3.2.4, ASLR off).
+	load := func() []Mapping {
+		s := addrspace.New()
+		p, err := NewLower(s).Load(testSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p.Mappings
+	}
+	a, b := load(), load()
+	if len(a) != len(b) {
+		t.Fatalf("mapping counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("mapping %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestUnload(t *testing.T) {
+	s := addrspace.New()
+	p, err := NewLower(s).Load(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Unload()
+	if n := s.MappedBytes(addrspace.HalfLower); n != 0 {
+		t.Fatalf("lower half still has %d bytes after unload", n)
+	}
+	p.Unload() // idempotent
+}
+
+func TestEntriesRequireTextSegment(t *testing.T) {
+	spec := ProgramSpec{
+		Name: "bad",
+		Libs: []LibSpec{{
+			Name:     "datalib",
+			Segments: []Segment{{Name: "data", Size: addrspace.PageSize, Prot: addrspace.ProtRW}},
+			Entries:  []string{"fn"},
+		}},
+	}
+	s := addrspace.New()
+	if _, err := NewLower(s).Load(spec); err == nil {
+		t.Fatal("library without text exporting entries should fail")
+	}
+	// Failed load cleans up.
+	if n := s.MappedBytes(addrspace.HalfLower); n != 0 {
+		t.Fatalf("failed load leaked %d bytes", n)
+	}
+}

@@ -1,0 +1,69 @@
+// Package memview reinterprets byte slices of simulated memory as typed
+// element slices, the way CUDA kernels and host code view raw allocations
+// through typed pointers.
+//
+// All views alias the underlying bytes (no copies). Buffers originate
+// from page-aligned region allocations, so the alignment requirements of
+// the element types are always met; Float32s and friends panic if handed
+// a misaligned or short buffer, mirroring the undefined behaviour a
+// misaligned device pointer would produce.
+package memview
+
+import (
+	"fmt"
+	"unsafe"
+)
+
+func check(b []byte, elem, count int, what string) {
+	if len(b) < elem*count {
+		panic(fmt.Sprintf("memview: %s view of %d elements needs %d bytes, have %d", what, count, elem*count, len(b)))
+	}
+	if count > 0 && uintptr(unsafe.Pointer(unsafe.SliceData(b)))%uintptr(elem) != 0 {
+		panic(fmt.Sprintf("memview: %s view: buffer misaligned", what))
+	}
+}
+
+// Float32s views count float32 elements over b.
+func Float32s(b []byte, count int) []float32 {
+	check(b, 4, count, "float32")
+	if count == 0 {
+		return nil
+	}
+	return unsafe.Slice((*float32)(unsafe.Pointer(unsafe.SliceData(b))), count)
+}
+
+// Float64s views count float64 elements over b.
+func Float64s(b []byte, count int) []float64 {
+	check(b, 8, count, "float64")
+	if count == 0 {
+		return nil
+	}
+	return unsafe.Slice((*float64)(unsafe.Pointer(unsafe.SliceData(b))), count)
+}
+
+// Int32s views count int32 elements over b.
+func Int32s(b []byte, count int) []int32 {
+	check(b, 4, count, "int32")
+	if count == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(unsafe.SliceData(b))), count)
+}
+
+// Uint32s views count uint32 elements over b.
+func Uint32s(b []byte, count int) []uint32 {
+	check(b, 4, count, "uint32")
+	if count == 0 {
+		return nil
+	}
+	return unsafe.Slice((*uint32)(unsafe.Pointer(unsafe.SliceData(b))), count)
+}
+
+// Uint64s views count uint64 elements over b.
+func Uint64s(b []byte, count int) []uint64 {
+	check(b, 8, count, "uint64")
+	if count == 0 {
+		return nil
+	}
+	return unsafe.Slice((*uint64)(unsafe.Pointer(unsafe.SliceData(b))), count)
+}

@@ -1,0 +1,52 @@
+package memview
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFloat32sAliases(t *testing.T) {
+	b := make([]byte, 16)
+	f := Float32s(b, 4)
+	f[2] = 3.5
+	got := math.Float32frombits(uint32(b[8]) | uint32(b[9])<<8 | uint32(b[10])<<16 | uint32(b[11])<<24)
+	if got != 3.5 {
+		t.Fatalf("aliasing broken: %v", got)
+	}
+}
+
+func TestViewsLengths(t *testing.T) {
+	b := make([]byte, 64)
+	if len(Float32s(b, 16)) != 16 ||
+		len(Float64s(b, 8)) != 8 ||
+		len(Int32s(b, 16)) != 16 ||
+		len(Uint32s(b, 16)) != 16 ||
+		len(Uint64s(b, 8)) != 8 {
+		t.Fatal("view lengths")
+	}
+}
+
+func TestZeroCount(t *testing.T) {
+	if Float32s(nil, 0) != nil || Uint64s([]byte{}, 0) != nil {
+		t.Fatal("zero-count views should be nil")
+	}
+}
+
+func TestShortBufferPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on short buffer")
+		}
+	}()
+	Float64s(make([]byte, 15), 2)
+}
+
+func TestInt32Roundtrip(t *testing.T) {
+	b := make([]byte, 8)
+	v := Int32s(b, 2)
+	v[0], v[1] = -5, 1<<30
+	v2 := Int32s(b, 2)
+	if v2[0] != -5 || v2[1] != 1<<30 {
+		t.Fatalf("roundtrip: %v", v2)
+	}
+}

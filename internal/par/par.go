@@ -1,0 +1,48 @@
+// Package par provides the intra-kernel parallelism of the simulated
+// device: a real GPU executes a kernel across thousands of cores, which
+// the simulator models by fanning the kernel's index space out over the
+// host's CPUs. Kernels use For to cover their grid, the way CUDA kernels
+// cover it with blockIdx/threadIdx.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// maxWorkers bounds the fan-out of one kernel; the device's stream
+// engine provides cross-kernel concurrency on top.
+var maxWorkers = runtime.GOMAXPROCS(0)
+
+// For splits [0, n) into contiguous chunks and runs body(lo, hi) on up to
+// GOMAXPROCS goroutines. If n is small (below minPar) the body runs
+// inline — tiny kernels don't benefit from fan-out, and the simulator
+// must not pay goroutine overhead on the paper's many-small-kernels
+// workloads (HPGMG's 35K calls/second).
+func For(n, minPar int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers := maxWorkers
+	if n < minPar || workers <= 1 {
+		body(0, n)
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,70 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversRange(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 1000, 1 << 16} {
+		var sum atomic.Int64
+		For(n, 64, func(lo, hi int) {
+			var local int64
+			for i := lo; i < hi; i++ {
+				local += int64(i)
+			}
+			sum.Add(local)
+		})
+		want := int64(n) * int64(n-1) / 2
+		if n == 0 {
+			want = 0
+		}
+		if sum.Load() != want {
+			t.Fatalf("n=%d: sum = %d, want %d", n, sum.Load(), want)
+		}
+	}
+}
+
+func TestForSmallRunsInline(t *testing.T) {
+	// Below minPar the body must run exactly once covering [0, n).
+	calls := 0
+	For(10, 100, func(lo, hi int) {
+		calls++
+		if lo != 0 || hi != 10 {
+			t.Fatalf("inline range = [%d,%d)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+}
+
+// TestQuickForPartition property: chunks are disjoint, ordered and cover
+// [0, n) exactly once.
+func TestQuickForPartition(t *testing.T) {
+	f := func(n uint16) bool {
+		covered := make([]atomic.Bool, int(n))
+		ok := atomic.Bool{}
+		ok.Store(true)
+		For(int(n), 1, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if covered[i].Swap(true) {
+					ok.Store(false) // double cover
+				}
+			}
+		})
+		if !ok.Load() {
+			return false
+		}
+		for i := range covered {
+			if !covered[i].Load() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

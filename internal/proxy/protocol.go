@@ -1,0 +1,144 @@
+package proxy
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/cuda"
+)
+
+// Operation codes of the app↔proxy RPC protocol.
+const (
+	opMalloc uint8 = iota + 1
+	opFree
+	opMallocManaged
+	opMemWrite // H2D and shadow-page push: vals[0]=dst, payload=data
+	opMemRead  // D2H and shadow-page pull: vals[0]=src, vals[1]=n
+	opMemCopy  // D2D: vals[0]=dst, vals[1]=src, vals[2]=n
+	opMemset   // vals[0]=addr, vals[1]=value, vals[2]=n
+	opStreamCreate
+	opStreamDestroy
+	opStreamSync
+	opEventCreate
+	opEventDestroy
+	opEventRecord  // vals[0]=event, vals[1]=stream
+	opEventSync    // vals[0]=event
+	opEventElapsed // vals[0]=start, vals[1]=end -> vals[0]=nanoseconds
+	opRegisterFat  // str=module -> vals[0]=handle
+	opRegisterFunc // vals[0]=fat, vals[1]=kernelID, str=name
+	opUnregisterFat
+	opLaunch // vals[0]=fat, vals[1]=stream, vals[2..7]=grid/block, vals[8]=shared, vals[9]=nargs, vals[10..]=args; str=name
+	opDeviceSync
+	opProps
+	opStreamWaitEvent // vals[0]=stream, vals[1]=event
+	opMemGetInfo      // -> vals[0]=free, vals[1]=total
+	opBlasSdot        // vals[0]=n, payload=x||y -> payload=result(4B)
+	opBlasSgemv       // vals[0]=m, vals[1]=n, payload=A||x -> payload=y
+	opBlasSgemm       // vals[0]=m, vals[1]=n, vals[2]=k, payload=A||B -> payload=C
+)
+
+// message is the symmetric wire format for requests and responses.
+type message struct {
+	op      uint8  // requests only
+	status  uint8  // responses only: 0 = ok, 1 = error
+	errCode int32  // cuda.Code on error
+	errMsg  string // error text
+	str     string
+	vals    []uint64
+	payload []byte
+}
+
+// encode serializes m.
+func (m *message) encode() []byte {
+	size := 1 + 1 + 4 + 2 + len(m.errMsg) + 2 + len(m.str) + 2 + 8*len(m.vals) + 4 + len(m.payload)
+	b := make([]byte, 0, size)
+	b = append(b, m.op, m.status)
+	b = binary.LittleEndian.AppendUint32(b, uint32(m.errCode))
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(m.errMsg)))
+	b = append(b, m.errMsg...)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(m.str)))
+	b = append(b, m.str...)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(m.vals)))
+	for _, v := range m.vals {
+		b = binary.LittleEndian.AppendUint64(b, v)
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(m.payload)))
+	b = append(b, m.payload...)
+	return b
+}
+
+// decodeMessage parses a wire message.
+func decodeMessage(b []byte) (*message, error) {
+	m := &message{}
+	if len(b) < 2 {
+		return nil, fmt.Errorf("proxy: short message (%d bytes)", len(b))
+	}
+	m.op, m.status = b[0], b[1]
+	b = b[2:]
+	take := func(n int) ([]byte, error) {
+		if len(b) < n {
+			return nil, fmt.Errorf("proxy: truncated message")
+		}
+		out := b[:n]
+		b = b[n:]
+		return out, nil
+	}
+	f, err := take(4)
+	if err != nil {
+		return nil, err
+	}
+	m.errCode = int32(binary.LittleEndian.Uint32(f))
+	if f, err = take(2); err != nil {
+		return nil, err
+	}
+	if f, err = take(int(binary.LittleEndian.Uint16(f))); err != nil {
+		return nil, err
+	}
+	m.errMsg = string(f)
+	if f, err = take(2); err != nil {
+		return nil, err
+	}
+	if f, err = take(int(binary.LittleEndian.Uint16(f))); err != nil {
+		return nil, err
+	}
+	m.str = string(f)
+	if f, err = take(2); err != nil {
+		return nil, err
+	}
+	nvals := int(binary.LittleEndian.Uint16(f))
+	m.vals = make([]uint64, nvals)
+	for i := 0; i < nvals; i++ {
+		if f, err = take(8); err != nil {
+			return nil, err
+		}
+		m.vals[i] = binary.LittleEndian.Uint64(f)
+	}
+	if f, err = take(4); err != nil {
+		return nil, err
+	}
+	n := int(binary.LittleEndian.Uint32(f))
+	if f, err = take(n); err != nil {
+		return nil, err
+	}
+	m.payload = f
+	return m, nil
+}
+
+// okResp builds a success response.
+func okResp(vals []uint64, payload []byte) []byte {
+	return (&message{vals: vals, payload: payload}).encode()
+}
+
+// errResp builds an error response from err.
+func errResp(err error) []byte {
+	m := &message{status: 1, errMsg: err.Error(), errCode: int32(cuda.CodeOf(err))}
+	return m.encode()
+}
+
+// respError reconstructs the error carried by a response, if any.
+func (m *message) respError() error {
+	if m.status == 0 {
+		return nil
+	}
+	return &cuda.Error{Code: cuda.Code(m.errCode), Op: "proxy", Msg: m.errMsg}
+}

@@ -1,0 +1,319 @@
+package proxy
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/crt"
+	"repro/internal/cuda"
+	"repro/internal/gpusim"
+	"repro/internal/memview"
+)
+
+func newProxy(t *testing.T, kind string) *Runtime {
+	t.Helper()
+	rt, err := New(Config{TransportKind: kind})
+	if err != nil {
+		t.Fatalf("proxy.New(%s): %v", kind, err)
+	}
+	t.Cleanup(rt.Close)
+	return rt
+}
+
+func TestTransports(t *testing.T) {
+	echo := func(req []byte) []byte { return append([]byte("echo:"), req...) }
+	pipe, err := NewPipeTransport(echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pipe.Close()
+	cma := NewCMATransport(echo)
+	for _, tr := range []Transport{pipe, cma} {
+		resp, err := tr.RoundTrip([]byte("hello"))
+		if err != nil {
+			t.Fatalf("%s: %v", tr.Name(), err)
+		}
+		if string(resp) != "echo:hello" {
+			t.Fatalf("%s resp = %q", tr.Name(), resp)
+		}
+		st := tr.Stats()
+		if st.Calls != 1 || st.BytesSent != 5 || st.BytesReceived != 10 {
+			t.Fatalf("%s stats = %+v", tr.Name(), st)
+		}
+	}
+}
+
+func TestMessageRoundTrip(t *testing.T) {
+	m := &message{op: opLaunch, str: "kern", vals: []uint64{1, 2, 3}, payload: []byte{9, 8}}
+	got, err := decodeMessage(m.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.op != m.op || got.str != m.str || len(got.vals) != 3 || got.vals[2] != 3 || !bytes.Equal(got.payload, m.payload) {
+		t.Fatalf("round trip: %+v", got)
+	}
+	if _, err := decodeMessage([]byte{1}); err == nil {
+		t.Fatal("short message accepted")
+	}
+}
+
+func TestErrorPropagation(t *testing.T) {
+	rt := newProxy(t, "pipe")
+	// Freeing a bogus pointer produces a CUDA error across the wire.
+	err := rt.Free(0xdeadbeef)
+	if cuda.CodeOf(err) != cuda.ErrorInvalidDevicePointer {
+		t.Fatalf("err = %v, want invalid device pointer", err)
+	}
+}
+
+func TestMemcpyThroughProxy(t *testing.T) {
+	for _, kind := range []string{"pipe", "cma"} {
+		t.Run(kind, func(t *testing.T) {
+			rt := newProxy(t, kind)
+			d, err := rt.Malloc(1 << 16)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h, err := rt.AppAlloc(1 << 16)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hv, err := rt.HostAccess(h, 1<<16, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range hv {
+				hv[i] = byte(i)
+			}
+			if err := rt.Memcpy(d, h, 1<<16, crt.MemcpyHostToDevice); err != nil {
+				t.Fatal(err)
+			}
+			h2, _ := rt.AppAlloc(1 << 16)
+			if err := rt.Memcpy(h2, d, 1<<16, crt.MemcpyDeviceToHost); err != nil {
+				t.Fatal(err)
+			}
+			got, _ := rt.HostAccess(h2, 1<<16, false)
+			if !bytes.Equal(got, hv) {
+				t.Fatal("H2D/D2H through proxy corrupted data")
+			}
+			// Every byte crossed the transport twice.
+			if st := rt.Transport().Stats(); st.BytesSent < 1<<16 || st.BytesReceived < 1<<16 {
+				t.Fatalf("transport stats = %+v", st)
+			}
+		})
+	}
+}
+
+func TestKernelLaunchThroughProxy(t *testing.T) {
+	rt := newProxy(t, "pipe")
+	fat, err := rt.RegisterFatBinary("mod")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.RegisterFunction(fat, "fill7", func(ctx *cuda.DevCtx, _ gpusim.LaunchConfig, args []uint64) {
+		b := ctx.Bytes(args[0], args[1])
+		for i := range b {
+			b[i] = 7
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := rt.Malloc(4096)
+	if err := rt.LaunchKernel(fat, "fill7", gpusim.LaunchConfig{}, crt.DefaultStream, d, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.DeviceSynchronize(); err != nil {
+		t.Fatal(err)
+	}
+	h, _ := rt.AppAlloc(4096)
+	if err := rt.Memcpy(h, d, 4096, crt.MemcpyDeviceToHost); err != nil {
+		t.Fatal(err)
+	}
+	hv, _ := rt.HostAccess(h, 4096, false)
+	for _, v := range hv {
+		if v != 7 {
+			t.Fatalf("kernel result byte = %d", v)
+		}
+	}
+}
+
+func TestShadowUVMReadModifyWrite(t *testing.T) {
+	// The pattern CRUM supports: CUDA call, host read, host modify,
+	// host write, next CUDA call.
+	rt := newProxy(t, "pipe")
+	fat, _ := rt.RegisterFatBinary("mod")
+	_ = rt.RegisterFunction(fat, "inc", func(ctx *cuda.DevCtx, _ gpusim.LaunchConfig, args []uint64) {
+		f := ctx.Float32s(args[0], int(args[1]))
+		for i := range f {
+			f[i]++
+		}
+	})
+	m, err := rt.MallocManaged(1024 * 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Host initializes the shadow.
+	hv, err := rt.HostAccess(m, 1024*4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fv := memview.Float32s(hv, 1024)
+	for i := range fv {
+		fv[i] = float32(i)
+	}
+	// Kernel increments on the device (shadow pushed before launch).
+	if err := rt.LaunchKernel(fat, "inc", gpusim.LaunchConfig{}, crt.DefaultStream, m, 1024); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.DeviceSynchronize(); err != nil {
+		t.Fatal(err)
+	}
+	// Host reads back (shadow pulled).
+	hv, err = rt.HostAccess(m, 1024*4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fv = memview.Float32s(hv, 1024)
+	for i := range fv {
+		if fv[i] != float32(i)+1 {
+			t.Fatalf("fv[%d] = %v", i, fv[i])
+		}
+	}
+}
+
+func TestShadowConflictAcrossStreams(t *testing.T) {
+	// CRUM's limitation: two concurrent streams writing the same managed
+	// region (paper Section 1 item 2).
+	rt := newProxy(t, "pipe")
+	fat, _ := rt.RegisterFatBinary("mod")
+	_ = rt.RegisterFunction(fat, "w", func(ctx *cuda.DevCtx, _ gpusim.LaunchConfig, args []uint64) {
+		ctx.Bytes(args[0], 8)[0] = 1
+	})
+	m, _ := rt.MallocManaged(4096)
+	s1, _ := rt.StreamCreate()
+	s2, _ := rt.StreamCreate()
+	if err := rt.LaunchKernel(fat, "w", gpusim.LaunchConfig{}, s1, m); err != nil {
+		t.Fatalf("first launch: %v", err)
+	}
+	err := rt.LaunchKernel(fat, "w", gpusim.LaunchConfig{}, s2, m)
+	if !errors.Is(err, ErrShadowConflict) {
+		t.Fatalf("err = %v, want ErrShadowConflict", err)
+	}
+	// After synchronizing the first stream, the second may proceed.
+	if err := rt.StreamSynchronize(s1); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.LaunchKernel(fat, "w", gpusim.LaunchConfig{}, s2, m); err != nil {
+		t.Fatalf("launch after sync: %v", err)
+	}
+}
+
+func TestManagedFreeReleasesShadow(t *testing.T) {
+	rt := newProxy(t, "pipe")
+	m, _ := rt.MallocManaged(4096)
+	if err := rt.Free(m); err != nil {
+		t.Fatal(err)
+	}
+	if sr := rt.shadowOf(m); sr != nil {
+		t.Fatal("shadow survives free")
+	}
+}
+
+func TestProxyStreamsAndEvents(t *testing.T) {
+	rt := newProxy(t, "cma")
+	s, err := rt.StreamCreate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, _ := rt.EventCreate()
+	e2, _ := rt.EventCreate()
+	if err := rt.EventRecord(e1, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.EventRecord(e2, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.EventSynchronize(e2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.EventElapsed(e1, e2); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.EventDestroy(e1); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.StreamDestroy(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProxyProperties(t *testing.T) {
+	rt := newProxy(t, "pipe")
+	p := rt.DeviceProperties()
+	if p.Name != gpusim.TeslaV100().Name || p.MaxConcurrentKernels != 128 {
+		t.Fatalf("props = %+v", p)
+	}
+}
+
+func TestBLASSdotThroughCMA(t *testing.T) {
+	rt := newProxy(t, "cma")
+	blas := NewBLAS(rt)
+	const n = 1024
+	x := make([]byte, 4*n)
+	y := make([]byte, 4*n)
+	xv := memview.Float32s(x, n)
+	yv := memview.Float32s(y, n)
+	for i := 0; i < n; i++ {
+		xv[i], yv[i] = 1, 2
+	}
+	got, err := blas.Sdot(n, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2*n {
+		t.Fatalf("sdot = %v, want %v", got, 2*n)
+	}
+	// No leaked proxy-side allocations.
+	if live := rt.Server().Library().ActiveDeviceMallocs(); len(live) != 0 {
+		t.Fatalf("BLAS leaked %d device allocations", len(live))
+	}
+}
+
+func TestBLASSgemvAndSgemm(t *testing.T) {
+	rt := newProxy(t, "pipe")
+	blas := NewBLAS(rt)
+	const m, n, k = 8, 8, 8
+	a := make([]byte, 4*m*k)
+	b := make([]byte, 4*k*n)
+	av := memview.Float32s(a, m*k)
+	bv := memview.Float32s(b, k*n)
+	for i := range av {
+		av[i] = 1
+	}
+	for i := range bv {
+		bv[i] = 1
+	}
+	y, err := blas.Sgemv(m, k, a, b[:4*k])
+	if err != nil {
+		t.Fatal(err)
+	}
+	yv := memview.Float32s(y, m)
+	if yv[0] != k {
+		t.Fatalf("gemv = %v", yv[0])
+	}
+	c, err := blas.Sgemm(m, n, k, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv := memview.Float32s(c, m*n)
+	if cv[0] != k {
+		t.Fatalf("gemm = %v", cv[0])
+	}
+}
+
+func TestUnknownTransport(t *testing.T) {
+	if _, err := New(Config{TransportKind: "carrier-pigeon"}); err == nil {
+		t.Fatal("unknown transport accepted")
+	}
+}

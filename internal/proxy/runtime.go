@@ -1,0 +1,664 @@
+package proxy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/addrspace"
+	"repro/internal/crt"
+	"repro/internal/cuda"
+	"repro/internal/gpusim"
+)
+
+// ErrShadowConflict reproduces CRUM's UVM limitation: its shadow-page
+// synchronization cannot cope with two concurrent CUDA streams writing
+// the same managed memory (paper Section 1, item 2: "CRUM's strategy
+// fails when two concurrent CUDA streams write to the same memory
+// page"). The proxy runtime detects the situation and fails the launch.
+var ErrShadowConflict = errors.New("proxy: concurrent streams write the same managed region (unsupported by shadow-page UVM)")
+
+// shadowRegion is the application-side shadow of a proxy-side managed
+// allocation, synchronized around CUDA calls (CRUM's Algorithm 1).
+type shadowRegion struct {
+	shadowBase uint64 // app-space address handed to the application
+	realBase   uint64 // proxy-space managed address
+	size       uint64
+	hostDirty  bool // host wrote the shadow since the last push
+	devDirty   bool // a kernel may have written the real copy since the last pull
+}
+
+// Config configures a proxy runtime.
+type Config struct {
+	Prop gpusim.Properties
+	// TransportKind selects "pipe" (default) or "cma".
+	TransportKind string
+}
+
+// Runtime is the application-side binding of crt.Runtime that forwards
+// every CUDA call to a proxy process over IPC. It is the baseline
+// CRCUDA/CRUM architecture of Section 4.4.4.
+type Runtime struct {
+	appSpace *addrspace.Space
+	heap     *crt.AppHeap
+	tr       Transport
+	srv      *Server
+	reg      *kernelRegistry
+
+	mu          sync.Mutex
+	shadows     map[uint64]*shadowRegion // keyed by shadowBase
+	outstanding map[crt.StreamHandle][]*shadowRegion
+	props       gpusim.Properties
+	propsOnce   sync.Once
+
+	launches atomic.Uint64
+	others   atomic.Uint64
+}
+
+// New builds the application process plus the proxy process connected by
+// the configured transport.
+func New(cfg Config) (*Runtime, error) {
+	if cfg.Prop.Name == "" {
+		cfg.Prop = gpusim.TeslaV100()
+	}
+	reg := newKernelRegistry()
+	srv, err := NewServer(cfg.Prop, reg)
+	if err != nil {
+		return nil, err
+	}
+	var tr Transport
+	switch cfg.TransportKind {
+	case "", "pipe":
+		tr, err = NewPipeTransport(srv.Handle)
+		if err != nil {
+			srv.Close()
+			return nil, err
+		}
+	case "cma":
+		tr = NewCMATransport(srv.Handle)
+	default:
+		srv.Close()
+		return nil, fmt.Errorf("proxy: unknown transport %q", cfg.TransportKind)
+	}
+	appSpace := addrspace.New()
+	return &Runtime{
+		appSpace:    appSpace,
+		heap:        crt.NewAppHeap(appSpace),
+		tr:          tr,
+		srv:         srv,
+		reg:         reg,
+		shadows:     make(map[uint64]*shadowRegion),
+		outstanding: make(map[crt.StreamHandle][]*shadowRegion),
+	}, nil
+}
+
+// Transport exposes the transport (for Stats).
+func (r *Runtime) Transport() Transport { return r.tr }
+
+// Server exposes the proxy process (tests only).
+func (r *Runtime) Server() *Server { return r.srv }
+
+// Close tears down the transport and the proxy process.
+func (r *Runtime) Close() {
+	r.tr.Close()
+	r.srv.Close()
+}
+
+// call performs one marshalled round trip.
+func (r *Runtime) call(m *message) (*message, error) {
+	respBytes, err := r.tr.RoundTrip(m.encode())
+	if err != nil {
+		return nil, err
+	}
+	resp, err := decodeMessage(respBytes)
+	if err != nil {
+		return nil, err
+	}
+	if err := resp.respError(); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+func (r *Runtime) simpleCall(op uint8, vals ...uint64) (*message, error) {
+	return r.call(&message{op: op, vals: vals})
+}
+
+// Malloc implements crt.Runtime.
+func (r *Runtime) Malloc(size uint64) (uint64, error) {
+	r.others.Add(1)
+	resp, err := r.simpleCall(opMalloc, size)
+	if err != nil {
+		return 0, err
+	}
+	return resp.vals[0], nil
+}
+
+// Free implements crt.Runtime.
+func (r *Runtime) Free(addr uint64) error {
+	r.others.Add(1)
+	r.mu.Lock()
+	if sr, ok := r.shadows[addr]; ok {
+		delete(r.shadows, addr)
+		r.mu.Unlock()
+		if _, err := r.simpleCall(opFree, sr.realBase); err != nil {
+			return err
+		}
+		return r.heap.Free(addr)
+	}
+	r.mu.Unlock()
+	_, err := r.simpleCall(opFree, addr)
+	return err
+}
+
+// MallocHost implements crt.Runtime. Under the proxy architecture pinned
+// host memory lives in the application process.
+func (r *Runtime) MallocHost(size uint64) (uint64, error) {
+	r.others.Add(1)
+	return r.heap.Alloc(size)
+}
+
+// HostAlloc implements crt.Runtime.
+func (r *Runtime) HostAlloc(size uint64) (uint64, error) {
+	r.others.Add(1)
+	return r.heap.Alloc(size)
+}
+
+// FreeHost implements crt.Runtime.
+func (r *Runtime) FreeHost(addr uint64) error {
+	r.others.Add(1)
+	return r.heap.Free(addr)
+}
+
+// MallocManaged implements crt.Runtime: the real managed allocation lives
+// in the proxy; the application receives a shadow copy, synchronized
+// around CUDA calls (CRUM's scheme).
+func (r *Runtime) MallocManaged(size uint64) (uint64, error) {
+	r.others.Add(1)
+	resp, err := r.simpleCall(opMallocManaged, size)
+	if err != nil {
+		return 0, err
+	}
+	real := resp.vals[0]
+	shadow, err := r.heap.Alloc(size)
+	if err != nil {
+		return 0, err
+	}
+	r.mu.Lock()
+	r.shadows[shadow] = &shadowRegion{shadowBase: shadow, realBase: real, size: size}
+	r.mu.Unlock()
+	return shadow, nil
+}
+
+// shadowOf returns the shadow region containing addr, if any.
+func (r *Runtime) shadowOf(addr uint64) *shadowRegion {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, sr := range r.shadows {
+		if addr >= sr.shadowBase && addr < sr.shadowBase+sr.size {
+			return sr
+		}
+	}
+	return nil
+}
+
+// pushShadow copies a host-dirty shadow to the proxy.
+func (r *Runtime) pushShadow(sr *shadowRegion) error {
+	buf, err := r.appSpace.Slice(sr.shadowBase, sr.size)
+	if err != nil {
+		return err
+	}
+	if _, err := r.call(&message{op: opMemWrite, vals: []uint64{sr.realBase}, payload: buf}); err != nil {
+		return err
+	}
+	sr.hostDirty = false
+	return nil
+}
+
+// pullShadow copies the proxy's managed bytes back into the shadow.
+func (r *Runtime) pullShadow(sr *shadowRegion) error {
+	resp, err := r.simpleCall(opMemRead, sr.realBase, sr.size)
+	if err != nil {
+		return err
+	}
+	if err := r.appSpace.WriteAt(sr.shadowBase, resp.payload); err != nil {
+		return err
+	}
+	sr.devDirty = false
+	return nil
+}
+
+// classify reports whether addr belongs to the application space (host)
+// or the proxy space (device/managed), using the disjoint windows.
+func (r *Runtime) isHostAddr(addr uint64) bool {
+	w := r.appSpace.UpperWindow()
+	return addr >= w.Start && addr < w.End
+}
+
+// Memcpy implements crt.Runtime. Host↔device copies cross the transport
+// with the full payload — the fundamental proxy overhead.
+func (r *Runtime) Memcpy(dst, src, n uint64, kind crt.MemcpyKind) error {
+	r.others.Add(1)
+	if sr := r.shadowOf(dst); sr != nil {
+		// Copy into managed memory: update the shadow, mark dirty.
+		if err := r.memcpyIntoHost(sr, dst, src, n); err != nil {
+			return err
+		}
+		sr.hostDirty = true
+		return nil
+	}
+	if sr := r.shadowOf(src); sr != nil {
+		if sr.devDirty {
+			if err := r.pullShadow(sr); err != nil {
+				return err
+			}
+		}
+		return r.memcpyFromHost(dst, src, n)
+	}
+	dstHost, srcHost := r.isHostAddr(dst), r.isHostAddr(src)
+	switch {
+	case dstHost && srcHost:
+		buf, err := r.appSpace.Slice(src, n)
+		if err != nil {
+			return err
+		}
+		return r.appSpace.WriteAt(dst, buf)
+	case dstHost && !srcHost: // D2H
+		resp, err := r.simpleCall(opMemRead, src, n)
+		if err != nil {
+			return err
+		}
+		return r.appSpace.WriteAt(dst, resp.payload)
+	case !dstHost && srcHost: // H2D
+		buf, err := r.appSpace.Slice(src, n)
+		if err != nil {
+			return err
+		}
+		_, err = r.call(&message{op: opMemWrite, vals: []uint64{dst}, payload: buf})
+		return err
+	default: // D2D stays inside the proxy
+		_, err := r.simpleCall(opMemCopy, dst, src, n)
+		return err
+	}
+}
+
+// memcpyIntoHost copies into an app-side (shadow) destination.
+func (r *Runtime) memcpyIntoHost(_ *shadowRegion, dst, src, n uint64) error {
+	if r.isHostAddr(src) {
+		buf, err := r.appSpace.Slice(src, n)
+		if err != nil {
+			return err
+		}
+		return r.appSpace.WriteAt(dst, buf)
+	}
+	resp, err := r.simpleCall(opMemRead, src, n)
+	if err != nil {
+		return err
+	}
+	return r.appSpace.WriteAt(dst, resp.payload)
+}
+
+// memcpyFromHost copies from an app-side (shadow) source.
+func (r *Runtime) memcpyFromHost(dst, src, n uint64) error {
+	buf, err := r.appSpace.Slice(src, n)
+	if err != nil {
+		return err
+	}
+	if r.isHostAddr(dst) {
+		return r.appSpace.WriteAt(dst, buf)
+	}
+	_, err = r.call(&message{op: opMemWrite, vals: []uint64{dst}, payload: buf})
+	return err
+}
+
+// MemcpyAsync implements crt.Runtime (synchronously, as proxy designs
+// serialize copies through the RPC channel anyway).
+func (r *Runtime) MemcpyAsync(dst, src, n uint64, kind crt.MemcpyKind, _ crt.StreamHandle) error {
+	return r.Memcpy(dst, src, n, kind)
+}
+
+// Memset implements crt.Runtime.
+func (r *Runtime) Memset(addr uint64, value byte, n uint64) error {
+	r.others.Add(1)
+	if sr := r.shadowOf(addr); sr != nil {
+		buf, err := r.appSpace.Slice(addr, n)
+		if err != nil {
+			return err
+		}
+		for i := range buf {
+			buf[i] = value
+		}
+		sr.hostDirty = true
+		return nil
+	}
+	if r.isHostAddr(addr) {
+		buf, err := r.appSpace.Slice(addr, n)
+		if err != nil {
+			return err
+		}
+		for i := range buf {
+			buf[i] = value
+		}
+		return nil
+	}
+	_, err := r.simpleCall(opMemset, addr, uint64(value), n)
+	return err
+}
+
+// StreamCreate implements crt.Runtime.
+func (r *Runtime) StreamCreate() (crt.StreamHandle, error) {
+	r.others.Add(1)
+	resp, err := r.simpleCall(opStreamCreate)
+	if err != nil {
+		return 0, err
+	}
+	return crt.StreamHandle(resp.vals[0]), nil
+}
+
+// StreamDestroy implements crt.Runtime.
+func (r *Runtime) StreamDestroy(s crt.StreamHandle) error {
+	r.others.Add(1)
+	if err := r.syncStreamShadows(s); err != nil {
+		return err
+	}
+	_, err := r.simpleCall(opStreamDestroy, uint64(s))
+	return err
+}
+
+// StreamSynchronize implements crt.Runtime: after the stream drains, the
+// shadow copies of managed regions its kernels touched are pulled back.
+func (r *Runtime) StreamSynchronize(s crt.StreamHandle) error {
+	r.others.Add(1)
+	if _, err := r.simpleCall(opStreamSync, uint64(s)); err != nil {
+		return err
+	}
+	return r.syncStreamShadows(s)
+}
+
+func (r *Runtime) syncStreamShadows(s crt.StreamHandle) error {
+	r.mu.Lock()
+	regions := r.outstanding[s]
+	delete(r.outstanding, s)
+	r.mu.Unlock()
+	for _, sr := range regions {
+		if sr.devDirty {
+			if err := r.pullShadow(sr); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// EventCreate implements crt.Runtime.
+func (r *Runtime) EventCreate() (crt.EventHandle, error) {
+	r.others.Add(1)
+	resp, err := r.simpleCall(opEventCreate)
+	if err != nil {
+		return 0, err
+	}
+	return crt.EventHandle(resp.vals[0]), nil
+}
+
+// EventDestroy implements crt.Runtime.
+func (r *Runtime) EventDestroy(e crt.EventHandle) error {
+	r.others.Add(1)
+	_, err := r.simpleCall(opEventDestroy, uint64(e))
+	return err
+}
+
+// EventRecord implements crt.Runtime.
+func (r *Runtime) EventRecord(e crt.EventHandle, s crt.StreamHandle) error {
+	r.others.Add(1)
+	_, err := r.simpleCall(opEventRecord, uint64(e), uint64(s))
+	return err
+}
+
+// EventSynchronize implements crt.Runtime.
+func (r *Runtime) EventSynchronize(e crt.EventHandle) error {
+	r.others.Add(1)
+	_, err := r.simpleCall(opEventSync, uint64(e))
+	return err
+}
+
+// EventElapsed implements crt.Runtime.
+func (r *Runtime) EventElapsed(start, end crt.EventHandle) (time.Duration, error) {
+	r.others.Add(1)
+	resp, err := r.simpleCall(opEventElapsed, uint64(start), uint64(end))
+	if err != nil {
+		return 0, err
+	}
+	return time.Duration(resp.vals[0]), nil
+}
+
+// StreamWaitEvent implements crt.Runtime.
+func (r *Runtime) StreamWaitEvent(s crt.StreamHandle, e crt.EventHandle) error {
+	r.others.Add(1)
+	_, err := r.simpleCall(opStreamWaitEvent, uint64(s), uint64(e))
+	return err
+}
+
+// MemGetInfo implements crt.Runtime.
+func (r *Runtime) MemGetInfo() (uint64, uint64, error) {
+	r.others.Add(1)
+	resp, err := r.simpleCall(opMemGetInfo)
+	if err != nil {
+		return 0, 0, err
+	}
+	return resp.vals[0], resp.vals[1], nil
+}
+
+// RegisterFatBinary implements crt.Runtime.
+func (r *Runtime) RegisterFatBinary(module string) (crt.FatBinHandle, error) {
+	r.others.Add(1)
+	resp, err := r.call(&message{op: opRegisterFat, str: module})
+	if err != nil {
+		return 0, err
+	}
+	return crt.FatBinHandle(resp.vals[0]), nil
+}
+
+// RegisterFunction implements crt.Runtime.
+func (r *Runtime) RegisterFunction(h crt.FatBinHandle, name string, k cuda.Kernel) error {
+	r.others.Add(1)
+	id := r.reg.add(k)
+	_, err := r.call(&message{op: opRegisterFunc, vals: []uint64{uint64(h), id}, str: name})
+	return err
+}
+
+// UnregisterFatBinary implements crt.Runtime.
+func (r *Runtime) UnregisterFatBinary(h crt.FatBinHandle) error {
+	r.others.Add(1)
+	_, err := r.simpleCall(opUnregisterFat, uint64(h))
+	return err
+}
+
+// LaunchKernel implements crt.Runtime: arguments are marshalled; shadow
+// regions referenced by the arguments are pushed first (CRUM's pattern),
+// and concurrent cross-stream writes to the same region are rejected.
+func (r *Runtime) LaunchKernel(h crt.FatBinHandle, name string, cfg crt.LaunchConfig, s crt.StreamHandle, args ...uint64) error {
+	r.launches.Add(1)
+	// Translate shadow pointers and collect the managed regions touched.
+	var touched []*shadowRegion
+	targs := make([]uint64, len(args))
+	for i, a := range args {
+		if sr := r.shadowOf(a); sr != nil {
+			targs[i] = sr.realBase + (a - sr.shadowBase)
+			touched = append(touched, sr)
+		} else {
+			targs[i] = a
+		}
+	}
+	if len(touched) > 0 {
+		r.mu.Lock()
+		for other, regions := range r.outstanding {
+			if other == s {
+				continue
+			}
+			for _, or := range regions {
+				for _, tr := range touched {
+					if or == tr {
+						r.mu.Unlock()
+						return fmt.Errorf("%w: region %#x, streams %d and %d",
+							ErrShadowConflict, tr.shadowBase, s, other)
+					}
+				}
+			}
+		}
+		r.outstanding[s] = append(r.outstanding[s], touched...)
+		r.mu.Unlock()
+		for _, sr := range touched {
+			if sr.hostDirty {
+				if err := r.pushShadow(sr); err != nil {
+					return err
+				}
+			}
+			sr.devDirty = true
+		}
+	}
+	vals := make([]uint64, 0, 10+len(targs))
+	vals = append(vals, uint64(h), uint64(s),
+		uint64(cfg.Grid.X), uint64(cfg.Grid.Y), uint64(cfg.Grid.Z),
+		uint64(cfg.Block.X), uint64(cfg.Block.Y), uint64(cfg.Block.Z),
+		uint64(cfg.SharedMem), uint64(len(targs)))
+	vals = append(vals, targs...)
+	_, err := r.call(&message{op: opLaunch, vals: vals, str: name})
+	return err
+}
+
+// DeviceSynchronize implements crt.Runtime: drains the device and pulls
+// every outstanding shadow region back.
+func (r *Runtime) DeviceSynchronize() error {
+	r.others.Add(1)
+	if _, err := r.simpleCall(opDeviceSync); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	var all []*shadowRegion
+	for _, regions := range r.outstanding {
+		all = append(all, regions...)
+	}
+	r.outstanding = make(map[crt.StreamHandle][]*shadowRegion)
+	r.mu.Unlock()
+	seen := make(map[*shadowRegion]bool)
+	for _, sr := range all {
+		if seen[sr] {
+			continue
+		}
+		seen[sr] = true
+		if sr.devDirty {
+			if err := r.pullShadow(sr); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// DeviceProperties implements crt.Runtime.
+func (r *Runtime) DeviceProperties() gpusim.Properties {
+	r.others.Add(1)
+	r.propsOnce.Do(func() {
+		resp, err := r.simpleCall(opProps)
+		if err != nil {
+			return
+		}
+		r.props = gpusim.Properties{
+			Name:                 string(resp.payload),
+			ComputeMajor:         int(resp.vals[0]),
+			ComputeMinor:         int(resp.vals[1]),
+			SMCount:              int(resp.vals[2]),
+			MaxConcurrentKernels: int(resp.vals[3]),
+			GlobalMemBytes:       resp.vals[4],
+		}
+	})
+	return r.props
+}
+
+// HostAccess implements crt.Runtime. Reads of device-dirty shadow regions
+// pull first (the mprotect/userfaultfd interception CRUM pays for);
+// writes mark the shadow host-dirty.
+func (r *Runtime) HostAccess(addr, n uint64, write bool) ([]byte, error) {
+	if sr := r.shadowOf(addr); sr != nil {
+		if sr.devDirty {
+			if err := r.pullShadow(sr); err != nil {
+				return nil, err
+			}
+		}
+		if write {
+			sr.hostDirty = true
+		}
+	}
+	return r.appSpace.Slice(addr, n)
+}
+
+// AppAlloc implements crt.Runtime.
+func (r *Runtime) AppAlloc(size uint64) (uint64, error) { return r.heap.Alloc(size) }
+
+// AppFree implements crt.Runtime.
+func (r *Runtime) AppFree(addr uint64) error { return r.heap.Free(addr) }
+
+// Counters implements crt.Runtime.
+func (r *Runtime) Counters() crt.Counters {
+	return crt.Counters{LaunchKernel: r.launches.Load(), OtherCalls: r.others.Load()}
+}
+
+var _ crt.Runtime = (*Runtime)(nil)
+
+// BLAS executes a cuBLAS routine proxy-side with per-call operand
+// shipping, the synthetic CMA/IPC benchmark of Table 3: operands are
+// copied from the application to the proxy, the routine executes there,
+// and the result is copied back.
+type BLAS struct {
+	rt *Runtime
+}
+
+// NewBLAS returns the Table 3 BLAS client over the runtime's transport.
+func NewBLAS(rt *Runtime) *BLAS { return &BLAS{rt: rt} }
+
+// Sdot ships x and y (n float32 each), returning dot(x, y).
+func (b *BLAS) Sdot(n int, x, y []byte) (float32, error) {
+	payload := make([]byte, 0, len(x)+len(y))
+	payload = append(payload, x...)
+	payload = append(payload, y...)
+	resp, err := b.rt.call(&message{op: opBlasSdot, vals: []uint64{uint64(n)}, payload: payload})
+	if err != nil {
+		return 0, err
+	}
+	return f32FromBytes(resp.payload), nil
+}
+
+// Sgemv ships A (m×n) and x (n), returning y = A·x as raw bytes.
+func (b *BLAS) Sgemv(m, n int, a, x []byte) ([]byte, error) {
+	payload := make([]byte, 0, len(a)+len(x))
+	payload = append(payload, a...)
+	payload = append(payload, x...)
+	resp, err := b.rt.call(&message{op: opBlasSgemv, vals: []uint64{uint64(m), uint64(n)}, payload: payload})
+	if err != nil {
+		return nil, err
+	}
+	return resp.payload, nil
+}
+
+// Sgemm ships A (m×k) and B (k×n), returning C = A·B as raw bytes.
+func (b *BLAS) Sgemm(m, n, k int, a, bb []byte) ([]byte, error) {
+	payload := make([]byte, 0, len(a)+len(bb))
+	payload = append(payload, a...)
+	payload = append(payload, bb...)
+	resp, err := b.rt.call(&message{op: opBlasSgemm, vals: []uint64{uint64(m), uint64(n), uint64(k)}, payload: payload})
+	if err != nil {
+		return nil, err
+	}
+	return resp.payload, nil
+}
+
+func f32FromBytes(b []byte) float32 {
+	if len(b) < 4 {
+		return 0
+	}
+	bits := uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+	return math.Float32frombits(bits)
+}

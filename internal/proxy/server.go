@@ -1,0 +1,338 @@
+package proxy
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/addrspace"
+	"repro/internal/cublas"
+	"repro/internal/cuda"
+	"repro/internal/gpusim"
+)
+
+// kernelRegistry shares kernel function values between the application
+// and the proxy. In the real CRCUDA/CRUM design the proxy process links
+// the application's fat binaries, so device code is available on both
+// sides; the registry is the simulation's equivalent.
+type kernelRegistry struct {
+	mu   sync.Mutex
+	m    map[uint64]cuda.Kernel
+	next uint64
+}
+
+func newKernelRegistry() *kernelRegistry {
+	return &kernelRegistry{m: make(map[uint64]cuda.Kernel)}
+}
+
+func (r *kernelRegistry) add(k cuda.Kernel) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.next++
+	r.m[r.next] = k
+	return r.next
+}
+
+func (r *kernelRegistry) get(id uint64) cuda.Kernel {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.m[id]
+}
+
+// Server is the proxy process: it owns its own address space and the
+// active CUDA library, and executes the CUDA calls the application sends
+// over the transport.
+type Server struct {
+	space *addrspace.Space
+	lib   *cuda.Library
+	reg   *kernelRegistry
+
+	blasFat cuda.FatBinaryHandle
+}
+
+// NewServer builds the proxy process around a fresh CUDA library.
+func NewServer(prop gpusim.Properties, reg *kernelRegistry) (*Server, error) {
+	space := addrspace.New()
+	lib, err := cuda.NewLibrary(cuda.Config{Prop: prop, Space: space})
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{space: space, lib: lib, reg: reg}
+	// The proxy links cuBLAS directly (as CRCUDA/CRUM proxies link the
+	// CUDA libraries the application needs).
+	fat, err := lib.RegisterFatBinary(cublas.Module)
+	if err != nil {
+		return nil, err
+	}
+	for name, k := range cublas.Table() {
+		if err := lib.RegisterFunction(fat, name, k); err != nil {
+			return nil, err
+		}
+	}
+	s.blasFat = fat
+	return s, nil
+}
+
+// Library exposes the proxy-side CUDA library (tests only).
+func (s *Server) Library() *cuda.Library { return s.lib }
+
+// Close tears the proxy process down.
+func (s *Server) Close() { s.lib.Destroy() }
+
+// Handle processes one encoded request and returns the encoded response.
+func (s *Server) Handle(req []byte) []byte {
+	m, err := decodeMessage(req)
+	if err != nil {
+		return errResp(err)
+	}
+	resp, err := s.dispatch(m)
+	if err != nil {
+		return errResp(err)
+	}
+	return resp
+}
+
+func (s *Server) dispatch(m *message) ([]byte, error) {
+	v := func(i int) uint64 {
+		if i < len(m.vals) {
+			return m.vals[i]
+		}
+		return 0
+	}
+	switch m.op {
+	case opMalloc:
+		addr, err := s.lib.Malloc(v(0))
+		if err != nil {
+			return nil, err
+		}
+		return okResp([]uint64{addr}, nil), nil
+	case opFree:
+		return okResp(nil, nil), s.lib.Free(v(0))
+	case opMallocManaged:
+		addr, err := s.lib.MallocManaged(v(0))
+		if err != nil {
+			return nil, err
+		}
+		return okResp([]uint64{addr}, nil), nil
+	case opMemWrite:
+		// The proxy's copies behave like synchronous cudaMemcpy: they
+		// are ordered after in-flight device work.
+		if err := s.lib.DeviceSynchronize(); err != nil {
+			return nil, err
+		}
+		if err := s.space.WriteAt(v(0), m.payload); err != nil {
+			return nil, &cuda.Error{Code: cuda.ErrorInvalidValue, Op: "proxy.memWrite", Msg: err.Error()}
+		}
+		return okResp(nil, nil), nil
+	case opMemRead:
+		if err := s.lib.DeviceSynchronize(); err != nil {
+			return nil, err
+		}
+		buf := make([]byte, v(1))
+		if err := s.space.ReadAt(v(0), buf); err != nil {
+			return nil, &cuda.Error{Code: cuda.ErrorInvalidValue, Op: "proxy.memRead", Msg: err.Error()}
+		}
+		return okResp(nil, buf), nil
+	case opMemCopy:
+		return okResp(nil, nil), s.lib.Memcpy(v(0), v(1), v(2), cuda.MemcpyDeviceToDevice)
+	case opMemset:
+		return okResp(nil, nil), s.lib.Memset(v(0), byte(v(1)), v(2))
+	case opStreamCreate:
+		h, err := s.lib.StreamCreate()
+		if err != nil {
+			return nil, err
+		}
+		return okResp([]uint64{uint64(h)}, nil), nil
+	case opStreamDestroy:
+		return okResp(nil, nil), s.lib.StreamDestroy(cuda.Stream(v(0)))
+	case opStreamSync:
+		return okResp(nil, nil), s.lib.StreamSynchronize(cuda.Stream(v(0)))
+	case opEventCreate:
+		h, err := s.lib.EventCreate()
+		if err != nil {
+			return nil, err
+		}
+		return okResp([]uint64{uint64(h)}, nil), nil
+	case opEventDestroy:
+		return okResp(nil, nil), s.lib.EventDestroy(cuda.Event(v(0)))
+	case opEventRecord:
+		return okResp(nil, nil), s.lib.EventRecord(cuda.Event(v(0)), cuda.Stream(v(1)))
+	case opEventSync:
+		return okResp(nil, nil), s.lib.EventSynchronize(cuda.Event(v(0)))
+	case opEventElapsed:
+		d, err := s.lib.EventElapsed(cuda.Event(v(0)), cuda.Event(v(1)))
+		if err != nil {
+			return nil, err
+		}
+		return okResp([]uint64{uint64(d)}, nil), nil
+	case opRegisterFat:
+		h, err := s.lib.RegisterFatBinary(m.str)
+		if err != nil {
+			return nil, err
+		}
+		return okResp([]uint64{uint64(h)}, nil), nil
+	case opRegisterFunc:
+		k := s.reg.get(v(1))
+		if k == nil {
+			return nil, &cuda.Error{Code: cuda.ErrorInvalidValue, Op: "proxy.registerFunc",
+				Msg: fmt.Sprintf("unknown kernel id %d", v(1))}
+		}
+		return okResp(nil, nil), s.lib.RegisterFunction(cuda.FatBinaryHandle(v(0)), m.str, k)
+	case opUnregisterFat:
+		return okResp(nil, nil), s.lib.UnregisterFatBinary(cuda.FatBinaryHandle(v(0)))
+	case opLaunch:
+		cfg := gpusim.LaunchConfig{
+			Grid:      gpusim.Dim3{X: int(v(2)), Y: int(v(3)), Z: int(v(4))},
+			Block:     gpusim.Dim3{X: int(v(5)), Y: int(v(6)), Z: int(v(7))},
+			SharedMem: int(v(8)),
+		}
+		nargs := int(v(9))
+		args := make([]uint64, nargs)
+		for i := 0; i < nargs; i++ {
+			args[i] = v(10 + i)
+		}
+		err := s.lib.LaunchKernel(cuda.FatBinaryHandle(v(0)), m.str, cfg, cuda.Stream(v(1)), args...)
+		return okResp(nil, nil), err
+	case opStreamWaitEvent:
+		return okResp(nil, nil), s.lib.StreamWaitEvent(cuda.Stream(v(0)), cuda.Event(v(1)))
+	case opMemGetInfo:
+		free, total, err := s.lib.MemGetInfo()
+		if err != nil {
+			return nil, err
+		}
+		return okResp([]uint64{free, total}, nil), nil
+	case opDeviceSync:
+		return okResp(nil, nil), s.lib.DeviceSynchronize()
+	case opProps:
+		p := s.lib.DeviceProperties()
+		return okResp([]uint64{uint64(p.ComputeMajor), uint64(p.ComputeMinor), uint64(p.SMCount),
+			uint64(p.MaxConcurrentKernels), p.GlobalMemBytes}, []byte(p.Name)), nil
+	case opBlasSdot:
+		return s.blasSdot(m)
+	case opBlasSgemv:
+		return s.blasSgemv(m)
+	case opBlasSgemm:
+		return s.blasSgemm(m)
+	default:
+		return nil, &cuda.Error{Code: cuda.ErrorInvalidValue, Op: "proxy.dispatch",
+			Msg: fmt.Sprintf("unknown op %d", m.op)}
+	}
+}
+
+// blasBuffer stages payload bytes into proxy device memory.
+func (s *Server) blasBuffer(data []byte) (uint64, error) {
+	addr, err := s.lib.Malloc(uint64(len(data)))
+	if err != nil {
+		return 0, err
+	}
+	if err := s.space.WriteAt(addr, data); err != nil {
+		s.lib.Free(addr)
+		return 0, err
+	}
+	return addr, nil
+}
+
+// blasSdot executes cublasSdot on buffers shipped in the request: the
+// proxy copies operands in, runs the kernel, and ships the result back —
+// the per-call buffer movement the paper's Table 3 quantifies.
+func (s *Server) blasSdot(m *message) ([]byte, error) {
+	n := int(m.vals[0])
+	if len(m.payload) != 8*n {
+		return nil, &cuda.Error{Code: cuda.ErrorInvalidValue, Op: "proxy.sdot",
+			Msg: fmt.Sprintf("payload %d bytes, want %d", len(m.payload), 8*n)}
+	}
+	x, err := s.blasBuffer(m.payload[:4*n])
+	if err != nil {
+		return nil, err
+	}
+	defer s.lib.Free(x)
+	y, err := s.blasBuffer(m.payload[4*n:])
+	if err != nil {
+		return nil, err
+	}
+	defer s.lib.Free(y)
+	out, err := s.lib.Malloc(4)
+	if err != nil {
+		return nil, err
+	}
+	defer s.lib.Free(out)
+	if err := s.launchBlas("sdot", x, y, out, uint64(n)); err != nil {
+		return nil, err
+	}
+	res := make([]byte, 4)
+	if err := s.space.ReadAt(out, res); err != nil {
+		return nil, err
+	}
+	return okResp(nil, res), nil
+}
+
+func (s *Server) blasSgemv(m *message) ([]byte, error) {
+	mm, n := int(m.vals[0]), int(m.vals[1])
+	want := 4 * (mm*n + n)
+	if len(m.payload) != want {
+		return nil, &cuda.Error{Code: cuda.ErrorInvalidValue, Op: "proxy.sgemv",
+			Msg: fmt.Sprintf("payload %d bytes, want %d", len(m.payload), want)}
+	}
+	a, err := s.blasBuffer(m.payload[:4*mm*n])
+	if err != nil {
+		return nil, err
+	}
+	defer s.lib.Free(a)
+	x, err := s.blasBuffer(m.payload[4*mm*n:])
+	if err != nil {
+		return nil, err
+	}
+	defer s.lib.Free(x)
+	y, err := s.lib.Malloc(uint64(4 * mm))
+	if err != nil {
+		return nil, err
+	}
+	defer s.lib.Free(y)
+	if err := s.launchBlas("sgemv", a, x, y, uint64(mm), uint64(n)); err != nil {
+		return nil, err
+	}
+	res := make([]byte, 4*mm)
+	if err := s.space.ReadAt(y, res); err != nil {
+		return nil, err
+	}
+	return okResp(nil, res), nil
+}
+
+func (s *Server) blasSgemm(m *message) ([]byte, error) {
+	mm, n, k := int(m.vals[0]), int(m.vals[1]), int(m.vals[2])
+	want := 4 * (mm*k + k*n)
+	if len(m.payload) != want {
+		return nil, &cuda.Error{Code: cuda.ErrorInvalidValue, Op: "proxy.sgemm",
+			Msg: fmt.Sprintf("payload %d bytes, want %d", len(m.payload), want)}
+	}
+	a, err := s.blasBuffer(m.payload[:4*mm*k])
+	if err != nil {
+		return nil, err
+	}
+	defer s.lib.Free(a)
+	b, err := s.blasBuffer(m.payload[4*mm*k:])
+	if err != nil {
+		return nil, err
+	}
+	defer s.lib.Free(b)
+	c, err := s.lib.Malloc(uint64(4 * mm * n))
+	if err != nil {
+		return nil, err
+	}
+	defer s.lib.Free(c)
+	if err := s.launchBlas("sgemm", a, b, c, uint64(mm), uint64(n), uint64(k)); err != nil {
+		return nil, err
+	}
+	res := make([]byte, 4*mm*n)
+	if err := s.space.ReadAt(c, res); err != nil {
+		return nil, err
+	}
+	return okResp(nil, res), nil
+}
+
+func (s *Server) launchBlas(name string, args ...uint64) error {
+	cfg := gpusim.LaunchConfig{Grid: gpusim.Dim3{X: 1}, Block: gpusim.Dim3{X: 256}}
+	if err := s.lib.LaunchKernel(s.blasFat, name, cfg, cuda.DefaultStream, args...); err != nil {
+		return err
+	}
+	return s.lib.DeviceSynchronize()
+}

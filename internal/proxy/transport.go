@@ -1,0 +1,210 @@
+// Package proxy implements the proxy-process checkpointing architecture
+// of CRCUDA and CRUM, the baseline CRAC is compared against (paper
+// Sections 1, 2.3 and 4.4.4). The application and the CUDA library live
+// in separate processes with separate address spaces; every CUDA call is
+// marshalled across an IPC transport, and every data buffer is copied —
+// the inherent cost that motivates CRAC's single-address-space design.
+//
+// Two transports are provided:
+//
+//   - Pipe: requests and responses travel through real OS pipes, paying
+//     genuine kernel copies per message;
+//   - CMA: Cross-Memory Attach (process_vm_readv/writev), modelled as a
+//     direct memory copy between the two simulated address spaces plus
+//     one real system call per direction — the transport used for the
+//     paper's Table 3 ("CMA/IPC").
+//
+// The package also implements CRUM's shadow-page scheme for UVM, which
+// only supports the read-modify-write-between-CUDA-calls pattern and
+// fails when two concurrent streams write the same managed region
+// (Section 1, item 2) — reproduced here as ErrShadowConflict.
+package proxy
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"syscall"
+)
+
+// TransportStats are cumulative transport counters.
+type TransportStats struct {
+	Calls         uint64
+	BytesSent     uint64
+	BytesReceived uint64
+}
+
+// Transport moves one request to the proxy and returns its response.
+type Transport interface {
+	// RoundTrip sends req and returns the proxy's response.
+	RoundTrip(req []byte) ([]byte, error)
+	// Name identifies the transport ("pipe" or "cma").
+	Name() string
+	// Stats returns cumulative counters.
+	Stats() TransportStats
+	// Close tears the transport down.
+	Close() error
+}
+
+// Handler is the proxy-side request processor.
+type Handler func(req []byte) []byte
+
+// PipeTransport ships requests and responses through OS pipes, as an
+// RPC-over-pipe proxy would. Every byte crosses the kernel twice (write
+// and read), so large buffers pay the real IPC cost.
+type PipeTransport struct {
+	mu    sync.Mutex // one outstanding call at a time
+	reqW  *os.File
+	respR *os.File
+	done  chan struct{}
+
+	calls atomic.Uint64
+	sent  atomic.Uint64
+	recvd atomic.Uint64
+
+	reqR  *os.File
+	respW *os.File
+}
+
+// NewPipeTransport starts a proxy server goroutine processing requests
+// with h and returns the client transport.
+func NewPipeTransport(h Handler) (*PipeTransport, error) {
+	reqR, reqW, err := os.Pipe()
+	if err != nil {
+		return nil, err
+	}
+	respR, respW, err := os.Pipe()
+	if err != nil {
+		reqR.Close()
+		reqW.Close()
+		return nil, err
+	}
+	t := &PipeTransport{reqW: reqW, respR: respR, reqR: reqR, respW: respW, done: make(chan struct{})}
+	go t.serve(h)
+	return t, nil
+}
+
+func (t *PipeTransport) serve(h Handler) {
+	defer close(t.done)
+	for {
+		req, err := readFrame(t.reqR)
+		if err != nil {
+			return // client closed
+		}
+		resp := h(req)
+		if err := writeFrame(t.respW, resp); err != nil {
+			return
+		}
+	}
+}
+
+func writeFrame(w io.Writer, b []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(b)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	b := make([]byte, binary.LittleEndian.Uint32(hdr[:]))
+	if _, err := io.ReadFull(r, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// RoundTrip implements Transport.
+func (t *PipeTransport) RoundTrip(req []byte) ([]byte, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.calls.Add(1)
+	t.sent.Add(uint64(len(req)))
+	if err := writeFrame(t.reqW, req); err != nil {
+		return nil, fmt.Errorf("proxy: pipe write: %w", err)
+	}
+	resp, err := readFrame(t.respR)
+	if err != nil {
+		return nil, fmt.Errorf("proxy: pipe read: %w", err)
+	}
+	t.recvd.Add(uint64(len(resp)))
+	return resp, nil
+}
+
+// Name implements Transport.
+func (t *PipeTransport) Name() string { return "pipe" }
+
+// Stats implements Transport.
+func (t *PipeTransport) Stats() TransportStats {
+	return TransportStats{Calls: t.calls.Load(), BytesSent: t.sent.Load(), BytesReceived: t.recvd.Load()}
+}
+
+// Close implements Transport.
+func (t *PipeTransport) Close() error {
+	t.reqW.Close()
+	t.respW.Close()
+	<-t.done
+	t.reqR.Close()
+	t.respR.Close()
+	return nil
+}
+
+// CMATransport models Cross-Memory Attach: the request and response
+// buffers are copied directly between the two processes' memories
+// (process_vm_writev / process_vm_readv), paying one system call per
+// direction plus the memcpy itself. This is the "CMA/IPC" column of the
+// paper's Table 3.
+type CMATransport struct {
+	mu sync.Mutex
+	h  Handler
+
+	calls atomic.Uint64
+	sent  atomic.Uint64
+	recvd atomic.Uint64
+}
+
+// NewCMATransport returns a CMA transport over the handler.
+func NewCMATransport(h Handler) *CMATransport {
+	return &CMATransport{h: h}
+}
+
+// RoundTrip implements Transport.
+func (t *CMATransport) RoundTrip(req []byte) ([]byte, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.calls.Add(1)
+	t.sent.Add(uint64(len(req)))
+	// process_vm_writev: one kernel entry, then the cross-space copy.
+	syscall.Getpid()
+	reqCopy := make([]byte, len(req))
+	copy(reqCopy, req)
+
+	resp := t.h(reqCopy)
+
+	// process_vm_readv for the response.
+	syscall.Getpid()
+	respCopy := make([]byte, len(resp))
+	copy(respCopy, resp)
+	t.recvd.Add(uint64(len(respCopy)))
+	return respCopy, nil
+}
+
+// Name implements Transport.
+func (t *CMATransport) Name() string { return "cma" }
+
+// Stats implements Transport.
+func (t *CMATransport) Stats() TransportStats {
+	return TransportStats{Calls: t.calls.Load(), BytesSent: t.sent.Load(), BytesReceived: t.recvd.Load()}
+}
+
+// Close implements Transport.
+func (t *CMATransport) Close() error { return nil }

@@ -1,0 +1,372 @@
+// Package replaylog records the CUDA calls that create or destroy
+// lower-half resources, so that CRAC can replay them in the original
+// order on restart (paper Sections 3.1 "Log-and-replay" and 3.2.3/3.2.4).
+//
+// Two facts from the paper shape the design:
+//
+//   - Only the memory of *active* mallocs is saved at checkpoint time,
+//     but the *entire* allocation/free sequence is replayed at restart,
+//     because the CUDA library's deterministic internal bookkeeping only
+//     reproduces the original addresses if it sees the same call history
+//     ("we still need to replay the entire original sequence to get the
+//     same host and device addresses as prior to checkpoint").
+//   - The log also covers streams, events, and fat-binary registrations,
+//     all of which must be recreated in a fresh lower half.
+package replaylog
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Kind identifies a logged CUDA call.
+type Kind uint8
+
+// Logged call kinds.
+const (
+	KindInvalid Kind = iota
+	KindMalloc
+	KindFree
+	KindMallocHost
+	KindFreeHost // frees a cudaMallocHost allocation
+	KindHostAlloc
+	KindFreeHostAlloc // frees a cudaHostAlloc registration
+	KindMallocManaged
+	KindFreeManaged
+	KindStreamCreate
+	KindStreamDestroy
+	KindEventCreate
+	KindEventDestroy
+	KindRegisterFatBinary
+	KindRegisterFunction
+	KindUnregisterFatBinary
+)
+
+var kindNames = [...]string{
+	KindInvalid:             "invalid",
+	KindMalloc:              "cudaMalloc",
+	KindFree:                "cudaFree",
+	KindMallocHost:          "cudaMallocHost",
+	KindFreeHost:            "cudaFreeHost",
+	KindHostAlloc:           "cudaHostAlloc",
+	KindFreeHostAlloc:       "cudaFreeHost(hostAlloc)",
+	KindMallocManaged:       "cudaMallocManaged",
+	KindFreeManaged:         "cudaFree(managed)",
+	KindStreamCreate:        "cudaStreamCreate",
+	KindStreamDestroy:       "cudaStreamDestroy",
+	KindEventCreate:         "cudaEventCreate",
+	KindEventDestroy:        "cudaEventDestroy",
+	KindRegisterFatBinary:   "__cudaRegisterFatBinary",
+	KindRegisterFunction:    "__cudaRegisterFunction",
+	KindUnregisterFatBinary: "__cudaUnregisterFatBinary",
+}
+
+// String names the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Entry is one logged call. Field use depends on Kind:
+//
+//	mallocs:      Size = requested size, Addr = returned address
+//	frees:        Addr = freed address
+//	streams/events: Handle = virtual handle
+//	fat binaries: Handle = virtual handle, Module = module name,
+//	              Name = function name (KindRegisterFunction only)
+type Entry struct {
+	Kind   Kind
+	Size   uint64
+	Addr   uint64
+	Handle uint64
+	Module string
+	Name   string
+}
+
+// String renders the entry for diagnostics.
+func (e Entry) String() string {
+	switch e.Kind {
+	case KindMalloc, KindMallocHost, KindHostAlloc, KindMallocManaged:
+		return fmt.Sprintf("%v(size=%d) -> %#x", e.Kind, e.Size, e.Addr)
+	case KindFree, KindFreeHost, KindFreeHostAlloc, KindFreeManaged:
+		return fmt.Sprintf("%v(%#x)", e.Kind, e.Addr)
+	case KindRegisterFatBinary:
+		return fmt.Sprintf("%v(%q) -> vh%d", e.Kind, e.Module, e.Handle)
+	case KindRegisterFunction:
+		return fmt.Sprintf("%v(vh%d, %q)", e.Kind, e.Handle, e.Name)
+	case KindUnregisterFatBinary:
+		return fmt.Sprintf("%v(vh%d)", e.Kind, e.Handle)
+	default:
+		return fmt.Sprintf("%v(vh%d)", e.Kind, e.Handle)
+	}
+}
+
+// Log is an append-only, concurrency-safe call log.
+type Log struct {
+	mu      sync.Mutex
+	entries []Entry
+}
+
+// New returns an empty log.
+func New() *Log { return &Log{} }
+
+// Append records one call.
+func (l *Log) Append(e Entry) {
+	l.mu.Lock()
+	l.entries = append(l.entries, e)
+	l.mu.Unlock()
+}
+
+// Len returns the number of logged calls.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+// Entries returns a snapshot of the log in call order.
+func (l *Log) Entries() []Entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Entry(nil), l.entries...)
+}
+
+// Reset clears the log (used only by tests).
+func (l *Log) Reset() {
+	l.mu.Lock()
+	l.entries = nil
+	l.mu.Unlock()
+}
+
+// Allocation is a live allocation derived from the log.
+type Allocation struct {
+	Addr uint64
+	Size uint64
+}
+
+// ActiveSet holds the live resources implied by the log: the "active
+// mallocs" of Section 3.2.3 plus live streams, events and fat binaries.
+type ActiveSet struct {
+	Device  []Allocation // cudaMalloc, in allocation order
+	Pinned  []Allocation // cudaMallocHost
+	Host    []Allocation // cudaHostAlloc
+	Managed []Allocation // cudaMallocManaged
+	Streams []uint64     // virtual stream handles in creation order
+	Events  []uint64     // virtual event handles in creation order
+	FatBins []FatBin     // registered fat binaries in registration order
+}
+
+// FatBin is a live fat binary and its registered function names.
+type FatBin struct {
+	Handle    uint64
+	Module    string
+	Functions []string
+}
+
+// Active derives the live set from the log.
+func (l *Log) Active() ActiveSet {
+	entries := l.Entries()
+	var as ActiveSet
+	type allocList struct {
+		order []uint64
+		size  map[uint64]uint64
+	}
+	newAL := func() *allocList { return &allocList{size: make(map[uint64]uint64)} }
+	dev, pin, host, mgd := newAL(), newAL(), newAL(), newAL()
+	add := func(al *allocList, e Entry) {
+		al.order = append(al.order, e.Addr)
+		al.size[e.Addr] = e.Size
+	}
+	drop := func(al *allocList, addr uint64) {
+		delete(al.size, addr)
+		for i, a := range al.order {
+			if a == addr {
+				al.order = append(al.order[:i], al.order[i+1:]...)
+				break
+			}
+		}
+	}
+	var streams, events []uint64
+	fatIdx := make(map[uint64]int)
+	var fats []FatBin
+	for _, e := range entries {
+		switch e.Kind {
+		case KindMalloc:
+			add(dev, e)
+		case KindFree:
+			drop(dev, e.Addr)
+		case KindMallocHost:
+			add(pin, e)
+		case KindFreeHost:
+			drop(pin, e.Addr)
+		case KindHostAlloc:
+			add(host, e)
+		case KindFreeHostAlloc:
+			drop(host, e.Addr)
+		case KindMallocManaged:
+			add(mgd, e)
+		case KindFreeManaged:
+			drop(mgd, e.Addr)
+		case KindStreamCreate:
+			streams = append(streams, e.Handle)
+		case KindStreamDestroy:
+			streams = removeHandle(streams, e.Handle)
+		case KindEventCreate:
+			events = append(events, e.Handle)
+		case KindEventDestroy:
+			events = removeHandle(events, e.Handle)
+		case KindRegisterFatBinary:
+			fatIdx[e.Handle] = len(fats)
+			fats = append(fats, FatBin{Handle: e.Handle, Module: e.Module})
+		case KindRegisterFunction:
+			if i, ok := fatIdx[e.Handle]; ok {
+				fats[i].Functions = append(fats[i].Functions, e.Name)
+			}
+		case KindUnregisterFatBinary:
+			if i, ok := fatIdx[e.Handle]; ok {
+				fats = append(fats[:i], fats[i+1:]...)
+				delete(fatIdx, e.Handle)
+				for h, j := range fatIdx {
+					if j > i {
+						fatIdx[h] = j - 1
+					}
+				}
+			}
+		}
+	}
+	collect := func(al *allocList) []Allocation {
+		out := make([]Allocation, 0, len(al.order))
+		for _, a := range al.order {
+			out = append(out, Allocation{Addr: a, Size: al.size[a]})
+		}
+		return out
+	}
+	as.Device = collect(dev)
+	as.Pinned = collect(pin)
+	as.Host = collect(host)
+	as.Managed = collect(mgd)
+	as.Streams = streams
+	as.Events = events
+	as.FatBins = fats
+	return as
+}
+
+func removeHandle(hs []uint64, h uint64) []uint64 {
+	for i, x := range hs {
+		if x == h {
+			return append(hs[:i], hs[i+1:]...)
+		}
+	}
+	return hs
+}
+
+// Binary serialization: the log travels inside the checkpoint image.
+
+const logMagic = uint32(0x43524c47) // "CRLG"
+
+// Encode writes the log to w in a self-describing binary format.
+func (l *Log) Encode(w io.Writer) error {
+	entries := l.Entries()
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], logMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(entries)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if err := encodeEntry(w, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func encodeEntry(w io.Writer, e Entry) error {
+	var fixed [25]byte
+	fixed[0] = byte(e.Kind)
+	binary.LittleEndian.PutUint64(fixed[1:], e.Size)
+	binary.LittleEndian.PutUint64(fixed[9:], e.Addr)
+	binary.LittleEndian.PutUint64(fixed[17:], e.Handle)
+	if _, err := w.Write(fixed[:]); err != nil {
+		return err
+	}
+	for _, s := range []string{e.Module, e.Name} {
+		var n [2]byte
+		if len(s) > 0xffff {
+			return fmt.Errorf("replaylog: string too long (%d)", len(s))
+		}
+		binary.LittleEndian.PutUint16(n[:], uint16(len(s)))
+		if _, err := w.Write(n[:]); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ErrBadFormat reports a malformed serialized log.
+var ErrBadFormat = errors.New("replaylog: bad format")
+
+// DecodeBytes decodes a log from an in-memory buffer.
+func DecodeBytes(b []byte) (*Log, error) {
+	return Decode(bytes.NewReader(b))
+}
+
+// Decode reads a log previously written by Encode.
+func Decode(r io.Reader) (*Log, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrBadFormat, err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != logMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadFormat)
+	}
+	n := binary.LittleEndian.Uint32(hdr[4:])
+	l := New()
+	for i := uint32(0); i < n; i++ {
+		e, err := decodeEntry(r)
+		if err != nil {
+			return nil, fmt.Errorf("%w: entry %d: %v", ErrBadFormat, i, err)
+		}
+		l.entries = append(l.entries, e)
+	}
+	return l, nil
+}
+
+func decodeEntry(r io.Reader) (Entry, error) {
+	var fixed [25]byte
+	if _, err := io.ReadFull(r, fixed[:]); err != nil {
+		return Entry{}, err
+	}
+	e := Entry{
+		Kind:   Kind(fixed[0]),
+		Size:   binary.LittleEndian.Uint64(fixed[1:]),
+		Addr:   binary.LittleEndian.Uint64(fixed[9:]),
+		Handle: binary.LittleEndian.Uint64(fixed[17:]),
+	}
+	for i := 0; i < 2; i++ {
+		var nb [2]byte
+		if _, err := io.ReadFull(r, nb[:]); err != nil {
+			return Entry{}, err
+		}
+		n := binary.LittleEndian.Uint16(nb[:])
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return Entry{}, err
+		}
+		if i == 0 {
+			e.Module = string(buf)
+		} else {
+			e.Name = string(buf)
+		}
+	}
+	return e, nil
+}

@@ -1,0 +1,65 @@
+// Package spin provides a calibrated busy-wait used to model fixed
+// hardware/kernel latencies (system-call entry, CUDA driver calls) that
+// cannot be reproduced literally in a sandboxed environment, where real
+// system calls cost two orders of magnitude more than on bare metal.
+//
+// The calibration measures the host's spin throughput once and converts
+// nanosecond budgets into iteration counts, so modelled latencies hold
+// their intended *ratios* (e.g. arch_prctl vs WRFSBASE, cudaMalloc vs a
+// kernel launch) regardless of the machine.
+package spin
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+var (
+	once      sync.Once
+	perIterNs float64
+)
+
+// sink defeats dead-code elimination.
+var sink atomic.Uint64
+
+//go:noinline
+func spin(iters int) uint64 {
+	var acc uint64 = 0x9e3779b9
+	for i := 0; i < iters; i++ {
+		acc = acc*6364136223846793005 + 1442695040888963407
+	}
+	return acc
+}
+
+func calibrate() {
+	const probe = 1 << 16
+	start := time.Now()
+	sink.Store(spin(probe))
+	elapsed := time.Since(start)
+	perIterNs = float64(elapsed.Nanoseconds()) / probe
+	if perIterNs <= 0 {
+		perIterNs = 1
+	}
+}
+
+// Iters returns the spin iteration count approximating ns nanoseconds.
+func Iters(ns int) int {
+	once.Do(calibrate)
+	n := int(float64(ns) / perIterNs)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// For busy-waits for approximately ns nanoseconds.
+func For(ns int) {
+	sink.Store(spin(Iters(ns)))
+}
+
+// ForIters busy-waits for a precomputed iteration count (use Iters once,
+// then ForIters on hot paths to avoid the conversion).
+func ForIters(iters int) {
+	sink.Store(spin(iters))
+}

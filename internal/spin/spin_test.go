@@ -1,0 +1,23 @@
+package spin
+
+import (
+	"testing"
+	"time"
+)
+
+func TestItersPositive(t *testing.T) {
+	if Iters(1) < 1 || Iters(1000) < Iters(1) {
+		t.Fatal("Iters not monotone or non-positive")
+	}
+}
+
+func TestForApproximatesBudget(t *testing.T) {
+	// A 100µs spin should take between 20µs and 5ms even on a noisy
+	// shared machine (the calibration only has to hold ratios).
+	start := time.Now()
+	For(100_000)
+	el := time.Since(start)
+	if el < 20*time.Microsecond || el > 5*time.Millisecond {
+		t.Fatalf("100us spin took %v", el)
+	}
+}

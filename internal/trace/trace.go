@@ -1,0 +1,271 @@
+// Package trace is the simulation's nvprof: a transparent crt.Runtime
+// wrapper that counts every CUDA API call by name and accumulates time
+// spent inside the runtime. The paper's methodology (Section 4.3) derives
+// its call counts and CPS figures from nvprof output exactly this way —
+// counting calls from the upper half, with each kernel launch expanded to
+// three calls (cudaPushCallConfiguration, cudaPopCallConfiguration,
+// cudaLaunchKernel).
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/crt"
+	"repro/internal/gpusim"
+)
+
+// Profiler wraps a crt.Runtime and records per-API statistics.
+type Profiler struct {
+	inner crt.Runtime
+
+	mu    sync.Mutex
+	calls map[string]*APIStat
+	start time.Time
+}
+
+// APIStat aggregates one API's activity.
+type APIStat struct {
+	Name  string
+	Count uint64
+	Time  time.Duration
+}
+
+// New wraps rt.
+func New(rt crt.Runtime) *Profiler {
+	return &Profiler{inner: rt, calls: make(map[string]*APIStat), start: time.Now()}
+}
+
+// record accounts one call.
+func (p *Profiler) record(name string, start time.Time) {
+	d := time.Since(start)
+	p.mu.Lock()
+	st, ok := p.calls[name]
+	if !ok {
+		st = &APIStat{Name: name}
+		p.calls[name] = st
+	}
+	st.Count++
+	st.Time += d
+	p.mu.Unlock()
+}
+
+// Stats returns per-API statistics sorted by cumulative time (like the
+// default nvprof summary).
+func (p *Profiler) Stats() []APIStat {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]APIStat, 0, len(p.calls))
+	for _, st := range p.calls {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Time != out[j].Time {
+			return out[i].Time > out[j].Time
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// TotalCalls sums all recorded API calls, with kernel launches counted
+// threefold per the paper's formula.
+func (p *Profiler) TotalCalls() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var n uint64
+	for name, st := range p.calls {
+		if name == "cudaLaunchKernel" {
+			n += 3 * st.Count
+		} else {
+			n += st.Count
+		}
+	}
+	return n
+}
+
+// Fprint renders an nvprof-style profile summary.
+func (p *Profiler) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "%-28s %10s %14s %12s\n", "API", "calls", "total", "avg")
+	for _, st := range p.Stats() {
+		avg := time.Duration(0)
+		if st.Count > 0 {
+			avg = st.Time / time.Duration(st.Count)
+		}
+		fmt.Fprintf(w, "%-28s %10d %14v %12v\n", st.Name, st.Count, st.Time, avg)
+	}
+	fmt.Fprintf(w, "total CUDA calls (3x launches): %d\n", p.TotalCalls())
+}
+
+// --- crt.Runtime implementation: every method delegates and records ---
+
+// Malloc implements crt.Runtime.
+func (p *Profiler) Malloc(size uint64) (uint64, error) {
+	defer p.record("cudaMalloc", time.Now())
+	return p.inner.Malloc(size)
+}
+
+// Free implements crt.Runtime.
+func (p *Profiler) Free(addr uint64) error {
+	defer p.record("cudaFree", time.Now())
+	return p.inner.Free(addr)
+}
+
+// MallocHost implements crt.Runtime.
+func (p *Profiler) MallocHost(size uint64) (uint64, error) {
+	defer p.record("cudaMallocHost", time.Now())
+	return p.inner.MallocHost(size)
+}
+
+// HostAlloc implements crt.Runtime.
+func (p *Profiler) HostAlloc(size uint64) (uint64, error) {
+	defer p.record("cudaHostAlloc", time.Now())
+	return p.inner.HostAlloc(size)
+}
+
+// FreeHost implements crt.Runtime.
+func (p *Profiler) FreeHost(addr uint64) error {
+	defer p.record("cudaFreeHost", time.Now())
+	return p.inner.FreeHost(addr)
+}
+
+// MallocManaged implements crt.Runtime.
+func (p *Profiler) MallocManaged(size uint64) (uint64, error) {
+	defer p.record("cudaMallocManaged", time.Now())
+	return p.inner.MallocManaged(size)
+}
+
+// Memcpy implements crt.Runtime.
+func (p *Profiler) Memcpy(dst, src, n uint64, kind crt.MemcpyKind) error {
+	defer p.record("cudaMemcpy", time.Now())
+	return p.inner.Memcpy(dst, src, n, kind)
+}
+
+// MemcpyAsync implements crt.Runtime.
+func (p *Profiler) MemcpyAsync(dst, src, n uint64, kind crt.MemcpyKind, s crt.StreamHandle) error {
+	defer p.record("cudaMemcpyAsync", time.Now())
+	return p.inner.MemcpyAsync(dst, src, n, kind, s)
+}
+
+// Memset implements crt.Runtime.
+func (p *Profiler) Memset(addr uint64, value byte, n uint64) error {
+	defer p.record("cudaMemset", time.Now())
+	return p.inner.Memset(addr, value, n)
+}
+
+// StreamCreate implements crt.Runtime.
+func (p *Profiler) StreamCreate() (crt.StreamHandle, error) {
+	defer p.record("cudaStreamCreate", time.Now())
+	return p.inner.StreamCreate()
+}
+
+// StreamDestroy implements crt.Runtime.
+func (p *Profiler) StreamDestroy(s crt.StreamHandle) error {
+	defer p.record("cudaStreamDestroy", time.Now())
+	return p.inner.StreamDestroy(s)
+}
+
+// StreamSynchronize implements crt.Runtime.
+func (p *Profiler) StreamSynchronize(s crt.StreamHandle) error {
+	defer p.record("cudaStreamSynchronize", time.Now())
+	return p.inner.StreamSynchronize(s)
+}
+
+// EventCreate implements crt.Runtime.
+func (p *Profiler) EventCreate() (crt.EventHandle, error) {
+	defer p.record("cudaEventCreate", time.Now())
+	return p.inner.EventCreate()
+}
+
+// EventDestroy implements crt.Runtime.
+func (p *Profiler) EventDestroy(e crt.EventHandle) error {
+	defer p.record("cudaEventDestroy", time.Now())
+	return p.inner.EventDestroy(e)
+}
+
+// EventRecord implements crt.Runtime.
+func (p *Profiler) EventRecord(e crt.EventHandle, s crt.StreamHandle) error {
+	defer p.record("cudaEventRecord", time.Now())
+	return p.inner.EventRecord(e, s)
+}
+
+// EventSynchronize implements crt.Runtime.
+func (p *Profiler) EventSynchronize(e crt.EventHandle) error {
+	defer p.record("cudaEventSynchronize", time.Now())
+	return p.inner.EventSynchronize(e)
+}
+
+// EventElapsed implements crt.Runtime.
+func (p *Profiler) EventElapsed(start, end crt.EventHandle) (time.Duration, error) {
+	defer p.record("cudaEventElapsedTime", time.Now())
+	return p.inner.EventElapsed(start, end)
+}
+
+// StreamWaitEvent implements crt.Runtime.
+func (p *Profiler) StreamWaitEvent(s crt.StreamHandle, e crt.EventHandle) error {
+	defer p.record("cudaStreamWaitEvent", time.Now())
+	return p.inner.StreamWaitEvent(s, e)
+}
+
+// MemGetInfo implements crt.Runtime.
+func (p *Profiler) MemGetInfo() (uint64, uint64, error) {
+	defer p.record("cudaMemGetInfo", time.Now())
+	return p.inner.MemGetInfo()
+}
+
+// RegisterFatBinary implements crt.Runtime.
+func (p *Profiler) RegisterFatBinary(module string) (crt.FatBinHandle, error) {
+	defer p.record("__cudaRegisterFatBinary", time.Now())
+	return p.inner.RegisterFatBinary(module)
+}
+
+// RegisterFunction implements crt.Runtime.
+func (p *Profiler) RegisterFunction(h crt.FatBinHandle, name string, k crt.Kernel) error {
+	defer p.record("__cudaRegisterFunction", time.Now())
+	return p.inner.RegisterFunction(h, name, k)
+}
+
+// UnregisterFatBinary implements crt.Runtime.
+func (p *Profiler) UnregisterFatBinary(h crt.FatBinHandle) error {
+	defer p.record("__cudaUnregisterFatBinary", time.Now())
+	return p.inner.UnregisterFatBinary(h)
+}
+
+// LaunchKernel implements crt.Runtime.
+func (p *Profiler) LaunchKernel(h crt.FatBinHandle, name string, cfg crt.LaunchConfig, s crt.StreamHandle, args ...uint64) error {
+	defer p.record("cudaLaunchKernel", time.Now())
+	return p.inner.LaunchKernel(h, name, cfg, s, args...)
+}
+
+// DeviceSynchronize implements crt.Runtime.
+func (p *Profiler) DeviceSynchronize() error {
+	defer p.record("cudaDeviceSynchronize", time.Now())
+	return p.inner.DeviceSynchronize()
+}
+
+// DeviceProperties implements crt.Runtime.
+func (p *Profiler) DeviceProperties() gpusim.Properties {
+	defer p.record("cudaGetDeviceProperties", time.Now())
+	return p.inner.DeviceProperties()
+}
+
+// HostAccess implements crt.Runtime (not a CUDA call; not recorded, as
+// nvprof does not see host memory accesses).
+func (p *Profiler) HostAccess(addr, n uint64, write bool) ([]byte, error) {
+	return p.inner.HostAccess(addr, n, write)
+}
+
+// AppAlloc implements crt.Runtime (not a CUDA call; not recorded).
+func (p *Profiler) AppAlloc(size uint64) (uint64, error) { return p.inner.AppAlloc(size) }
+
+// AppFree implements crt.Runtime (not a CUDA call; not recorded).
+func (p *Profiler) AppFree(addr uint64) error { return p.inner.AppFree(addr) }
+
+// Counters implements crt.Runtime (delegates to the wrapped runtime's
+// own counters).
+func (p *Profiler) Counters() crt.Counters { return p.inner.Counters() }
+
+var _ crt.Runtime = (*Profiler)(nil)

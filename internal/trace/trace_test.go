@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/crt"
+	"repro/internal/cuda"
+	"repro/internal/gpusim"
+)
+
+func newProfiled(t *testing.T) *Profiler {
+	t.Helper()
+	lib, err := cuda.NewLibrary(cuda.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := crt.NewNative(lib)
+	t.Cleanup(n.Close)
+	return New(n)
+}
+
+func TestCountsByAPI(t *testing.T) {
+	p := newProfiled(t)
+	fat, err := p.RegisterFatBinary("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.RegisterFunction(fat, "k", func(*cuda.DevCtx, gpusim.LaunchConfig, []uint64) {}); err != nil {
+		t.Fatal(err)
+	}
+	d, err := p.Malloc(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := p.LaunchKernel(fat, "k", gpusim.LaunchConfig{}, crt.DefaultStream); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Memset(d, 0, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.DeviceSynchronize(); err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]uint64{}
+	for _, st := range p.Stats() {
+		got[st.Name] = st.Count
+	}
+	for name, want := range map[string]uint64{
+		"cudaMalloc": 1, "cudaLaunchKernel": 4, "cudaMemset": 1,
+		"cudaDeviceSynchronize": 1, "__cudaRegisterFatBinary": 1,
+	} {
+		if got[name] != want {
+			t.Fatalf("%s count = %d, want %d (all: %v)", name, got[name], want, got)
+		}
+	}
+	// 3x per launch per the paper's formula: 4 launches -> 12, plus the
+	// 5 other calls above and RegisterFunction.
+	if total := p.TotalCalls(); total != 12+5 {
+		t.Fatalf("total = %d, want 17", total)
+	}
+}
+
+func TestFprintSummary(t *testing.T) {
+	p := newProfiled(t)
+	if _, err := p.Malloc(64); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	p.Fprint(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "cudaMalloc") || !strings.Contains(out, "total CUDA calls") {
+		t.Fatalf("summary output:\n%s", out)
+	}
+}
+
+func TestTransparency(t *testing.T) {
+	// Wrapping must not change results: run a tiny compute both ways.
+	p := newProfiled(t)
+	fat, _ := p.RegisterFatBinary("m")
+	_ = p.RegisterFunction(fat, "fill", func(ctx *cuda.DevCtx, _ gpusim.LaunchConfig, args []uint64) {
+		b := ctx.Bytes(args[0], args[1])
+		for i := range b {
+			b[i] = 9
+		}
+	})
+	d, _ := p.Malloc(256)
+	if err := p.LaunchKernel(fat, "fill", gpusim.LaunchConfig{}, crt.DefaultStream, d, 256); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.DeviceSynchronize(); err != nil {
+		t.Fatal(err)
+	}
+	h, _ := p.AppAlloc(256)
+	if err := p.Memcpy(h, d, 256, crt.MemcpyDeviceToHost); err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.HostAccess(h, 256, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range b {
+		if v != 9 {
+			t.Fatalf("byte = %d", v)
+		}
+	}
+	// Streams and events through the profiler.
+	s, err := p.StreamCreate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := p.EventCreate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.EventRecord(e, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.EventSynchronize(e); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.StreamSynchronize(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.StreamDestroy(s); err != nil {
+		t.Fatal(err)
+	}
+	if p.DeviceProperties().Name == "" {
+		t.Fatal("properties not forwarded")
+	}
+}

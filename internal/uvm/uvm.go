@@ -1,0 +1,284 @@
+// Package uvm simulates CUDA Unified Virtual Memory (UVM): managed
+// allocations whose pages migrate on demand between host and device when
+// either side touches them, as on Pascal-and-later GPUs with hardware
+// page faulting (paper Section 2.3).
+//
+// The simulated host and device share one address space, so "migration"
+// is modelled as per-page residency state plus fault counters, under a
+// per-page lock. This preserves the properties the paper's evaluation
+// relies on: host and device may interleave accesses to the same page in
+// any order (no read-modify-write pattern restriction, unlike CRUM), and
+// two concurrent CUDA streams may write the same page (the case where
+// CRUM's shadow-page scheme fails, Section 1 item 2).
+package uvm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// PageSize is the UVM page granularity (matches the address-space pages).
+const PageSize = 4096
+
+// Residency is where a managed page currently resides.
+type Residency uint8
+
+// Residency states.
+const (
+	OnHost Residency = iota
+	OnDevice
+)
+
+// String names the residency.
+func (r Residency) String() string {
+	if r == OnDevice {
+		return "device"
+	}
+	return "host"
+}
+
+// Side identifies the accessor in an access or fault.
+type Side uint8
+
+// Access sides.
+const (
+	Host Side = iota
+	Device
+)
+
+// String names the side.
+func (s Side) String() string {
+	if s == Device {
+		return "device"
+	}
+	return "host"
+}
+
+type page struct {
+	mu  sync.Mutex
+	res Residency
+}
+
+// Region is one managed allocation under UVM control.
+type Region struct {
+	Base uint64
+	Len  uint64
+
+	pages []page
+
+	hostFaults   atomic.Uint64
+	deviceFaults atomic.Uint64
+	migratedIn   atomic.Uint64 // bytes migrated host→device
+	migratedOut  atomic.Uint64 // bytes migrated device→host
+}
+
+// Pages returns the number of pages in the region.
+func (r *Region) Pages() int { return len(r.pages) }
+
+// Stats summarizes a region's fault activity.
+type Stats struct {
+	HostFaults        uint64
+	DeviceFaults      uint64
+	BytesToDevice     uint64
+	BytesToHost       uint64
+	PagesOnDeviceNow  int
+	PagesOnHostNow    int
+	RegisteredRegions int
+	RegisteredBytes   uint64
+}
+
+// Manager tracks all managed regions of one CUDA library instance.
+type Manager struct {
+	mu      sync.Mutex
+	regions map[uint64]*Region // keyed by base address
+}
+
+// ErrNotManaged is returned for addresses outside any managed region.
+var ErrNotManaged = errors.New("uvm: address not in a managed region")
+
+// NewManager creates an empty UVM manager.
+func NewManager() *Manager {
+	return &Manager{regions: make(map[uint64]*Region)}
+}
+
+// Register places [base, base+length) under UVM control with all pages
+// initially host-resident (as cudaMallocManaged memory starts).
+func (m *Manager) Register(base, length uint64) *Region {
+	n := int((length + PageSize - 1) / PageSize)
+	r := &Region{Base: base, Len: length, pages: make([]page, n)}
+	m.mu.Lock()
+	m.regions[base] = r
+	m.mu.Unlock()
+	return r
+}
+
+// Unregister removes the region based at base.
+func (m *Manager) Unregister(base uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.regions[base]; !ok {
+		return fmt.Errorf("%w: base %#x", ErrNotManaged, base)
+	}
+	delete(m.regions, base)
+	return nil
+}
+
+// Lookup returns the managed region containing addr, if any.
+func (m *Manager) Lookup(addr uint64) (*Region, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, r := range m.regions {
+		if addr >= r.Base && addr < r.Base+r.Len {
+			return r, true
+		}
+	}
+	return nil, false
+}
+
+// Contains reports whether addr falls in any managed region.
+func (m *Manager) Contains(addr uint64) bool {
+	_, ok := m.Lookup(addr)
+	return ok
+}
+
+// Access records an access by side to [addr, addr+length) inside the
+// manager's regions. Pages not resident on the accessing side fault and
+// migrate. Returns the number of pages that faulted.
+//
+// Accesses spanning region boundaries are split; bytes outside any
+// managed region are an error.
+func (m *Manager) Access(side Side, addr, length uint64) (faults int, err error) {
+	for length > 0 {
+		r, ok := m.Lookup(addr)
+		if !ok {
+			return faults, fmt.Errorf("%w: %#x", ErrNotManaged, addr)
+		}
+		chunk := r.Base + r.Len - addr
+		if chunk > length {
+			chunk = length
+		}
+		faults += r.access(side, addr, chunk)
+		addr += chunk
+		length -= chunk
+	}
+	return faults, nil
+}
+
+// access handles the portion of an access within one region.
+func (r *Region) access(side Side, addr, length uint64) int {
+	first := (addr - r.Base) / PageSize
+	last := (addr + length - 1 - r.Base) / PageSize
+	faults := 0
+	want := OnHost
+	if side == Device {
+		want = OnDevice
+	}
+	for pi := first; pi <= last; pi++ {
+		p := &r.pages[pi]
+		p.mu.Lock()
+		if p.res != want {
+			// Hardware page fault: migrate the page to the accessor.
+			p.res = want
+			faults++
+			if side == Device {
+				r.deviceFaults.Add(1)
+				r.migratedIn.Add(PageSize)
+			} else {
+				r.hostFaults.Add(1)
+				r.migratedOut.Add(PageSize)
+			}
+		}
+		p.mu.Unlock()
+	}
+	return faults
+}
+
+// Prefetch migrates [addr, addr+length) to the given side without
+// counting faults (cudaMemPrefetchAsync semantics). Returns pages moved.
+func (m *Manager) Prefetch(side Side, addr, length uint64) (moved int, err error) {
+	for length > 0 {
+		r, ok := m.Lookup(addr)
+		if !ok {
+			return moved, fmt.Errorf("%w: %#x", ErrNotManaged, addr)
+		}
+		chunk := r.Base + r.Len - addr
+		if chunk > length {
+			chunk = length
+		}
+		first := (addr - r.Base) / PageSize
+		last := (addr + chunk - 1 - r.Base) / PageSize
+		want := OnHost
+		if side == Device {
+			want = OnDevice
+		}
+		for pi := first; pi <= last; pi++ {
+			p := &r.pages[pi]
+			p.mu.Lock()
+			if p.res != want {
+				p.res = want
+				moved++
+				if side == Device {
+					r.migratedIn.Add(PageSize)
+				} else {
+					r.migratedOut.Add(PageSize)
+				}
+			}
+			p.mu.Unlock()
+		}
+		addr += chunk
+		length -= chunk
+	}
+	return moved, nil
+}
+
+// ResidencyOf returns the residency of the page containing addr.
+func (m *Manager) ResidencyOf(addr uint64) (Residency, error) {
+	r, ok := m.Lookup(addr)
+	if !ok {
+		return OnHost, fmt.Errorf("%w: %#x", ErrNotManaged, addr)
+	}
+	pi := (addr - r.Base) / PageSize
+	p := &r.pages[pi]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.res, nil
+}
+
+// Stats aggregates counters over all regions.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var st Stats
+	st.RegisteredRegions = len(m.regions)
+	for _, r := range m.regions {
+		st.RegisteredBytes += r.Len
+		st.HostFaults += r.hostFaults.Load()
+		st.DeviceFaults += r.deviceFaults.Load()
+		st.BytesToDevice += r.migratedIn.Load()
+		st.BytesToHost += r.migratedOut.Load()
+		for i := range r.pages {
+			p := &r.pages[i]
+			p.mu.Lock()
+			if p.res == OnDevice {
+				st.PagesOnDeviceNow++
+			} else {
+				st.PagesOnHostNow++
+			}
+			p.mu.Unlock()
+		}
+	}
+	return st
+}
+
+// Regions returns the bases of all registered regions (unordered).
+func (m *Manager) Regions() []*Region {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Region, 0, len(m.regions))
+	for _, r := range m.regions {
+		out = append(out, r)
+	}
+	return out
+}

@@ -1,0 +1,199 @@
+package uvm
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegisterAndLookup(t *testing.T) {
+	m := NewManager()
+	r := m.Register(0x10000, 3*PageSize)
+	if r.Pages() != 3 {
+		t.Fatalf("pages = %d, want 3", r.Pages())
+	}
+	if _, ok := m.Lookup(0x10000 + PageSize); !ok {
+		t.Fatal("lookup inside region failed")
+	}
+	if _, ok := m.Lookup(0x10000 + 3*PageSize); ok {
+		t.Fatal("lookup past end succeeded")
+	}
+	if !m.Contains(0x10000) {
+		t.Fatal("Contains failed")
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	m := NewManager()
+	m.Register(0x10000, PageSize)
+	if err := m.Unregister(0x10000); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Unregister(0x10000); !errors.Is(err, ErrNotManaged) {
+		t.Fatalf("double unregister err = %v", err)
+	}
+}
+
+func TestFaultMigration(t *testing.T) {
+	m := NewManager()
+	base := uint64(0x20000)
+	m.Register(base, 4*PageSize)
+
+	// Pages start host-resident: host access does not fault.
+	faults, err := m.Access(Host, base, 4*PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faults != 0 {
+		t.Fatalf("host access to host-resident pages faulted %d times", faults)
+	}
+	// Device touch faults each page once.
+	faults, err = m.Access(Device, base, 4*PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faults != 4 {
+		t.Fatalf("device faults = %d, want 4", faults)
+	}
+	if res, _ := m.ResidencyOf(base); res != OnDevice {
+		t.Fatalf("residency = %v, want device", res)
+	}
+	// Second device touch: no faults.
+	faults, _ = m.Access(Device, base, 4*PageSize)
+	if faults != 0 {
+		t.Fatalf("re-access faulted %d times", faults)
+	}
+	// Host touch of one page migrates it back.
+	faults, _ = m.Access(Host, base+PageSize, 1)
+	if faults != 1 {
+		t.Fatalf("host fault = %d, want 1", faults)
+	}
+	st := m.Stats()
+	if st.DeviceFaults != 4 || st.HostFaults != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.PagesOnHostNow != 1 || st.PagesOnDeviceNow != 3 {
+		t.Fatalf("residency counts = %+v", st)
+	}
+}
+
+func TestAccessPartialPages(t *testing.T) {
+	m := NewManager()
+	base := uint64(0x30000)
+	m.Register(base, 4*PageSize)
+	// A 10-byte access straddling a page boundary touches two pages.
+	faults, err := m.Access(Device, base+PageSize-5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faults != 2 {
+		t.Fatalf("straddling access faults = %d, want 2", faults)
+	}
+}
+
+func TestAccessOutsideRegion(t *testing.T) {
+	m := NewManager()
+	m.Register(0x40000, PageSize)
+	if _, err := m.Access(Device, 0x90000, 8); !errors.Is(err, ErrNotManaged) {
+		t.Fatalf("err = %v, want ErrNotManaged", err)
+	}
+}
+
+func TestAccessSpansRegions(t *testing.T) {
+	m := NewManager()
+	m.Register(0x50000, PageSize)
+	m.Register(0x50000+PageSize, PageSize) // adjacent region
+	faults, err := m.Access(Device, 0x50000, 2*PageSize)
+	if err != nil {
+		t.Fatalf("spanning access: %v", err)
+	}
+	if faults != 2 {
+		t.Fatalf("faults = %d, want 2", faults)
+	}
+}
+
+func TestPrefetch(t *testing.T) {
+	m := NewManager()
+	base := uint64(0x60000)
+	m.Register(base, 8*PageSize)
+	moved, err := m.Prefetch(Device, base, 8*PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != 8 {
+		t.Fatalf("moved = %d, want 8", moved)
+	}
+	// Prefetch does not count as faults.
+	if st := m.Stats(); st.DeviceFaults != 0 {
+		t.Fatalf("prefetch counted faults: %+v", st)
+	}
+	// Subsequent device access is fault-free.
+	if f, _ := m.Access(Device, base, 8*PageSize); f != 0 {
+		t.Fatalf("faults after prefetch = %d", f)
+	}
+}
+
+func TestConcurrentAccessSamePage(t *testing.T) {
+	// Two "streams" hammering the same page from both sides must never
+	// corrupt the residency state — the situation CRAC supports and
+	// CRUM's shadow paging cannot (paper Section 1 item 2).
+	m := NewManager()
+	base := uint64(0x70000)
+	m.Register(base, PageSize)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(side Side) {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				if _, err := m.Access(side, base, 8); err != nil {
+					t.Errorf("access: %v", err)
+					return
+				}
+			}
+		}(Side(i % 2))
+	}
+	wg.Wait()
+	st := m.Stats()
+	if st.PagesOnHostNow+st.PagesOnDeviceNow != 1 {
+		t.Fatalf("page residency corrupted: %+v", st)
+	}
+}
+
+// TestQuickResidencyConservation property: after any access sequence,
+// PagesOnHost + PagesOnDevice equals the registered page count, and
+// bytes migrated in each direction are multiples of the page size
+// (DESIGN.md invariant 5).
+func TestQuickResidencyConservation(t *testing.T) {
+	f := func(ops []uint16) bool {
+		m := NewManager()
+		base := uint64(0x80000)
+		const pages = 8
+		m.Register(base, pages*PageSize)
+		for _, op := range ops {
+			side := Side(op % 2)
+			page := uint64(op/2) % pages
+			n := uint64(op%3)*PageSize/2 + 1
+			if base+page*PageSize+n > base+pages*PageSize {
+				n = PageSize
+			}
+			_, _ = m.Access(side, base+page*PageSize, n)
+		}
+		st := m.Stats()
+		return st.PagesOnHostNow+st.PagesOnDeviceNow == pages &&
+			st.BytesToDevice%PageSize == 0 && st.BytesToHost%PageSize == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSideAndResidencyStrings(t *testing.T) {
+	if Host.String() != "host" || Device.String() != "device" {
+		t.Fatal("Side strings")
+	}
+	if OnHost.String() != "host" || OnDevice.String() != "device" {
+		t.Fatal("Residency strings")
+	}
+}

@@ -1,0 +1,262 @@
+// Package hpgmg implements a scaled-down HPGMG-FV (High-Performance
+// Geometric MultiGrid, finite-volume), the first real-world benchmark of
+// the paper's Section 4.4.3. The paper runs "7 8" over one MPI rank,
+// reaching ~35,000 CUDA calls per second: geometric multigrid issues a
+// torrent of small kernels (smooth, residual, restrict, prolong) across
+// a hierarchy of grids, which is exactly the high-CPS behaviour this
+// implementation reproduces. Grids live in Unified Memory (Table 1
+// marks HPGMG-FV as UVM, no streams), and the host reads the residual
+// norm from managed memory each V-cycle.
+package hpgmg
+
+import (
+	"math"
+
+	"repro/internal/crt"
+	"repro/internal/cuda"
+	"repro/internal/gpusim"
+	"repro/internal/par"
+	"repro/internal/workloads"
+)
+
+// Module is the HPGMG fat-binary name.
+const Module = "hpgmg"
+
+// Table returns the multigrid kernels. All grids are cubes of side w
+// with one ghost cell folded into the stencil bounds.
+func Table() map[string]workloads.Kernel {
+	return map[string]workloads.Kernel{
+		// args: u, rhs, w, color — red-black Gauss-Seidel half-sweep
+		// (7-point). Cells of one color only read the other color, so
+		// the in-place update is deterministic under any parallel
+		// schedule — the property the checksum tests rely on.
+		"smooth": func(ctx *cuda.DevCtx, _ gpusim.LaunchConfig, args []uint64) {
+			w := int(args[2])
+			color := int(args[3]) & 1
+			u := ctx.Float32s(args[0], w*w*w)
+			rhs := ctx.Float32s(args[1], w*w*w)
+			plane := w * w
+			par.For(w, 8, func(lo, hi int) {
+				for z := lo; z < hi; z++ {
+					if z == 0 || z == w-1 {
+						continue
+					}
+					for y := 1; y < w-1; y++ {
+						row := z*plane + y*w
+						xStart := 1 + (z+y+1+color)&1
+						for x := xStart; x < w-1; x += 2 {
+							i := row + x
+							u[i] = (u[i-1] + u[i+1] + u[i-w] + u[i+w] +
+								u[i-plane] + u[i+plane] + rhs[i]) * (1.0 / 6.0)
+						}
+					}
+				}
+			})
+		},
+		// args: u, rhs, res, w — residual r = rhs - A·u
+		"residual": func(ctx *cuda.DevCtx, _ gpusim.LaunchConfig, args []uint64) {
+			w := int(args[3])
+			u := ctx.Float32s(args[0], w*w*w)
+			rhs := ctx.Float32s(args[1], w*w*w)
+			res := ctx.Float32s(args[2], w*w*w)
+			plane := w * w
+			par.For(w, 8, func(lo, hi int) {
+				for z := lo; z < hi; z++ {
+					if z == 0 || z == w-1 {
+						continue
+					}
+					for y := 1; y < w-1; y++ {
+						row := z*plane + y*w
+						for x := 1; x < w-1; x++ {
+							i := row + x
+							au := 6*u[i] - u[i-1] - u[i+1] - u[i-w] - u[i+w] - u[i-plane] - u[i+plane]
+							res[i] = rhs[i] - au
+						}
+					}
+				}
+			})
+		},
+		// args: fine, coarse, wf — full-weight restriction to wf/2
+		"restrict": func(ctx *cuda.DevCtx, _ gpusim.LaunchConfig, args []uint64) {
+			wf := int(args[2])
+			wc := wf / 2
+			fine := ctx.Float32s(args[0], wf*wf*wf)
+			coarse := ctx.Float32s(args[1], wc*wc*wc)
+			planeF := wf * wf
+			par.For(wc, 4, func(lo, hi int) {
+				for z := lo; z < hi; z++ {
+					for y := 0; y < wc; y++ {
+						for x := 0; x < wc; x++ {
+							var s float32
+							for dz := 0; dz < 2; dz++ {
+								for dy := 0; dy < 2; dy++ {
+									for dx := 0; dx < 2; dx++ {
+										s += fine[(2*z+dz)*planeF+(2*y+dy)*wf+(2*x+dx)]
+									}
+								}
+							}
+							coarse[z*wc*wc+y*wc+x] = s * 0.125
+						}
+					}
+				}
+			})
+		},
+		// args: coarse, fine, wf — piecewise-constant prolongation + correction
+		"prolong": func(ctx *cuda.DevCtx, _ gpusim.LaunchConfig, args []uint64) {
+			wf := int(args[2])
+			wc := wf / 2
+			coarse := ctx.Float32s(args[0], wc*wc*wc)
+			fine := ctx.Float32s(args[1], wf*wf*wf)
+			planeF := wf * wf
+			par.For(wf, 8, func(lo, hi int) {
+				for z := lo; z < hi; z++ {
+					cz := z / 2
+					for y := 0; y < wf; y++ {
+						cy := y / 2
+						for x := 0; x < wf; x++ {
+							fine[z*planeF+y*wf+x] += coarse[cz*wc*wc+cy*wc+x/2]
+						}
+					}
+				}
+			})
+		},
+		// args: res, out, w — L2 norm of the residual into out[0]
+		"norm": func(ctx *cuda.DevCtx, _ gpusim.LaunchConfig, args []uint64) {
+			w := int(args[2])
+			res := ctx.Float32s(args[0], w*w*w)
+			out := ctx.Float32s(args[1], 1)
+			var s float64
+			for _, v := range res {
+				s += float64(v) * float64(v)
+			}
+			out[0] = float32(math.Sqrt(s))
+		},
+		// args: buf, w — zero a grid
+		"zero": func(ctx *cuda.DevCtx, _ gpusim.LaunchConfig, args []uint64) {
+			w := int(args[1])
+			buf := ctx.Float32s(args[0], w*w*w)
+			par.For(len(buf), 1<<14, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					buf[i] = 0
+				}
+			})
+		},
+	}
+}
+
+// App returns the HPGMG-FV application.
+func App() *workloads.App {
+	return &workloads.App{
+		Name:      "HPGMG-FV",
+		PaperArgs: "7 8 (single MPI rank; ~35K CUDA calls/second)",
+		Char: workloads.Characteristics{
+			UVM:         true,
+			Description: "finite-volume geometric multigrid, many tiny kernels, UVM grids",
+		},
+		KernelTables: func() map[string]map[string]workloads.Kernel {
+			return map[string]map[string]workloads.Kernel{Module: Table()}
+		},
+		Run: func(rt crt.Runtime, cfg workloads.RunConfig) (workloads.Result, error) {
+			return workloads.Measure(rt, "HPGMG-FV", func() (float64, map[string]float64, error) {
+				e := workloads.NewEnv(rt)
+				e.RegisterModule(Module, Table())
+
+				finest := workloads.ScaleInt(64, cfg.EffScale(), 16)
+				// Round down to a power of two ≥ 8.
+				w := 8
+				for w*2 <= finest {
+					w *= 2
+				}
+				vcycles := workloads.ScaleInt(24, cfg.EffScale(), 4)
+				const smoothSweeps = 2
+
+				// Level grids in Unified Memory.
+				var widths []int
+				for lw := w; lw >= 4; lw /= 2 {
+					widths = append(widths, lw)
+				}
+				levels := len(widths)
+				u := make([]uint64, levels)
+				rhs := make([]uint64, levels)
+				res := make([]uint64, levels)
+				for l, lw := range widths {
+					bytes := uint64(4 * lw * lw * lw)
+					u[l] = e.MallocManaged(bytes)
+					rhs[l] = e.MallocManaged(bytes)
+					res[l] = e.MallocManaged(bytes)
+				}
+				dNorm := e.MallocManaged(4)
+
+				// RHS on the finest level: a point source, set by the host
+				// directly in managed memory.
+				fv := e.HostF32(rhs[0], w*w*w)
+				if e.Err() != nil {
+					return 0, nil, e.Err()
+				}
+				fv[(w/2)*(w*w)+(w/2)*w+w/2] = 1000
+				one := crt.LaunchConfig{Grid: crt.Dim3{X: 1}, Block: crt.Dim3{X: 1}}
+				lc := func(lw int) crt.LaunchConfig { return workloads.Launch1D(lw * lw * lw) }
+
+				var lastNorm float64
+				for cyc := 0; cyc < vcycles; cyc++ {
+					// Downstroke: smooth, residual, restrict.
+					for l := 0; l < levels-1; l++ {
+						lw := widths[l]
+						for s := 0; s < 2*smoothSweeps; s++ {
+							e.Launch(Module, "smooth", lc(lw), crt.DefaultStream,
+								u[l], rhs[l], uint64(lw), uint64(s&1))
+						}
+						e.Launch(Module, "residual", lc(lw), crt.DefaultStream,
+							u[l], rhs[l], res[l], uint64(lw))
+						e.Launch(Module, "restrict", lc(lw/2), crt.DefaultStream,
+							res[l], rhs[l+1], uint64(lw))
+						e.Launch(Module, "zero", lc(lw/2), crt.DefaultStream,
+							u[l+1], uint64(lw/2))
+					}
+					// Coarsest solve: extra smoothing.
+					bw := widths[levels-1]
+					for s := 0; s < 16; s++ {
+						e.Launch(Module, "smooth", lc(bw), crt.DefaultStream,
+							u[levels-1], rhs[levels-1], uint64(bw), uint64(s&1))
+					}
+					// Upstroke: prolong + smooth.
+					for l := levels - 2; l >= 0; l-- {
+						lw := widths[l]
+						e.Launch(Module, "prolong", lc(lw), crt.DefaultStream,
+							u[l+1], u[l], uint64(lw))
+						for s := 0; s < 2*smoothSweeps; s++ {
+							e.Launch(Module, "smooth", lc(lw), crt.DefaultStream,
+								u[l], rhs[l], uint64(lw), uint64(s&1))
+						}
+					}
+					// Convergence check: the host reads the norm straight
+					// from unified memory (a UVM host fault).
+					e.Launch(Module, "residual", lc(w), crt.DefaultStream,
+						u[0], rhs[0], res[0], uint64(w))
+					e.Launch(Module, "norm", one, crt.DefaultStream, res[0], dNorm, uint64(w))
+					e.DeviceSync()
+					nv := e.HostF32(dNorm, 1)
+					if e.Err() != nil {
+						return 0, nil, e.Err()
+					}
+					lastNorm = float64(nv[0])
+					if cfg.Hook != nil {
+						if err := cfg.Hook(cyc); err != nil {
+							return 0, nil, err
+						}
+					}
+				}
+				// Checksum: solution sum plus final residual norm.
+				uv := e.HostF32(u[0], w*w*w)
+				if e.Err() != nil {
+					return 0, nil, e.Err()
+				}
+				var sum float64
+				for _, v := range uv {
+					sum += float64(v)
+				}
+				return sum + lastNorm, nil, nil
+			})
+		},
+	}
+}

@@ -1,0 +1,61 @@
+package hpgmg
+
+import (
+	"testing"
+
+	"repro/internal/crt"
+	"repro/internal/cuda"
+	"repro/internal/workloads"
+)
+
+func run(t *testing.T, cfg workloads.RunConfig) (workloads.Result, *cuda.Library) {
+	t.Helper()
+	lib, err := cuda.NewLibrary(cuda.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := crt.NewNative(lib)
+	t.Cleanup(rt.Close)
+	res, err := App().Run(rt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, lib
+}
+
+func TestMultigridConverges(t *testing.T) {
+	// More V-cycles must not diverge: the solution stays finite, and the
+	// point source spreads (positive solution mass).
+	res, lib := run(t, workloads.RunConfig{Scale: 0.4, Seed: 7})
+	if res.Checksum <= 0 || res.Checksum != res.Checksum {
+		t.Fatalf("checksum = %v", res.Checksum)
+	}
+	// Grids live in UVM: the pager must have seen traffic on both sides
+	// (kernels fault to device, the host reads the norm back).
+	st := lib.UVM().Stats()
+	if st.DeviceFaults == 0 || st.HostFaults == 0 {
+		t.Fatalf("UVM traffic missing: %+v", st)
+	}
+	if st.RegisteredRegions == 0 {
+		t.Fatal("no managed regions registered")
+	}
+}
+
+func TestHighCPSCharacter(t *testing.T) {
+	// HPGMG's defining property (paper Table 1): many launches per unit
+	// of data — far more kernels than managed regions.
+	res, lib := run(t, workloads.RunConfig{Scale: 0.3, Seed: 7})
+	if res.Calls.LaunchKernel < 100 {
+		t.Fatalf("launches = %d, want hundreds of small kernels", res.Calls.LaunchKernel)
+	}
+	if regions := lib.UVM().Stats().RegisteredRegions; int(res.Calls.LaunchKernel) < 10*regions {
+		t.Fatalf("launches (%d) should dwarf regions (%d)", res.Calls.LaunchKernel, regions)
+	}
+}
+
+func TestMetadata(t *testing.T) {
+	app := App()
+	if !app.Char.UVM || app.Char.Streams {
+		t.Fatalf("characteristics = %+v (paper Table 1: UVM yes, streams no)", app.Char)
+	}
+}

@@ -1,0 +1,243 @@
+// Package hypre implements a scaled-down HYPRE-style linear solver, the
+// second real-world benchmark of the paper's Section 4.4.3. The paper
+// runs HYPRE's ij driver (BoomerAMG-preconditioned solver on a 250³
+// grid): large Unified-Memory regions (up to 1 GB per rank), long-running
+// kernels, only ~600 CUDA calls per second, and host + device working on
+// the same UVM regions simultaneously via streams.
+//
+// This implementation runs diagonally preconditioned conjugate gradient
+// (PCG) on the 7-point Laplacian of an n³ grid. Every vector lives in
+// Unified Memory; the SpMV is partitioned across CUDA streams; and the
+// host reads the scalar reduction results straight from managed memory
+// each iteration — the access pattern (host and device interleaving on
+// UVM) that CRUM's shadow paging cannot support.
+package hypre
+
+import (
+	"math"
+
+	"repro/internal/crt"
+	"repro/internal/cuda"
+	"repro/internal/gpusim"
+	"repro/internal/par"
+	"repro/internal/workloads"
+)
+
+// Module is the HYPRE fat-binary name.
+const Module = "hypre"
+
+func f32bits(f float32) uint64 { return uint64(math.Float32bits(f)) }
+func f32arg(a uint64) float32  { return math.Float32frombits(uint32(a)) }
+
+// Table returns the PCG kernels.
+func Table() map[string]workloads.Kernel {
+	return map[string]workloads.Kernel{
+		// args: x, y, w, lo, hi — y = A·x on rows [lo,hi) of the n³ 7-point Laplacian
+		"spmv": func(ctx *cuda.DevCtx, _ gpusim.LaunchConfig, args []uint64) {
+			w := int(args[2])
+			lo, hi := int(args[3]), int(args[4])
+			n := w * w * w
+			x := ctx.Float32s(args[0], n)
+			y := ctx.Float32s(args[1], n)
+			plane := w * w
+			par.For(hi-lo, 1<<12, func(a, b int) {
+				for i := lo + a; i < lo+b; i++ {
+					v := 6 * x[i]
+					ix := i % w
+					iy := (i / w) % w
+					iz := i / plane
+					if ix > 0 {
+						v -= x[i-1]
+					}
+					if ix < w-1 {
+						v -= x[i+1]
+					}
+					if iy > 0 {
+						v -= x[i-w]
+					}
+					if iy < w-1 {
+						v -= x[i+w]
+					}
+					if iz > 0 {
+						v -= x[i-plane]
+					}
+					if iz < w-1 {
+						v -= x[i+plane]
+					}
+					y[i] = v
+				}
+			})
+		},
+		// args: x, y, out, n — dot product into out[0]
+		"dot": func(ctx *cuda.DevCtx, _ gpusim.LaunchConfig, args []uint64) {
+			n := int(args[3])
+			x := ctx.Float32s(args[0], n)
+			y := ctx.Float32s(args[1], n)
+			out := ctx.Float32s(args[2], 1)
+			var s float64
+			for i := 0; i < n; i++ {
+				s += float64(x[i]) * float64(y[i])
+			}
+			out[0] = float32(s)
+		},
+		// args: x, y, aBits, n — y += a*x
+		"axpy": func(ctx *cuda.DevCtx, _ gpusim.LaunchConfig, args []uint64) {
+			n := int(args[3])
+			a := f32arg(args[2])
+			x := ctx.Float32s(args[0], n)
+			y := ctx.Float32s(args[1], n)
+			par.For(n, 1<<14, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					y[i] += a * x[i]
+				}
+			})
+		},
+		// args: x, y, bBits, n — y = x + b*y  (xpby, for direction update)
+		"xpby": func(ctx *cuda.DevCtx, _ gpusim.LaunchConfig, args []uint64) {
+			n := int(args[3])
+			b := f32arg(args[2])
+			x := ctx.Float32s(args[0], n)
+			y := ctx.Float32s(args[1], n)
+			par.For(n, 1<<14, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					y[i] = x[i] + b*y[i]
+				}
+			})
+		},
+	}
+}
+
+// App returns the HYPRE application.
+func App() *workloads.App {
+	return &workloads.App{
+		Name: "HYPRE",
+		PaperArgs: "ij -solver 1 -rlx 18 -ns 2 -CF 0 -hmis -interptype 6 -Pmx 4" +
+			" -keepT 1 -tol 1.e-8 -agg_nl 1 -n 250 250 250",
+		Char: workloads.Characteristics{
+			UVM:         true,
+			Streams:     true,
+			MinStreams:  1,
+			MaxStreams:  10,
+			Description: "PCG on a 7-point Laplacian; large UVM regions, long kernels, low CPS",
+		},
+		KernelTables: func() map[string]map[string]workloads.Kernel {
+			return map[string]map[string]workloads.Kernel{Module: Table()}
+		},
+		Run: func(rt crt.Runtime, cfg workloads.RunConfig) (workloads.Result, error) {
+			return workloads.Measure(rt, "HYPRE", func() (float64, map[string]float64, error) {
+				e := workloads.NewEnv(rt)
+				e.RegisterModule(Module, Table())
+
+				w := workloads.ScaleInt(96, cfg.EffScale(), 16)
+				n := w * w * w
+				iters := workloads.ScaleInt(60, cfg.EffScale(), 10)
+				nstreams := cfg.Streams
+				if nstreams == 0 {
+					nstreams = 4
+				}
+
+				// Large UVM regions, as HYPRE creates (up to 1 GB/rank in
+				// the paper).
+				bytes := uint64(4 * n)
+				dX := e.MallocManaged(bytes)
+				dR := e.MallocManaged(bytes)
+				dP := e.MallocManaged(bytes)
+				dAp := e.MallocManaged(bytes)
+				dScalar := e.MallocManaged(16)
+
+				streams := make([]crt.StreamHandle, nstreams)
+				for i := range streams {
+					streams[i] = e.StreamCreate()
+				}
+
+				// b = 1 everywhere: host initializes managed memory; with
+				// x0 = 0, r0 = b and p0 = r0.
+				rv := e.HostF32(dR, n)
+				if e.Err() != nil {
+					return 0, nil, e.Err()
+				}
+				for i := range rv {
+					rv[i] = 1
+				}
+				e.Memcpy(dP, dR, bytes, crt.MemcpyDefault)
+				e.Memset(dX, 0, bytes)
+
+				one := crt.LaunchConfig{Grid: crt.Dim3{X: 1}, Block: crt.Dim3{X: 1}}
+				chunk := (n + nstreams - 1) / nstreams
+				spmv := func(x, y uint64) {
+					for si := 0; si < nstreams; si++ {
+						lo := si * chunk
+						hi := lo + chunk
+						if hi > n {
+							hi = n
+						}
+						if lo >= hi {
+							continue
+						}
+						e.Launch(Module, "spmv", workloads.Launch1D(hi-lo), streams[si],
+							x, y, uint64(w), uint64(lo), uint64(hi))
+					}
+					for _, st := range streams {
+						e.StreamSync(st)
+					}
+				}
+				hostScalar := func(off int) float32 {
+					sv := e.HostF32(dScalar+uint64(4*off), 1)
+					if sv == nil {
+						return 0
+					}
+					return sv[0]
+				}
+
+				lcAll := workloads.Launch1D(n)
+				var rr float32
+				e.Launch(Module, "dot", one, crt.DefaultStream, dR, dR, dScalar, uint64(n))
+				e.DeviceSync()
+				rr = hostScalar(0)
+
+				for it := 0; it < iters; it++ {
+					spmv(dP, dAp)
+					e.Launch(Module, "dot", one, crt.DefaultStream, dP, dAp, dScalar+4, uint64(n))
+					e.DeviceSync()
+					pap := hostScalar(1)
+					if pap == 0 {
+						break
+					}
+					alpha := rr / pap
+					e.Launch(Module, "axpy", lcAll, crt.DefaultStream, dP, dX, f32bits(alpha), uint64(n))
+					e.Launch(Module, "axpy", lcAll, crt.DefaultStream, dAp, dR, f32bits(-alpha), uint64(n))
+					e.Launch(Module, "dot", one, crt.DefaultStream, dR, dR, dScalar+8, uint64(n))
+					e.DeviceSync()
+					rrNew := hostScalar(2)
+					beta := rrNew / rr
+					rr = rrNew
+					e.Launch(Module, "xpby", lcAll, crt.DefaultStream, dR, dP, f32bits(beta), uint64(n))
+					// The next iteration's SpMV reads dP from user
+					// streams; order it after the default-stream update.
+					e.DeviceSync()
+					if cfg.Hook != nil {
+						if err := cfg.Hook(it); err != nil {
+							return 0, nil, err
+						}
+					}
+					if e.Err() != nil {
+						return 0, nil, e.Err()
+					}
+					if rr < 1e-8 {
+						break
+					}
+				}
+				e.DeviceSync()
+				xv := e.HostF32(dX, n)
+				if e.Err() != nil {
+					return 0, nil, e.Err()
+				}
+				var sum float64
+				for _, v := range xv {
+					sum += float64(v)
+				}
+				return sum, nil, nil
+			})
+		},
+	}
+}

@@ -1,0 +1,53 @@
+package hypre
+
+import (
+	"testing"
+
+	"repro/internal/crt"
+	"repro/internal/cuda"
+	"repro/internal/workloads"
+)
+
+func run(t *testing.T, cfg workloads.RunConfig) (workloads.Result, *cuda.Library) {
+	t.Helper()
+	lib, err := cuda.NewLibrary(cuda.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := crt.NewNative(lib)
+	t.Cleanup(rt.Close)
+	res, err := App().Run(rt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, lib
+}
+
+func TestPCGSolvesLaplacian(t *testing.T) {
+	// With b = 1 on a 7-point Laplacian with Dirichlet-like boundary, the
+	// CG iterate's mass must be positive and finite.
+	res, lib := run(t, workloads.RunConfig{Scale: 0.25, Streams: 2, Seed: 7})
+	if res.Checksum <= 0 || res.Checksum != res.Checksum {
+		t.Fatalf("solution mass = %v", res.Checksum)
+	}
+	// All vectors in UVM (large managed regions, paper Section 4.4.3).
+	st := lib.UVM().Stats()
+	if st.RegisteredBytes == 0 || st.DeviceFaults == 0 || st.HostFaults == 0 {
+		t.Fatalf("UVM stats = %+v", st)
+	}
+}
+
+func TestDeterministicAcrossStreamCounts(t *testing.T) {
+	a, _ := run(t, workloads.RunConfig{Scale: 0.2, Streams: 1, Seed: 7})
+	b, _ := run(t, workloads.RunConfig{Scale: 0.2, Streams: 4, Seed: 7})
+	if a.Checksum != b.Checksum {
+		t.Fatalf("stream count changed CG result: %v vs %v", a.Checksum, b.Checksum)
+	}
+}
+
+func TestMetadata(t *testing.T) {
+	app := App()
+	if !app.Char.UVM || !app.Char.Streams || app.Char.MinStreams != 1 || app.Char.MaxStreams != 10 {
+		t.Fatalf("characteristics = %+v (paper Table 1: UVM + streams 1-10)", app.Char)
+	}
+}

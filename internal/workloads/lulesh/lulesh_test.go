@@ -1,0 +1,58 @@
+package lulesh
+
+import (
+	"testing"
+
+	"repro/internal/crt"
+	"repro/internal/cuda"
+	"repro/internal/workloads"
+)
+
+func run(t *testing.T, cfg workloads.RunConfig) workloads.Result {
+	t.Helper()
+	lib, err := cuda.NewLibrary(cuda.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := crt.NewNative(lib)
+	t.Cleanup(rt.Close)
+	res, err := App().Run(rt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRunsAndConservesEnergySign(t *testing.T) {
+	res := run(t, workloads.RunConfig{Scale: 0.3, Streams: 2, Seed: 7})
+	// The Sedov-like deposit decays but total energy stays positive and
+	// finite.
+	if res.Checksum <= 0 || res.Checksum != res.Checksum /* NaN */ {
+		t.Fatalf("energy checksum = %v", res.Checksum)
+	}
+	if res.Calls.LaunchKernel == 0 {
+		t.Fatal("no kernels launched")
+	}
+}
+
+func TestDeterministicAcrossStreamCounts(t *testing.T) {
+	// Stream partitioning must not change the physics: 1 stream vs 4.
+	a := run(t, workloads.RunConfig{Scale: 0.25, Streams: 1, Seed: 7})
+	b := run(t, workloads.RunConfig{Scale: 0.25, Streams: 4, Seed: 7})
+	if a.Checksum != b.Checksum {
+		t.Fatalf("stream count changed result: %v vs %v", a.Checksum, b.Checksum)
+	}
+}
+
+func TestMetadata(t *testing.T) {
+	app := App()
+	if !app.Char.Streams || app.Char.MinStreams != 2 || app.Char.MaxStreams != 32 {
+		t.Fatalf("characteristics = %+v (paper Table 1: streams 2-32)", app.Char)
+	}
+	if app.Char.UVM {
+		t.Fatal("LULESH does not use UVM in Table 1")
+	}
+	if len(Table()) == 0 || app.KernelTables()[Module] == nil {
+		t.Fatal("kernel table")
+	}
+}

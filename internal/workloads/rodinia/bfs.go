@@ -1,0 +1,158 @@
+package rodinia
+
+import (
+	"sync/atomic"
+
+	"repro/internal/crt"
+	"repro/internal/cuda"
+	"repro/internal/gpusim"
+	"repro/internal/par"
+	"repro/internal/workloads"
+)
+
+const bfsModule = "rodinia.bfs"
+
+// bfsTable holds the BFS kernels: a level-synchronous step in pull
+// (bottom-up) form — each unvisited vertex scans its in-neighbours for a
+// frontier member. Unlike the original's push form (whose same-value
+// writes to shared neighbours are benign on a GPU but undefined in Go's
+// memory model), every vertex is written by exactly one worker, so the
+// kernel is deterministic and race-free.
+func bfsTable() map[string]workloads.Kernel {
+	return map[string]workloads.Kernel{
+		// args: offsets, edges, frontier, next, visited, cost, n, level, done
+		"bfs_step": func(ctx *cuda.DevCtx, _ gpusim.LaunchConfig, args []uint64) {
+			n := int(args[6])
+			level := int32(args[7])
+			offsets := ctx.Int32s(args[0], n+1)
+			frontier := ctx.Int32s(args[2], n)
+			visited := ctx.Int32s(args[4], n)
+			cost := ctx.Int32s(args[5], n)
+			edges := ctx.Int32s(args[1], int(offsets[n]))
+			next := ctx.Int32s(args[3], n)
+			done := ctx.Int32s(args[8], 1)
+			var advanced atomic.Bool
+			par.For(n, 1<<12, func(lo, hi int) {
+				adv := false
+				for v := lo; v < hi; v++ {
+					if visited[v] != 0 {
+						continue
+					}
+					for ei := offsets[v]; ei < offsets[v+1]; ei++ {
+						if frontier[edges[ei]] != 0 {
+							visited[v] = 1
+							cost[v] = level
+							next[v] = 1
+							adv = true
+							break
+						}
+					}
+				}
+				if adv {
+					advanced.Store(true)
+				}
+			})
+			if advanced.Load() {
+				done[0] = 1
+			}
+		},
+	}
+}
+
+// BFS is Rodinia's breadth-first search on a generated graph
+// (graph1MW_6.txt in the paper: 1M nodes, average degree 6).
+func BFS() *workloads.App {
+	return &workloads.App{
+		Name:      "BFS",
+		PaperArgs: "graph1MW_6.txt",
+		Char: workloads.Characteristics{
+			Description: "level-synchronous breadth-first search",
+		},
+		KernelTables: singleTable(bfsModule, bfsTable()),
+		Run: func(rt crt.Runtime, cfg workloads.RunConfig) (workloads.Result, error) {
+			return workloads.Measure(rt, "BFS", func() (float64, map[string]float64, error) {
+				e := workloads.NewEnv(rt)
+				e.RegisterModule(bfsModule, bfsTable())
+
+				n := workloads.ScaleInt(400_000, cfg.EffScale(), 1024)
+				const deg = 6
+				// Build a random graph in host memory (CSR).
+				hOff := e.AppAlloc(uint64(4 * (n + 1)))
+				hEdges := e.AppAlloc(uint64(4 * n * deg))
+				off := e.HostI32(hOff, n+1)
+				edges := e.HostI32(hEdges, n*deg)
+				if e.Err() != nil {
+					return 0, nil, e.Err()
+				}
+				rng := workloads.NewLCG(cfg.Seed + 1)
+				for i := 0; i <= n; i++ {
+					off[i] = int32(i * deg)
+				}
+				for i := range edges {
+					edges[i] = int32(rng.Intn(n))
+				}
+
+				dOff := e.Malloc(uint64(4 * (n + 1)))
+				dEdges := e.Malloc(uint64(4 * n * deg))
+				dFrontier := e.Malloc(uint64(4 * n))
+				dNext := e.Malloc(uint64(4 * n))
+				dVisited := e.Malloc(uint64(4 * n))
+				dCost := e.Malloc(uint64(4 * n))
+				dDone := e.Malloc(4)
+				hScratch := e.AppAlloc(uint64(4 * n))
+
+				e.Memcpy(dOff, hOff, uint64(4*(n+1)), crt.MemcpyHostToDevice)
+				e.Memcpy(dEdges, hEdges, uint64(4*n*deg), crt.MemcpyHostToDevice)
+				e.Memset(dFrontier, 0, uint64(4*n))
+				e.Memset(dNext, 0, uint64(4*n))
+				e.Memset(dVisited, 0, uint64(4*n))
+				e.Memset(dCost, 0, uint64(4*n))
+
+				// Seed: node 0 in the frontier.
+				seed := e.AppAlloc(8)
+				sv := e.HostI32(seed, 1)
+				if e.Err() != nil {
+					return 0, nil, e.Err()
+				}
+				sv[0] = 1
+				e.Memcpy(dFrontier, seed, 4, crt.MemcpyHostToDevice)
+				e.Memcpy(dVisited, seed, 4, crt.MemcpyHostToDevice)
+
+				lc := workloads.Launch1D(n)
+				hDone := e.AppAlloc(8)
+				for level := int32(1); ; level++ {
+					e.Memset(dDone, 0, 4)
+					e.Launch(bfsModule, "bfs_step", lc, crt.DefaultStream,
+						dOff, dEdges, dFrontier, dNext, dVisited, dCost, uint64(n), uint64(level), dDone)
+					e.Memcpy(hDone, dDone, 4, crt.MemcpyDeviceToHost)
+					dv := e.HostI32(hDone, 1)
+					if e.Err() != nil {
+						return 0, nil, e.Err()
+					}
+					if cfg.Hook != nil {
+						if err := cfg.Hook(int(level)); err != nil {
+							return 0, nil, err
+						}
+					}
+					if dv[0] == 0 {
+						break
+					}
+					// Swap frontier and next; clear next.
+					dFrontier, dNext = dNext, dFrontier
+					e.Memset(dNext, 0, uint64(4*n))
+				}
+
+				e.Memcpy(hScratch, dCost, uint64(4*n), crt.MemcpyDeviceToHost)
+				costs := e.HostI32(hScratch, n)
+				if e.Err() != nil {
+					return 0, nil, e.Err()
+				}
+				var sum float64
+				for _, c := range costs {
+					sum += float64(c)
+				}
+				return sum, nil, nil
+			})
+		},
+	}
+}

@@ -1,0 +1,117 @@
+package rodinia
+
+import (
+	"repro/internal/crt"
+	"repro/internal/cuda"
+	"repro/internal/gpusim"
+	"repro/internal/par"
+	"repro/internal/workloads"
+)
+
+const cfdModule = "rodinia.cfd"
+
+// cfdTable holds the euler3d kernels: an unstructured-mesh compressible
+// flow solver reduced to its structure — per-cell flux accumulation over
+// neighbour cells followed by an explicit time step, iterated.
+func cfdTable() map[string]workloads.Kernel {
+	return map[string]workloads.Kernel{
+		// args: vars, nbr, flux, n  (5 conserved variables, 4 neighbours)
+		"compute_flux": func(ctx *cuda.DevCtx, _ gpusim.LaunchConfig, args []uint64) {
+			n := int(args[3])
+			vars := ctx.Float32s(args[0], 5*n)
+			nbr := ctx.Int32s(args[1], 4*n)
+			flux := ctx.Float32s(args[2], 5*n)
+			par.For(n, 1<<11, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					for v := 0; v < 5; v++ {
+						var f float32
+						ci := vars[v*n+i]
+						for k := 0; k < 4; k++ {
+							j := nbr[4*i+k]
+							f += vars[v*n+int(j)] - ci
+						}
+						flux[v*n+i] = f
+					}
+				}
+			})
+		},
+		// args: vars, flux, n, dtBits
+		"time_step": func(ctx *cuda.DevCtx, _ gpusim.LaunchConfig, args []uint64) {
+			n := int(args[2])
+			dt := f32arg(args[3])
+			vars := ctx.Float32s(args[0], 5*n)
+			flux := ctx.Float32s(args[1], 5*n)
+			par.For(5*n, 1<<13, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					vars[i] += dt * flux[i]
+				}
+			})
+		},
+	}
+}
+
+// CFD is Rodinia's euler3d (fvcorr.domn.193K in the paper: 193K-cell
+// unstructured mesh).
+func CFD() *workloads.App {
+	return &workloads.App{
+		Name:      "CFD",
+		PaperArgs: "fvcorr.domn.193K",
+		Char: workloads.Characteristics{
+			Description: "unstructured-mesh Euler solver (euler3d)",
+		},
+		KernelTables: singleTable(cfdModule, cfdTable()),
+		Run: func(rt crt.Runtime, cfg workloads.RunConfig) (workloads.Result, error) {
+			return workloads.Measure(rt, "CFD", func() (float64, map[string]float64, error) {
+				e := workloads.NewEnv(rt)
+				e.RegisterModule(cfdModule, cfdTable())
+
+				n := workloads.ScaleInt(12_000, cfg.EffScale(), 256)
+				iters := workloads.ScaleInt(900, cfg.EffScale(), 20)
+
+				hVars := e.AppAlloc(uint64(4 * 5 * n))
+				hNbr := e.AppAlloc(uint64(4 * 4 * n))
+				vars := e.HostF32(hVars, 5*n)
+				nbr := e.HostI32(hNbr, 4*n)
+				if e.Err() != nil {
+					return 0, nil, e.Err()
+				}
+				rng := workloads.NewLCG(cfg.Seed + 2)
+				for i := range vars {
+					vars[i] = 0.5 + rng.Float32()
+				}
+				for i := range nbr {
+					nbr[i] = int32(rng.Intn(n))
+				}
+
+				dVars := e.Malloc(uint64(4 * 5 * n))
+				dNbr := e.Malloc(uint64(4 * 4 * n))
+				dFlux := e.Malloc(uint64(4 * 5 * n))
+				e.Memcpy(dVars, hVars, uint64(4*5*n), crt.MemcpyHostToDevice)
+				e.Memcpy(dNbr, hNbr, uint64(4*4*n), crt.MemcpyHostToDevice)
+
+				lc := workloads.Launch1D(n)
+				const dt = 1e-4
+				for it := 0; it < iters; it++ {
+					e.Launch(cfdModule, "compute_flux", lc, crt.DefaultStream, dVars, dNbr, dFlux, uint64(n))
+					e.Launch(cfdModule, "time_step", lc, crt.DefaultStream, dVars, dFlux, uint64(n), f32bits(dt))
+					if cfg.Hook != nil {
+						if err := cfg.Hook(it); err != nil {
+							return 0, nil, err
+						}
+					}
+				}
+				e.DeviceSync()
+				e.Memcpy(hVars, dVars, uint64(4*5*n), crt.MemcpyDeviceToHost)
+				out := e.HostF32(hVars, 5*n)
+				if e.Err() != nil {
+					return 0, nil, e.Err()
+				}
+				var sum float64
+				for _, v := range out {
+					sum += float64(v)
+				}
+				return sum, nil, nil
+			})
+		},
+	}
+}

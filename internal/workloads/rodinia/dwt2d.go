@@ -1,0 +1,128 @@
+package rodinia
+
+import (
+	"repro/internal/crt"
+	"repro/internal/cuda"
+	"repro/internal/gpusim"
+	"repro/internal/par"
+	"repro/internal/workloads"
+)
+
+const dwtModule = "rodinia.dwt2d"
+
+// dwtTable holds the 2-D discrete wavelet transform kernels: a Haar
+// lifting step applied to rows then columns, per decomposition level —
+// the structure of Rodinia's dwt2d. The paper's run ("-f -5 -l 100000")
+// repeats the forward 5-level transform many times, making DWT2D the
+// most call-intensive Rodinia benchmark (≈800K CUDA calls).
+func dwtTable() map[string]workloads.Kernel {
+	return map[string]workloads.Kernel{
+		// args: img, tmp, w, h, level  (transform rows of the w×h top-left block)
+		"dwt_rows": func(ctx *cuda.DevCtx, _ gpusim.LaunchConfig, args []uint64) {
+			w, h := int(args[2]), int(args[3])
+			stride := int(args[4])
+			img := ctx.Float32s(args[0], stride*h)
+			tmp := ctx.Float32s(args[1], stride*h)
+			half := w / 2
+			par.For(h, 64, func(lo, hi int) {
+				for y := lo; y < hi; y++ {
+					row := img[y*stride : y*stride+w]
+					out := tmp[y*stride : y*stride+w]
+					for x := 0; x < half; x++ {
+						a, b := row[2*x], row[2*x+1]
+						out[x] = (a + b) * 0.5
+						out[half+x] = (a - b) * 0.5
+					}
+					copy(row, out)
+				}
+			})
+		},
+		// args: img, tmp, w, h, stride  (transform columns)
+		"dwt_cols": func(ctx *cuda.DevCtx, _ gpusim.LaunchConfig, args []uint64) {
+			w, h := int(args[2]), int(args[3])
+			stride := int(args[4])
+			img := ctx.Float32s(args[0], stride*h)
+			tmp := ctx.Float32s(args[1], stride*h)
+			half := h / 2
+			par.For(w, 64, func(lo, hi int) {
+				for x := lo; x < hi; x++ {
+					for y := 0; y < half; y++ {
+						a, b := img[(2*y)*stride+x], img[(2*y+1)*stride+x]
+						tmp[y*stride+x] = (a + b) * 0.5
+						tmp[(half+y)*stride+x] = (a - b) * 0.5
+					}
+					for y := 0; y < h; y++ {
+						img[y*stride+x] = tmp[y*stride+x]
+					}
+				}
+			})
+		},
+	}
+}
+
+// DWT2D is Rodinia's 2-D discrete wavelet transform.
+func DWT2D() *workloads.App {
+	return &workloads.App{
+		Name:      "DWT2D",
+		PaperArgs: "rgb.bmp -d 1024x1024 -f -5 -l 100000",
+		Char: workloads.Characteristics{
+			Description: "repeated forward 5-level 2-D Haar wavelet transform",
+		},
+		KernelTables: singleTable(dwtModule, dwtTable()),
+		Run: func(rt crt.Runtime, cfg workloads.RunConfig) (workloads.Result, error) {
+			return workloads.Measure(rt, "DWT2D", func() (float64, map[string]float64, error) {
+				e := workloads.NewEnv(rt)
+				e.RegisterModule(dwtModule, dwtTable())
+
+				size := workloads.ScaleInt(256, cfg.EffScale(), 32) // image side
+				reps := workloads.ScaleInt(1500, cfg.EffScale(), 10)
+				const levels = 5
+
+				px := size * size
+				hImg := e.AppAlloc(uint64(4 * px))
+				img := e.HostF32(hImg, px)
+				if e.Err() != nil {
+					return 0, nil, e.Err()
+				}
+				rng := workloads.NewLCG(cfg.Seed + 3)
+				for i := range img {
+					img[i] = rng.Float32() * 255
+				}
+				dImg := e.Malloc(uint64(4 * px))
+				dTmp := e.Malloc(uint64(4 * px))
+				e.Memcpy(dImg, hImg, uint64(4*px), crt.MemcpyHostToDevice)
+
+				for rep := 0; rep < reps; rep++ {
+					w, h := size, size
+					for lvl := 0; lvl < levels && w >= 2 && h >= 2; lvl++ {
+						lc := workloads.Launch2D(w, h)
+						e.Launch(dwtModule, "dwt_rows", lc, crt.DefaultStream,
+							dImg, dTmp, uint64(w), uint64(h), uint64(size))
+						e.Launch(dwtModule, "dwt_cols", lc, crt.DefaultStream,
+							dImg, dTmp, uint64(w), uint64(h), uint64(size))
+						w, h = w/2, h/2
+					}
+					if cfg.Hook != nil {
+						if err := cfg.Hook(rep); err != nil {
+							return 0, nil, err
+						}
+					}
+					if e.Err() != nil {
+						return 0, nil, e.Err()
+					}
+				}
+				e.DeviceSync()
+				e.Memcpy(hImg, dImg, uint64(4*px), crt.MemcpyDeviceToHost)
+				out := e.HostF32(hImg, px)
+				if e.Err() != nil {
+					return 0, nil, e.Err()
+				}
+				var sum float64
+				for _, v := range out {
+					sum += float64(v)
+				}
+				return sum, nil, nil
+			})
+		},
+	}
+}

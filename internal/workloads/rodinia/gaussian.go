@@ -1,0 +1,136 @@
+package rodinia
+
+import (
+	"repro/internal/crt"
+	"repro/internal/cuda"
+	"repro/internal/gpusim"
+	"repro/internal/par"
+	"repro/internal/workloads"
+)
+
+const gaussianModule = "rodinia.gaussian"
+
+// gaussianTable holds the Gaussian-elimination kernels (Fan1/Fan2 in
+// Rodinia): per pivot column, compute the multiplier column, then update
+// the trailing submatrix and right-hand side.
+func gaussianTable() map[string]workloads.Kernel {
+	return map[string]workloads.Kernel{
+		// args: a, m, n, k  — m[i] = a[i*n+k] / a[k*n+k] for i > k
+		"fan1": func(ctx *cuda.DevCtx, _ gpusim.LaunchConfig, args []uint64) {
+			n, k := int(args[2]), int(args[3])
+			a := ctx.Float32s(args[0], n*n)
+			m := ctx.Float32s(args[1], n)
+			pivot := a[k*n+k]
+			if pivot == 0 {
+				pivot = 1e-20
+			}
+			for i := k + 1; i < n; i++ {
+				m[i] = a[i*n+k] / pivot
+			}
+		},
+		// args: a, b, m, n, k — subtract m[i]*row(k) from row(i) for i > k
+		"fan2": func(ctx *cuda.DevCtx, _ gpusim.LaunchConfig, args []uint64) {
+			n, k := int(args[3]), int(args[4])
+			a := ctx.Float32s(args[0], n*n)
+			b := ctx.Float32s(args[1], n)
+			m := ctx.Float32s(args[2], n)
+			rows := n - k - 1
+			if rows <= 0 {
+				return
+			}
+			par.For(rows, 32, func(lo, hi int) {
+				for r := lo; r < hi; r++ {
+					i := k + 1 + r
+					mi := m[i]
+					rowK := a[k*n : k*n+n]
+					rowI := a[i*n : i*n+n]
+					for j := k; j < n; j++ {
+						rowI[j] -= mi * rowK[j]
+					}
+					b[i] -= mi * b[k]
+				}
+			})
+		},
+	}
+}
+
+// Gaussian is Rodinia's Gaussian elimination (-s 8192 in the paper).
+func Gaussian() *workloads.App {
+	return &workloads.App{
+		Name:      "Gaussian",
+		PaperArgs: "-s 8192 -q",
+		Char: workloads.Characteristics{
+			Description: "dense Gaussian elimination (Fan1/Fan2 kernels)",
+		},
+		KernelTables: singleTable(gaussianModule, gaussianTable()),
+		Run: func(rt crt.Runtime, cfg workloads.RunConfig) (workloads.Result, error) {
+			return workloads.Measure(rt, "Gaussian", func() (float64, map[string]float64, error) {
+				e := workloads.NewEnv(rt)
+				e.RegisterModule(gaussianModule, gaussianTable())
+
+				n := workloads.ScaleInt(512, cfg.EffScale(), 32)
+
+				hA := e.AppAlloc(uint64(4 * n * n))
+				hB := e.AppAlloc(uint64(4 * n))
+				av := e.HostF32(hA, n*n)
+				bv := e.HostF32(hB, n)
+				if e.Err() != nil {
+					return 0, nil, e.Err()
+				}
+				rng := workloads.NewLCG(cfg.Seed + 4)
+				for i := 0; i < n; i++ {
+					for j := 0; j < n; j++ {
+						av[i*n+j] = rng.Float32()
+						if i == j {
+							av[i*n+j] += float32(n) // diagonally dominant
+						}
+					}
+					bv[i] = rng.Float32()
+				}
+
+				dA := e.Malloc(uint64(4 * n * n))
+				dB := e.Malloc(uint64(4 * n))
+				dM := e.Malloc(uint64(4 * n))
+				e.Memcpy(dA, hA, uint64(4*n*n), crt.MemcpyHostToDevice)
+				e.Memcpy(dB, hB, uint64(4*n), crt.MemcpyHostToDevice)
+
+				for k := 0; k < n-1; k++ {
+					e.Launch(gaussianModule, "fan1", workloads.Launch1D(n), crt.DefaultStream,
+						dA, dM, uint64(n), uint64(k))
+					e.Launch(gaussianModule, "fan2", workloads.Launch2D(n, n), crt.DefaultStream,
+						dA, dB, dM, uint64(n), uint64(k))
+					if cfg.Hook != nil {
+						if err := cfg.Hook(k); err != nil {
+							return 0, nil, err
+						}
+					}
+					if e.Err() != nil {
+						return 0, nil, e.Err()
+					}
+				}
+				e.DeviceSync()
+				// Back substitution on the host, as the original does.
+				e.Memcpy(hA, dA, uint64(4*n*n), crt.MemcpyDeviceToHost)
+				e.Memcpy(hB, dB, uint64(4*n), crt.MemcpyDeviceToHost)
+				av = e.HostF32(hA, n*n)
+				bv = e.HostF32(hB, n)
+				if e.Err() != nil {
+					return 0, nil, e.Err()
+				}
+				x := make([]float32, n)
+				for i := n - 1; i >= 0; i-- {
+					s := bv[i]
+					for j := i + 1; j < n; j++ {
+						s -= av[i*n+j] * x[j]
+					}
+					x[i] = s / av[i*n+i]
+				}
+				var sum float64
+				for _, v := range x {
+					sum += float64(v)
+				}
+				return sum, nil, nil
+			})
+		},
+	}
+}

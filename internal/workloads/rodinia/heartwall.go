@@ -1,0 +1,159 @@
+package rodinia
+
+import (
+	"repro/internal/crt"
+	"repro/internal/cuda"
+	"repro/internal/gpusim"
+	"repro/internal/par"
+	"repro/internal/workloads"
+)
+
+const heartwallModule = "rodinia.heartwall"
+
+// heartwallTable holds the Heartwall kernels: per video frame, a
+// template-correlation pass around each tracking point. Faithful to the
+// original's structure, the host allocates fresh per-frame device
+// buffers and frees them afterwards — Heartwall is one of the two
+// Figure 3 outliers whose restart outweighs its checkpoint because CRAC
+// replays that long cudaMalloc/cudaFree history (Section 4.4.1).
+func heartwallTable() map[string]workloads.Kernel {
+	return map[string]workloads.Kernel{
+		// args: frame, pts, scores, w, h, npts, win
+		"track": func(ctx *cuda.DevCtx, _ gpusim.LaunchConfig, args []uint64) {
+			w, h := int(args[3]), int(args[4])
+			npts := int(args[5])
+			win := int(args[6])
+			frame := ctx.Float32s(args[0], w*h)
+			pts := ctx.Int32s(args[1], 2*npts)
+			scores := ctx.Float32s(args[2], npts)
+			par.For(npts, 4, func(lo, hi int) {
+				for p := lo; p < hi; p++ {
+					cx, cy := int(pts[2*p]), int(pts[2*p+1])
+					var acc float64
+					for dy := -win; dy <= win; dy++ {
+						y := cy + dy
+						if y < 0 || y >= h {
+							continue
+						}
+						for dx := -win; dx <= win; dx++ {
+							x := cx + dx
+							if x < 0 || x >= w {
+								continue
+							}
+							v := float64(frame[y*w+x])
+							acc += v * v
+						}
+					}
+					scores[p] = float32(acc)
+				}
+			})
+		},
+		// args: scores, pts, npts, w, h — drift each point by its score
+		"advance": func(ctx *cuda.DevCtx, _ gpusim.LaunchConfig, args []uint64) {
+			npts := int(args[2])
+			w, h := int(args[3]), int(args[4])
+			scores := ctx.Float32s(args[0], npts)
+			pts := ctx.Int32s(args[1], 2*npts)
+			for p := 0; p < npts; p++ {
+				dx := int32(scores[p]) % 3
+				pts[2*p] = (pts[2*p] + dx + int32(w)) % int32(w)
+				pts[2*p+1] = (pts[2*p+1] + 1) % int32(h)
+			}
+		},
+	}
+}
+
+// Heartwall is Rodinia's heart-wall tracking (test.avi, 104 frames in
+// the paper).
+func Heartwall() *workloads.App {
+	return &workloads.App{
+		Name:      "Heartwall",
+		PaperArgs: "test.avi 104",
+		Char: workloads.Characteristics{
+			Description: "ultrasound heart-wall tracking; per-frame cudaMalloc/cudaFree churn",
+		},
+		KernelTables: singleTable(heartwallModule, heartwallTable()),
+		Run: func(rt crt.Runtime, cfg workloads.RunConfig) (workloads.Result, error) {
+			return workloads.Measure(rt, "Heartwall", func() (float64, map[string]float64, error) {
+				e := workloads.NewEnv(rt)
+				e.RegisterModule(heartwallModule, heartwallTable())
+
+				w := workloads.ScaleInt(256, cfg.EffScale(), 64)
+				h := w
+				frames := workloads.ScaleInt(104, cfg.EffScale(), 8)
+				npts := 48
+				const win = 10
+
+				hFrame := e.AppAlloc(uint64(4 * w * h))
+				hPts := e.AppAlloc(uint64(4 * 2 * npts))
+				hScores := e.AppAlloc(uint64(4 * npts))
+				pv := e.HostI32(hPts, 2*npts)
+				if e.Err() != nil {
+					return 0, nil, e.Err()
+				}
+				rng := workloads.NewLCG(cfg.Seed + 5)
+				for i := range pv {
+					pv[i] = int32(rng.Intn(w))
+				}
+
+				// Persistent point state on the device.
+				dPts := e.Malloc(uint64(4 * 2 * npts))
+				e.Memcpy(dPts, hPts, uint64(4*2*npts), crt.MemcpyHostToDevice)
+
+				var sum float64
+				for f := 0; f < frames; f++ {
+					// Synthesize the frame (stand-in for AVI decode).
+					// The view is re-acquired each frame: a checkpoint and
+					// restart may have replaced the backing memory.
+					fv := e.HostF32(hFrame, w*h)
+					if e.Err() != nil {
+						return 0, nil, e.Err()
+					}
+					for i := range fv {
+						fv[i] = rng.Float32()
+					}
+					// Fresh per-frame device buffers — the original
+					// allocates dozens of working arrays per frame, the
+					// allocation pattern that stresses restart replay.
+					dFrame := e.Malloc(uint64(4 * w * h))
+					dScores := e.Malloc(uint64(4 * npts))
+					var scratch [6]uint64
+					for si := range scratch {
+						scratch[si] = e.Malloc(uint64(4 * w))
+					}
+					e.Memcpy(dFrame, hFrame, uint64(4*w*h), crt.MemcpyHostToDevice)
+					e.Launch(heartwallModule, "track", workloads.Launch1D(npts), crt.DefaultStream,
+						dFrame, dPts, dScores, uint64(w), uint64(h), uint64(npts), uint64(win))
+					e.Launch(heartwallModule, "advance", workloads.Launch1D(npts), crt.DefaultStream,
+						dScores, dPts, uint64(npts), uint64(w), uint64(h))
+					e.Memcpy(hScores, dScores, uint64(4*npts), crt.MemcpyDeviceToHost)
+					sv := e.HostF32(hScores, npts)
+					if e.Err() != nil {
+						return 0, nil, e.Err()
+					}
+					for _, s := range sv {
+						sum += float64(s)
+					}
+					for si := len(scratch) - 1; si >= 0; si-- {
+						e.Free(scratch[si])
+					}
+					e.Free(dScores)
+					e.Free(dFrame)
+					if cfg.Hook != nil {
+						if err := cfg.Hook(f); err != nil {
+							return 0, nil, err
+						}
+					}
+					if e.Err() != nil {
+						return 0, nil, e.Err()
+					}
+				}
+				e.DeviceSync()
+				if e.Err() != nil {
+					return 0, nil, e.Err()
+				}
+				return sum, nil, nil
+			})
+		},
+	}
+}

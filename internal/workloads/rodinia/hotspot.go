@@ -1,0 +1,115 @@
+package rodinia
+
+import (
+	"repro/internal/crt"
+	"repro/internal/cuda"
+	"repro/internal/gpusim"
+	"repro/internal/par"
+	"repro/internal/workloads"
+)
+
+const hotspotModule = "rodinia.hotspot"
+
+// hotspotTable holds the Hotspot kernel: one step of the thermal
+// simulation combining the power map with a 5-point diffusion stencil.
+func hotspotTable() map[string]workloads.Kernel {
+	return map[string]workloads.Kernel{
+		// args: temp, power, out, w, h, capBits
+		"hotspot_step": func(ctx *cuda.DevCtx, _ gpusim.LaunchConfig, args []uint64) {
+			w, h := int(args[3]), int(args[4])
+			cap := f32arg(args[5])
+			temp := ctx.Float32s(args[0], w*h)
+			power := ctx.Float32s(args[1], w*h)
+			out := ctx.Float32s(args[2], w*h)
+			par.For(h, 64, func(lo, hi int) {
+				for y := lo; y < hi; y++ {
+					for x := 0; x < w; x++ {
+						i := y*w + x
+						c := temp[i]
+						up, down, left, right := c, c, c, c
+						if y > 0 {
+							up = temp[i-w]
+						}
+						if y < h-1 {
+							down = temp[i+w]
+						}
+						if x > 0 {
+							left = temp[i-1]
+						}
+						if x < w-1 {
+							right = temp[i+1]
+						}
+						out[i] = c + cap*(power[i]+(up+down+left+right-4*c)*0.25)
+					}
+				}
+			})
+		},
+	}
+}
+
+// Hotspot is Rodinia's 2-D thermal simulation (512×512 in the paper).
+func Hotspot() *workloads.App {
+	return &workloads.App{
+		Name:      "Hotspot",
+		PaperArgs: "temp_512 power_512 output.out",
+		Char: workloads.Characteristics{
+			Description: "2-D transient thermal simulation (5-point stencil + power map)",
+		},
+		KernelTables: singleTable(hotspotModule, hotspotTable()),
+		Run: func(rt crt.Runtime, cfg workloads.RunConfig) (workloads.Result, error) {
+			return workloads.Measure(rt, "Hotspot", func() (float64, map[string]float64, error) {
+				e := workloads.NewEnv(rt)
+				e.RegisterModule(hotspotModule, hotspotTable())
+
+				side := workloads.ScaleInt(512, cfg.EffScale(), 32)
+				iters := workloads.ScaleInt(240, cfg.EffScale(), 10)
+				px := side * side
+
+				hTemp := e.AppAlloc(uint64(4 * px))
+				hPower := e.AppAlloc(uint64(4 * px))
+				tv := e.HostF32(hTemp, px)
+				pw := e.HostF32(hPower, px)
+				if e.Err() != nil {
+					return 0, nil, e.Err()
+				}
+				rng := workloads.NewLCG(cfg.Seed + 6)
+				for i := range tv {
+					tv[i] = 320 + 10*rng.Float32()
+					pw[i] = rng.Float32() * 0.01
+				}
+
+				dTemp := e.Malloc(uint64(4 * px))
+				dPower := e.Malloc(uint64(4 * px))
+				dOut := e.Malloc(uint64(4 * px))
+				e.Memcpy(dTemp, hTemp, uint64(4*px), crt.MemcpyHostToDevice)
+				e.Memcpy(dPower, hPower, uint64(4*px), crt.MemcpyHostToDevice)
+
+				lc := workloads.Launch2D(side, side)
+				for it := 0; it < iters; it++ {
+					e.Launch(hotspotModule, "hotspot_step", lc, crt.DefaultStream,
+						dTemp, dPower, dOut, uint64(side), uint64(side), f32bits(0.5))
+					dTemp, dOut = dOut, dTemp
+					if cfg.Hook != nil {
+						if err := cfg.Hook(it); err != nil {
+							return 0, nil, err
+						}
+					}
+					if e.Err() != nil {
+						return 0, nil, e.Err()
+					}
+				}
+				e.DeviceSync()
+				e.Memcpy(hTemp, dTemp, uint64(4*px), crt.MemcpyDeviceToHost)
+				out := e.HostF32(hTemp, px)
+				if e.Err() != nil {
+					return 0, nil, e.Err()
+				}
+				var sum float64
+				for _, v := range out {
+					sum += float64(v)
+				}
+				return sum, nil, nil
+			})
+		},
+	}
+}

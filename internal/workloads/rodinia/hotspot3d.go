@@ -1,0 +1,119 @@
+package rodinia
+
+import (
+	"repro/internal/crt"
+	"repro/internal/cuda"
+	"repro/internal/gpusim"
+	"repro/internal/par"
+	"repro/internal/workloads"
+)
+
+const hotspot3dModule = "rodinia.hotspot3d"
+
+// hotspot3dTable holds the Hotspot3D kernel: a 7-point thermal stencil
+// over a 3-D chip stack.
+func hotspot3dTable() map[string]workloads.Kernel {
+	return map[string]workloads.Kernel{
+		// args: temp, power, out, w, h, d, capBits
+		"hotspot3d_step": func(ctx *cuda.DevCtx, _ gpusim.LaunchConfig, args []uint64) {
+			w, h, d := int(args[3]), int(args[4]), int(args[5])
+			cap := f32arg(args[6])
+			temp := ctx.Float32s(args[0], w*h*d)
+			power := ctx.Float32s(args[1], w*h*d)
+			out := ctx.Float32s(args[2], w*h*d)
+			plane := w * h
+			par.For(d, 4, func(lo, hi int) {
+				for z := lo; z < hi; z++ {
+					for y := 0; y < h; y++ {
+						for x := 0; x < w; x++ {
+							i := z*plane + y*w + x
+							c := temp[i]
+							get := func(j int, ok bool) float32 {
+								if ok {
+									return temp[j]
+								}
+								return c
+							}
+							up := get(i-w, y > 0)
+							down := get(i+w, y < h-1)
+							left := get(i-1, x > 0)
+							right := get(i+1, x < w-1)
+							below := get(i-plane, z > 0)
+							above := get(i+plane, z < d-1)
+							out[i] = c + cap*(power[i]+(up+down+left+right+below+above-6*c)/6)
+						}
+					}
+				}
+			})
+		},
+	}
+}
+
+// Hotspot3D is Rodinia's 3-D thermal simulation (512×512×8, 1000
+// iterations in the paper).
+func Hotspot3D() *workloads.App {
+	return &workloads.App{
+		Name:      "Hotspot3D",
+		PaperArgs: "512 8 1000 power_512x8 temp_512x8 output.out",
+		Char: workloads.Characteristics{
+			Description: "3-D transient thermal simulation (7-point stencil)",
+		},
+		KernelTables: singleTable(hotspot3dModule, hotspot3dTable()),
+		Run: func(rt crt.Runtime, cfg workloads.RunConfig) (workloads.Result, error) {
+			return workloads.Measure(rt, "Hotspot3D", func() (float64, map[string]float64, error) {
+				e := workloads.NewEnv(rt)
+				e.RegisterModule(hotspot3dModule, hotspot3dTable())
+
+				side := workloads.ScaleInt(256, cfg.EffScale(), 32)
+				depth := 8
+				iters := workloads.ScaleInt(120, cfg.EffScale(), 8)
+				vox := side * side * depth
+
+				hTemp := e.AppAlloc(uint64(4 * vox))
+				hPower := e.AppAlloc(uint64(4 * vox))
+				tv := e.HostF32(hTemp, vox)
+				pw := e.HostF32(hPower, vox)
+				if e.Err() != nil {
+					return 0, nil, e.Err()
+				}
+				rng := workloads.NewLCG(cfg.Seed + 7)
+				for i := range tv {
+					tv[i] = 300 + 20*rng.Float32()
+					pw[i] = rng.Float32() * 0.02
+				}
+
+				dTemp := e.Malloc(uint64(4 * vox))
+				dPower := e.Malloc(uint64(4 * vox))
+				dOut := e.Malloc(uint64(4 * vox))
+				e.Memcpy(dTemp, hTemp, uint64(4*vox), crt.MemcpyHostToDevice)
+				e.Memcpy(dPower, hPower, uint64(4*vox), crt.MemcpyHostToDevice)
+
+				lc := workloads.Launch2D(side, side)
+				for it := 0; it < iters; it++ {
+					e.Launch(hotspot3dModule, "hotspot3d_step", lc, crt.DefaultStream,
+						dTemp, dPower, dOut, uint64(side), uint64(side), uint64(depth), f32bits(0.3))
+					dTemp, dOut = dOut, dTemp
+					if cfg.Hook != nil {
+						if err := cfg.Hook(it); err != nil {
+							return 0, nil, err
+						}
+					}
+					if e.Err() != nil {
+						return 0, nil, e.Err()
+					}
+				}
+				e.DeviceSync()
+				e.Memcpy(hTemp, dTemp, uint64(4*vox), crt.MemcpyDeviceToHost)
+				out := e.HostF32(hTemp, vox)
+				if e.Err() != nil {
+					return 0, nil, e.Err()
+				}
+				var sum float64
+				for _, v := range out {
+					sum += float64(v)
+				}
+				return sum, nil, nil
+			})
+		},
+	}
+}

@@ -1,0 +1,130 @@
+package rodinia
+
+import (
+	"repro/internal/crt"
+	"repro/internal/cuda"
+	"repro/internal/gpusim"
+	"repro/internal/par"
+	"repro/internal/workloads"
+)
+
+const kmeansModule = "rodinia.kmeans"
+
+// kmeansTable holds the K-means kernels: point-to-centroid assignment on
+// the device; the (small) centroid update runs on the host, as in the
+// original.
+func kmeansTable() map[string]workloads.Kernel {
+	return map[string]workloads.Kernel{
+		// args: points, centroids, membership, n, d, k
+		"assign": func(ctx *cuda.DevCtx, _ gpusim.LaunchConfig, args []uint64) {
+			n, d, k := int(args[3]), int(args[4]), int(args[5])
+			pts := ctx.Float32s(args[0], n*d)
+			cent := ctx.Float32s(args[1], k*d)
+			member := ctx.Int32s(args[2], n)
+			par.For(n, 1<<11, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					pi := pts[i*d : (i+1)*d]
+					best, bestDist := 0, float32(1e30)
+					for c := 0; c < k; c++ {
+						cc := cent[c*d : (c+1)*d]
+						var dist float32
+						for j := 0; j < d; j++ {
+							diff := pi[j] - cc[j]
+							dist += diff * diff
+						}
+						if dist < bestDist {
+							best, bestDist = c, dist
+						}
+					}
+					member[i] = int32(best)
+				}
+			})
+		},
+	}
+}
+
+// Kmeans is Rodinia's K-means clustering (kdd_cup, -l 1000 in the
+// paper).
+func Kmeans() *workloads.App {
+	return &workloads.App{
+		Name:      "Kmeans",
+		PaperArgs: "kdd_cup -l 1000",
+		Char: workloads.Characteristics{
+			Description: "K-means clustering; device assignment, host centroid update",
+		},
+		KernelTables: singleTable(kmeansModule, kmeansTable()),
+		Run: func(rt crt.Runtime, cfg workloads.RunConfig) (workloads.Result, error) {
+			return workloads.Measure(rt, "Kmeans", func() (float64, map[string]float64, error) {
+				e := workloads.NewEnv(rt)
+				e.RegisterModule(kmeansModule, kmeansTable())
+
+				n := workloads.ScaleInt(32_000, cfg.EffScale(), 512)
+				iters := workloads.ScaleInt(150, cfg.EffScale(), 8)
+				const d, k = 16, 8
+
+				hPts := e.AppAlloc(uint64(4 * n * d))
+				hCent := e.AppAlloc(uint64(4 * k * d))
+				hMember := e.AppAlloc(uint64(4 * n))
+				pts := e.HostF32(hPts, n*d)
+				cent := e.HostF32(hCent, k*d)
+				if e.Err() != nil {
+					return 0, nil, e.Err()
+				}
+				rng := workloads.NewLCG(cfg.Seed + 8)
+				for i := range pts {
+					pts[i] = rng.Float32()
+				}
+				copy(cent, pts[:k*d]) // first k points seed the centroids
+
+				dPts := e.Malloc(uint64(4 * n * d))
+				dCent := e.Malloc(uint64(4 * k * d))
+				dMember := e.Malloc(uint64(4 * n))
+				e.Memcpy(dPts, hPts, uint64(4*n*d), crt.MemcpyHostToDevice)
+
+				lc := workloads.Launch1D(n)
+				for it := 0; it < iters; it++ {
+					e.Memcpy(dCent, hCent, uint64(4*k*d), crt.MemcpyHostToDevice)
+					e.Launch(kmeansModule, "assign", lc, crt.DefaultStream,
+						dPts, dCent, dMember, uint64(n), uint64(d), uint64(k))
+					e.Memcpy(hMember, dMember, uint64(4*n), crt.MemcpyDeviceToHost)
+					member := e.HostI32(hMember, n)
+					cent = e.HostF32(hCent, k*d)
+					if e.Err() != nil {
+						return 0, nil, e.Err()
+					}
+					// Host-side centroid update.
+					var counts [k]int
+					for i := range cent {
+						cent[i] = 0
+					}
+					for i := 0; i < n; i++ {
+						c := int(member[i])
+						counts[c]++
+						for j := 0; j < d; j++ {
+							cent[c*d+j] += pts[i*d+j]
+						}
+					}
+					for c := 0; c < k; c++ {
+						if counts[c] == 0 {
+							continue
+						}
+						inv := 1 / float32(counts[c])
+						for j := 0; j < d; j++ {
+							cent[c*d+j] *= inv
+						}
+					}
+					if cfg.Hook != nil {
+						if err := cfg.Hook(it); err != nil {
+							return 0, nil, err
+						}
+					}
+				}
+				var sum float64
+				for _, v := range cent {
+					sum += float64(v)
+				}
+				return sum, nil, nil
+			})
+		},
+	}
+}

@@ -1,0 +1,139 @@
+package rodinia
+
+import (
+	"repro/internal/crt"
+	"repro/internal/cuda"
+	"repro/internal/gpusim"
+	"repro/internal/par"
+	"repro/internal/workloads"
+)
+
+const leukocyteModule = "rodinia.leukocyte"
+
+// leukocyteTable holds the Leukocyte kernels: per video frame, a
+// GICOV-style gradient score over the image followed by a dilation pass,
+// the two device stages of Rodinia's leukocyte tracker.
+func leukocyteTable() map[string]workloads.Kernel {
+	return map[string]workloads.Kernel{
+		// args: img, score, w, h — gradient inner-product score
+		"gicov": func(ctx *cuda.DevCtx, _ gpusim.LaunchConfig, args []uint64) {
+			w, h := int(args[2]), int(args[3])
+			img := ctx.Float32s(args[0], w*h)
+			score := ctx.Float32s(args[1], w*h)
+			par.For(h, 32, func(lo, hi int) {
+				for y := lo; y < hi; y++ {
+					for x := 0; x < w; x++ {
+						i := y*w + x
+						gx, gy := float32(0), float32(0)
+						if x > 0 && x < w-1 {
+							gx = (img[i+1] - img[i-1]) * 0.5
+						}
+						if y > 0 && y < h-1 {
+							gy = (img[i+w] - img[i-w]) * 0.5
+						}
+						score[i] = gx*gx + gy*gy
+					}
+				}
+			})
+		},
+		// args: score, out, w, h, radius — max-dilation
+		"dilate": func(ctx *cuda.DevCtx, _ gpusim.LaunchConfig, args []uint64) {
+			w, h := int(args[2]), int(args[3])
+			r := int(args[4])
+			score := ctx.Float32s(args[0], w*h)
+			out := ctx.Float32s(args[1], w*h)
+			par.For(h, 32, func(lo, hi int) {
+				for y := lo; y < hi; y++ {
+					for x := 0; x < w; x++ {
+						best := float32(0)
+						for dy := -r; dy <= r; dy++ {
+							yy := y + dy
+							if yy < 0 || yy >= h {
+								continue
+							}
+							for dx := -r; dx <= r; dx++ {
+								xx := x + dx
+								if xx < 0 || xx >= w {
+									continue
+								}
+								if v := score[yy*w+xx]; v > best {
+									best = v
+								}
+							}
+						}
+						out[y*w+x] = best
+					}
+				}
+			})
+		},
+	}
+}
+
+// Leukocyte is Rodinia's white-blood-cell tracker (testfile.avi, 500
+// frames in the paper).
+func Leukocyte() *workloads.App {
+	return &workloads.App{
+		Name:      "Leukocyte",
+		PaperArgs: "testfile.avi 500",
+		Char: workloads.Characteristics{
+			Description: "leukocyte detection and tracking (GICOV + dilation per frame)",
+		},
+		KernelTables: singleTable(leukocyteModule, leukocyteTable()),
+		Run: func(rt crt.Runtime, cfg workloads.RunConfig) (workloads.Result, error) {
+			return workloads.Measure(rt, "Leukocyte", func() (float64, map[string]float64, error) {
+				e := workloads.NewEnv(rt)
+				e.RegisterModule(leukocyteModule, leukocyteTable())
+
+				w := workloads.ScaleInt(224, cfg.EffScale(), 40)
+				h := w
+				frames := workloads.ScaleInt(90, cfg.EffScale(), 6)
+				const radius = 2
+				px := w * h
+
+				hImg := e.AppAlloc(uint64(4 * px))
+				hOut := e.AppAlloc(uint64(4 * px))
+				rng := workloads.NewLCG(cfg.Seed + 10)
+
+				dImg := e.Malloc(uint64(4 * px))
+				dScore := e.Malloc(uint64(4 * px))
+				dOut := e.Malloc(uint64(4 * px))
+
+				lc := workloads.Launch2D(w, h)
+				var sum float64
+				for f := 0; f < frames; f++ {
+					// Re-acquired per frame: restart may replace the backing.
+					iv := e.HostF32(hImg, px)
+					if e.Err() != nil {
+						return 0, nil, e.Err()
+					}
+					for i := range iv {
+						iv[i] = rng.Float32()
+					}
+					e.Memcpy(dImg, hImg, uint64(4*px), crt.MemcpyHostToDevice)
+					e.Launch(leukocyteModule, "gicov", lc, crt.DefaultStream,
+						dImg, dScore, uint64(w), uint64(h))
+					e.Launch(leukocyteModule, "dilate", lc, crt.DefaultStream,
+						dScore, dOut, uint64(w), uint64(h), uint64(radius))
+					e.Memcpy(hOut, dOut, uint64(4*px), crt.MemcpyDeviceToHost)
+					ov := e.HostF32(hOut, px)
+					if e.Err() != nil {
+						return 0, nil, e.Err()
+					}
+					var frameMax float64
+					for _, v := range ov {
+						if float64(v) > frameMax {
+							frameMax = float64(v)
+						}
+					}
+					sum += frameMax
+					if cfg.Hook != nil {
+						if err := cfg.Hook(f); err != nil {
+							return 0, nil, err
+						}
+					}
+				}
+				return sum, nil, nil
+			})
+		},
+	}
+}

@@ -1,0 +1,172 @@
+package rodinia
+
+import (
+	"repro/internal/crt"
+	"repro/internal/cuda"
+	"repro/internal/gpusim"
+	"repro/internal/par"
+	"repro/internal/workloads"
+)
+
+const ludModule = "rodinia.lud"
+
+// ludTable holds the blocked LU-decomposition kernels (diagonal,
+// perimeter, internal), the three-phase structure of Rodinia's lud.
+func ludTable() map[string]workloads.Kernel {
+	return map[string]workloads.Kernel{
+		// args: a, n, k, bs — factor the k-th diagonal block in place
+		"lud_diagonal": func(ctx *cuda.DevCtx, _ gpusim.LaunchConfig, args []uint64) {
+			n, k, bs := int(args[1]), int(args[2]), int(args[3])
+			a := ctx.Float32s(args[0], n*n)
+			base := k * bs
+			for i := 0; i < bs; i++ {
+				gi := base + i
+				for j := i + 1; j < bs; j++ {
+					gj := base + j
+					m := a[gj*n+gi] / a[gi*n+gi]
+					a[gj*n+gi] = m
+					for c := i + 1; c < bs; c++ {
+						a[gj*n+base+c] -= m * a[gi*n+base+c]
+					}
+				}
+			}
+		},
+		// args: a, n, k, bs — update the k-th block row and column
+		"lud_perimeter": func(ctx *cuda.DevCtx, _ gpusim.LaunchConfig, args []uint64) {
+			n, k, bs := int(args[1]), int(args[2]), int(args[3])
+			a := ctx.Float32s(args[0], n*n)
+			base := k * bs
+			nb := n / bs
+			blocks := nb - k - 1
+			if blocks <= 0 {
+				return
+			}
+			par.For(blocks, 1, func(lo, hi int) {
+				for b := lo; b < hi; b++ {
+					off := (k + 1 + b) * bs
+					// Row panel: solve L(diag) * U(block) = A.
+					for i := 0; i < bs; i++ {
+						gi := base + i
+						for j := 0; j < i; j++ {
+							m := a[gi*n+base+j]
+							for c := 0; c < bs; c++ {
+								a[gi*n+off+c] -= m * a[(base+j)*n+off+c]
+							}
+						}
+					}
+					// Column panel: solve L(block) * U(diag) = A.
+					for i := 0; i < bs; i++ {
+						gi := off + i
+						for j := 0; j < bs; j++ {
+							m := a[gi*n+base+j] / a[(base+j)*n+base+j]
+							a[gi*n+base+j] = m
+							for c := j + 1; c < bs; c++ {
+								a[gi*n+base+c] -= m * a[(base+j)*n+base+c]
+							}
+						}
+					}
+				}
+			})
+		},
+		// args: a, n, k, bs — trailing submatrix update
+		"lud_internal": func(ctx *cuda.DevCtx, _ gpusim.LaunchConfig, args []uint64) {
+			n, k, bs := int(args[1]), int(args[2]), int(args[3])
+			a := ctx.Float32s(args[0], n*n)
+			base := k * bs
+			nb := n / bs
+			blocks := nb - k - 1
+			if blocks <= 0 {
+				return
+			}
+			par.For(blocks, 1, func(lo, hi int) {
+				for bi := lo; bi < hi; bi++ {
+					rowOff := (k + 1 + bi) * bs
+					for bj := 0; bj < blocks; bj++ {
+						colOff := (k + 1 + bj) * bs
+						for i := 0; i < bs; i++ {
+							gi := rowOff + i
+							for l := 0; l < bs; l++ {
+								m := a[gi*n+base+l]
+								if m == 0 {
+									continue
+								}
+								for j := 0; j < bs; j++ {
+									a[gi*n+colOff+j] -= m * a[(base+l)*n+colOff+j]
+								}
+							}
+						}
+					}
+				}
+			})
+		},
+	}
+}
+
+// LUD is Rodinia's blocked LU decomposition (-s 2048 in the paper).
+func LUD() *workloads.App {
+	return &workloads.App{
+		Name:      "LUD",
+		PaperArgs: "-s 2048 -v",
+		Char: workloads.Characteristics{
+			Description: "blocked LU decomposition (diagonal/perimeter/internal)",
+		},
+		KernelTables: singleTable(ludModule, ludTable()),
+		Run: func(rt crt.Runtime, cfg workloads.RunConfig) (workloads.Result, error) {
+			return workloads.Measure(rt, "LUD", func() (float64, map[string]float64, error) {
+				e := workloads.NewEnv(rt)
+				e.RegisterModule(ludModule, ludTable())
+
+				const bs = 16
+				n := workloads.ScaleInt(640, cfg.EffScale(), 2*bs)
+				n = (n / bs) * bs
+
+				hA := e.AppAlloc(uint64(4 * n * n))
+				av := e.HostF32(hA, n*n)
+				if e.Err() != nil {
+					return 0, nil, e.Err()
+				}
+				rng := workloads.NewLCG(cfg.Seed + 9)
+				for i := 0; i < n; i++ {
+					for j := 0; j < n; j++ {
+						av[i*n+j] = rng.Float32()
+						if i == j {
+							av[i*n+j] += float32(n)
+						}
+					}
+				}
+				dA := e.Malloc(uint64(4 * n * n))
+				e.Memcpy(dA, hA, uint64(4*n*n), crt.MemcpyHostToDevice)
+
+				nb := n / bs
+				one := crt.LaunchConfig{Grid: crt.Dim3{X: 1}, Block: crt.Dim3{X: bs}}
+				for k := 0; k < nb; k++ {
+					e.Launch(ludModule, "lud_diagonal", one, crt.DefaultStream, dA, uint64(n), uint64(k), uint64(bs))
+					if k < nb-1 {
+						e.Launch(ludModule, "lud_perimeter", one, crt.DefaultStream, dA, uint64(n), uint64(k), uint64(bs))
+						e.Launch(ludModule, "lud_internal", one, crt.DefaultStream, dA, uint64(n), uint64(k), uint64(bs))
+					}
+					if cfg.Hook != nil {
+						if err := cfg.Hook(k); err != nil {
+							return 0, nil, err
+						}
+					}
+					if e.Err() != nil {
+						return 0, nil, e.Err()
+					}
+				}
+				e.DeviceSync()
+				e.Memcpy(hA, dA, uint64(4*n*n), crt.MemcpyDeviceToHost)
+				out := e.HostF32(hA, n*n)
+				if e.Err() != nil {
+					return 0, nil, e.Err()
+				}
+				// Checksum over the diagonal of U (stable summary).
+				var sum float64
+				for i := 0; i < n; i++ {
+					sum += float64(out[i*n+i])
+				}
+				return sum, nil, nil
+			})
+		},
+	}
+}

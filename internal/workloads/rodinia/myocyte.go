@@ -1,0 +1,102 @@
+package rodinia
+
+import (
+	"repro/internal/crt"
+	"repro/internal/cuda"
+	"repro/internal/gpusim"
+	"repro/internal/par"
+	"repro/internal/workloads"
+)
+
+const myocyteModule = "rodinia.myocyte"
+
+// myocyteTable holds the Myocyte kernel: one explicit-Euler step of the
+// cardiac myocyte ODE system, evaluated for many simulation instances in
+// parallel — the structure of Rodinia's myocyte.
+//
+// Myocyte appears in the paper's Table 2 but not in Figure 2 (it
+// completes within a second); it is included for Table 2 completeness
+// and reachable through AllApps and the cracrun command.
+func myocyteTable() map[string]workloads.Kernel {
+	return map[string]workloads.Kernel{
+		// args: state, nInstances, nEq, dtBits
+		"euler_step": func(ctx *cuda.DevCtx, _ gpusim.LaunchConfig, args []uint64) {
+			inst, neq := int(args[1]), int(args[2])
+			dt := f32arg(args[3])
+			state := ctx.Float32s(args[0], inst*neq)
+			par.For(inst, 32, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					s := state[i*neq : (i+1)*neq]
+					// A stiff, coupled nonlinear system standing in for
+					// the 91-equation myocyte model.
+					for j := 0; j < neq; j++ {
+						prev := s[(j+neq-1)%neq]
+						next := s[(j+1)%neq]
+						ds := -s[j]*0.1 + 0.05*prev*next - 0.01*s[j]*s[j]*s[j]
+						s[j] += dt * ds
+					}
+				}
+			})
+		},
+	}
+}
+
+// Myocyte is Rodinia's cardiac myocyte simulation (500 1 0 in the
+// paper's Table 2).
+func Myocyte() *workloads.App {
+	return &workloads.App{
+		Name:      "Myocyte",
+		PaperArgs: "500 1 0",
+		Char: workloads.Characteristics{
+			Description: "cardiac myocyte ODE integration (explicit Euler)",
+		},
+		KernelTables: singleTable(myocyteModule, myocyteTable()),
+		Run: func(rt crt.Runtime, cfg workloads.RunConfig) (workloads.Result, error) {
+			return workloads.Measure(rt, "Myocyte", func() (float64, map[string]float64, error) {
+				e := workloads.NewEnv(rt)
+				e.RegisterModule(myocyteModule, myocyteTable())
+
+				instances := workloads.ScaleInt(1024, cfg.EffScale(), 32)
+				steps := workloads.ScaleInt(500, cfg.EffScale(), 20)
+				const neq = 32
+
+				hState := e.AppAlloc(uint64(4 * instances * neq))
+				sv := e.HostF32(hState, instances*neq)
+				if e.Err() != nil {
+					return 0, nil, e.Err()
+				}
+				rng := workloads.NewLCG(cfg.Seed + 14)
+				for i := range sv {
+					sv[i] = rng.Float32()
+				}
+				dState := e.Malloc(uint64(4 * instances * neq))
+				e.Memcpy(dState, hState, uint64(4*instances*neq), crt.MemcpyHostToDevice)
+
+				lc := workloads.Launch1D(instances)
+				for s := 0; s < steps; s++ {
+					e.Launch(myocyteModule, "euler_step", lc, crt.DefaultStream,
+						dState, uint64(instances), uint64(neq), f32bits(0.01))
+					if cfg.Hook != nil {
+						if err := cfg.Hook(s); err != nil {
+							return 0, nil, err
+						}
+					}
+					if e.Err() != nil {
+						return 0, nil, e.Err()
+					}
+				}
+				e.DeviceSync()
+				e.Memcpy(hState, dState, uint64(4*instances*neq), crt.MemcpyDeviceToHost)
+				sv = e.HostF32(hState, instances*neq)
+				if e.Err() != nil {
+					return 0, nil, e.Err()
+				}
+				var sum float64
+				for _, v := range sv {
+					sum += float64(v)
+				}
+				return sum, nil, nil
+			})
+		},
+	}
+}

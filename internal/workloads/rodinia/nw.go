@@ -1,0 +1,133 @@
+package rodinia
+
+import (
+	"repro/internal/crt"
+	"repro/internal/cuda"
+	"repro/internal/gpusim"
+	"repro/internal/par"
+	"repro/internal/workloads"
+)
+
+const nwModule = "rodinia.nw"
+
+// nwTable holds the Needleman-Wunsch kernel: the DP matrix is filled in
+// anti-diagonal waves of tiles, one kernel launch per wave, as in
+// Rodinia's needle.
+func nwTable() map[string]workloads.Kernel {
+	return map[string]workloads.Kernel{
+		// args: score, ref, n, wave, tile, penalty
+		// Processes every tile on the given anti-diagonal wave.
+		"nw_wave": func(ctx *cuda.DevCtx, _ gpusim.LaunchConfig, args []uint64) {
+			n := int(args[2])
+			wave := int(args[3])
+			tile := int(args[4])
+			penalty := int32(args[5])
+			score := ctx.Int32s(args[0], (n+1)*(n+1))
+			ref := ctx.Int32s(args[1], n*n)
+			tiles := n / tile
+			// Tiles on this wave: (ti, tj) with ti+tj == wave.
+			first := 0
+			if wave >= tiles {
+				first = wave - tiles + 1
+			}
+			last := wave
+			if last >= tiles {
+				last = tiles - 1
+			}
+			count := last - first + 1
+			if count <= 0 {
+				return
+			}
+			stride := n + 1
+			par.For(count, 1, func(lo, hi int) {
+				for t := lo; t < hi; t++ {
+					ti := first + t
+					tj := wave - ti
+					for i := ti*tile + 1; i <= (ti+1)*tile; i++ {
+						for j := tj*tile + 1; j <= (tj+1)*tile; j++ {
+							match := score[(i-1)*stride+(j-1)] + ref[(i-1)*n+(j-1)]
+							del := score[(i-1)*stride+j] - penalty
+							ins := score[i*stride+(j-1)] - penalty
+							best := match
+							if del > best {
+								best = del
+							}
+							if ins > best {
+								best = ins
+							}
+							score[i*stride+j] = best
+						}
+					}
+				}
+			})
+		},
+	}
+}
+
+// NW is Rodinia's Needleman-Wunsch sequence alignment (40960 10 in the
+// paper).
+func NW() *workloads.App {
+	return &workloads.App{
+		Name:      "NW",
+		PaperArgs: "40960 10",
+		Char: workloads.Characteristics{
+			Description: "Needleman-Wunsch alignment, anti-diagonal tile waves",
+		},
+		KernelTables: singleTable(nwModule, nwTable()),
+		Run: func(rt crt.Runtime, cfg workloads.RunConfig) (workloads.Result, error) {
+			return workloads.Measure(rt, "NW", func() (float64, map[string]float64, error) {
+				e := workloads.NewEnv(rt)
+				e.RegisterModule(nwModule, nwTable())
+
+				const tile = 16
+				n := workloads.ScaleInt(2048, cfg.EffScale(), 4*tile)
+				n = (n / tile) * tile
+				const penalty = 10
+
+				stride := n + 1
+				hScore := e.AppAlloc(uint64(4 * stride * stride))
+				hRef := e.AppAlloc(uint64(4 * n * n))
+				sv := e.HostI32(hScore, stride*stride)
+				rv := e.HostI32(hRef, n*n)
+				if e.Err() != nil {
+					return 0, nil, e.Err()
+				}
+				rng := workloads.NewLCG(cfg.Seed + 11)
+				for i := range rv {
+					rv[i] = int32(rng.Intn(21)) - 10 // BLOSUM-like scores
+				}
+				for i := 0; i <= n; i++ {
+					sv[i] = int32(-i * penalty)
+					sv[i*stride] = int32(-i * penalty)
+				}
+
+				dScore := e.Malloc(uint64(4 * stride * stride))
+				dRef := e.Malloc(uint64(4 * n * n))
+				e.Memcpy(dScore, hScore, uint64(4*stride*stride), crt.MemcpyHostToDevice)
+				e.Memcpy(dRef, hRef, uint64(4*n*n), crt.MemcpyHostToDevice)
+
+				tiles := n / tile
+				waves := 2*tiles - 1
+				for wv := 0; wv < waves; wv++ {
+					e.Launch(nwModule, "nw_wave", workloads.Launch1D(tiles), crt.DefaultStream,
+						dScore, dRef, uint64(n), uint64(wv), uint64(tile), uint64(penalty))
+					if cfg.Hook != nil {
+						if err := cfg.Hook(wv); err != nil {
+							return 0, nil, err
+						}
+					}
+					if e.Err() != nil {
+						return 0, nil, e.Err()
+					}
+				}
+				e.DeviceSync()
+				e.Memcpy(hScore, dScore, uint64(4*stride*stride), crt.MemcpyDeviceToHost)
+				sv = e.HostI32(hScore, stride*stride)
+				if e.Err() != nil {
+					return 0, nil, e.Err()
+				}
+				return float64(sv[n*stride+n]), nil, nil
+			})
+		},
+	}
+}

@@ -1,0 +1,175 @@
+package rodinia
+
+import (
+	"repro/internal/crt"
+	"repro/internal/cuda"
+	"repro/internal/gpusim"
+	"repro/internal/par"
+	"repro/internal/workloads"
+)
+
+const particlefilterModule = "rodinia.particlefilter"
+
+// particlefilterTable holds the particle-filter kernels: per video
+// frame, propagate particles, compute likelihood weights against the
+// observation, normalize, and resample — the four device stages of
+// Rodinia's particlefilter.
+func particlefilterTable() map[string]workloads.Kernel {
+	return map[string]workloads.Kernel{
+		// args: xs, ys, n, seed — random-walk propagation
+		"propagate": func(ctx *cuda.DevCtx, _ gpusim.LaunchConfig, args []uint64) {
+			n := int(args[2])
+			seed := args[3]
+			xs := ctx.Float32s(args[0], n)
+			ys := ctx.Float32s(args[1], n)
+			par.For(n, 1<<12, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					s := seed + uint64(i)*2654435761
+					s = s*6364136223846793005 + 1442695040888963407
+					dx := float32(int32(s>>33)%100) / 1000
+					s = s*6364136223846793005 + 1442695040888963407
+					dy := float32(int32(s>>33)%100) / 1000
+					xs[i] += dx
+					ys[i] += dy
+				}
+			})
+		},
+		// args: xs, ys, w, n, txBits, tyBits — Gaussian likelihood around target
+		"likelihood": func(ctx *cuda.DevCtx, _ gpusim.LaunchConfig, args []uint64) {
+			n := int(args[3])
+			tx, ty := f32arg(args[4]), f32arg(args[5])
+			xs := ctx.Float32s(args[0], n)
+			ys := ctx.Float32s(args[1], n)
+			w := ctx.Float32s(args[2], n)
+			par.For(n, 1<<12, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					dx := xs[i] - tx
+					dy := ys[i] - ty
+					d2 := dx*dx + dy*dy
+					w[i] = 1 / (1 + d2)
+				}
+			})
+		},
+		// args: w, sum, n — weight normalization (sum precomputed by reduce)
+		"normalize": func(ctx *cuda.DevCtx, _ gpusim.LaunchConfig, args []uint64) {
+			n := int(args[2])
+			w := ctx.Float32s(args[0], n)
+			sum := ctx.Float32s(args[1], 1)
+			s := sum[0]
+			if s == 0 {
+				s = 1
+			}
+			inv := 1 / s
+			par.For(n, 1<<13, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					w[i] *= inv
+				}
+			})
+		},
+		// args: w, out, n — serial reduction into out[0]
+		"wsum": func(ctx *cuda.DevCtx, _ gpusim.LaunchConfig, args []uint64) {
+			n := int(args[2])
+			w := ctx.Float32s(args[0], n)
+			out := ctx.Float32s(args[1], 1)
+			var s float64
+			for i := 0; i < n; i++ {
+				s += float64(w[i])
+			}
+			out[0] = float32(s)
+		},
+		// args: xs, ys, w, nxs, nys, n — systematic resampling
+		"resample": func(ctx *cuda.DevCtx, _ gpusim.LaunchConfig, args []uint64) {
+			n := int(args[5])
+			xs := ctx.Float32s(args[0], n)
+			ys := ctx.Float32s(args[1], n)
+			w := ctx.Float32s(args[2], n)
+			nxs := ctx.Float32s(args[3], n)
+			nys := ctx.Float32s(args[4], n)
+			// Cumulative distribution (serial, as the original's
+			// find_index phase is effectively sequential).
+			cdf := make([]float32, n)
+			var acc float32
+			for i := 0; i < n; i++ {
+				acc += w[i]
+				cdf[i] = acc
+			}
+			step := acc / float32(n)
+			j := 0
+			for i := 0; i < n; i++ {
+				u := step * (float32(i) + 0.5)
+				for j < n-1 && cdf[j] < u {
+					j++
+				}
+				nxs[i] = xs[j]
+				nys[i] = ys[j]
+			}
+		},
+	}
+}
+
+// Particlefilter is Rodinia's particle filter (-x 128 -y 128 -z 10
+// -np 100000 in the paper; Table 2 spells it "Particlefinder").
+func Particlefilter() *workloads.App {
+	return &workloads.App{
+		Name:      "Particlefilter",
+		PaperArgs: "-x 128 -y 128 -z 10 -np 100000",
+		Char: workloads.Characteristics{
+			Description: "particle filter: propagate/likelihood/normalize/resample per frame",
+		},
+		KernelTables: singleTable(particlefilterModule, particlefilterTable()),
+		Run: func(rt crt.Runtime, cfg workloads.RunConfig) (workloads.Result, error) {
+			return workloads.Measure(rt, "Particlefilter", func() (float64, map[string]float64, error) {
+				e := workloads.NewEnv(rt)
+				e.RegisterModule(particlefilterModule, particlefilterTable())
+
+				n := workloads.ScaleInt(300_000, cfg.EffScale(), 1024)
+				frames := workloads.ScaleInt(10, cfg.EffScale(), 3)
+
+				alloc := func() uint64 { return e.Malloc(uint64(4 * n)) }
+				dXs, dYs, dW := alloc(), alloc(), alloc()
+				dNxs, dNys := alloc(), alloc()
+				dSum := e.Malloc(4)
+				hBuf := e.AppAlloc(uint64(4 * n))
+
+				e.Memset(dXs, 0, uint64(4*n))
+				e.Memset(dYs, 0, uint64(4*n))
+
+				lc := workloads.Launch1D(n)
+				one := crt.LaunchConfig{Grid: crt.Dim3{X: 1}, Block: crt.Dim3{X: 1}}
+				for f := 0; f < frames; f++ {
+					tx := float32(f) * 0.1
+					ty := float32(f) * 0.05
+					e.Launch(particlefilterModule, "propagate", lc, crt.DefaultStream,
+						dXs, dYs, uint64(n), uint64(cfg.Seed)+uint64(f)*7919)
+					e.Launch(particlefilterModule, "likelihood", lc, crt.DefaultStream,
+						dXs, dYs, dW, uint64(n), f32bits(tx), f32bits(ty))
+					e.Launch(particlefilterModule, "wsum", one, crt.DefaultStream, dW, dSum, uint64(n))
+					e.Launch(particlefilterModule, "normalize", lc, crt.DefaultStream, dW, dSum, uint64(n))
+					e.Launch(particlefilterModule, "resample", one, crt.DefaultStream,
+						dXs, dYs, dW, dNxs, dNys, uint64(n))
+					dXs, dNxs = dNxs, dXs
+					dYs, dNys = dNys, dYs
+					if cfg.Hook != nil {
+						if err := cfg.Hook(f); err != nil {
+							return 0, nil, err
+						}
+					}
+					if e.Err() != nil {
+						return 0, nil, e.Err()
+					}
+				}
+				e.DeviceSync()
+				e.Memcpy(hBuf, dXs, uint64(4*n), crt.MemcpyDeviceToHost)
+				xv := e.HostF32(hBuf, n)
+				if e.Err() != nil {
+					return 0, nil, e.Err()
+				}
+				var sum float64
+				for _, v := range xv {
+					sum += float64(v)
+				}
+				return sum, nil, nil
+			})
+		},
+	}
+}

@@ -1,0 +1,72 @@
+// Package rodinia implements scaled-down but algorithmically faithful
+// versions of the 14 Rodinia 3.1 benchmarks used in the paper's
+// evaluation (Section 4.4.1, Table 2, Figures 2, 3 and 6): BFS, CFD,
+// DWT2D, Gaussian, Heartwall, Hotspot, Hotspot3D, Kmeans, LUD,
+// Leukocyte, NW, Particlefilter, SRAD, and Streamcluster.
+//
+// Each application runs the real algorithm on the simulated device with
+// inputs generated deterministically, so output checksums are identical
+// across native/CRAC/proxy runs — the property the checkpoint
+// transparency tests rely on. Problem sizes default to laptop scale; the
+// paper's command lines are recorded in each App's PaperArgs.
+//
+// Two of the applications (Heartwall and Streamcluster) perform many
+// cudaMalloc/cudaFree calls per frame/chunk, reproducing the Figure 3
+// outliers whose restart is slower than their checkpoint because CRAC
+// must replay the whole allocation history (Section 4.4.1, "Checkpoint
+// overhead").
+package rodinia
+
+import (
+	"math"
+
+	"repro/internal/workloads"
+)
+
+// f32bits packs a float32 into a kernel argument word.
+func f32bits(f float32) uint64 { return uint64(math.Float32bits(f)) }
+
+// f32arg unpacks a float32 kernel argument word.
+func f32arg(a uint64) float32 { return math.Float32frombits(uint32(a)) }
+
+// Apps returns the 14 Rodinia applications in the paper's order.
+func Apps() []*workloads.App {
+	return []*workloads.App{
+		BFS(), CFD(), DWT2D(), Gaussian(), Heartwall(), Hotspot(), Hotspot3D(),
+		Kmeans(), LUD(), Leukocyte(), NW(), Particlefilter(), SRAD(), Streamcluster(),
+	}
+}
+
+// AllApps additionally includes Myocyte, which the paper's Table 2
+// configures but Figure 2 omits (it completes within a second).
+func AllApps() []*workloads.App {
+	return append(Apps(), Myocyte())
+}
+
+// ByName returns the app with the given (case-sensitive) name, or nil.
+func ByName(name string) *workloads.App {
+	for _, a := range AllApps() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Tables aggregates every app's kernel tables for cross-process restore.
+func Tables() map[string]map[string]workloads.Kernel {
+	out := make(map[string]map[string]workloads.Kernel)
+	for _, a := range AllApps() {
+		for m, t := range a.KernelTables() {
+			out[m] = t
+		}
+	}
+	return out
+}
+
+// singleTable is a helper for apps with one module.
+func singleTable(module string, table map[string]workloads.Kernel) func() map[string]map[string]workloads.Kernel {
+	return func() map[string]map[string]workloads.Kernel {
+		return map[string]map[string]workloads.Kernel{module: table}
+	}
+}

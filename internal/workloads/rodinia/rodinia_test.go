@@ -1,0 +1,50 @@
+package rodinia
+
+import "testing"
+
+func TestRegistry(t *testing.T) {
+	apps := Apps()
+	if len(apps) != 14 {
+		t.Fatalf("Figure 2 suite has %d apps, want 14", len(apps))
+	}
+	if len(AllApps()) != 15 {
+		t.Fatalf("AllApps (with Myocyte) = %d, want 15", len(AllApps()))
+	}
+	seen := map[string]bool{}
+	for _, a := range AllApps() {
+		if a.Name == "" || a.PaperArgs == "" || a.Char.Description == "" {
+			t.Fatalf("app %+v incomplete", a.Name)
+		}
+		if a.Run == nil || a.KernelTables == nil {
+			t.Fatalf("app %s missing Run/KernelTables", a.Name)
+		}
+		if seen[a.Name] {
+			t.Fatalf("duplicate app %s", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	if ByName("Hotspot") == nil || ByName("Myocyte") == nil {
+		t.Fatal("ByName lookups failed")
+	}
+	if ByName("bogus") != nil {
+		t.Fatal("ByName returned a bogus app")
+	}
+}
+
+func TestTablesAggregated(t *testing.T) {
+	tables := Tables()
+	if len(tables) != 15 {
+		t.Fatalf("aggregated modules = %d, want 15 (one per app)", len(tables))
+	}
+	for mod, funcs := range tables {
+		if len(funcs) == 0 {
+			t.Fatalf("module %s has no kernels", mod)
+		}
+	}
+}
+
+func TestF32Helpers(t *testing.T) {
+	if f32arg(f32bits(1.25)) != 1.25 {
+		t.Fatal("f32 round trip")
+	}
+}

@@ -1,0 +1,122 @@
+package rodinia
+
+import (
+	"repro/internal/crt"
+	"repro/internal/cuda"
+	"repro/internal/gpusim"
+	"repro/internal/par"
+	"repro/internal/workloads"
+)
+
+const streamclusterModule = "rodinia.streamcluster"
+
+// streamclusterTable holds the Streamcluster kernel: the pgain gather —
+// for each point, the cost delta of opening a candidate median. The host
+// drives the streaming structure, allocating fresh device buffers per
+// chunk (Streamcluster is the second Figure 3 outlier whose restart
+// replay of cudaMalloc/cudaFree history dominates, Section 4.4.1).
+func streamclusterTable() map[string]workloads.Kernel {
+	return map[string]workloads.Kernel{
+		// args: pts, centers, cost, n, d, centerIdx
+		"pgain": func(ctx *cuda.DevCtx, _ gpusim.LaunchConfig, args []uint64) {
+			n, d := int(args[3]), int(args[4])
+			ci := int(args[5])
+			pts := ctx.Float32s(args[0], n*d)
+			centers := ctx.Float32s(args[1], n*d)
+			cost := ctx.Float32s(args[2], n)
+			cand := centers[ci*d : (ci+1)*d]
+			par.For(n, 1<<10, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					pi := pts[i*d : (i+1)*d]
+					var dist float32
+					for j := 0; j < d; j++ {
+						diff := pi[j] - cand[j]
+						dist += diff * diff
+					}
+					if dist < cost[i] {
+						cost[i] = dist
+					}
+				}
+			})
+		},
+	}
+}
+
+// Streamcluster is Rodinia's streaming k-median clustering
+// (10 20 256 65536 ... in the paper).
+func Streamcluster() *workloads.App {
+	return &workloads.App{
+		Name:      "Streamcluster",
+		PaperArgs: "10 20 256 65536 65536 1000 none output.txt 1",
+		Char: workloads.Characteristics{
+			Description: "streaming k-median; per-chunk cudaMalloc/cudaFree churn",
+		},
+		KernelTables: singleTable(streamclusterModule, streamclusterTable()),
+		Run: func(rt crt.Runtime, cfg workloads.RunConfig) (workloads.Result, error) {
+			return workloads.Measure(rt, "Streamcluster", func() (float64, map[string]float64, error) {
+				e := workloads.NewEnv(rt)
+				e.RegisterModule(streamclusterModule, streamclusterTable())
+
+				chunkN := workloads.ScaleInt(2048, cfg.EffScale(), 128)
+				chunks := workloads.ScaleInt(150, cfg.EffScale(), 4)
+				medians := 8
+				const d = 24
+
+				hPts := e.AppAlloc(uint64(4 * chunkN * d))
+				hCost := e.AppAlloc(uint64(4 * chunkN))
+				rng := workloads.NewLCG(cfg.Seed + 13)
+
+				var sum float64
+				for c := 0; c < chunks; c++ {
+					pv := e.HostF32(hPts, chunkN*d)
+					if e.Err() != nil {
+						return 0, nil, e.Err()
+					}
+					for i := range pv {
+						pv[i] = rng.Float32()
+					}
+					// The streaming structure: fresh device buffers per chunk.
+					dPts := e.Malloc(uint64(4 * chunkN * d))
+					dCenters := e.Malloc(uint64(4 * chunkN * d))
+					dCost := e.Malloc(uint64(4 * chunkN))
+					dScratch := e.Malloc(uint64(4 * chunkN))
+					dWork := e.Malloc(uint64(4 * chunkN))
+					dAssign := e.Malloc(uint64(4 * chunkN))
+					e.Memcpy(dPts, hPts, uint64(4*chunkN*d), crt.MemcpyHostToDevice)
+					e.Memcpy(dCenters, dPts, uint64(4*chunkN*d), crt.MemcpyDeviceToDevice)
+					// cost = +inf
+					e.Memset(dCost, 0x7f, uint64(4*chunkN))
+
+					lc := workloads.Launch1D(chunkN)
+					for m := 0; m < medians; m++ {
+						e.Launch(streamclusterModule, "pgain", lc, crt.DefaultStream,
+							dPts, dCenters, dCost, uint64(chunkN), uint64(d), uint64(m*7%chunkN))
+					}
+					e.Memcpy(hCost, dCost, uint64(4*chunkN), crt.MemcpyDeviceToHost)
+					cv := e.HostF32(hCost, chunkN)
+					if e.Err() != nil {
+						return 0, nil, e.Err()
+					}
+					for _, v := range cv {
+						sum += float64(v)
+					}
+					e.Free(dAssign)
+					e.Free(dWork)
+					e.Free(dScratch)
+					e.Free(dCost)
+					e.Free(dCenters)
+					e.Free(dPts)
+					if cfg.Hook != nil {
+						if err := cfg.Hook(c); err != nil {
+							return 0, nil, err
+						}
+					}
+					if e.Err() != nil {
+						return 0, nil, e.Err()
+					}
+				}
+				return sum, nil, nil
+			})
+		},
+	}
+}

@@ -1,0 +1,372 @@
+// Package workloads defines the application framework shared by every
+// benchmark in the paper's evaluation (Section 4.4): the 14 Rodinia
+// mini-apps, the stream-oriented NVIDIA samples (simpleStreams,
+// UnifiedMemoryStreams), and the real-world DOE codes (LULESH, HPGMG-FV,
+// HYPRE).
+//
+// Applications are written against crt.Runtime, so the identical code
+// runs natively, under CRAC, or under the proxy baseline. Each App
+// reports the characteristics Table 1 tabulates (UVM use, stream use,
+// stream range) and returns a Result carrying elapsed time, the CUDA
+// call counters (for the paper's CPS formula), and an output checksum
+// used by the checkpoint-transparency tests.
+package workloads
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/crt"
+)
+
+// Characteristics describes an application for Table 1.
+type Characteristics struct {
+	UVM         bool
+	Streams     bool
+	MinStreams  int // 0 when Streams is false
+	MaxStreams  int
+	Description string
+}
+
+// RunConfig parameterizes one application run.
+type RunConfig struct {
+	// Scale multiplies the default problem size (1.0 = repository
+	// default, which is the paper's configuration scaled to
+	// laptop/CI size).
+	Scale float64
+	// Streams overrides the application's stream count (0 = default).
+	Streams int
+	// Iters overrides app-specific inner iteration counts (0 = default;
+	// simpleStreams' niterations, for example).
+	Iters int
+	// Reps overrides app-specific repetition counts (0 = default;
+	// simpleStreams' nreps).
+	Reps int
+	// Seed seeds app-specific randomness (UnifiedMemoryStreams uses
+	// 12701 as in the paper).
+	Seed int64
+	// Hook, if non-nil, is called between outer iterations with the
+	// 0-based step index; returning an error aborts the run. The harness
+	// uses it to trigger a checkpoint at a chosen point mid-run.
+	Hook func(step int) error
+}
+
+// EffScale returns the configured scale, defaulting to 1.
+func (c RunConfig) EffScale() float64 {
+	if c.Scale <= 0 {
+		return 1
+	}
+	return c.Scale
+}
+
+// Result is the outcome of one application run.
+type Result struct {
+	App      string
+	Elapsed  time.Duration
+	Calls    crt.Counters
+	Checksum float64
+	// Detail carries app-specific measurements (e.g. simpleStreams'
+	// per-kernel streamed/non-streamed times).
+	Detail map[string]float64
+}
+
+// CPS returns CUDA calls per second per the paper's Equation 2.
+func (r Result) CPS() float64 { return r.Calls.CPS(r.Elapsed) }
+
+// App is one benchmark application.
+type App struct {
+	Name string
+	Char Characteristics
+	// PaperArgs is the command line the paper used (Table 2 and
+	// Section 4.4.3), recorded for the reproduction index.
+	PaperArgs string
+	// Run executes the application on rt.
+	Run func(rt crt.Runtime, cfg RunConfig) (Result, error)
+	// KernelTables returns the app's fat-binary tables keyed by module,
+	// for cross-process restore.
+	KernelTables func() map[string]map[string]Kernel
+}
+
+// Kernel aliases the device kernel type for workload files.
+type Kernel = crt.Kernel
+
+// Env is an error-accumulating wrapper over crt.Runtime that keeps
+// application code close to CUDA style: the first error poisons the
+// environment and subsequent operations are no-ops, checked once via
+// Err (like CUDA's sticky error state).
+type Env struct {
+	RT  crt.Runtime
+	fat map[string]crt.FatBinHandle
+	err error
+}
+
+// NewEnv wraps rt.
+func NewEnv(rt crt.Runtime) *Env {
+	return &Env{RT: rt, fat: make(map[string]crt.FatBinHandle)}
+}
+
+// Err returns the first error encountered.
+func (e *Env) Err() error { return e.err }
+
+// FailWith records an externally produced error (first one wins).
+func (e *Env) FailWith(err error) { e.fail(err) }
+
+// FailIf is shorthand for recording a possible error from a direct
+// runtime call made outside the Env helpers.
+func (e *Env) FailIf(err error) { e.fail(err) }
+
+// fail records err if it is the first.
+func (e *Env) fail(err error) {
+	if e.err == nil && err != nil {
+		e.err = err
+	}
+}
+
+// RegisterModule registers a fat binary and its kernels.
+func (e *Env) RegisterModule(module string, table map[string]Kernel) {
+	if e.err != nil {
+		return
+	}
+	fat, err := e.RT.RegisterFatBinary(module)
+	if err != nil {
+		e.fail(err)
+		return
+	}
+	e.fat[module] = fat
+	for name, k := range table {
+		if err := e.RT.RegisterFunction(fat, name, k); err != nil {
+			e.fail(err)
+			return
+		}
+	}
+}
+
+// Malloc allocates device memory.
+func (e *Env) Malloc(n uint64) uint64 {
+	if e.err != nil {
+		return 0
+	}
+	a, err := e.RT.Malloc(n)
+	e.fail(err)
+	return a
+}
+
+// MallocManaged allocates UVM memory.
+func (e *Env) MallocManaged(n uint64) uint64 {
+	if e.err != nil {
+		return 0
+	}
+	a, err := e.RT.MallocManaged(n)
+	e.fail(err)
+	return a
+}
+
+// MallocHost allocates pinned host memory.
+func (e *Env) MallocHost(n uint64) uint64 {
+	if e.err != nil {
+		return 0
+	}
+	a, err := e.RT.MallocHost(n)
+	e.fail(err)
+	return a
+}
+
+// AppAlloc allocates plain host memory.
+func (e *Env) AppAlloc(n uint64) uint64 {
+	if e.err != nil {
+		return 0
+	}
+	a, err := e.RT.AppAlloc(n)
+	e.fail(err)
+	return a
+}
+
+// Free releases device or managed memory.
+func (e *Env) Free(addr uint64) {
+	if e.err != nil {
+		return
+	}
+	e.fail(e.RT.Free(addr))
+}
+
+// FreeHost releases pinned host memory.
+func (e *Env) FreeHost(addr uint64) {
+	if e.err != nil {
+		return
+	}
+	e.fail(e.RT.FreeHost(addr))
+}
+
+// Memcpy copies memory.
+func (e *Env) Memcpy(dst, src, n uint64, kind crt.MemcpyKind) {
+	if e.err != nil {
+		return
+	}
+	e.fail(e.RT.Memcpy(dst, src, n, kind))
+}
+
+// MemcpyAsync copies memory on a stream.
+func (e *Env) MemcpyAsync(dst, src, n uint64, kind crt.MemcpyKind, s crt.StreamHandle) {
+	if e.err != nil {
+		return
+	}
+	e.fail(e.RT.MemcpyAsync(dst, src, n, kind, s))
+}
+
+// Memset fills memory.
+func (e *Env) Memset(addr uint64, v byte, n uint64) {
+	if e.err != nil {
+		return
+	}
+	e.fail(e.RT.Memset(addr, v, n))
+}
+
+// Launch launches a kernel from a registered module.
+func (e *Env) Launch(module, kernel string, cfg crt.LaunchConfig, s crt.StreamHandle, args ...uint64) {
+	if e.err != nil {
+		return
+	}
+	fat, ok := e.fat[module]
+	if !ok {
+		e.fail(fmt.Errorf("workloads: module %q not registered", module))
+		return
+	}
+	e.fail(e.RT.LaunchKernel(fat, kernel, cfg, s, args...))
+}
+
+// StreamCreate creates a stream.
+func (e *Env) StreamCreate() crt.StreamHandle {
+	if e.err != nil {
+		return 0
+	}
+	s, err := e.RT.StreamCreate()
+	e.fail(err)
+	return s
+}
+
+// StreamDestroy destroys a stream.
+func (e *Env) StreamDestroy(s crt.StreamHandle) {
+	if e.err != nil {
+		return
+	}
+	e.fail(e.RT.StreamDestroy(s))
+}
+
+// StreamSync synchronizes a stream.
+func (e *Env) StreamSync(s crt.StreamHandle) {
+	if e.err != nil {
+		return
+	}
+	e.fail(e.RT.StreamSynchronize(s))
+}
+
+// DeviceSync synchronizes the device.
+func (e *Env) DeviceSync() {
+	if e.err != nil {
+		return
+	}
+	e.fail(e.RT.DeviceSynchronize())
+}
+
+// HostF32 returns a host float32 view.
+func (e *Env) HostF32(addr uint64, count int) []float32 {
+	if e.err != nil {
+		return nil
+	}
+	v, err := crt.HostF32(e.RT, addr, count)
+	e.fail(err)
+	return v
+}
+
+// HostI32 returns a host int32 view.
+func (e *Env) HostI32(addr uint64, count int) []int32 {
+	if e.err != nil {
+		return nil
+	}
+	v, err := crt.HostI32(e.RT, addr, count)
+	e.fail(err)
+	return v
+}
+
+// Measure wraps an application body with the timing and call-counter
+// bookkeeping every Result needs. body returns the output checksum and
+// optional detail measurements.
+func Measure(rt crt.Runtime, app string, body func() (float64, map[string]float64, error)) (Result, error) {
+	before := rt.Counters()
+	start := time.Now()
+	checksum, detail, err := body()
+	if err != nil {
+		return Result{}, err
+	}
+	after := rt.Counters()
+	return Result{
+		App:     app,
+		Elapsed: time.Since(start),
+		Calls: crt.Counters{
+			LaunchKernel: after.LaunchKernel - before.LaunchKernel,
+			OtherCalls:   after.OtherCalls - before.OtherCalls,
+		},
+		Checksum: checksum,
+		Detail:   detail,
+	}, nil
+}
+
+// Launch1D builds a 1-D launch configuration covering n elements with
+// 256-thread blocks.
+func Launch1D(n int) crt.LaunchConfig {
+	blocks := (n + 255) / 256
+	if blocks == 0 {
+		blocks = 1
+	}
+	return crt.LaunchConfig{Grid: crt.Dim3{X: blocks}, Block: crt.Dim3{X: 256}}
+}
+
+// Launch2D builds a 2-D launch configuration for a w×h grid with 16×16
+// blocks.
+func Launch2D(w, h int) crt.LaunchConfig {
+	bx := (w + 15) / 16
+	by := (h + 15) / 16
+	if bx == 0 {
+		bx = 1
+	}
+	if by == 0 {
+		by = 1
+	}
+	return crt.LaunchConfig{Grid: crt.Dim3{X: bx, Y: by}, Block: crt.Dim3{X: 16, Y: 16}}
+}
+
+// ScaleInt scales n by s, with a floor of min.
+func ScaleInt(n int, s float64, min int) int {
+	v := int(float64(n) * s)
+	if v < min {
+		return min
+	}
+	return v
+}
+
+// LCG is a tiny deterministic generator for workload inputs (identical
+// inputs across native/CRAC/proxy runs are required for checksum
+// comparisons).
+type LCG struct{ state uint64 }
+
+// NewLCG seeds a generator.
+func NewLCG(seed int64) *LCG { return &LCG{state: uint64(seed)*2862933555777941757 + 3037000493} }
+
+// Next returns the next raw 64-bit value.
+func (g *LCG) Next() uint64 {
+	g.state = g.state*6364136223846793005 + 1442695040888963407
+	return g.state
+}
+
+// Float32 returns a float32 in [0, 1).
+func (g *LCG) Float32() float32 {
+	return float32(g.Next()>>40) / float32(1<<24)
+}
+
+// Intn returns an int in [0, n).
+func (g *LCG) Intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(g.Next() % uint64(n))
+}

@@ -1,0 +1,158 @@
+package workloads
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/crt"
+	"repro/internal/cuda"
+)
+
+func newEnv(t *testing.T) *Env {
+	t.Helper()
+	lib, err := cuda.NewLibrary(cuda.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := crt.NewNative(lib)
+	t.Cleanup(n.Close)
+	return NewEnv(n)
+}
+
+func TestEnvStickyError(t *testing.T) {
+	e := newEnv(t)
+	// Poison the env with a bad free.
+	e.Free(0xdeadbeef)
+	if e.Err() == nil {
+		t.Fatal("bad free did not poison env")
+	}
+	first := e.Err()
+	// Subsequent operations are no-ops and do not replace the error.
+	if a := e.Malloc(64); a != 0 {
+		t.Fatal("malloc on poisoned env returned an address")
+	}
+	e.Memset(0, 0, 10)
+	e.DeviceSync()
+	if e.Err() != first {
+		t.Fatal("error was replaced")
+	}
+}
+
+func TestEnvLaunchUnregisteredModule(t *testing.T) {
+	e := newEnv(t)
+	e.Launch("nope", "k", Launch1D(1), crt.DefaultStream)
+	if e.Err() == nil {
+		t.Fatal("launch from unregistered module succeeded")
+	}
+}
+
+func TestEnvFailWith(t *testing.T) {
+	e := newEnv(t)
+	sentinel := errors.New("external")
+	e.FailWith(sentinel)
+	if !errors.Is(e.Err(), sentinel) {
+		t.Fatal("FailWith lost the error")
+	}
+}
+
+func TestLaunchConfigs(t *testing.T) {
+	lc := Launch1D(1000)
+	if lc.Grid.X != 4 || lc.Block.X != 256 {
+		t.Fatalf("Launch1D = %+v", lc)
+	}
+	if Launch1D(0).Grid.X != 1 {
+		t.Fatal("Launch1D(0) should have one block")
+	}
+	lc2 := Launch2D(33, 17)
+	if lc2.Grid.X != 3 || lc2.Grid.Y != 2 {
+		t.Fatalf("Launch2D = %+v", lc2)
+	}
+}
+
+func TestScaleInt(t *testing.T) {
+	if ScaleInt(100, 0.5, 1) != 50 {
+		t.Fatal("scale 0.5")
+	}
+	if ScaleInt(100, 0.001, 7) != 7 {
+		t.Fatal("floor")
+	}
+}
+
+func TestRunConfigEffScale(t *testing.T) {
+	if (RunConfig{}).EffScale() != 1 {
+		t.Fatal("default scale")
+	}
+	if (RunConfig{Scale: 2}).EffScale() != 2 {
+		t.Fatal("explicit scale")
+	}
+}
+
+func TestLCGDeterminism(t *testing.T) {
+	a, b := NewLCG(42), NewLCG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("LCG diverged")
+		}
+	}
+	c := NewLCG(43)
+	if a.Next() == c.Next() {
+		t.Fatal("different seeds produced equal streams (unlikely)")
+	}
+	g := NewLCG(7)
+	for i := 0; i < 1000; i++ {
+		f := g.Float32()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float32 out of range: %v", f)
+		}
+		n := g.Intn(10)
+		if n < 0 || n >= 10 {
+			t.Fatalf("Intn out of range: %d", n)
+		}
+	}
+	if g.Intn(0) != 0 {
+		t.Fatal("Intn(0)")
+	}
+}
+
+func TestMeasureCountsDeltas(t *testing.T) {
+	lib, err := cuda.NewLibrary(cuda.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := crt.NewNative(lib)
+	defer rt.Close()
+	// Pre-existing calls must not leak into the measured delta.
+	if _, err := rt.Malloc(64); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Measure(rt, "x", func() (float64, map[string]float64, error) {
+		if _, err := rt.Malloc(64); err != nil {
+			return 0, nil, err
+		}
+		return 7, map[string]float64{"d": 1}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Checksum != 7 || res.Detail["d"] != 1 {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.Calls.OtherCalls != 1 {
+		t.Fatalf("delta calls = %+v", res.Calls)
+	}
+	if res.CPS() <= 0 {
+		t.Fatal("CPS not positive")
+	}
+}
+
+func TestMeasurePropagatesError(t *testing.T) {
+	lib, _ := cuda.NewLibrary(cuda.Config{})
+	rt := crt.NewNative(lib)
+	defer rt.Close()
+	sentinel := errors.New("app failed")
+	if _, err := Measure(rt, "x", func() (float64, map[string]float64, error) {
+		return 0, nil, sentinel
+	}); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,377 @@
+package crac
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/addrspace"
+	"repro/internal/cracplugin"
+	"repro/internal/cracrt"
+	"repro/internal/crt"
+	"repro/internal/cuda"
+	"repro/internal/dmtcp"
+	"repro/internal/fsgs"
+	"repro/internal/gpusim"
+	"repro/internal/loader"
+	"repro/internal/replaylog"
+)
+
+// SwitcherKind selects the fs-register switching mechanism used by the
+// upper→lower trampoline (paper Section 4.4.5).
+type SwitcherKind int
+
+// Switcher kinds.
+const (
+	// SwitchSyscall switches fs through a kernel call, as on an
+	// unpatched Linux kernel (the default, matching the paper's main
+	// experiments).
+	SwitchSyscall SwitcherKind = iota
+	// SwitchFSGSBase switches fs with the WRFSBASE instruction, as on a
+	// kernel with the FSGSBASE patch.
+	SwitchFSGSBase
+	// SwitchNone performs no switching (used for calibration only; a
+	// real split process always switches).
+	SwitchNone
+)
+
+func (k SwitcherKind) newSwitcher() fsgs.Switcher {
+	switch k {
+	case SwitchFSGSBase:
+		return fsgs.NewFSGSBase()
+	case SwitchNone:
+		return fsgs.None{}
+	default:
+		return fsgs.NewSyscall()
+	}
+}
+
+// Config configures a Session.
+type Config struct {
+	// Prop selects the simulated device; zero value = Tesla V100.
+	Prop gpusim.Properties
+	// Switch selects the fs-register switch mechanism.
+	Switch SwitcherKind
+	// GzipImage compresses checkpoint images. The paper's experiments
+	// disable compression; so does the default.
+	GzipImage bool
+	// ASLR enables address-space randomization. CRAC requires it off
+	// (the default); enabling it demonstrates the replay-mismatch
+	// failure of Section 3.2.4.
+	ASLR     bool
+	ASLRSeed int64
+	// Arena tuning, passed through to the CUDA library.
+	DeviceArenaChunk  uint64
+	PinnedArenaChunk  uint64
+	ManagedArenaChunk uint64
+	GrowthMmaps       int
+}
+
+func (c Config) libConfig(space *addrspace.Space) cuda.Config {
+	return cuda.Config{
+		Prop:              c.Prop,
+		Space:             space,
+		DeviceArenaChunk:  c.DeviceArenaChunk,
+		PinnedArenaChunk:  c.PinnedArenaChunk,
+		ManagedArenaChunk: c.ManagedArenaChunk,
+		GrowthMmaps:       c.GrowthMmaps,
+	}
+}
+
+// Session is one CUDA application execution under CRAC: a single
+// simulated process whose address space holds the checkpointed upper half
+// (application) and a disposable lower half (helper program + active
+// CUDA library), per Figure 1 of the paper.
+type Session struct {
+	cfg Config
+
+	mu         sync.Mutex
+	space      *addrspace.Space
+	helper     *loader.Program
+	lib        *cuda.Library
+	rt         *cracrt.Runtime
+	engine     *dmtcp.Engine
+	plugin     *cracplugin.Plugin
+	generation int // incremented on every restart
+}
+
+// buildLowerHalf loads a fresh helper program and CUDA library into
+// space, returning the library and the published entry-point table.
+func buildLowerHalf(cfg Config, space *addrspace.Space) (*loader.Program, *cuda.Library, cracrt.EntryTable, error) {
+	helper, err := loader.NewLower(space).Load(loader.HelperSpec(cracrt.Symbols))
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("crac: loading helper: %w", err)
+	}
+	lib, err := cuda.NewLibrary(cfg.libConfig(space))
+	if err != nil {
+		helper.Unload()
+		return nil, nil, nil, fmt.Errorf("crac: initializing CUDA library: %w", err)
+	}
+	entries := make(cracrt.EntryTable, len(cracrt.Symbols))
+	for _, sym := range cracrt.Symbols {
+		addr, ok := helper.Entry(sym)
+		if !ok {
+			lib.Destroy()
+			helper.Unload()
+			return nil, nil, nil, fmt.Errorf("crac: helper does not export %q", sym)
+		}
+		entries[sym] = addr
+	}
+	return helper, lib, entries, nil
+}
+
+// aslrIncarnation makes each simulated process incarnation randomize its
+// layout differently, as real ASLR does across exec().
+var aslrIncarnation atomic.Uint64
+
+func newSpace(cfg Config) *addrspace.Space {
+	s := addrspace.New()
+	if cfg.ASLR {
+		s.SetASLR(true, cfg.ASLRSeed+int64(aslrIncarnation.Add(1))*0x9e3779b9)
+	}
+	return s
+}
+
+// NewSession launches a CRAC session: it creates the process address
+// space, loads the lower-half helper (publishing the CUDA entry-point
+// table), initializes the CUDA library, and wires the trampoline runtime
+// and the checkpoint engine.
+func NewSession(cfg Config) (*Session, error) {
+	space := newSpace(cfg)
+	helper, lib, entries, err := buildLowerHalf(cfg, space)
+	if err != nil {
+		return nil, err
+	}
+	rt := cracrt.New(lib, entries, cfg.Switch.newSwitcher())
+	plugin := cracplugin.New(rt)
+	engine := dmtcp.NewEngine()
+	engine.Gzip = cfg.GzipImage
+	engine.Register(plugin)
+	return &Session{
+		cfg:    cfg,
+		space:  space,
+		helper: helper,
+		lib:    lib,
+		rt:     rt,
+		engine: engine,
+		plugin: plugin,
+	}, nil
+}
+
+// Runtime returns the CUDA runtime the application should program
+// against (the upper half's "dummy libcuda").
+func (s *Session) Runtime() crt.Runtime { return s.rt }
+
+// CRACRuntime returns the concrete CRAC runtime, exposing the call log
+// and kernel-table registration for cross-process restore.
+func (s *Session) CRACRuntime() *cracrt.Runtime { return s.rt }
+
+// Space returns the session's current address space.
+func (s *Session) Space() *addrspace.Space {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.space
+}
+
+// Library returns the current lower-half CUDA library.
+func (s *Session) Library() *cuda.Library {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lib
+}
+
+// Generation reports how many restarts this session has been through.
+func (s *Session) Generation() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.generation
+}
+
+// SetRootBlob stores an application pointer-table blob in future images.
+func (s *Session) SetRootBlob(b []byte) { s.plugin.SetRootBlob(b) }
+
+// RootBlob returns the blob (after a restore, the one from the image).
+func (s *Session) RootBlob() []byte { return s.plugin.RootBlob() }
+
+// Checkpoint drains the device and writes a checkpoint image to w. The
+// session keeps running afterwards (DMTCP "checkpoint and continue").
+func (s *Session) Checkpoint(w io.Writer) (dmtcp.Stats, error) {
+	s.mu.Lock()
+	space := s.space
+	s.mu.Unlock()
+	return s.engine.Checkpoint(w, space)
+}
+
+// CheckpointFile checkpoints to a file and returns its size.
+func (s *Session) CheckpointFile(path string) (int64, dmtcp.Stats, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, dmtcp.Stats{}, err
+	}
+	st, err := s.Checkpoint(f)
+	if err != nil {
+		f.Close()
+		return 0, st, err
+	}
+	if err := f.Close(); err != nil {
+		return 0, st, err
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0, st, err
+	}
+	return fi.Size(), st, nil
+}
+
+// Restart simulates killing the process and restarting it from the image
+// in r: the entire old address space (upper and lower halves, including
+// the old CUDA library) is discarded; a fresh lower half is loaded; the
+// upper-half regions are restored from the image; the CUDA call log is
+// replayed against the fresh library so every allocation reappears at
+// its original address; and the saved memory of active mallocs is
+// refilled. The application continues through the same Runtime value,
+// its virtual handles transparently re-mapped.
+func (s *Session) Restart(r io.Reader) error {
+	img, err := dmtcp.ReadImage(r)
+	if err != nil {
+		return err
+	}
+	return s.restartFromImage(img)
+}
+
+// RestartFile restarts from an image file.
+func (s *Session) RestartFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return s.Restart(f)
+}
+
+func (s *Session) restartFromImage(img *dmtcp.Image) error {
+	logBytes, ok := img.Sections.Get(cracplugin.SectionLog)
+	if !ok {
+		return fmt.Errorf("crac: image has no %s section", cracplugin.SectionLog)
+	}
+	log, err := replaylog.DecodeBytes(logBytes)
+	if err != nil {
+		return fmt.Errorf("crac: decoding image log: %w", err)
+	}
+
+	s.mu.Lock()
+	oldLib, oldHelper := s.lib, s.helper
+	s.mu.Unlock()
+
+	// The old process dies: tear down its device and lower half.
+	oldLib.Destroy()
+	oldHelper.Unload()
+
+	// A new process: fresh address space, fresh lower half. With ASLR
+	// off, the helper and the arenas land at the same addresses.
+	space := newSpace(s.cfg)
+	helper, lib, entries, err := buildLowerHalf(s.cfg, space)
+	if err != nil {
+		return err
+	}
+	// DMTCP restores the upper-half memory first...
+	if err := dmtcp.RestoreRegions(img, space); err != nil {
+		lib.Destroy()
+		helper.Unload()
+		return err
+	}
+	// ...then the CRAC plugin replays the log into the fresh library,
+	// re-creating allocations/streams/events/fat binaries...
+	if err := s.rt.Rebind(lib, entries, log); err != nil {
+		lib.Destroy()
+		helper.Unload()
+		return err
+	}
+	// ...and refills the drained device/pinned/managed memory.
+	if err := s.engine.RunRestartHooks(img); err != nil {
+		lib.Destroy()
+		helper.Unload()
+		return err
+	}
+
+	s.mu.Lock()
+	s.space, s.helper, s.lib = space, helper, lib
+	s.generation++
+	s.mu.Unlock()
+	return nil
+}
+
+// Restore builds a brand-new session (a new process) from a checkpoint
+// image — the cross-process restart path (cracrun writes an image; a later process restores it).
+// kernelTables resolves kernel names to functions, standing in for the
+// device code in the restored application's text segment; workloads
+// export their tables for this purpose.
+func Restore(r io.Reader, cfg Config, kernelTables map[string]map[string]cuda.Kernel) (*Session, error) {
+	s, err := NewSession(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for module, funcs := range kernelTables {
+		s.rt.RegisterKernelTable(module, funcs)
+	}
+	img, err := dmtcp.ReadImage(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.restartFromImage(img); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// RestoreFile restores a new session from an image file.
+func RestoreFile(path string, cfg Config, kernelTables map[string]map[string]cuda.Kernel) (*Session, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Restore(f, cfg, kernelTables)
+}
+
+// Close tears the session down.
+func (s *Session) Close() {
+	s.mu.Lock()
+	lib, helper := s.lib, s.helper
+	s.mu.Unlock()
+	if lib != nil {
+		lib.Destroy()
+	}
+	if helper != nil {
+		helper.Unload()
+	}
+}
+
+// Quiesce implements dmtcp.Member for coordinated multi-rank checkpoints.
+func (s *Session) Quiesce() error {
+	return s.Library().DeviceSynchronize()
+}
+
+// WriteCheckpoint implements dmtcp.Member.
+func (s *Session) WriteCheckpoint(w io.Writer) error {
+	_, err := s.Checkpoint(w)
+	return err
+}
+
+// Resume implements dmtcp.Member.
+func (s *Session) Resume() error { return nil }
+
+// NewNative builds the uninstrumented baseline: the same simulated device
+// and CUDA library, bound directly (no trampoline, no logging, no
+// checkpoint support). This is the "native" configuration of the paper's
+// overhead measurements.
+func NewNative(cfg Config) (*crt.Native, error) {
+	space := newSpace(cfg)
+	lib, err := cuda.NewLibrary(cfg.libConfig(space))
+	if err != nil {
+		return nil, err
+	}
+	return crt.NewNative(lib), nil
+}
