@@ -209,6 +209,121 @@ func BenchmarkRestart(b *testing.B) {
 	}
 }
 
+// parallelBenchSession builds a session with ≥64 MiB of live device
+// allocations spread across ≥16 mallocs (each larger than the image
+// shard size, so both the region fan-out and the intra-allocation shard
+// fan-out are exercised), plus a few upper-half cudaHostAlloc regions
+// that travel in the image body itself.
+func parallelBenchSession(b *testing.B, workers int, gz bool) (*crac.Session, uint64) {
+	b.Helper()
+	s, err := crac.NewSession(crac.Config{
+		CheckpointWorkers: workers,
+		GzipImage:         gz,
+		GzipLevel:         1, // BestSpeed: the honest fast-compression setting
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(s.Close)
+	rt := s.Runtime()
+	const (
+		allocs    = 16
+		allocSize = 4 << 20
+	)
+	var total uint64
+	for i := 0; i < allocs; i++ {
+		a, err := rt.Malloc(allocSize)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := rt.Memset(a, byte(0x11*i+1), allocSize); err != nil {
+			b.Fatal(err)
+		}
+		total += allocSize
+	}
+	for i := 0; i < 4; i++ {
+		h, err := rt.HostAlloc(1 << 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := rt.Memset(h, byte(i+1), 1<<20); err != nil {
+			b.Fatal(err)
+		}
+		total += 1 << 20
+	}
+	return s, total
+}
+
+// countingWriter counts image bytes without buffering them, so the
+// benchmark measures the data path rather than bytes.Buffer growth.
+type countingWriter struct{ n int64 }
+
+func (w *countingWriter) Write(p []byte) (int, error) { w.n += int64(len(p)); return len(p), nil }
+
+// BenchmarkCheckpointParallel measures the pipelined checkpoint write
+// (68 MiB of live state) at worker count 1 (the serial reference path)
+// and at full fan-out, raw and gzip'd.
+func BenchmarkCheckpointParallel(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		workers int
+		gz      bool
+	}{
+		{"workers=1", 1, false},
+		{"workers=all", 0, false},
+		{"gzip/workers=1", 1, true},
+		{"gzip/workers=all", 0, true},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			s, total := parallelBenchSession(b, bc.workers, bc.gz)
+			// Warm up the heap so the first timed iteration doesn't pay
+			// the OS page-fault cost of the section buffers.
+			if _, err := s.Checkpoint(&countingWriter{}); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(total))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var w countingWriter
+				if _, err := s.Checkpoint(&w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRestartParallel measures the full restart path (image parse,
+// fresh lower half, region restore, log replay, memory refill) at
+// worker count 1 and full fan-out.
+func BenchmarkRestartParallel(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"workers=1", 1},
+		{"workers=all", 0},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			s, total := parallelBenchSession(b, bc.workers, false)
+			var img bytes.Buffer
+			if _, err := s.Checkpoint(&img); err != nil {
+				b.Fatal(err)
+			}
+			if err := s.Restart(bytes.NewReader(img.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(total))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.Restart(bytes.NewReader(img.Bytes())); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkUVMFaultRoundTrip measures one host→device→host page
 // migration cycle through the pager.
 func BenchmarkUVMFaultRoundTrip(b *testing.B) {

@@ -6,12 +6,16 @@
 //	cracbench -list
 //	cracbench -exp fig2 [-scale 1.0] [-iters 3] [-out results/]
 //	cracbench -exp all [-quick]
+//	cracbench -exp fig3 -quick -benchjson BENCH_checkpoint.json
 //
 // Each experiment prints the paper-style table to stdout; with -out, a
-// CSV per table is written as well.
+// CSV per table is written as well; with -benchjson, every result row
+// is also written to one JSON file for machine consumption (CI tracks
+// the checkpoint/restart perf trajectory this way).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,16 +26,29 @@ import (
 	"repro/internal/harness"
 )
 
+// benchReport is the -benchjson output document.
+type benchReport struct {
+	Experiments []benchExperiment `json:"experiments"`
+}
+
+type benchExperiment struct {
+	ID        string           `json:"id"`
+	Title     string           `json:"title"`
+	ElapsedMS int64            `json:"elapsed_ms"`
+	Tables    []*harness.Table `json:"tables"`
+}
+
 func main() {
 	var (
-		expID   = flag.String("exp", "all", "experiment id (see -list) or \"all\"")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		scale   = flag.Float64("scale", 1.0, "workload scale factor (1.0 = repository default)")
-		iters   = flag.Int("iters", 3, "timed repetitions per data point (paper: 10)")
-		quick   = flag.Bool("quick", false, "shrink workloads for a fast smoke run")
-		full    = flag.Bool("full", false, "enable the most expensive data points (Table 3 sgemm@100MB)")
-		outDir  = flag.String("out", "", "directory for CSV output (optional)")
-		verbose = flag.Bool("v", true, "print progress")
+		expID     = flag.String("exp", "all", "experiment id (see -list) or \"all\"")
+		list      = flag.Bool("list", false, "list experiments and exit")
+		scale     = flag.Float64("scale", 1.0, "workload scale factor (1.0 = repository default)")
+		iters     = flag.Int("iters", 3, "timed repetitions per data point (paper: 10)")
+		quick     = flag.Bool("quick", false, "shrink workloads for a fast smoke run")
+		full      = flag.Bool("full", false, "enable the most expensive data points (Table 3 sgemm@100MB)")
+		outDir    = flag.String("out", "", "directory for CSV output (optional)")
+		benchJSON = flag.String("benchjson", "", "file for JSON benchmark output (optional)")
+		verbose   = flag.Bool("v", true, "print progress")
 	)
 	flag.Parse()
 
@@ -75,6 +92,7 @@ func main() {
 		}
 	}
 
+	var report benchReport
 	for _, e := range exps {
 		start := time.Now()
 		fmt.Fprintf(os.Stderr, "--- running %s: %s\n", e.ID, e.Title)
@@ -99,6 +117,21 @@ func main() {
 				f.Close()
 			}
 		}
-		fmt.Fprintf(os.Stderr, "--- %s done in %v\n", e.ID, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		report.Experiments = append(report.Experiments, benchExperiment{
+			ID: e.ID, Title: e.Title, ElapsedMS: elapsed.Milliseconds(), Tables: tables,
+		})
+		fmt.Fprintf(os.Stderr, "--- %s done in %v\n", e.ID, elapsed.Round(time.Millisecond))
+	}
+	if *benchJSON != "" {
+		b, err := json.MarshalIndent(&report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cracbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*benchJSON, append(b, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "cracbench: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -39,7 +39,7 @@ func main() {
 	}
 
 	fmt.Printf("CRAC checkpoint image: %s\n", flag.Arg(0))
-	fmt.Printf("  compression: gzip=%v\n", img.Gzip)
+	fmt.Printf("  format: v%d, gzip=%v\n", img.Version, img.Gzip)
 	fmt.Printf("  upper-half regions: %d (%d bytes)\n", len(img.Regions), img.TotalRegionBytes())
 	for _, r := range img.Regions {
 		fmt.Printf("    %012x-%012x %8d  %v  %s\n", r.Start, r.Start+r.Len, r.Len, r.Prot, r.Label)

@@ -22,6 +22,14 @@
 // allocations reappear at their original addresses (the paper's
 // log-and-replay design, Section 3).
 //
+// The checkpoint/restart data path is parallel and pipelined: region
+// and allocation payloads are sharded across a worker pool while a
+// single writer streams the image in deterministic order, and restores
+// fan the refills out the same way. Config.CheckpointWorkers,
+// Config.CheckpointShardSize and Config.GzipLevel tune it;
+// CheckpointWorkers=1 selects the serial reference path, which produces
+// byte-identical images.
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // reproduction of every table and figure in the paper's evaluation.
 package crac

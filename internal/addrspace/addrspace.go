@@ -162,8 +162,18 @@ func (ri RegionInfo) String() string {
 
 // Space is a simulated process address space. All methods are safe for
 // concurrent use.
+//
+// Concurrency contract: structural operations (MMap, MUnmap, MProtect)
+// take the write lock and are fully serialized. Data-plane operations
+// (ReadAt, WriteAt, Slice) take only the read lock: they never mutate the
+// region list, so any number of them may run concurrently — this is what
+// lets the checkpoint/restart pipeline drain and refill many regions in
+// parallel. Concurrent ReadAt/WriteAt calls over *non-overlapping* byte
+// ranges are race-free. Overlapping concurrent accesses race on the
+// payload bytes exactly as racing loads/stores on real memory would; the
+// region bookkeeping itself stays consistent either way.
 type Space struct {
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	regions []*region // sorted by start, non-overlapping
 	lower   Window
 	upper   Window
@@ -219,8 +229,8 @@ func (s *Space) SetASLR(on bool, seed int64) {
 
 // ASLR reports whether address randomization is enabled.
 func (s *Space) ASLR() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.aslr
 }
 
@@ -482,17 +492,20 @@ func (s *Space) findLocked(addr uint64) *region {
 
 // ReadAt copies len(p) bytes starting at addr into p. The range may span
 // multiple contiguous regions; unmapped gaps are an error. Protection is
-// checked (ProtRead required).
+// checked (ProtRead required). ReadAt holds only the read lock: see the
+// Space concurrency contract.
 func (s *Space) ReadAt(addr uint64, p []byte) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.accessLocked(addr, ProtRead, p, true)
 }
 
 // WriteAt copies p into the space starting at addr (ProtWrite required).
+// WriteAt holds only the read lock: concurrent writes to non-overlapping
+// ranges are race-free (see the Space concurrency contract).
 func (s *Space) WriteAt(addr uint64, p []byte) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.accessLocked(addr, ProtWrite, p, false)
 }
 
@@ -532,8 +545,8 @@ func (s *Space) accessLocked(addr uint64, need Prot, buf []byte, read bool) erro
 // must lie within a single region; this is the fast path used by kernel
 // execution (a real GPU would access this memory through UVA directly).
 func (s *Space) Slice(addr, length uint64) ([]byte, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	r := s.findLocked(addr)
 	if r == nil {
 		return nil, fmt.Errorf("%w: %#x", ErrNotMapped, addr)
@@ -554,8 +567,8 @@ func (s *Space) Slice(addr, length uint64) ([]byte, error) {
 // order. This is CRAC's own bookkeeping view, which preserves the
 // upper/lower attribution that the maps view loses.
 func (s *Space) Regions() []RegionInfo {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([]RegionInfo, 0, len(s.regions))
 	for _, r := range s.regions {
 		out = append(out, RegionInfo{Start: r.start, Len: uint64(len(r.data)), Prot: r.prot, Half: r.half, Label: r.label})
@@ -614,7 +627,7 @@ func (s *Space) MappedBytes(h Half) uint64 {
 
 // Stats reports cumulative mmap/munmap call counts.
 func (s *Space) Stats() (mmaps, munmaps uint64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.mmapCount, s.munmapCount
 }

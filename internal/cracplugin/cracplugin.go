@@ -8,6 +8,11 @@
 // session has replayed the log into the fresh lower half, recreating
 // every allocation at its original address) it refills those allocations
 // with the saved bytes.
+//
+// The drain and the refill both fan out across CPUs: every allocation's
+// offset inside the devmem section is known up front, so workers copy
+// disjoint ranges with no intermediate buffers (see the addrspace
+// concurrency contract).
 package cracplugin
 
 import (
@@ -19,6 +24,7 @@ import (
 
 	"repro/internal/cracrt"
 	"repro/internal/dmtcp"
+	"repro/internal/par"
 	"repro/internal/replaylog"
 )
 
@@ -29,9 +35,17 @@ const (
 	SectionRoot   = "crac.root"   // application root blob (pointer table)
 )
 
+// devMemEntryHdr is the per-allocation header inside the devmem section:
+// u64 addr, u64 size, then size payload bytes.
+const devMemEntryHdr = 16
+
 // Plugin implements dmtcp.Plugin for CUDA state.
 type Plugin struct {
 	rt *cracrt.Runtime
+
+	// Workers bounds the drain/refill fan-out: <=0 uses all CPUs, 1 is
+	// the serial reference path.
+	Workers int
 
 	mu   sync.Mutex
 	root []byte
@@ -70,42 +84,57 @@ func (p *Plugin) PreCheckpoint(sections *dmtcp.SectionMap) error {
 		return fmt.Errorf("cracplugin: drain: %w", err)
 	}
 
-	// Serialize the call log.
-	var logBuf bytes.Buffer
-	if err := p.rt.Log().Encode(&logBuf); err != nil {
+	// Serialize the call log straight into its section.
+	logw := sections.Writer(SectionLog, 64+25*p.rt.Log().Len())
+	if err := p.rt.Log().Encode(logw); err != nil {
 		return fmt.Errorf("cracplugin: encoding log: %w", err)
 	}
-	sections.Add(SectionLog, logBuf.Bytes())
+	logw.Close()
 
 	// Save the memory of active mallocs in the lower-half arenas
 	// (device, pinned, managed). cudaHostAlloc buffers are upper-half
 	// regions and travel with the DMTCP image itself.
+	//
+	// The section layout is computed first, so the payload lands in the
+	// section buffer exactly once: headers serially (they're tiny),
+	// allocation bytes in parallel at precomputed offsets.
 	active := p.rt.Log().Active()
-	var mem bytes.Buffer
-	var groups = [][]replaylog.Allocation{active.Device, active.Pinned, active.Managed}
+	groups := [][]replaylog.Allocation{active.Device, active.Pinned, active.Managed}
 	var count uint32
+	total := 4 // leading u32 count
 	for _, g := range groups {
 		count += uint32(len(g))
-	}
-	var u32 [4]byte
-	binary.LittleEndian.PutUint32(u32[:], count)
-	mem.Write(u32[:])
-	space := lib.Space()
-	var u64 [8]byte
-	for _, g := range groups {
 		for _, a := range g {
-			binary.LittleEndian.PutUint64(u64[:], a.Addr)
-			mem.Write(u64[:])
-			binary.LittleEndian.PutUint64(u64[:], a.Size)
-			mem.Write(u64[:])
-			buf := make([]byte, a.Size)
-			if err := space.ReadAt(a.Addr, buf); err != nil {
-				return fmt.Errorf("cracplugin: draining allocation %#x+%d: %w", a.Addr, a.Size, err)
-			}
-			mem.Write(buf)
+			total += devMemEntryHdr + int(a.Size)
 		}
 	}
-	sections.Add(SectionDevMem, mem.Bytes())
+	mem := sections.AddZero(SectionDevMem, total)
+	binary.LittleEndian.PutUint32(mem[0:], count)
+	type job struct {
+		alloc replaylog.Allocation
+		off   int // payload offset inside mem
+	}
+	jobs := make([]job, 0, count)
+	off := 4
+	for _, g := range groups {
+		for _, a := range g {
+			binary.LittleEndian.PutUint64(mem[off:], a.Addr)
+			binary.LittleEndian.PutUint64(mem[off+8:], a.Size)
+			off += devMemEntryHdr
+			jobs = append(jobs, job{alloc: a, off: off})
+			off += int(a.Size)
+		}
+	}
+	space := lib.Space()
+	if err := par.ForErrN(p.Workers, len(jobs), func(i int) error {
+		j := jobs[i]
+		if err := space.ReadAt(j.alloc.Addr, mem[j.off:j.off+int(j.alloc.Size)]); err != nil {
+			return fmt.Errorf("cracplugin: draining allocation %#x+%d: %w", j.alloc.Addr, j.alloc.Size, err)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
 
 	p.mu.Lock()
 	root := append([]byte(nil), p.root...)
@@ -122,6 +151,9 @@ func (p *Plugin) Resume() error { return nil }
 // the saved bytes. The session must have rebound the runtime to the fresh
 // lower half (replaying the log) before the restart hooks run, so every
 // address written here is live again at its original value.
+//
+// The entry headers are walked serially; the refill writes fan out, one
+// WriteAt per allocation over disjoint target ranges.
 func (p *Plugin) Restart(sections *dmtcp.SectionMap) error {
 	memBytes, ok := sections.Get(SectionDevMem)
 	if !ok {
@@ -134,23 +166,32 @@ func (p *Plugin) Restart(sections *dmtcp.SectionMap) error {
 		return fmt.Errorf("cracplugin: devmem count: %w", err)
 	}
 	n := binary.LittleEndian.Uint32(u32[:])
-	var u64 [8]byte
+	type job struct {
+		addr uint64
+		data []byte
+	}
+	jobs := make([]job, 0, n)
+	off := 4
 	for i := uint32(0); i < n; i++ {
-		if _, err := io.ReadFull(r, u64[:]); err != nil {
-			return fmt.Errorf("cracplugin: devmem entry %d: %w", i, err)
+		if off+devMemEntryHdr > len(memBytes) {
+			return fmt.Errorf("cracplugin: devmem entry %d: %w", i, io.ErrUnexpectedEOF)
 		}
-		addr := binary.LittleEndian.Uint64(u64[:])
-		if _, err := io.ReadFull(r, u64[:]); err != nil {
-			return fmt.Errorf("cracplugin: devmem entry %d: %w", i, err)
+		addr := binary.LittleEndian.Uint64(memBytes[off:])
+		size := binary.LittleEndian.Uint64(memBytes[off+8:])
+		off += devMemEntryHdr
+		if uint64(len(memBytes)-off) < size {
+			return fmt.Errorf("cracplugin: devmem entry %d data: %w", i, io.ErrUnexpectedEOF)
 		}
-		size := binary.LittleEndian.Uint64(u64[:])
-		buf := make([]byte, size)
-		if _, err := io.ReadFull(r, buf); err != nil {
-			return fmt.Errorf("cracplugin: devmem entry %d data: %w", i, err)
+		jobs = append(jobs, job{addr: addr, data: memBytes[off : off+int(size)]})
+		off += int(size)
+	}
+	if err := par.ForErrN(p.Workers, len(jobs), func(i int) error {
+		if err := space.WriteAt(jobs[i].addr, jobs[i].data); err != nil {
+			return fmt.Errorf("cracplugin: refilling %#x+%d: %w", jobs[i].addr, len(jobs[i].data), err)
 		}
-		if err := space.WriteAt(addr, buf); err != nil {
-			return fmt.Errorf("cracplugin: refilling %#x+%d: %w", addr, size, err)
-		}
+		return nil
+	}); err != nil {
+		return err
 	}
 	if root, ok := sections.Get(SectionRoot); ok {
 		p.mu.Lock()

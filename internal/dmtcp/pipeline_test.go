@@ -1,0 +1,368 @@
+package dmtcp
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+
+	"repro/internal/addrspace"
+)
+
+// fillPattern writes deterministic, position-dependent bytes so shard
+// reordering or misplacement shows up as a content mismatch.
+func fillPattern(b []byte, seed uint64) {
+	x := seed*0x9e3779b97f4a7c15 + 1
+	for i := range b {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		b[i] = byte(x >> 32)
+	}
+}
+
+// buildBigSpace maps several upper-half regions of varying sizes (some
+// much larger than the shard size used in the tests) plus lower-half
+// noise that must never enter an image.
+func buildBigSpace(t testing.TB, nRegions int) (*addrspace.Space, []addrspace.RegionInfo) {
+	t.Helper()
+	s := addrspace.New()
+	if _, err := s.MMap(0, 4*addrspace.PageSize, addrspace.ProtRW, 0, addrspace.HalfLower, "lower-noise"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nRegions; i++ {
+		pages := uint64(1 + (i*7)%13)
+		length := pages * addrspace.PageSize
+		start, err := s.MMap(0, length, addrspace.ProtRW, 0, addrspace.HalfUpper, fmt.Sprintf("r%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := make([]byte, length)
+		fillPattern(data, uint64(i))
+		if err := s.WriteAt(start, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s, s.RegionsIn(addrspace.HalfUpper)
+}
+
+// snapshotRegions reads every region's bytes out of a space.
+func snapshotRegions(t testing.TB, s *addrspace.Space, regions []addrspace.RegionInfo) [][]byte {
+	t.Helper()
+	out := make([][]byte, len(regions))
+	for i, ri := range regions {
+		out[i] = make([]byte, ri.Len)
+		if err := s.ReadAt(ri.Start, out[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out
+}
+
+// sectionPlugin contributes sections sized to cross shard boundaries.
+type sectionPlugin struct{ sizes []int }
+
+func (p *sectionPlugin) Name() string { return "sections" }
+func (p *sectionPlugin) PreCheckpoint(s *SectionMap) error {
+	for i, n := range p.sizes {
+		b := s.AddZero(fmt.Sprintf("sec.%d", i), n)
+		fillPattern(b, uint64(100+i))
+	}
+	return nil
+}
+func (p *sectionPlugin) Resume() error             { return nil }
+func (p *sectionPlugin) Restart(*SectionMap) error { return nil }
+
+// TestParallelSerialImagesIdentical: the v2 image is byte-identical for
+// any worker count (shard plan depends only on shard size), and the
+// restored memory is byte-identical to the original for both paths.
+func TestParallelSerialImagesIdentical(t *testing.T) {
+	for _, gz := range []bool{false, true} {
+		t.Run(fmt.Sprintf("gzip=%v", gz), func(t *testing.T) {
+			space, regions := buildBigSpace(t, 9)
+			want := snapshotRegions(t, space, regions)
+
+			checkpoint := func(workers int) []byte {
+				e := NewEngine()
+				e.Gzip = gz
+				e.Workers = workers
+				e.ShardSize = 3 * addrspace.PageSize // force multi-shard regions
+				e.Register(&sectionPlugin{sizes: []int{0, 17, 5 * addrspace.PageSize}})
+				var img bytes.Buffer
+				if _, err := e.Checkpoint(&img, space); err != nil {
+					t.Fatal(err)
+				}
+				return img.Bytes()
+			}
+			serial := checkpoint(1)
+			parallel := checkpoint(8)
+			if !bytes.Equal(serial, parallel) {
+				t.Fatalf("serial and parallel images differ: %d vs %d bytes", len(serial), len(parallel))
+			}
+
+			for _, workers := range []int{1, 8} {
+				img, err := ReadImage(bytes.NewReader(parallel))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if img.Version != 2 {
+					t.Fatalf("version = %d", img.Version)
+				}
+				fresh := addrspace.New()
+				if err := RestoreRegionsN(img, fresh, workers); err != nil {
+					t.Fatal(err)
+				}
+				got := snapshotRegions(t, fresh, regions)
+				for i := range want {
+					if !bytes.Equal(want[i], got[i]) {
+						t.Fatalf("workers=%d: region %d differs after restore", workers, i)
+					}
+				}
+				for i, n := range []int{0, 17, 5 * addrspace.PageSize} {
+					sec, ok := img.Sections.Get(fmt.Sprintf("sec.%d", i))
+					if !ok || len(sec) != n {
+						t.Fatalf("section %d: ok=%v len=%d want %d", i, ok, len(sec), n)
+					}
+					ref := make([]byte, n)
+					fillPattern(ref, uint64(100+i))
+					if !bytes.Equal(sec, ref) {
+						t.Fatalf("section %d content differs", i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestV1BackwardCompat: images written in the legacy serial format are
+// still read correctly, with and without whole-body gzip.
+func TestV1BackwardCompat(t *testing.T) {
+	for _, gz := range []bool{false, true} {
+		t.Run(fmt.Sprintf("gzip=%v", gz), func(t *testing.T) {
+			space, regions := buildBigSpace(t, 5)
+			want := snapshotRegions(t, space, regions)
+			e := NewEngine()
+			e.ImageVersion = 1
+			e.Gzip = gz
+			e.Register(&sectionPlugin{sizes: []int{33}})
+			var img bytes.Buffer
+			if _, err := e.Checkpoint(&img, space); err != nil {
+				t.Fatal(err)
+			}
+			parsed, err := ReadImage(bytes.NewReader(img.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if parsed.Version != 1 || parsed.Gzip != gz {
+				t.Fatalf("version=%d gzip=%v", parsed.Version, parsed.Gzip)
+			}
+			fresh := addrspace.New()
+			if err := RestoreRegions(parsed, fresh); err != nil {
+				t.Fatal(err)
+			}
+			got := snapshotRegions(t, fresh, regions)
+			for i := range want {
+				if !bytes.Equal(want[i], got[i]) {
+					t.Fatalf("region %d differs after v1 restore", i)
+				}
+			}
+			if sec, ok := parsed.Sections.Get("sec.0"); !ok || len(sec) != 33 {
+				t.Fatalf("v1 section: ok=%v len=%d", ok, len(sec))
+			}
+		})
+	}
+}
+
+// TestV1V2SameRestoredState: both formats restore the same memory.
+func TestV1V2SameRestoredState(t *testing.T) {
+	space, regions := buildBigSpace(t, 6)
+	restored := func(version int) [][]byte {
+		e := NewEngine()
+		e.ImageVersion = version
+		var img bytes.Buffer
+		if _, err := e.Checkpoint(&img, space); err != nil {
+			t.Fatal(err)
+		}
+		parsed, err := ReadImage(bytes.NewReader(img.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh := addrspace.New()
+		if err := RestoreRegions(parsed, fresh); err != nil {
+			t.Fatal(err)
+		}
+		return snapshotRegions(t, fresh, regions)
+	}
+	v1, v2 := restored(1), restored(2)
+	for i := range v1 {
+		if !bytes.Equal(v1[i], v2[i]) {
+			t.Fatalf("region %d: v1 and v2 restores differ", i)
+		}
+	}
+}
+
+// TestConcurrentCheckpoint exercises the pipeline under the race
+// detector: several checkpoints of one space run concurrently with
+// lower-half mutation (writes and mmap/munmap churn). Lower-half regions
+// are not checkpointed, so all concurrent accesses are disjoint.
+func TestConcurrentCheckpoint(t *testing.T) {
+	space, _ := buildBigSpace(t, 8)
+	scratch, err := space.MMap(0, 8*addrspace.PageSize, addrspace.ProtRW, 0, addrspace.HalfLower, "scratch")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, 8*addrspace.PageSize)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			fillPattern(buf, uint64(i))
+			if err := space.WriteAt(scratch, buf); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			a, err := space.MMap(0, addrspace.PageSize, addrspace.ProtRW, 0, addrspace.HalfLower, "churn")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := space.MUnmap(a, addrspace.PageSize); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	var images [4][]byte
+	var ckpt sync.WaitGroup
+	for i := range images {
+		ckpt.Add(1)
+		go func(i int) {
+			defer ckpt.Done()
+			e := NewEngine()
+			e.ShardSize = 2 * addrspace.PageSize
+			var img bytes.Buffer
+			if _, err := e.Checkpoint(&img, space); err != nil {
+				t.Error(err)
+				return
+			}
+			images[i] = img.Bytes()
+		}(i)
+	}
+	ckpt.Wait()
+	close(stop)
+	wg.Wait()
+
+	// The upper half never changed, so every concurrent image is
+	// identical and restores correctly.
+	for i := 1; i < len(images); i++ {
+		if !bytes.Equal(images[0], images[i]) {
+			t.Fatalf("concurrent image %d differs", i)
+		}
+	}
+	img, err := ReadImage(bytes.NewReader(images[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RestoreRegions(img, addrspace.New()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStatsDurations: write and hook time are attributed separately.
+func TestStatsDurations(t *testing.T) {
+	space, _ := buildBigSpace(t, 4)
+	e := NewEngine()
+	e.Register(&sectionPlugin{sizes: []int{1024}})
+	st, err := e.Checkpoint(io.Discard, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.WriteDuration <= 0 {
+		t.Fatalf("WriteDuration = %v", st.WriteDuration)
+	}
+	if st.Duration < st.WriteDuration {
+		t.Fatalf("Duration %v < WriteDuration %v", st.Duration, st.WriteDuration)
+	}
+	if st.Duration < st.WriteDuration+st.HookDuration {
+		t.Fatalf("Duration %v < write %v + hooks %v", st.Duration, st.WriteDuration, st.HookDuration)
+	}
+}
+
+// TestSectionWriterStreams: the streaming section API accumulates writes
+// and publishes on Close.
+func TestSectionWriterStreams(t *testing.T) {
+	s := NewSectionMap()
+	w := s.Writer("log", 4)
+	if _, ok := s.Get("log"); ok {
+		t.Fatal("section visible before Close")
+	}
+	w.Write([]byte("abc"))
+	w.Write([]byte("defgh"))
+	w.Close()
+	if got, ok := s.Get("log"); !ok || string(got) != "abcdefgh" {
+		t.Fatalf("section = %q ok=%v", got, ok)
+	}
+	b := s.AddZero("zeros", 5)
+	copy(b, "xy")
+	if got, _ := s.Get("zeros"); string(got[:2]) != "xy" || len(got) != 5 {
+		t.Fatalf("AddZero section = %q", got)
+	}
+}
+
+// FuzzReadImage: the chunked decoder must reject arbitrary mutations
+// without panicking or over-allocating. Seeds cover both formats, both
+// compression modes, and truncations.
+func FuzzReadImage(f *testing.F) {
+	space, _ := buildBigSpace(f, 3)
+	for _, cfg := range []struct {
+		version int
+		gz      bool
+	}{{1, false}, {1, true}, {2, false}, {2, true}} {
+		e := NewEngine()
+		e.ImageVersion = cfg.version
+		e.Gzip = cfg.gz
+		e.ShardSize = 2 * addrspace.PageSize
+		e.Register(&sectionPlugin{sizes: []int{100, 3000}})
+		var img bytes.Buffer
+		if _, err := e.Checkpoint(&img, space); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(img.Bytes())
+		f.Add(img.Bytes()[:img.Len()/2])
+	}
+	f.Add([]byte("CRACIMG2garbage"))
+	f.Add([]byte("CRACIMG1"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		img, err := ReadImage(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successfully parsed image must be internally consistent.
+		for i, rd := range img.Regions {
+			if uint64(len(rd.Data)) != rd.Len {
+				t.Fatalf("region %d: len %d != header %d", i, len(rd.Data), rd.Len)
+			}
+		}
+	})
+}

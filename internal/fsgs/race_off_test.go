@@ -1,0 +1,5 @@
+//go:build !race
+
+package fsgs
+
+const raceEnabled = false

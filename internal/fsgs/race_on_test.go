@@ -1,0 +1,8 @@
+//go:build race
+
+package fsgs
+
+// raceEnabled reports that this test binary was built with the race
+// detector, whose instrumentation distorts the timing properties the
+// cost-ordering test asserts.
+const raceEnabled = true

@@ -3,6 +3,11 @@
 // the simulator models by fanning the kernel's index space out over the
 // host's CPUs. Kernels use For to cover their grid, the way CUDA kernels
 // cover it with blockIdx/threadIdx.
+//
+// The checkpoint/restart data path reuses the same fan-out idiom through
+// ForErr/ForErrN, which add error propagation and an explicit worker
+// count (workers=1 is the serial reference path used for apples-to-apples
+// benchmarking).
 package par
 
 import (
@@ -45,4 +50,74 @@ func For(n, minPar int, body func(lo, hi int)) {
 		}(lo, hi)
 	}
 	wg.Wait()
+}
+
+// Workers resolves a worker-count knob: n<=0 means "use all CPUs".
+func Workers(n int) int {
+	if n <= 0 {
+		return maxWorkers
+	}
+	return n
+}
+
+// ForErr runs body(i) for every i in [0, n) on up to GOMAXPROCS
+// goroutines and returns the first error. Unlike For it is
+// per-item (not chunked): the checkpoint data path's items (regions,
+// allocations, shards) are coarse enough that per-item dispatch cost is
+// noise next to the memory traffic each item moves.
+func ForErr(n int, body func(i int) error) error {
+	return ForErrN(0, n, body)
+}
+
+// ForErrN is ForErr with an explicit worker count: workers<=0 uses all
+// CPUs, workers==1 runs body serially in-line (the reference path for
+// serial-vs-parallel comparisons). All items run even after an error;
+// the first error (in goroutine-observation order) is returned.
+func ForErrN(workers, n int, body func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := Workers(workers)
+	if w == 1 || n == 1 {
+		var first error
+		for i := 0; i < n; i++ {
+			if err := body(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	if w > n {
+		w = n
+	}
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		first error
+		next  int
+	)
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= n {
+					return
+				}
+				if err := body(i); err != nil {
+					mu.Lock()
+					if first == nil {
+						first = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
 }

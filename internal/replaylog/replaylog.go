@@ -170,31 +170,56 @@ type FatBin struct {
 }
 
 // Active derives the live set from the log.
+//
+// Deletions use tombstones plus an address→position index instead of
+// scanning the creation-order slice, so a malloc/free-heavy log
+// (HPGMG-style, tens of thousands of calls) derives in O(n) rather than
+// the quadratic slice-deletion cost of the naive approach. Dead entries
+// are skipped during the final collection; the same address may recur in
+// the order slice after arena reuse, so liveness is per-entry, not
+// per-address.
 func (l *Log) Active() ActiveSet {
 	entries := l.Entries()
 	var as ActiveSet
 	type allocList struct {
-		order []uint64
-		size  map[uint64]uint64
+		order []Allocation
+		alive []bool
+		idx   map[uint64]int // addr → live entry position in order
 	}
-	newAL := func() *allocList { return &allocList{size: make(map[uint64]uint64)} }
+	newAL := func() *allocList { return &allocList{idx: make(map[uint64]int)} }
 	dev, pin, host, mgd := newAL(), newAL(), newAL(), newAL()
 	add := func(al *allocList, e Entry) {
-		al.order = append(al.order, e.Addr)
-		al.size[e.Addr] = e.Size
+		al.idx[e.Addr] = len(al.order)
+		al.order = append(al.order, Allocation{Addr: e.Addr, Size: e.Size})
+		al.alive = append(al.alive, true)
 	}
 	drop := func(al *allocList, addr uint64) {
-		delete(al.size, addr)
-		for i, a := range al.order {
-			if a == addr {
-				al.order = append(al.order[:i], al.order[i+1:]...)
-				break
-			}
+		if i, ok := al.idx[addr]; ok {
+			al.alive[i] = false
+			delete(al.idx, addr)
 		}
 	}
-	var streams, events []uint64
+	type handleList struct {
+		order []uint64
+		alive []bool
+		idx   map[uint64]int
+	}
+	newHL := func() *handleList { return &handleList{idx: make(map[uint64]int)} }
+	streams, events := newHL(), newHL()
+	addH := func(hl *handleList, h uint64) {
+		hl.idx[h] = len(hl.order)
+		hl.order = append(hl.order, h)
+		hl.alive = append(hl.alive, true)
+	}
+	dropH := func(hl *handleList, h uint64) {
+		if i, ok := hl.idx[h]; ok {
+			hl.alive[i] = false
+			delete(hl.idx, h)
+		}
+	}
 	fatIdx := make(map[uint64]int)
 	var fats []FatBin
+	var fatAlive []bool
 	for _, e := range entries {
 		switch e.Kind {
 		case KindMalloc:
@@ -214,36 +239,43 @@ func (l *Log) Active() ActiveSet {
 		case KindFreeManaged:
 			drop(mgd, e.Addr)
 		case KindStreamCreate:
-			streams = append(streams, e.Handle)
+			addH(streams, e.Handle)
 		case KindStreamDestroy:
-			streams = removeHandle(streams, e.Handle)
+			dropH(streams, e.Handle)
 		case KindEventCreate:
-			events = append(events, e.Handle)
+			addH(events, e.Handle)
 		case KindEventDestroy:
-			events = removeHandle(events, e.Handle)
+			dropH(events, e.Handle)
 		case KindRegisterFatBinary:
 			fatIdx[e.Handle] = len(fats)
 			fats = append(fats, FatBin{Handle: e.Handle, Module: e.Module})
+			fatAlive = append(fatAlive, true)
 		case KindRegisterFunction:
 			if i, ok := fatIdx[e.Handle]; ok {
 				fats[i].Functions = append(fats[i].Functions, e.Name)
 			}
 		case KindUnregisterFatBinary:
 			if i, ok := fatIdx[e.Handle]; ok {
-				fats = append(fats[:i], fats[i+1:]...)
+				fatAlive[i] = false
 				delete(fatIdx, e.Handle)
-				for h, j := range fatIdx {
-					if j > i {
-						fatIdx[h] = j - 1
-					}
-				}
 			}
 		}
 	}
 	collect := func(al *allocList) []Allocation {
-		out := make([]Allocation, 0, len(al.order))
-		for _, a := range al.order {
-			out = append(out, Allocation{Addr: a, Size: al.size[a]})
+		out := make([]Allocation, 0, len(al.idx))
+		for i, a := range al.order {
+			if al.alive[i] {
+				out = append(out, a)
+			}
+		}
+		return out
+	}
+	collectH := func(hl *handleList) []uint64 {
+		out := make([]uint64, 0, len(hl.idx))
+		for i, h := range hl.order {
+			if hl.alive[i] {
+				out = append(out, h)
+			}
 		}
 		return out
 	}
@@ -251,19 +283,15 @@ func (l *Log) Active() ActiveSet {
 	as.Pinned = collect(pin)
 	as.Host = collect(host)
 	as.Managed = collect(mgd)
-	as.Streams = streams
-	as.Events = events
-	as.FatBins = fats
-	return as
-}
-
-func removeHandle(hs []uint64, h uint64) []uint64 {
-	for i, x := range hs {
-		if x == h {
-			return append(hs[:i], hs[i+1:]...)
+	as.Streams = collectH(streams)
+	as.Events = collectH(events)
+	as.FatBins = make([]FatBin, 0, len(fatIdx))
+	for i, f := range fats {
+		if fatAlive[i] {
+			as.FatBins = append(as.FatBins, f)
 		}
 	}
-	return hs
+	return as
 }
 
 // Binary serialization: the log travels inside the checkpoint image.

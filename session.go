@@ -57,6 +57,18 @@ type Config struct {
 	// GzipImage compresses checkpoint images. The paper's experiments
 	// disable compression; so does the default.
 	GzipImage bool
+	// GzipLevel selects the compression level when GzipImage is on
+	// (gzip.BestSpeed..gzip.BestCompression); 0 = default level. Each
+	// shard compresses independently, so higher levels still scale
+	// across CheckpointWorkers.
+	GzipLevel int
+	// CheckpointWorkers bounds the checkpoint/restart data-path fan-out
+	// (image write pipeline, active-malloc drain, region/memory
+	// refill): <=0 uses all CPUs, 1 forces the serial reference path.
+	CheckpointWorkers int
+	// CheckpointShardSize overrides the v2 image shard granularity
+	// (bytes); 0 = dmtcp.DefaultShardSize.
+	CheckpointShardSize int
 	// ASLR enables address-space randomization. CRAC requires it off
 	// (the default); enabling it demonstrates the replay-mismatch
 	// failure of Section 3.2.4.
@@ -146,8 +158,12 @@ func NewSession(cfg Config) (*Session, error) {
 	}
 	rt := cracrt.New(lib, entries, cfg.Switch.newSwitcher())
 	plugin := cracplugin.New(rt)
+	plugin.Workers = cfg.CheckpointWorkers
 	engine := dmtcp.NewEngine()
 	engine.Gzip = cfg.GzipImage
+	engine.GzipLevel = cfg.GzipLevel
+	engine.Workers = cfg.CheckpointWorkers
+	engine.ShardSize = cfg.CheckpointShardSize
 	engine.Register(plugin)
 	return &Session{
 		cfg:    cfg,
@@ -277,7 +293,7 @@ func (s *Session) restartFromImage(img *dmtcp.Image) error {
 		return err
 	}
 	// DMTCP restores the upper-half memory first...
-	if err := dmtcp.RestoreRegions(img, space); err != nil {
+	if err := dmtcp.RestoreRegionsN(img, space, s.cfg.CheckpointWorkers); err != nil {
 		lib.Destroy()
 		helper.Unload()
 		return err
