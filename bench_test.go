@@ -11,6 +11,7 @@ package crac_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"testing"
@@ -62,9 +63,9 @@ func BenchmarkAblationDesignChoices(b *testing.B)  { runExperiment(b, "ablations
 
 // benchSession builds a CRAC session with a registered kernel module and
 // one device buffer.
-func benchSession(b *testing.B, cfg crac.Config) (*crac.Session, crt.Runtime, crt.FatBinHandle, uint64) {
+func benchSession(b *testing.B, opts ...crac.Option) (*crac.Session, crt.Runtime, crt.FatBinHandle, uint64) {
 	b.Helper()
-	s, err := crac.NewSession(cfg)
+	s, err := crac.New(opts...)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -89,7 +90,7 @@ func benchSession(b *testing.B, cfg crac.Config) (*crac.Session, crt.Runtime, cr
 // BenchmarkDispatchNative measures a small CUDA call through the direct
 // binding (the baseline of every overhead figure).
 func BenchmarkDispatchNative(b *testing.B) {
-	rt, err := crac.NewNative(crac.Config{})
+	rt, err := crac.NewNative()
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func BenchmarkDispatchNative(b *testing.B) {
 // BenchmarkDispatchCRACSyscall measures the same call through the CRAC
 // trampoline with syscall-based fs switching (unpatched kernel).
 func BenchmarkDispatchCRACSyscall(b *testing.B) {
-	_, rt, _, buf := benchSession(b, crac.Config{Switch: crac.SwitchSyscall})
+	_, rt, _, buf := benchSession(b, crac.WithSwitcher(crac.SwitchSyscall))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := rt.Memset(buf, byte(i), 4096); err != nil {
@@ -118,7 +119,7 @@ func BenchmarkDispatchCRACSyscall(b *testing.B) {
 // BenchmarkDispatchCRACFSGSBase measures the trampoline with the
 // FSGSBASE register write (Section 4.4.5).
 func BenchmarkDispatchCRACFSGSBase(b *testing.B) {
-	_, rt, _, buf := benchSession(b, crac.Config{Switch: crac.SwitchFSGSBase})
+	_, rt, _, buf := benchSession(b, crac.WithSwitcher(crac.SwitchFSGSBase))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := rt.Memset(buf, byte(i), 4096); err != nil {
@@ -130,7 +131,7 @@ func BenchmarkDispatchCRACFSGSBase(b *testing.B) {
 // BenchmarkKernelLaunchCRAC measures a full kernel launch + sync cycle
 // under CRAC (three trampoline crossings per the paper's formula).
 func BenchmarkKernelLaunchCRAC(b *testing.B) {
-	_, rt, fat, buf := benchSession(b, crac.Config{})
+	_, rt, fat, buf := benchSession(b)
 	lc := crt.LaunchConfig{Grid: crt.Dim3{X: 1}, Block: crt.Dim3{X: 256}}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -146,7 +147,7 @@ func BenchmarkKernelLaunchCRAC(b *testing.B) {
 // BenchmarkMallocFreeCRAC measures the logged cudaMalloc/cudaFree pair
 // (including the modelled driver latency that dominates restart replay).
 func BenchmarkMallocFreeCRAC(b *testing.B) {
-	_, rt, _, _ := benchSession(b, crac.Config{})
+	_, rt, _, _ := benchSession(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		a, err := rt.Malloc(4096)
@@ -162,7 +163,7 @@ func BenchmarkMallocFreeCRAC(b *testing.B) {
 // BenchmarkCheckpoint measures writing a checkpoint image of a session
 // with 16 MiB of active device memory.
 func BenchmarkCheckpoint(b *testing.B) {
-	s, rt, _, _ := benchSession(b, crac.Config{})
+	s, rt, _, _ := benchSession(b)
 	big, err := rt.Malloc(16 << 20)
 	if err != nil {
 		b.Fatal(err)
@@ -174,7 +175,7 @@ func BenchmarkCheckpoint(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		img.Reset()
-		if _, err := s.Checkpoint(&img); err != nil {
+		if _, err := s.Checkpoint(context.Background(), &img); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -184,7 +185,7 @@ func BenchmarkCheckpoint(b *testing.B) {
 // BenchmarkRestart measures the full restart path: fresh lower half,
 // upper-half restore, log replay, memory refill.
 func BenchmarkRestart(b *testing.B) {
-	s, rt, _, _ := benchSession(b, crac.Config{})
+	s, rt, _, _ := benchSession(b)
 	// A log with some churn, so replay has work to do.
 	for i := 0; i < 32; i++ {
 		a, err := rt.Malloc(64 << 10)
@@ -198,12 +199,12 @@ func BenchmarkRestart(b *testing.B) {
 		}
 	}
 	var img bytes.Buffer
-	if _, err := s.Checkpoint(&img); err != nil {
+	if _, err := s.Checkpoint(context.Background(), &img); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := s.Restart(bytes.NewReader(img.Bytes())); err != nil {
+		if err := s.Restart(context.Background(), bytes.NewReader(img.Bytes())); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -216,11 +217,11 @@ func BenchmarkRestart(b *testing.B) {
 // that travel in the image body itself.
 func parallelBenchSession(b *testing.B, workers int, gz bool) (*crac.Session, uint64) {
 	b.Helper()
-	s, err := crac.NewSession(crac.Config{
-		CheckpointWorkers: workers,
-		GzipImage:         gz,
-		GzipLevel:         1, // BestSpeed: the honest fast-compression setting
-	})
+	opts := []crac.Option{crac.WithWorkers(workers)}
+	if gz {
+		opts = append(opts, crac.WithGzip(1)) // BestSpeed: the honest fast-compression setting
+	}
+	s, err := crac.New(opts...)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -278,14 +279,14 @@ func BenchmarkCheckpointParallel(b *testing.B) {
 			s, total := parallelBenchSession(b, bc.workers, bc.gz)
 			// Warm up the heap so the first timed iteration doesn't pay
 			// the OS page-fault cost of the section buffers.
-			if _, err := s.Checkpoint(&countingWriter{}); err != nil {
+			if _, err := s.Checkpoint(context.Background(), &countingWriter{}); err != nil {
 				b.Fatal(err)
 			}
 			b.SetBytes(int64(total))
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				var w countingWriter
-				if _, err := s.Checkpoint(&w); err != nil {
+				if _, err := s.Checkpoint(context.Background(), &w); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -307,16 +308,16 @@ func BenchmarkRestartParallel(b *testing.B) {
 		b.Run(bc.name, func(b *testing.B) {
 			s, total := parallelBenchSession(b, bc.workers, false)
 			var img bytes.Buffer
-			if _, err := s.Checkpoint(&img); err != nil {
+			if _, err := s.Checkpoint(context.Background(), &img); err != nil {
 				b.Fatal(err)
 			}
-			if err := s.Restart(bytes.NewReader(img.Bytes())); err != nil {
+			if err := s.Restart(context.Background(), bytes.NewReader(img.Bytes())); err != nil {
 				b.Fatal(err)
 			}
 			b.SetBytes(int64(total))
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if err := s.Restart(bytes.NewReader(img.Bytes())); err != nil {
+				if err := s.Restart(context.Background(), bytes.NewReader(img.Bytes())); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -327,7 +328,7 @@ func BenchmarkRestartParallel(b *testing.B) {
 // BenchmarkUVMFaultRoundTrip measures one host→device→host page
 // migration cycle through the pager.
 func BenchmarkUVMFaultRoundTrip(b *testing.B) {
-	_, rt, fat, _ := benchSession(b, crac.Config{})
+	_, rt, fat, _ := benchSession(b)
 	m, err := rt.MallocManaged(4096)
 	if err != nil {
 		b.Fatal(err)
@@ -351,7 +352,7 @@ func BenchmarkUVMFaultRoundTrip(b *testing.B) {
 
 // Example output comparing dispatch costs, for the documentation.
 func ExampleSession() {
-	s, err := crac.NewSession(crac.Config{})
+	s, err := crac.New()
 	if err != nil {
 		panic(err)
 	}
@@ -361,10 +362,10 @@ func ExampleSession() {
 		panic(err)
 	}
 	var img bytes.Buffer
-	if _, err := s.Checkpoint(&img); err != nil {
+	if _, err := s.Checkpoint(context.Background(), &img); err != nil {
 		panic(err)
 	}
-	if err := s.Restart(bytes.NewReader(img.Bytes())); err != nil {
+	if err := s.Restart(context.Background(), bytes.NewReader(img.Bytes())); err != nil {
 		panic(err)
 	}
 	fmt.Println("restarted:", s.Generation() == 1)

@@ -1,0 +1,148 @@
+package crac
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"os"
+	"testing"
+	"time"
+)
+
+// cancelAfterWriter cancels a context once n bytes have passed through,
+// so the checkpoint is guaranteed to be cut off strictly mid-image.
+type cancelAfterWriter struct {
+	w      io.Writer
+	left   int
+	cancel context.CancelFunc
+}
+
+func (cw *cancelAfterWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	if cw.left > 0 {
+		cw.left -= n
+		if cw.left <= 0 {
+			cw.cancel()
+		}
+	}
+	return n, err
+}
+
+// cancelAfterStore wraps a DirStore so the image stream triggers the
+// cancellation after a fixed byte count.
+type cancelAfterStore struct {
+	*DirStore
+	after  int
+	cancel context.CancelFunc
+}
+
+func (cs *cancelAfterStore) Put(ctx context.Context, name string, write func(io.Writer) error) error {
+	return cs.DirStore.Put(ctx, name, func(w io.Writer) error {
+		return write(&cancelAfterWriter{w: w, left: cs.after, cancel: cs.cancel})
+	})
+}
+
+// bigSession builds a session with enough active device memory that an
+// image write spans many shards.
+func bigSession(t *testing.T, opts ...Option) *Session {
+	t.Helper()
+	s, err := New(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	rt := s.Runtime()
+	for i := 0; i < 8; i++ {
+		if _, err := rt.Malloc(1 << 20); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+// TestCheckpointCancelledMidPipeline is the cancellation contract in
+// one test: a checkpoint cancelled mid-stream returns ErrCancelled
+// (wrapping context.Canceled), leaves no partial image and no temp file
+// in the DirStore, and the session remains fully usable — the next
+// checkpoint and a restart from it succeed.
+func TestCheckpointCancelledMidPipeline(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		t.Run(map[int]string{1: "serial", 4: "parallel"}[workers], func(t *testing.T) {
+			s := bigSession(t, WithWorkers(workers), WithShardSize(64<<10))
+			dir := t.TempDir()
+			ds, err := NewDirStore(dir, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			store := &cancelAfterStore{DirStore: ds, after: 256 << 10, cancel: cancel}
+
+			_, err = s.CheckpointTo(ctx, store, "doomed")
+			if !errors.Is(err, ErrCancelled) {
+				t.Fatalf("cancelled CheckpointTo = %v, want ErrCancelled", err)
+			}
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("cancelled CheckpointTo = %v, want to wrap context.Canceled", err)
+			}
+
+			// No partial image became visible, and the temp file is gone.
+			if names, err := ds.List(context.Background()); err != nil || len(names) != 0 {
+				t.Fatalf("List after cancelled checkpoint = %v, %v", names, err)
+			}
+			if entries, _ := os.ReadDir(dir); len(entries) != 0 {
+				t.Fatalf("cancelled checkpoint left files behind: %v", entries)
+			}
+
+			// The session keeps working: checkpoint again, restart from it.
+			if _, err := s.CheckpointTo(context.Background(), ds, "gen0"); err != nil {
+				t.Fatalf("checkpoint after cancellation: %v", err)
+			}
+			if err := s.RestartFrom(context.Background(), ds, "gen0"); err != nil {
+				t.Fatalf("restart after cancellation: %v", err)
+			}
+			if s.Generation() != 1 {
+				t.Fatalf("Generation = %d, want 1", s.Generation())
+			}
+		})
+	}
+}
+
+// TestCheckpointDeadlineExceeded drives the deadline (rather than
+// explicit-cancel) flavor through the parallel pipeline: an expired
+// deadline surfaces as ErrCancelled and wraps
+// context.DeadlineExceeded.
+func TestCheckpointDeadlineExceeded(t *testing.T) {
+	s := bigSession(t, WithWorkers(4), WithShardSize(64<<10))
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	var img bytes.Buffer
+	_, err := s.Checkpoint(ctx, &img)
+	if !errors.Is(err, ErrCancelled) {
+		t.Fatalf("deadline Checkpoint = %v, want ErrCancelled", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline Checkpoint = %v, want to wrap DeadlineExceeded", err)
+	}
+	// Still usable afterwards.
+	if _, err := s.Checkpoint(context.Background(), &img); err != nil {
+		t.Fatalf("checkpoint after deadline abort: %v", err)
+	}
+}
+
+// TestRestoreCancelled checks the restore path classifies cancellation
+// the same way.
+func TestRestoreCancelled(t *testing.T) {
+	s := bigSession(t, WithWorkers(4))
+	var img bytes.Buffer
+	if _, err := s.Checkpoint(context.Background(), &img); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Restore(ctx, bytes.NewReader(img.Bytes()))
+	if !errors.Is(err, ErrCancelled) {
+		t.Fatalf("cancelled Restore = %v, want ErrCancelled", err)
+	}
+}

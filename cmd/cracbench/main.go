@@ -16,8 +16,10 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -39,26 +41,39 @@ type benchExperiment struct {
 }
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole program behind main, split out so tests can drive
+// the binary in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cracbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		expID     = flag.String("exp", "all", "experiment id (see -list) or \"all\"")
-		list      = flag.Bool("list", false, "list experiments and exit")
-		scale     = flag.Float64("scale", 1.0, "workload scale factor (1.0 = repository default)")
-		iters     = flag.Int("iters", 3, "timed repetitions per data point (paper: 10)")
-		quick     = flag.Bool("quick", false, "shrink workloads for a fast smoke run")
-		full      = flag.Bool("full", false, "enable the most expensive data points (Table 3 sgemm@100MB)")
-		outDir    = flag.String("out", "", "directory for CSV output (optional)")
-		benchJSON = flag.String("benchjson", "", "file for JSON benchmark output (optional)")
-		verbose   = flag.Bool("v", true, "print progress")
+		expID     = fs.String("exp", "all", "experiment id (see -list) or \"all\"")
+		list      = fs.Bool("list", false, "list experiments and exit")
+		scale     = fs.Float64("scale", 1.0, "workload scale factor (1.0 = repository default)")
+		iters     = fs.Int("iters", 3, "timed repetitions per data point (paper: 10)")
+		quick     = fs.Bool("quick", false, "shrink workloads for a fast smoke run")
+		full      = fs.Bool("full", false, "enable the most expensive data points (Table 3 sgemm@100MB)")
+		outDir    = fs.String("out", "", "directory for CSV output (optional)")
+		benchJSON = fs.String("benchjson", "", "file for JSON benchmark output (optional)")
+		verbose   = fs.Bool("v", true, "print progress")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	if *list {
-		fmt.Println("Experiments (paper artifact → id):")
+		fmt.Fprintln(stdout, "Experiments (paper artifact → id):")
 		for _, e := range harness.All() {
-			fmt.Printf("  %-10s %s\n", e.ID, e.Title)
-			fmt.Printf("  %-10s paper: %s\n", "", e.Paper)
+			fmt.Fprintf(stdout, "  %-10s %s\n", e.ID, e.Title)
+			fmt.Fprintf(stdout, "  %-10s paper: %s\n", "", e.Paper)
 		}
-		return
+		return 0
 	}
 
 	opt := harness.Options{
@@ -68,7 +83,7 @@ func main() {
 		Full:       *full,
 	}
 	if *verbose {
-		opt.Log = os.Stderr
+		opt.Log = stderr
 	}
 
 	var exps []*harness.Experiment
@@ -78,8 +93,8 @@ func main() {
 		for _, id := range strings.Split(*expID, ",") {
 			e := harness.ByID(strings.TrimSpace(id))
 			if e == nil {
-				fmt.Fprintf(os.Stderr, "cracbench: unknown experiment %q (use -list)\n", id)
-				os.Exit(2)
+				fmt.Fprintf(stderr, "cracbench: unknown experiment %q (use -list)\n", id)
+				return 2
 			}
 			exps = append(exps, e)
 		}
@@ -87,22 +102,22 @@ func main() {
 
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
-			fmt.Fprintf(os.Stderr, "cracbench: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "cracbench: %v\n", err)
+			return 1
 		}
 	}
 
 	var report benchReport
 	for _, e := range exps {
 		start := time.Now()
-		fmt.Fprintf(os.Stderr, "--- running %s: %s\n", e.ID, e.Title)
+		fmt.Fprintf(stderr, "--- running %s: %s\n", e.ID, e.Title)
 		tables, err := e.Run(opt)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "cracbench: %s: %v\n", e.ID, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "cracbench: %s: %v\n", e.ID, err)
+			return 1
 		}
 		for i, t := range tables {
-			t.Fprint(os.Stdout)
+			t.Fprint(stdout)
 			if *outDir != "" {
 				name := t.ID
 				if len(tables) > 1 {
@@ -110,8 +125,8 @@ func main() {
 				}
 				f, err := os.Create(filepath.Join(*outDir, name+".csv"))
 				if err != nil {
-					fmt.Fprintf(os.Stderr, "cracbench: %v\n", err)
-					os.Exit(1)
+					fmt.Fprintf(stderr, "cracbench: %v\n", err)
+					return 1
 				}
 				t.CSV(f)
 				f.Close()
@@ -121,17 +136,18 @@ func main() {
 		report.Experiments = append(report.Experiments, benchExperiment{
 			ID: e.ID, Title: e.Title, ElapsedMS: elapsed.Milliseconds(), Tables: tables,
 		})
-		fmt.Fprintf(os.Stderr, "--- %s done in %v\n", e.ID, elapsed.Round(time.Millisecond))
+		fmt.Fprintf(stderr, "--- %s done in %v\n", e.ID, elapsed.Round(time.Millisecond))
 	}
 	if *benchJSON != "" {
 		b, err := json.MarshalIndent(&report, "", "  ")
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "cracbench: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "cracbench: %v\n", err)
+			return 1
 		}
 		if err := os.WriteFile(*benchJSON, append(b, '\n'), 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "cracbench: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "cracbench: %v\n", err)
+			return 1
 		}
 	}
+	return 0
 }

@@ -1,6 +1,8 @@
-// Command cracinspect dumps the contents of a CRAC checkpoint image:
-// the upper-half memory regions, the plugin payload sections, the CUDA
-// call log, and the active resources the log implies.
+// Command cracinspect dumps the contents of a CRAC checkpoint image
+// without restoring it, through the public crac.Image surface: the
+// image format, the upper-half memory regions, the plugin payload
+// sections, and a summary of the CUDA call log and the active resources
+// it implies.
 //
 // Usage:
 //
@@ -9,81 +11,90 @@
 package main
 
 import (
-	"bytes"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
-	"repro/internal/cracplugin"
-	"repro/internal/dmtcp"
-	"repro/internal/replaylog"
+	crac "repro"
 )
 
 func main() {
-	showLog := flag.Bool("log", false, "dump every call-log entry")
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: cracinspect [-log] <image>")
-		os.Exit(2)
-	}
-	f, err := os.Open(flag.Arg(0))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "cracinspect:", err)
-		os.Exit(1)
-	}
-	defer f.Close()
-	img, err := dmtcp.ReadImage(f)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "cracinspect:", err)
-		os.Exit(1)
-	}
-
-	fmt.Printf("CRAC checkpoint image: %s\n", flag.Arg(0))
-	fmt.Printf("  format: v%d, gzip=%v\n", img.Version, img.Gzip)
-	fmt.Printf("  upper-half regions: %d (%d bytes)\n", len(img.Regions), img.TotalRegionBytes())
-	for _, r := range img.Regions {
-		fmt.Printf("    %012x-%012x %8d  %v  %s\n", r.Start, r.Start+r.Len, r.Len, r.Prot, r.Label)
-	}
-	fmt.Printf("  sections: %d\n", len(img.Sections.Names()))
-	for _, name := range img.Sections.Names() {
-		data, _ := img.Sections.Get(name)
-		fmt.Printf("    %-16s %d bytes\n", name, len(data))
-	}
-
-	logBytes, ok := img.Sections.Get(cracplugin.SectionLog)
-	if !ok {
-		fmt.Println("  (no CUDA call log section)")
-		return
-	}
-	log, err := replaylog.Decode(bytes.NewReader(logBytes))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "cracinspect: decoding log:", err)
-		os.Exit(1)
-	}
-	as := log.Active()
-	fmt.Printf("  CUDA call log: %d entries\n", log.Len())
-	fmt.Printf("  active at checkpoint:\n")
-	fmt.Printf("    cudaMalloc:        %d buffers (%d bytes)\n", len(as.Device), sumAlloc(as.Device))
-	fmt.Printf("    cudaMallocHost:    %d buffers (%d bytes)\n", len(as.Pinned), sumAlloc(as.Pinned))
-	fmt.Printf("    cudaHostAlloc:     %d buffers (%d bytes)\n", len(as.Host), sumAlloc(as.Host))
-	fmt.Printf("    cudaMallocManaged: %d buffers (%d bytes)\n", len(as.Managed), sumAlloc(as.Managed))
-	fmt.Printf("    streams: %d, events: %d, fat binaries: %d\n",
-		len(as.Streams), len(as.Events), len(as.FatBins))
-	for _, fb := range as.FatBins {
-		fmt.Printf("      module %q: %d kernels\n", fb.Module, len(fb.Functions))
-	}
-	if *showLog {
-		fmt.Println("  log entries:")
-		for i, e := range log.Entries() {
-			fmt.Printf("    %5d  %s\n", i, e)
-		}
-	}
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func sumAlloc(as []replaylog.Allocation) uint64 {
-	var n uint64
-	for _, a := range as {
-		n += a.Size
+// run is the whole program behind main, split out so tests can drive
+// the binary in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cracinspect", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	showLog := fs.Bool("log", false, "dump every call-log entry")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
 	}
-	return n
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: cracinspect [-log] <image>")
+		return 2
+	}
+	img, err := crac.OpenImageFile(fs.Arg(0))
+	if err != nil {
+		switch {
+		case errors.Is(err, crac.ErrUnsupportedVersion):
+			fmt.Fprintln(stderr, "cracinspect: image from an unsupported format version:", err)
+		case errors.Is(err, crac.ErrBadImage):
+			fmt.Fprintln(stderr, "cracinspect: not a valid CRAC image:", err)
+		default:
+			fmt.Fprintln(stderr, "cracinspect:", err)
+		}
+		return 1
+	}
+
+	info := img.Info()
+	fmt.Fprintf(stdout, "CRAC checkpoint image: %s\n", fs.Arg(0))
+	fmt.Fprintf(stdout, "  format: v%d, gzip=%v\n", info.Version, info.Gzip)
+	fmt.Fprintf(stdout, "  upper-half regions: %d (%d bytes)\n", len(info.Regions), info.RegionBytes)
+	for _, r := range info.Regions {
+		fmt.Fprintf(stdout, "    %012x-%012x %8d  %s  %s\n", r.Start, r.Start+r.Len, r.Len, r.Prot, r.Label)
+	}
+	fmt.Fprintf(stdout, "  sections: %d\n", len(info.Sections))
+	for _, s := range info.Sections {
+		fmt.Fprintf(stdout, "    %-16s %d bytes\n", s.Name, s.Size)
+	}
+
+	log, err := img.Log()
+	if err != nil {
+		fmt.Fprintln(stderr, "cracinspect: decoding log:", err)
+		return 1
+	}
+	if log == nil {
+		fmt.Fprintln(stdout, "  (no CUDA call log section)")
+		return 0
+	}
+	fmt.Fprintf(stdout, "  CUDA call log: %d entries\n", log.Entries)
+	fmt.Fprintf(stdout, "  active at checkpoint:\n")
+	fmt.Fprintf(stdout, "    cudaMalloc:        %d buffers (%d bytes)\n", log.Device.Buffers, log.Device.Bytes)
+	fmt.Fprintf(stdout, "    cudaMallocHost:    %d buffers (%d bytes)\n", log.Pinned.Buffers, log.Pinned.Bytes)
+	fmt.Fprintf(stdout, "    cudaHostAlloc:     %d buffers (%d bytes)\n", log.Host.Buffers, log.Host.Bytes)
+	fmt.Fprintf(stdout, "    cudaMallocManaged: %d buffers (%d bytes)\n", log.Managed.Buffers, log.Managed.Bytes)
+	fmt.Fprintf(stdout, "    streams: %d, events: %d, fat binaries: %d\n",
+		log.Streams, log.Events, len(log.Modules))
+	for _, m := range log.Modules {
+		fmt.Fprintf(stdout, "      module %q: %d kernels\n", m.Module, m.Kernels)
+	}
+	if *showLog {
+		entries, err := img.LogEntries()
+		if err != nil {
+			fmt.Fprintln(stderr, "cracinspect: decoding log:", err)
+			return 1
+		}
+		fmt.Fprintln(stdout, "  log entries:")
+		for i, e := range entries {
+			fmt.Fprintf(stdout, "    %5d  %s\n", i, e)
+		}
+	}
+	return 0
 }

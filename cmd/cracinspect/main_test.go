@@ -1,0 +1,110 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	crac "repro"
+	"repro/internal/kernels"
+)
+
+// writeImage builds a session with a known CUDA footprint and
+// checkpoints it under the requested image format version.
+func writeImage(t *testing.T, path string, version int) {
+	t.Helper()
+	s, err := crac.New(crac.WithImageVersion(version))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rt := s.Runtime()
+	fat, err := rt.RegisterFatBinary(kernels.Module)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, k := range kernels.Table() {
+		if err := rt.RegisterFunction(fat, name, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := rt.Malloc(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.MallocManaged(1 << 16); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.StreamCreate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CheckpointTo(context.Background(), crac.NewFileStore(path), "img"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func runInspect(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errOut strings.Builder
+	code := run(args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+// TestInspectBothVersions inspects a v1 and a v2 image and checks the
+// dump reports the format and the active CUDA state.
+func TestInspectBothVersions(t *testing.T) {
+	for _, version := range []int{1, 2} {
+		path := filepath.Join(t.TempDir(), "ckpt.img")
+		writeImage(t, path, version)
+		code, out, errOut := runInspect(t, path)
+		if code != 0 {
+			t.Fatalf("v%d exit = %d, stderr:\n%s", version, code, errOut)
+		}
+		for _, want := range []string{
+			"format: v", "upper-half regions:", "crac.log", "crac.devmem",
+			"cudaMalloc:        1 buffers (1048576 bytes)",
+			"cudaMallocManaged: 1 buffers (65536 bytes)",
+			"streams: 1",
+		} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("v%d dump missing %q:\n%s", version, want, out)
+			}
+		}
+		if !strings.Contains(out, "format: v1") && version == 1 {
+			t.Fatalf("v1 image not reported as v1:\n%s", out)
+		}
+		if !strings.Contains(out, "format: v2") && version == 2 {
+			t.Fatalf("v2 image not reported as v2:\n%s", out)
+		}
+	}
+}
+
+func TestInspectLogDump(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.img")
+	writeImage(t, path, 2)
+	code, out, _ := runInspect(t, "-log", path)
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out, "log entries:") || !strings.Contains(out, "cudaMalloc") {
+		t.Fatalf("-log dump missing entries:\n%s", out)
+	}
+}
+
+func TestInspectErrors(t *testing.T) {
+	dir := t.TempDir()
+	garbage := filepath.Join(dir, "garbage.img")
+	os.WriteFile(garbage, []byte("this is not an image at all"), 0o644)
+	if code, _, errOut := runInspect(t, garbage); code != 1 || !strings.Contains(errOut, "not a valid CRAC image") {
+		t.Fatalf("garbage: exit=%d stderr=%q", code, errOut)
+	}
+	future := filepath.Join(dir, "future.img")
+	os.WriteFile(future, []byte("CRACIMG9........"), 0o644)
+	if code, _, errOut := runInspect(t, future); code != 1 || !strings.Contains(errOut, "unsupported format version") {
+		t.Fatalf("future version: exit=%d stderr=%q", code, errOut)
+	}
+	if code, _, _ := runInspect(t); code != 2 {
+		t.Fatalf("no args: exit=%d, want 2", code)
+	}
+}

@@ -1,23 +1,30 @@
 // Command cracrun runs one of the paper's benchmark applications under a
-// chosen runtime binding, optionally checkpointing mid-run and restarting
-// from the image (the cracrun/cracrestart flow of a real CRAC
-// deployment, collapsed into one process for the simulated substrate).
+// chosen runtime binding, optionally checkpointing mid-run into an image
+// store and restarting from it (the cracrun/cracrestart flow of a real
+// CRAC deployment, collapsed into one process for the simulated
+// substrate).
 //
 // Usage:
 //
 //	cracrun -list
 //	cracrun -app Hotspot -mode crac -scale 0.5
 //	cracrun -app LULESH -mode crac -ckpt lulesh.img -ckpt-step 50
+//	cracrun -app Hotspot -mode crac -ckpt-dir ckpts/ -keep 3 -ckpt-step 2
 //	cracrun -app BFS -mode native
 //	cracrun -app UnifiedMemoryStreams -mode proxy-pipe   # CRUM-style baseline
+//	cracrun -app Hotspot -ckpt hs.img -timeout 30s       # deadline-bounded checkpoint
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
+	crac "repro"
 	"repro/internal/gpusim"
 	"repro/internal/harness"
 	"repro/internal/trace"
@@ -63,38 +70,54 @@ func parseMode(s string) (harness.Mode, error) {
 }
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole program behind main, split out so tests can drive
+// the binary in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cracrun", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		appName  = flag.String("app", "", "application name (see -list)")
-		list     = flag.Bool("list", false, "list applications and exit")
-		modeStr  = flag.String("mode", "crac", "runtime binding: native, crac, crac-fsgsbase, proxy-pipe, proxy-cma")
-		scale    = flag.Float64("scale", 1.0, "workload scale factor")
-		streams  = flag.Int("streams", 0, "stream count override (0 = app default)")
-		seed     = flag.Int64("seed", 7, "workload seed")
-		device   = flag.String("device", "v100", "simulated device: v100 or k600")
-		ckptPath = flag.String("ckpt", "", "checkpoint to this file mid-run (crac modes only)")
-		ckptStep = flag.Int("ckpt-step", 1, "hook step at which to checkpoint")
-		restart  = flag.Bool("restart", true, "restart from the image immediately after checkpointing")
-		profile  = flag.Bool("profile", false, "print an nvprof-style per-API call summary")
+		appName  = fs.String("app", "", "application name (see -list)")
+		list     = fs.Bool("list", false, "list applications and exit")
+		modeStr  = fs.String("mode", "crac", "runtime binding: native, crac, crac-fsgsbase, proxy-pipe, proxy-cma")
+		scale    = fs.Float64("scale", 1.0, "workload scale factor")
+		streams  = fs.Int("streams", 0, "stream count override (0 = app default)")
+		seed     = fs.Int64("seed", 7, "workload seed")
+		device   = fs.String("device", "v100", "simulated device: v100 or k600")
+		ckptPath = fs.String("ckpt", "", "checkpoint to this file mid-run (crac modes only)")
+		ckptDir  = fs.String("ckpt-dir", "", "checkpoint into this directory, one image per generation")
+		keep     = fs.Int("keep", 0, "with -ckpt-dir: retain only the newest N images (0 = all)")
+		ckptStep = fs.Int("ckpt-step", 1, "hook step at which to checkpoint")
+		restart  = fs.Bool("restart", true, "restart from the image immediately after checkpointing")
+		timeout  = fs.Duration("timeout", 0, "checkpoint/restart deadline (0 = none)")
+		profile  = fs.Bool("profile", false, "print an nvprof-style per-API call summary")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	if *list {
-		fmt.Println("Applications:")
+		fmt.Fprintln(stdout, "Applications:")
 		for _, a := range apps() {
-			fmt.Printf("  %-22s %s\n", a.Name, a.Char.Description)
-			fmt.Printf("  %-22s paper args: %s\n", "", a.PaperArgs)
+			fmt.Fprintf(stdout, "  %-22s %s\n", a.Name, a.Char.Description)
+			fmt.Fprintf(stdout, "  %-22s paper args: %s\n", "", a.PaperArgs)
 		}
-		return
+		return 0
 	}
 	app := findApp(*appName)
 	if app == nil {
-		fmt.Fprintf(os.Stderr, "cracrun: unknown app %q (use -list)\n", *appName)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "cracrun: unknown app %q (use -list)\n", *appName)
+		return 2
 	}
 	mode, err := parseMode(*modeStr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "cracrun:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "cracrun:", err)
+		return 2
 	}
 	prop := gpusim.TeslaV100()
 	if *device == "k600" {
@@ -103,16 +126,30 @@ func main() {
 
 	runner, err := harness.NewRunner(mode, prop)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "cracrun:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "cracrun:", err)
+		return 1
 	}
 	defer runner.Close()
 
 	cfg := workloads.RunConfig{Scale: *scale, Streams: *streams, Seed: *seed}
-	if *ckptPath != "" {
+	if *ckptPath != "" && *ckptDir != "" {
+		fmt.Fprintln(stderr, "cracrun: -ckpt and -ckpt-dir are mutually exclusive")
+		return 2
+	}
+	if *ckptPath != "" || *ckptDir != "" {
 		if runner.Session == nil {
-			fmt.Fprintln(os.Stderr, "cracrun: -ckpt requires a crac mode")
-			os.Exit(2)
+			fmt.Fprintln(stderr, "cracrun: -ckpt/-ckpt-dir require a crac mode")
+			return 2
+		}
+		var store crac.Store
+		if *ckptDir != "" {
+			store, err = crac.NewDirStore(*ckptDir, *keep)
+			if err != nil {
+				fmt.Fprintln(stderr, "cracrun:", err)
+				return 1
+			}
+		} else {
+			store = crac.NewFileStore(*ckptPath)
 		}
 		step := 0
 		cfg.Hook = func(int) error {
@@ -120,18 +157,28 @@ func main() {
 			if step != *ckptStep {
 				return nil
 			}
+			ctx := context.Background()
+			if *timeout > 0 {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, *timeout)
+				defer cancel()
+			}
+			name := nextGenName(ctx, store)
 			t0 := time.Now()
-			size, _, err := runner.Session.CheckpointFile(*ckptPath)
+			st, err := runner.Session.CheckpointTo(ctx, store, name)
 			if err != nil {
 				return err
 			}
-			fmt.Printf("checkpoint: %s (%d bytes) in %v\n", *ckptPath, size, time.Since(t0).Round(time.Millisecond))
+			fmt.Fprintf(stdout, "checkpoint: %s (%d regions, %s payload) in %v\n",
+				name, st.Regions, harness.FmtBytes(st.RegionBytes+st.SectionBytes),
+				time.Since(t0).Round(time.Millisecond))
 			if *restart {
 				t0 = time.Now()
-				if err := runner.Session.RestartFile(*ckptPath); err != nil {
+				if err := runner.Session.RestartFrom(ctx, store, name); err != nil {
 					return err
 				}
-				fmt.Printf("restart: completed in %v\n", time.Since(t0).Round(time.Millisecond))
+				fmt.Fprintf(stdout, "restart: completed in %v (generation %d)\n",
+					time.Since(t0).Round(time.Millisecond), runner.Session.Generation())
 			}
 			return nil
 		}
@@ -145,19 +192,40 @@ func main() {
 	}
 	res, err := app.Run(rt, cfg)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "cracrun: %s under %v: %v\n", app.Name, mode, err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "cracrun: %s under %v: %v\n", app.Name, mode, err)
+		return 1
 	}
-	fmt.Printf("%s under %v:\n", app.Name, mode)
-	fmt.Printf("  runtime:    %v\n", res.Elapsed.Round(time.Millisecond))
-	fmt.Printf("  CUDA calls: %d (CPS %.0f, per the paper's Eq. 2)\n",
+	fmt.Fprintf(stdout, "%s under %v:\n", app.Name, mode)
+	fmt.Fprintf(stdout, "  runtime:    %v\n", res.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(stdout, "  CUDA calls: %d (CPS %.0f, per the paper's Eq. 2)\n",
 		res.Calls.TotalCUDACalls(), res.CPS())
-	fmt.Printf("  checksum:   %v\n", res.Checksum)
+	fmt.Fprintf(stdout, "  checksum:   %v\n", res.Checksum)
 	for k, v := range res.Detail {
-		fmt.Printf("  %s: %.3f\n", k, v)
+		fmt.Fprintf(stdout, "  %s: %.3f\n", k, v)
 	}
 	if prof != nil {
-		fmt.Println()
-		prof.Fprint(os.Stdout)
+		fmt.Fprintln(stdout)
+		prof.Fprint(stdout)
+	}
+	return 0
+}
+
+// nextGenName picks the first unused genNNN name in the store, so
+// repeated runs against the same -ckpt-dir accumulate generations
+// instead of overwriting gen000 (retention via -keep then applies).
+func nextGenName(ctx context.Context, store crac.Store) string {
+	names, err := store.List(ctx)
+	if err != nil {
+		return "gen000"
+	}
+	taken := make(map[string]bool, len(names))
+	for _, n := range names {
+		taken[n] = true
+	}
+	for i := 0; ; i++ {
+		name := fmt.Sprintf("gen%03d", i)
+		if !taken[name] {
+			return name
+		}
 	}
 }

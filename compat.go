@@ -1,0 +1,101 @@
+package crac
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+
+	"repro/internal/gpusim"
+)
+
+// Config is the legacy flat configuration struct.
+//
+// Deprecated: use New with functional options (WithDevice, WithGzip,
+// WithWorkers, ...). Config survives only as a shim: NewSession lowers
+// it onto exactly the same resolved settings the options produce, so
+// the two surfaces are behaviorally identical (a test asserts
+// byte-identical checkpoint images).
+type Config struct {
+	// Prop selects the simulated device; zero value = Tesla V100.
+	Prop gpusim.Properties
+	// Switch selects the fs-register switch mechanism.
+	Switch SwitcherKind
+	// GzipImage compresses checkpoint images. The paper's experiments
+	// disable compression; so does the default.
+	GzipImage bool
+	// GzipLevel selects the compression level when GzipImage is on
+	// (gzip.BestSpeed..gzip.BestCompression); 0 = default level.
+	GzipLevel int
+	// CheckpointWorkers bounds the checkpoint/restart data-path
+	// fan-out: <=0 uses all CPUs, 1 forces the serial reference path.
+	CheckpointWorkers int
+	// CheckpointShardSize overrides the v2 image shard granularity
+	// (bytes); 0 = dmtcp.DefaultShardSize.
+	CheckpointShardSize int
+	// ASLR enables address-space randomization. CRAC requires it off
+	// (the default); enabling it demonstrates the replay-mismatch
+	// failure of Section 3.2.4.
+	ASLR     bool
+	ASLRSeed int64
+	// Arena tuning, passed through to the CUDA library.
+	DeviceArenaChunk  uint64
+	PinnedArenaChunk  uint64
+	ManagedArenaChunk uint64
+	GrowthMmaps       int
+}
+
+// options lowers the legacy struct onto the functional-option surface.
+func (c Config) options() []Option {
+	opts := []Option{
+		WithDevice(c.Prop),
+		WithSwitcher(c.Switch),
+		WithWorkers(c.CheckpointWorkers),
+		WithShardSize(c.CheckpointShardSize),
+		WithArenaChunks(c.DeviceArenaChunk, c.PinnedArenaChunk, c.ManagedArenaChunk),
+		WithGrowthMmaps(c.GrowthMmaps),
+	}
+	if c.GzipImage {
+		opts = append(opts, WithGzip(c.GzipLevel))
+	}
+	if c.ASLR {
+		opts = append(opts, WithASLR(c.ASLRSeed))
+	}
+	return opts
+}
+
+// NewSession launches a CRAC session from a legacy Config.
+//
+// Deprecated: use New with functional options.
+func NewSession(cfg Config) (*Session, error) {
+	return New(cfg.options()...)
+}
+
+// CheckpointFile checkpoints to a file and returns its size. The write
+// is atomic (temp file + rename): an error or cancellation leaves no
+// partial image at path.
+//
+// Deprecated: use CheckpointTo with a FileStore or DirStore, which is
+// the same atomic write path plus naming, listing, and retention.
+func (s *Session) CheckpointFile(path string) (int64, Stats, error) {
+	st, err := s.CheckpointTo(context.Background(), NewFileStore(path), filepath.Base(path))
+	if err != nil {
+		return 0, st, err
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0, st, err
+	}
+	return fi.Size(), st, nil
+}
+
+// RestartFile restarts from an image file.
+//
+// Deprecated: use RestartFrom with a FileStore or DirStore.
+func (s *Session) RestartFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return s.Restart(context.Background(), f)
+}

@@ -2,18 +2,21 @@
 // Architecture for CUDA with Streams and UVM" (Jain & Cooperman,
 // SC 2020) as a pure-Go library over a simulated CUDA substrate.
 //
-// The package exposes CRAC's user-facing surface:
+// # Sessions
 //
-//   - Session: a split-process CUDA execution — the application's upper
-//     half plus a lower-half helper program owning the (simulated) CUDA
-//     library — that can be checkpointed to an image and restarted, with
-//     streams and Unified Virtual Memory fully supported.
-//   - NewNative: the uninstrumented baseline binding, for measuring
-//     CRAC's runtime overhead exactly as the paper does.
-//   - The crt.Runtime interface (re-exported concepts), which application
-//     code programs against so the same code runs natively, under CRAC,
-//     or under the proxy-based baseline (internal/proxy) used in the
-//     paper's Table 3 comparison.
+// New launches a Session — a split-process CUDA execution: the
+// application's upper half plus a lower-half helper program owning the
+// (simulated) CUDA library — configured through functional options:
+//
+//	s, err := crac.New(crac.WithWorkers(8), crac.WithGzip(gzip.BestSpeed))
+//
+// The zero option set matches the paper's main configuration (Tesla
+// V100, syscall fs switch, no compression, ASLR off). The application
+// programs against s.Runtime(), and the same code runs natively
+// (NewNative), under CRAC, or under the proxy-based baseline
+// (internal/proxy) used in the paper's Table 3 comparison.
+//
+// # Checkpoint and restart
 //
 // A checkpoint drains all CUDA streams, saves the memory of active
 // mallocs and the CUDA call log together with every upper-half memory
@@ -22,13 +25,55 @@
 // allocations reappear at their original addresses (the paper's
 // log-and-replay design, Section 3).
 //
+// Checkpoints land in a Store — a named-image destination with
+// all-or-nothing writes. FileStore holds one image at a fixed path,
+// DirStore keeps one file per generation with an optional retention
+// policy, MemStore stays in memory; remote backends implement the same
+// four methods:
+//
+//	store, _ := crac.NewDirStore("ckpts", 3) // keep the newest 3
+//	stats, err := s.CheckpointTo(ctx, store, "gen042")
+//	...
+//	err = s.RestartFrom(ctx, store, "gen042")             // same process
+//	s2, err := crac.RestoreFrom(ctx, store, "gen042",     // new process
+//	    crac.WithKernels(reg))
+//
+// Every operation takes a context.Context, threaded down through the
+// checkpoint engine, the parallel shard pipeline, and the plugin
+// drains: a deadline or cancellation aborts the image mid-write,
+// surfaces as ErrCancelled (also matching the context's own error via
+// errors.Is), and — through a Store — leaves no partial image behind.
+// The session survives a cancelled checkpoint and keeps running.
+//
+// Failures classify with errors.Is against the package's typed errors:
+// ErrBadImage, ErrUnsupportedVersion, ErrReplayMismatch, ErrCancelled,
+// ErrSessionClosed, ErrImageNotFound.
+//
+// # Images as artifacts
+//
+// OpenImage, OpenImageFile, and OpenImageFrom parse a checkpoint image
+// without restoring it. Image.Info reports the format version and the
+// region/section layout; Image.Log summarizes the CUDA call log — the
+// replay a restore implies and the resources active at checkpoint.
+// cmd/cracinspect renders exactly this surface. For cross-process
+// restores, a KernelRegistry (passed via WithKernels) resolves kernel
+// names during replay, standing in for device code in the restored
+// application's text segment.
+//
+// # Performance
+//
 // The checkpoint/restart data path is parallel and pipelined: region
 // and allocation payloads are sharded across a worker pool while a
 // single writer streams the image in deterministic order, and restores
-// fan the refills out the same way. Config.CheckpointWorkers,
-// Config.CheckpointShardSize and Config.GzipLevel tune it;
-// CheckpointWorkers=1 selects the serial reference path, which produces
-// byte-identical images.
+// fan the refills out the same way. WithWorkers, WithShardSize and
+// WithGzip tune it; WithWorkers(1) selects the serial reference path,
+// which produces byte-identical images.
+//
+// # Legacy surface
+//
+// Config and NewSession (plus CheckpointFile/RestartFile) survive as
+// deprecated shims over the option/store surface and will not grow new
+// fields; see DESIGN.md's migration table.
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // reproduction of every table and figure in the paper's evaluation.

@@ -1,0 +1,57 @@
+package crac
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/cracrt"
+	"repro/internal/dmtcp"
+)
+
+// Sentinel errors of the public checkpoint API. All of them are
+// classified with errors.Is; errors returned by Session and Store
+// operations wrap one of these (possibly alongside an underlying cause,
+// which errors.As / errors.Is also reach).
+var (
+	// ErrBadImage reports a malformed checkpoint image: truncated,
+	// corrupt, or not a CRAC image at all.
+	ErrBadImage = dmtcp.ErrBadImage
+
+	// ErrUnsupportedVersion reports a checkpoint image whose format
+	// version this build does not speak (the CRACIMG magic matched but
+	// the version digit is unknown).
+	ErrUnsupportedVersion = dmtcp.ErrUnsupportedVersion
+
+	// ErrReplayMismatch reports that replaying the CUDA call log on a
+	// fresh lower half did not reproduce the original addresses — the
+	// determinism violation of paper Section 3.2.4 (ASLR left on, or a
+	// different platform on restart).
+	ErrReplayMismatch = cracrt.ErrReplayMismatch
+
+	// ErrCancelled reports a checkpoint or restore aborted by its
+	// context. It wraps the context's own error, so both
+	// errors.Is(err, ErrCancelled) and errors.Is(err, context.Canceled)
+	// (or context.DeadlineExceeded) hold.
+	ErrCancelled = errors.New("crac: operation cancelled")
+
+	// ErrSessionClosed reports an operation on a Session after Close, or
+	// after a failed restart tore the lower half down.
+	ErrSessionClosed = errors.New("crac: session closed")
+
+	// ErrImageNotFound reports a Store lookup for a name with no image.
+	ErrImageNotFound = errors.New("crac: image not found")
+)
+
+// wrapCancelled folds a context cancellation surfacing from the engine
+// or the fan-out helpers into the public ErrCancelled sentinel while
+// keeping the original context error reachable through errors.Is.
+func wrapCancelled(err error) error {
+	if err == nil || errors.Is(err, ErrCancelled) {
+		return err
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("%w: %w", ErrCancelled, err)
+	}
+	return err
+}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"log"
@@ -36,7 +37,7 @@ type rank struct {
 }
 
 func newRank(id int) (*rank, error) {
-	s, err := crac.NewSession(crac.Config{})
+	s, err := crac.New()
 	if err != nil {
 		return nil, err
 	}
@@ -120,9 +121,13 @@ func main() {
 		}
 	}
 	// ...then the whole job "fails" and every rank restarts from its
-	// image, rolling back to the checkpointed state.
+	// image, rolling back to the checkpointed state. The images the
+	// coordinator wrote form a one-file-per-rank DirStore, so the
+	// restart side goes through the Store API.
+	store := &crac.DirStore{Dir: dir}
+	ctx := context.Background()
 	for i, r := range rs {
-		if err := r.session.RestartFile(imgPath(i)); err != nil {
+		if err := r.session.RestartFrom(ctx, store, fmt.Sprintf("rank%d", i)); err != nil {
 			log.Fatalf("rank %d restart: %v", i, err)
 		}
 	}

@@ -1,12 +1,20 @@
-// Quickstart: run a CUDA vector addition under CRAC, checkpoint it,
-// simulate a failure, restart from the image, and keep computing — the
-// minimal end-to-end tour of the library.
+// Quickstart: run a CUDA vector addition under CRAC, checkpoint it into
+// an image store, simulate a failure, restart from the stored image, and
+// keep computing — the minimal end-to-end tour of the library.
+//
+// The tour covers the whole public surface in order:
+//
+//  1. crac.New(options...)        — launch a session
+//  2. session.Runtime()           — the CUDA runtime the app programs against
+//  3. session.CheckpointTo(ctx)   — atomic checkpoint into a crac.Store
+//  4. crac.OpenImageFrom          — inspect the image without restoring it
+//  5. session.RestartFrom(ctx)    — restart in-process from the store
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
-	"bytes"
+	"context"
 	"fmt"
 	"log"
 
@@ -17,10 +25,13 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// 1. Launch a CRAC session: one simulated process with the
 	// application in the upper half and a disposable CUDA library in the
-	// lower half.
-	session, err := crac.NewSession(crac.Config{})
+	// lower half. Options tune the session; the defaults match the
+	// paper's main configuration (V100, syscall fs switch, no gzip).
+	session, err := crac.New(crac.WithWorkers(0))
 	if err != nil {
 		log.Fatalf("crac: %v", err)
 	}
@@ -49,22 +60,34 @@ func main() {
 	check(rt.DeviceSynchronize())
 	fmt.Printf("before checkpoint: c[100] = %v (want %v)\n", peek(rt, c, 100), 300.0)
 
-	// 4. Checkpoint: drains the device, saves the upper half, the call
-	// log, and the memory of active mallocs. The CUDA library itself is
-	// NOT saved.
-	var image bytes.Buffer
-	stats, err := session.Checkpoint(&image)
+	// 4. Checkpoint into a Store. The checkpoint drains the device,
+	// saves the upper half, the call log, and the memory of active
+	// mallocs — the CUDA library itself is NOT saved. Put is atomic: a
+	// failed or cancelled checkpoint leaves nothing behind. MemStore
+	// keeps images in memory; swap in NewDirStore for one file per
+	// generation with retention, or NewFileStore for a single file.
+	store := crac.NewMemStore()
+	stats, err := session.CheckpointTo(ctx, store, "quickstart")
 	check(err)
-	fmt.Printf("checkpoint: %d upper-half regions, %d KiB image\n",
-		stats.Regions, image.Len()/1024)
+	fmt.Printf("checkpoint: %d upper-half regions, %d KiB payload\n",
+		stats.Regions, (stats.RegionBytes+stats.SectionBytes)/1024)
 
-	// 5. Simulated failure + restart: the old lower half is discarded, a
+	// 5. The image is a first-class artifact: open it WITHOUT restoring
+	// to see what a restore would replay.
+	img, err := crac.OpenImageFrom(ctx, store, "quickstart")
+	check(err)
+	if lg, err := img.Log(); err == nil && lg != nil {
+		fmt.Printf("image: v%d, %d log entries, %d active device buffers\n",
+			img.Info().Version, lg.Entries, lg.Device.Buffers)
+	}
+
+	// 6. Simulated failure + restart: the old lower half is discarded, a
 	// fresh CUDA library is brought up, the log is replayed so a, b, c
 	// reappear at the same addresses, and their contents are refilled.
-	check(session.Restart(bytes.NewReader(image.Bytes())))
+	check(session.RestartFrom(ctx, store, "quickstart"))
 	fmt.Printf("restarted (generation %d)\n", session.Generation())
 
-	// 6. The application continues with the same handles and pointers:
+	// 7. The application continues with the same handles and pointers:
 	// c *= 2.
 	check(rt.LaunchKernel(fat, "scale", kernels1D(n), crt.DefaultStream, c, kernels.F32Arg(2), n))
 	check(rt.DeviceSynchronize())

@@ -8,6 +8,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 
@@ -23,7 +24,7 @@ const (
 )
 
 func main() {
-	session, err := crac.NewSession(crac.Config{})
+	session, err := crac.New()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -66,12 +67,12 @@ func main() {
 	// Checkpoint while all 128 streams have work in flight: the drain
 	// inside the checkpoint waits for every queue.
 	var image bytes.Buffer
-	if _, err := session.Checkpoint(&image); err != nil {
+	if _, err := session.Checkpoint(context.Background(), &image); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("checkpointed mid-pipeline with %d streams live (image %d KiB)\n",
 		nStreams, image.Len()/1024)
-	check(session.Restart(bytes.NewReader(image.Bytes())))
+	check(session.Restart(context.Background(), bytes.NewReader(image.Bytes())))
 	fmt.Println("restarted: all 128 streams recreated")
 
 	// Second half continues on the SAME stream handles.

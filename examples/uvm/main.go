@@ -9,6 +9,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 
@@ -18,7 +19,7 @@ import (
 )
 
 func main() {
-	session, err := crac.NewSession(crac.Config{})
+	session, err := crac.New()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -64,10 +65,10 @@ func main() {
 	// Checkpoint + restart: managed memory travels via the active-malloc
 	// payload; the fresh library re-registers the UVM regions.
 	var image bytes.Buffer
-	if _, err := session.Checkpoint(&image); err != nil {
+	if _, err := session.Checkpoint(context.Background(), &image); err != nil {
 		log.Fatal(err)
 	}
-	check(session.Restart(bytes.NewReader(image.Bytes())))
+	check(session.Restart(context.Background(), bytes.NewReader(image.Bytes())))
 	fmt.Printf("restarted (generation %d)\n", session.Generation())
 
 	// Host modifies unified memory again, device consumes it again: the

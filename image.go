@@ -1,0 +1,241 @@
+package crac
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/cracplugin"
+	"repro/internal/cuda"
+	"repro/internal/dmtcp"
+	"repro/internal/replaylog"
+)
+
+// KernelRegistry maps module names to kernel tables — the simulation's
+// stand-in for the device code in the application's text segment. A
+// restored process hands its registry to Restore / RestoreFrom (via
+// WithKernels) so log replay can resolve every RegisterFunction entry.
+type KernelRegistry struct {
+	modules map[string]map[string]cuda.Kernel
+}
+
+// NewKernelRegistry returns an empty registry.
+func NewKernelRegistry() *KernelRegistry {
+	return &KernelRegistry{modules: make(map[string]map[string]cuda.Kernel)}
+}
+
+// Add registers one kernel under module/name and returns the registry
+// for chaining.
+func (r *KernelRegistry) Add(module, name string, k cuda.Kernel) *KernelRegistry {
+	mod, ok := r.modules[module]
+	if !ok {
+		mod = make(map[string]cuda.Kernel)
+		r.modules[module] = mod
+	}
+	mod[name] = k
+	return r
+}
+
+// AddTable registers a whole kernel table under module (the form
+// workloads export) and returns the registry for chaining.
+func (r *KernelRegistry) AddTable(module string, funcs map[string]cuda.Kernel) *KernelRegistry {
+	for name, k := range funcs {
+		r.Add(module, name, k)
+	}
+	return r
+}
+
+// Modules returns the registered module names (unordered).
+func (r *KernelRegistry) Modules() []string {
+	out := make([]string, 0, len(r.modules))
+	for m := range r.modules {
+		out = append(out, m)
+	}
+	return out
+}
+
+// clone snapshots the registry so later mutation by the caller cannot
+// race a session using it.
+func (r *KernelRegistry) clone() *KernelRegistry {
+	if r == nil {
+		return nil
+	}
+	out := NewKernelRegistry()
+	for m, funcs := range r.modules {
+		out.AddTable(m, funcs)
+	}
+	return out
+}
+
+// Image is a parsed checkpoint image, opened without restoring it:
+// a first-class, inspectable artifact. Use OpenImage / OpenImageFile /
+// OpenImageFrom to obtain one, Info and Log to inspect it, and
+// Session.RestartImage or RestoreImage to bring it back to life.
+type Image struct {
+	img *dmtcp.Image
+}
+
+// OpenImage parses a checkpoint image from r. It understands both the
+// v1 serial and the v2 chunked format; failures classify as ErrBadImage
+// or ErrUnsupportedVersion.
+func OpenImage(r io.Reader) (*Image, error) {
+	img, err := dmtcp.ReadImage(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Image{img: img}, nil
+}
+
+// OpenImageFile parses a checkpoint image from a file.
+func OpenImageFile(path string) (*Image, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return OpenImage(f)
+}
+
+// OpenImageFrom parses the named checkpoint image out of a Store.
+func OpenImageFrom(ctx context.Context, store Store, name string) (*Image, error) {
+	rc, err := store.Get(ctx, name)
+	if err != nil {
+		return nil, wrapCancelled(err)
+	}
+	defer rc.Close()
+	return OpenImage(rc)
+}
+
+// ImageRegion describes one upper-half memory region inside an image.
+type ImageRegion struct {
+	Start uint64
+	Len   uint64
+	Prot  string
+	Label string
+}
+
+// ImageSection describes one plugin payload section inside an image.
+type ImageSection struct {
+	Name string
+	Size int
+}
+
+// ImageInfo is the static shape of a checkpoint image: format, memory
+// layout, and payload sections — everything knowable without decoding
+// the CUDA call log.
+type ImageInfo struct {
+	Version     int
+	Gzip        bool
+	Regions     []ImageRegion
+	Sections    []ImageSection
+	RegionBytes uint64
+}
+
+// Info summarizes the image.
+func (im *Image) Info() ImageInfo {
+	info := ImageInfo{
+		Version:     im.img.Version,
+		Gzip:        im.img.Gzip,
+		RegionBytes: im.img.TotalRegionBytes(),
+	}
+	for _, r := range im.img.Regions {
+		info.Regions = append(info.Regions, ImageRegion{
+			Start: r.Start, Len: r.Len, Prot: fmt.Sprintf("%v", r.Prot), Label: r.Label,
+		})
+	}
+	for _, name := range im.img.Sections.Names() {
+		data, _ := im.img.Sections.Get(name)
+		info.Sections = append(info.Sections, ImageSection{Name: name, Size: len(data)})
+	}
+	return info
+}
+
+// Section returns the raw bytes of a named payload section.
+func (im *Image) Section(name string) ([]byte, bool) {
+	return im.img.Sections.Get(name)
+}
+
+// AllocClass summarizes one class of active CUDA allocations.
+type AllocClass struct {
+	Buffers int
+	Bytes   uint64
+}
+
+// ModuleInfo summarizes one registered fat binary.
+type ModuleInfo struct {
+	Module  string
+	Kernels int
+}
+
+// ImageLog summarizes the CUDA call log carried in an image: the replay
+// workload a restore implies, and the resources active at checkpoint.
+type ImageLog struct {
+	Entries int
+	Device  AllocClass // cudaMalloc
+	Pinned  AllocClass // cudaMallocHost
+	Host    AllocClass // cudaHostAlloc
+	Managed AllocClass // cudaMallocManaged
+	Streams int
+	Events  int
+	Modules []ModuleInfo
+}
+
+func (im *Image) decodeLog() (*replaylog.Log, error) {
+	logBytes, ok := im.img.Sections.Get(cracplugin.SectionLog)
+	if !ok {
+		return nil, nil
+	}
+	log, err := replaylog.Decode(bytes.NewReader(logBytes))
+	if err != nil {
+		return nil, fmt.Errorf("%w: decoding call log: %v", ErrBadImage, err)
+	}
+	return log, nil
+}
+
+func allocClass(as []replaylog.Allocation) AllocClass {
+	c := AllocClass{Buffers: len(as)}
+	for _, a := range as {
+		c.Bytes += a.Size
+	}
+	return c
+}
+
+// Log decodes and summarizes the image's CUDA call log. Images without
+// a log section (not written by the CRAC plugin) return (nil, nil).
+func (im *Image) Log() (*ImageLog, error) {
+	log, err := im.decodeLog()
+	if log == nil || err != nil {
+		return nil, err
+	}
+	as := log.Active()
+	il := &ImageLog{
+		Entries: log.Len(),
+		Device:  allocClass(as.Device),
+		Pinned:  allocClass(as.Pinned),
+		Host:    allocClass(as.Host),
+		Managed: allocClass(as.Managed),
+		Streams: len(as.Streams),
+		Events:  len(as.Events),
+	}
+	for _, fb := range as.FatBins {
+		il.Modules = append(il.Modules, ModuleInfo{Module: fb.Module, Kernels: len(fb.Functions)})
+	}
+	return il, nil
+}
+
+// LogEntries renders every call-log entry as text, for dump tooling
+// (cracinspect -log). Images without a log section return (nil, nil).
+func (im *Image) LogEntries() ([]string, error) {
+	log, err := im.decodeLog()
+	if log == nil || err != nil {
+		return nil, err
+	}
+	entries := log.Entries()
+	out := make([]string, len(entries))
+	for i, e := range entries {
+		out[i] = e.String()
+	}
+	return out, nil
+}

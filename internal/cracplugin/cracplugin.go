@@ -17,6 +17,7 @@ package cracplugin
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -74,8 +75,10 @@ func (p *Plugin) RootBlob() []byte {
 }
 
 // PreCheckpoint implements dmtcp.Plugin: drain the queue of pending CUDA
-// kernels, then save the log and the memory of active mallocs.
-func (p *Plugin) PreCheckpoint(sections *dmtcp.SectionMap) error {
+// kernels, then save the log and the memory of active mallocs. The
+// allocation drain honors ctx: a cancelled checkpoint stops copying
+// device memory at the next allocation boundary.
+func (p *Plugin) PreCheckpoint(ctx context.Context, sections *dmtcp.SectionMap) error {
 	lib := p.rt.Library()
 
 	// Step (a) of the classic sequence: drain the queue
@@ -126,7 +129,7 @@ func (p *Plugin) PreCheckpoint(sections *dmtcp.SectionMap) error {
 		}
 	}
 	space := lib.Space()
-	if err := par.ForErrN(p.Workers, len(jobs), func(i int) error {
+	if err := par.ForErrCtx(ctx, p.Workers, len(jobs), func(i int) error {
 		j := jobs[i]
 		if err := space.ReadAt(j.alloc.Addr, mem[j.off:j.off+int(j.alloc.Size)]); err != nil {
 			return fmt.Errorf("cracplugin: draining allocation %#x+%d: %w", j.alloc.Addr, j.alloc.Size, err)
@@ -153,8 +156,9 @@ func (p *Plugin) Resume() error { return nil }
 // address written here is live again at its original value.
 //
 // The entry headers are walked serially; the refill writes fan out, one
-// WriteAt per allocation over disjoint target ranges.
-func (p *Plugin) Restart(sections *dmtcp.SectionMap) error {
+// WriteAt per allocation over disjoint target ranges, stopping early if
+// ctx is cancelled.
+func (p *Plugin) Restart(ctx context.Context, sections *dmtcp.SectionMap) error {
 	memBytes, ok := sections.Get(SectionDevMem)
 	if !ok {
 		return fmt.Errorf("cracplugin: image has no %s section", SectionDevMem)
@@ -185,7 +189,7 @@ func (p *Plugin) Restart(sections *dmtcp.SectionMap) error {
 		jobs = append(jobs, job{addr: addr, data: memBytes[off : off+int(size)]})
 		off += int(size)
 	}
-	if err := par.ForErrN(p.Workers, len(jobs), func(i int) error {
+	if err := par.ForErrCtx(ctx, p.Workers, len(jobs), func(i int) error {
 		if err := space.WriteAt(jobs[i].addr, jobs[i].data); err != nil {
 			return fmt.Errorf("cracplugin: refilling %#x+%d: %w", jobs[i].addr, len(jobs[i].data), err)
 		}

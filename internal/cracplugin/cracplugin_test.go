@@ -2,6 +2,7 @@ package cracplugin
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"repro/internal/addrspace"
@@ -51,7 +52,7 @@ func TestPreCheckpointSectionsAndDrain(t *testing.T) {
 	p.SetRootBlob([]byte("root!"))
 
 	sections := dmtcp.NewSectionMap()
-	if err := p.PreCheckpoint(sections); err != nil {
+	if err := p.PreCheckpoint(context.Background(), sections); err != nil {
 		t.Fatal(err)
 	}
 	if !lib.Device().Drained() {
@@ -92,7 +93,7 @@ func TestRestartRefills(t *testing.T) {
 	}
 	p := New(rt)
 	sections := dmtcp.NewSectionMap()
-	if err := p.PreCheckpoint(sections); err != nil {
+	if err := p.PreCheckpoint(context.Background(), sections); err != nil {
 		t.Fatal(err)
 	}
 
@@ -111,7 +112,7 @@ func TestRestartRefills(t *testing.T) {
 	if err := rt.Rebind(lib2, entries2, log); err != nil {
 		t.Fatal(err)
 	}
-	if err := p.Restart(sections); err != nil {
+	if err := p.Restart(context.Background(), sections); err != nil {
 		t.Fatal(err)
 	}
 	buf := make([]byte, 4096)
@@ -128,7 +129,7 @@ func TestRestartRefills(t *testing.T) {
 func TestRestartWithoutDevMemSectionFails(t *testing.T) {
 	rt, _ := buildRT(t)
 	p := New(rt)
-	if err := p.Restart(dmtcp.NewSectionMap()); err == nil {
+	if err := p.Restart(context.Background(), dmtcp.NewSectionMap()); err == nil {
 		t.Fatal("restart without devmem section succeeded")
 	}
 }

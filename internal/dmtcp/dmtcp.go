@@ -29,6 +29,7 @@ import (
 	"bufio"
 	"bytes"
 	"compress/gzip"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -113,14 +114,16 @@ type Plugin interface {
 	// Name identifies the plugin.
 	Name() string
 	// PreCheckpoint runs before the image is written: quiesce, then
-	// contribute payload sections.
-	PreCheckpoint(sections *SectionMap) error
+	// contribute payload sections. ctx cancellation should abort the
+	// drain early; the engine never proceeds to the image body after a
+	// hook error.
+	PreCheckpoint(ctx context.Context, sections *SectionMap) error
 	// Resume runs after a successful checkpoint, when the original
 	// process continues.
 	Resume() error
 	// Restart runs in the restarted process after the upper-half regions
 	// have been restored.
-	Restart(sections *SectionMap) error
+	Restart(ctx context.Context, sections *SectionMap) error
 }
 
 // RegionData is one serialized upper-half region.
@@ -206,6 +209,14 @@ var (
 // ErrBadImage reports a malformed checkpoint image.
 var ErrBadImage = errors.New("dmtcp: bad checkpoint image")
 
+// ErrUnsupportedVersion reports a checkpoint image whose format version
+// this build does not speak: the CRACIMG magic prefix matched, but the
+// version digit is newer (or older) than the reader understands, or an
+// engine was asked to write an unknown version. Distinct from
+// ErrBadImage so callers can tell "not an image" from "an image from a
+// different release".
+var ErrUnsupportedVersion = errors.New("dmtcp: unsupported image version")
+
 // Decoder sanity caps. The simulated windows are 2 GiB each, so any
 // single region or section beyond maxItemBytes, or counts beyond
 // maxItemCount, can only come from a corrupt or hostile image; rejecting
@@ -231,11 +242,21 @@ func (e *Engine) shardSize() int {
 
 // Checkpoint runs the plugin PreCheckpoint hooks, writes the upper half
 // of space plus all plugin sections to w, then runs the Resume hooks.
-func (e *Engine) Checkpoint(w io.Writer, space *addrspace.Space) (Stats, error) {
+// Cancelling ctx aborts the operation between hooks and between payload
+// shards, returning the context's error; the image written so far is
+// abandoned where it stands (callers that need all-or-nothing semantics
+// write through an atomic sink, e.g. a Store).
+func (e *Engine) Checkpoint(ctx context.Context, w io.Writer, space *addrspace.Space) (Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
 	sections := NewSectionMap()
 	for _, p := range e.plugins {
-		if err := p.PreCheckpoint(sections); err != nil {
+		if err := ctx.Err(); err != nil {
+			return Stats{}, err
+		}
+		if err := p.PreCheckpoint(ctx, sections); err != nil {
 			return Stats{}, fmt.Errorf("dmtcp: plugin %s precheckpoint: %w", p.Name(), err)
 		}
 	}
@@ -258,11 +279,11 @@ func (e *Engine) Checkpoint(w io.Writer, space *addrspace.Space) (Stats, error) 
 	var err error
 	switch version {
 	case 1:
-		err = e.writeImageV1(bw, space, regions, sections, &st)
+		err = e.writeImageV1(ctx, bw, space, regions, sections, &st)
 	case 2:
-		err = e.writeImageV2(bw, space, regions, sections, &st)
+		err = e.writeImageV2(ctx, bw, space, regions, sections, &st)
 	default:
-		err = fmt.Errorf("dmtcp: unknown image version %d", version)
+		err = fmt.Errorf("%w: cannot write version %d", ErrUnsupportedVersion, version)
 	}
 	if err == nil {
 		err = bw.Flush()
@@ -285,7 +306,7 @@ func (e *Engine) Checkpoint(w io.Writer, space *addrspace.Space) (Stats, error) 
 
 // writeImageV1 emits the legacy serial format: interleaved region
 // headers and payloads, optionally wrapped in a single gzip stream.
-func (e *Engine) writeImageV1(w io.Writer, space *addrspace.Space, regions []addrspace.RegionInfo, sections *SectionMap, st *Stats) error {
+func (e *Engine) writeImageV1(ctx context.Context, w io.Writer, space *addrspace.Space, regions []addrspace.RegionInfo, sections *SectionMap, st *Stats) error {
 	if _, err := w.Write(imageMagicV1[:]); err != nil {
 		return err
 	}
@@ -302,7 +323,7 @@ func (e *Engine) writeImageV1(w io.Writer, space *addrspace.Space, regions []add
 		gz = gzip.NewWriter(w)
 		body = gz
 	}
-	if err := writeBodyV1(body, space, regions, sections, st, e.shardSize()); err != nil {
+	if err := writeBodyV1(ctx, body, space, regions, sections, st, e.shardSize()); err != nil {
 		return err
 	}
 	if gz != nil {
@@ -311,7 +332,7 @@ func (e *Engine) writeImageV1(w io.Writer, space *addrspace.Space, regions []add
 	return nil
 }
 
-func writeBodyV1(w io.Writer, space *addrspace.Space, regions []addrspace.RegionInfo, sections *SectionMap, st *Stats, chunk int) error {
+func writeBodyV1(ctx context.Context, w io.Writer, space *addrspace.Space, regions []addrspace.RegionInfo, sections *SectionMap, st *Stats, chunk int) error {
 	var u32 [4]byte
 	var u64 [8]byte
 	binary.LittleEndian.PutUint32(u32[:], uint32(len(regions)))
@@ -338,6 +359,9 @@ func writeBodyV1(w io.Writer, space *addrspace.Space, regions []addrspace.Region
 			return err
 		}
 		for off := uint64(0); off < ri.Len; off += uint64(chunk) {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			n := ri.Len - off
 			if n > uint64(chunk) {
 				n = uint64(chunk)
@@ -392,7 +416,7 @@ type shardJob struct {
 // workers read shards out of the address space (and compress them when
 // gzip is on) concurrently, while this goroutine streams the frames to w
 // in deterministic shard order.
-func (e *Engine) writeImageV2(w io.Writer, space *addrspace.Space, regions []addrspace.RegionInfo, sections *SectionMap, st *Stats) error {
+func (e *Engine) writeImageV2(ctx context.Context, w io.Writer, space *addrspace.Space, regions []addrspace.RegionInfo, sections *SectionMap, st *Stats) error {
 	if _, err := w.Write(imageMagicV2[:]); err != nil {
 		return err
 	}
@@ -474,10 +498,10 @@ func (e *Engine) writeImageV2(w io.Writer, space *addrspace.Space, regions []add
 			jobs = append(jobs, shardJob{src: data[off : off+n], rawLen: n, done: make(chan struct{})})
 		}
 	}
-	return e.runWritePipeline(w, space, jobs)
+	return e.runWritePipeline(ctx, w, space, jobs)
 }
 
-func (e *Engine) runWritePipeline(w io.Writer, space *addrspace.Space, jobs []shardJob) error {
+func (e *Engine) runWritePipeline(ctx context.Context, w io.Writer, space *addrspace.Space, jobs []shardJob) error {
 	shard := e.shardSize()
 	rawPool := sync.Pool{New: func() any {
 		b := make([]byte, shard)
@@ -486,6 +510,14 @@ func (e *Engine) runWritePipeline(w io.Writer, space *addrspace.Space, jobs []sh
 	var encPool sync.Pool // *bytes.Buffer, gzip output
 
 	process := func(j *shardJob, gz *gzip.Writer) {
+		// A cancelled context turns every remaining shard into a no-op:
+		// the pipeline protocol (every job completes, in order) is kept,
+		// but no further memory is read or compressed, so a deadline
+		// aborts the image write promptly mid-stream.
+		if err := ctx.Err(); err != nil {
+			j.err = err
+			return
+		}
 		raw := j.src
 		if raw == nil {
 			j.rawBuf = rawPool.Get().(*[]byte)
@@ -565,6 +597,9 @@ func (e *Engine) runWritePipeline(w io.Writer, space *addrspace.Space, jobs []sh
 			return err
 		}
 		for i := range jobs {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			process(&jobs[i], gz)
 			if err := consume(&jobs[i]); err != nil {
 				return err
@@ -686,6 +721,11 @@ func ReadImage(r io.Reader) (*Image, error) {
 	case imageMagicV2:
 		return readImageV2(r)
 	default:
+		// A CRACIMG prefix with an unknown version digit is an image from
+		// a build we don't speak, not garbage.
+		if bytes.Equal(magic[:7], imageMagicV1[:7]) {
+			return nil, fmt.Errorf("%w: %q", ErrUnsupportedVersion, magic[:])
+		}
 		return nil, fmt.Errorf("%w: bad magic %q", ErrBadImage, magic[:])
 	}
 }
@@ -997,15 +1037,15 @@ func readIntoSpans(r io.Reader, spans []destSpan, off uint64, n int) error {
 // upper half, at the original addresses) and fills in the saved bytes,
 // fanning the fills out across all CPUs.
 func RestoreRegions(img *Image, space *addrspace.Space) error {
-	return RestoreRegionsN(img, space, 0)
+	return RestoreRegionsN(context.Background(), img, space, 0)
 }
 
 // RestoreRegionsN is RestoreRegions with an explicit worker count
-// (workers<=0: all CPUs, 1: serial). The mappings are created serially —
-// they mutate the region list — then the fills run concurrently over
-// disjoint ranges (see the addrspace concurrency contract), then
-// read-only protections are applied.
-func RestoreRegionsN(img *Image, space *addrspace.Space, workers int) error {
+// (workers<=0: all CPUs, 1: serial) and cancellation. The mappings are
+// created serially — they mutate the region list — then the fills run
+// concurrently over disjoint ranges (see the addrspace concurrency
+// contract), then read-only protections are applied.
+func RestoreRegionsN(ctx context.Context, img *Image, space *addrspace.Space, workers int) error {
 	for _, rd := range img.Regions {
 		if _, err := space.MMap(rd.Start, rd.Len, rd.Prot|addrspace.ProtWrite, addrspace.MapFixedNoReplace,
 			addrspace.HalfUpper, rd.Label); err != nil {
@@ -1026,7 +1066,7 @@ func RestoreRegionsN(img *Image, space *addrspace.Space, workers int) error {
 			fills = append(fills, fill{addr: rd.Start + off, data: rd.Data[off:end]})
 		}
 	}
-	if err := par.ForErrN(workers, len(fills), func(i int) error {
+	if err := par.ForErrCtx(ctx, workers, len(fills), func(i int) error {
 		if err := space.WriteAt(fills[i].addr, fills[i].data); err != nil {
 			return fmt.Errorf("dmtcp: filling region %#x+%d: %w", fills[i].addr, len(fills[i].data), err)
 		}
@@ -1046,9 +1086,15 @@ func RestoreRegionsN(img *Image, space *addrspace.Space, workers int) error {
 
 // RunRestartHooks invokes every plugin's Restart hook with the image's
 // sections, in registration order.
-func (e *Engine) RunRestartHooks(img *Image) error {
+func (e *Engine) RunRestartHooks(ctx context.Context, img *Image) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	for _, p := range e.plugins {
-		if err := p.Restart(img.Sections); err != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := p.Restart(ctx, img.Sections); err != nil {
 			return fmt.Errorf("dmtcp: plugin %s restart: %w", p.Name(), err)
 		}
 	}

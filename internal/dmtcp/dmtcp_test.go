@@ -2,6 +2,7 @@ package dmtcp
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -22,7 +23,7 @@ type testPlugin struct {
 }
 
 func (p *testPlugin) Name() string { return p.name }
-func (p *testPlugin) PreCheckpoint(s *SectionMap) error {
+func (p *testPlugin) PreCheckpoint(_ context.Context, s *SectionMap) error {
 	p.pre++
 	if p.failPre {
 		return errors.New("boom")
@@ -31,7 +32,7 @@ func (p *testPlugin) PreCheckpoint(s *SectionMap) error {
 	return nil
 }
 func (p *testPlugin) Resume() error { p.resume++; return nil }
-func (p *testPlugin) Restart(s *SectionMap) error {
+func (p *testPlugin) Restart(_ context.Context, s *SectionMap) error {
 	p.restart++
 	p.got, _ = s.Get(p.name + ".data")
 	return nil
@@ -61,7 +62,7 @@ func TestCheckpointImageRoundTrip(t *testing.T) {
 	e.Register(p)
 
 	var img bytes.Buffer
-	st, err := e.Checkpoint(&img, space)
+	st, err := e.Checkpoint(context.Background(), &img, space)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +103,7 @@ func TestCheckpointImageRoundTrip(t *testing.T) {
 	if !bytes.Equal(got, bytes.Repeat([]byte{0xCD}, 2*addrspace.PageSize)) {
 		t.Fatal("restored bytes differ")
 	}
-	if err := e.RunRestartHooks(parsed); err != nil {
+	if err := e.RunRestartHooks(context.Background(), parsed); err != nil {
 		t.Fatal(err)
 	}
 	if p.restart != 1 || string(p.got) != "payload-crac" {
@@ -115,7 +116,7 @@ func TestCheckpointGzip(t *testing.T) {
 	e := NewEngine()
 	e.Gzip = true
 	var img bytes.Buffer
-	if _, err := e.Checkpoint(&img, space); err != nil {
+	if _, err := e.Checkpoint(context.Background(), &img, space); err != nil {
 		t.Fatal(err)
 	}
 	// Highly compressible content: the gzip image is much smaller than
@@ -140,7 +141,7 @@ func TestPluginPreCheckpointFailureAborts(t *testing.T) {
 	e := NewEngine()
 	e.Register(&testPlugin{name: "bad", failPre: true})
 	var img bytes.Buffer
-	if _, err := e.Checkpoint(&img, space); err == nil {
+	if _, err := e.Checkpoint(context.Background(), &img, space); err == nil {
 		t.Fatal("checkpoint succeeded despite plugin failure")
 	}
 }
@@ -158,7 +159,7 @@ func TestReadImageTruncated(t *testing.T) {
 	space, _ := buildSpace(t)
 	e := NewEngine()
 	var img bytes.Buffer
-	if _, err := e.Checkpoint(&img, space); err != nil {
+	if _, err := e.Checkpoint(context.Background(), &img, space); err != nil {
 		t.Fatal(err)
 	}
 	b := img.Bytes()
@@ -171,7 +172,7 @@ func TestRestoreCollisionFails(t *testing.T) {
 	space, _ := buildSpace(t)
 	e := NewEngine()
 	var img bytes.Buffer
-	if _, err := e.Checkpoint(&img, space); err != nil {
+	if _, err := e.Checkpoint(context.Background(), &img, space); err != nil {
 		t.Fatal(err)
 	}
 	parsed, _ := ReadImage(bytes.NewReader(img.Bytes()))

@@ -2,6 +2,7 @@ package dmtcp
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -64,15 +65,15 @@ func snapshotRegions(t testing.TB, s *addrspace.Space, regions []addrspace.Regio
 type sectionPlugin struct{ sizes []int }
 
 func (p *sectionPlugin) Name() string { return "sections" }
-func (p *sectionPlugin) PreCheckpoint(s *SectionMap) error {
+func (p *sectionPlugin) PreCheckpoint(_ context.Context, s *SectionMap) error {
 	for i, n := range p.sizes {
 		b := s.AddZero(fmt.Sprintf("sec.%d", i), n)
 		fillPattern(b, uint64(100+i))
 	}
 	return nil
 }
-func (p *sectionPlugin) Resume() error             { return nil }
-func (p *sectionPlugin) Restart(*SectionMap) error { return nil }
+func (p *sectionPlugin) Resume() error                              { return nil }
+func (p *sectionPlugin) Restart(context.Context, *SectionMap) error { return nil }
 
 // TestParallelSerialImagesIdentical: the v2 image is byte-identical for
 // any worker count (shard plan depends only on shard size), and the
@@ -90,7 +91,7 @@ func TestParallelSerialImagesIdentical(t *testing.T) {
 				e.ShardSize = 3 * addrspace.PageSize // force multi-shard regions
 				e.Register(&sectionPlugin{sizes: []int{0, 17, 5 * addrspace.PageSize}})
 				var img bytes.Buffer
-				if _, err := e.Checkpoint(&img, space); err != nil {
+				if _, err := e.Checkpoint(context.Background(), &img, space); err != nil {
 					t.Fatal(err)
 				}
 				return img.Bytes()
@@ -110,7 +111,7 @@ func TestParallelSerialImagesIdentical(t *testing.T) {
 					t.Fatalf("version = %d", img.Version)
 				}
 				fresh := addrspace.New()
-				if err := RestoreRegionsN(img, fresh, workers); err != nil {
+				if err := RestoreRegionsN(context.Background(), img, fresh, workers); err != nil {
 					t.Fatal(err)
 				}
 				got := snapshotRegions(t, fresh, regions)
@@ -147,7 +148,7 @@ func TestV1BackwardCompat(t *testing.T) {
 			e.Gzip = gz
 			e.Register(&sectionPlugin{sizes: []int{33}})
 			var img bytes.Buffer
-			if _, err := e.Checkpoint(&img, space); err != nil {
+			if _, err := e.Checkpoint(context.Background(), &img, space); err != nil {
 				t.Fatal(err)
 			}
 			parsed, err := ReadImage(bytes.NewReader(img.Bytes()))
@@ -181,7 +182,7 @@ func TestV1V2SameRestoredState(t *testing.T) {
 		e := NewEngine()
 		e.ImageVersion = version
 		var img bytes.Buffer
-		if _, err := e.Checkpoint(&img, space); err != nil {
+		if _, err := e.Checkpoint(context.Background(), &img, space); err != nil {
 			t.Fatal(err)
 		}
 		parsed, err := ReadImage(bytes.NewReader(img.Bytes()))
@@ -262,7 +263,7 @@ func TestConcurrentCheckpoint(t *testing.T) {
 			e := NewEngine()
 			e.ShardSize = 2 * addrspace.PageSize
 			var img bytes.Buffer
-			if _, err := e.Checkpoint(&img, space); err != nil {
+			if _, err := e.Checkpoint(context.Background(), &img, space); err != nil {
 				t.Error(err)
 				return
 			}
@@ -294,7 +295,7 @@ func TestStatsDurations(t *testing.T) {
 	space, _ := buildBigSpace(t, 4)
 	e := NewEngine()
 	e.Register(&sectionPlugin{sizes: []int{1024}})
-	st, err := e.Checkpoint(io.Discard, space)
+	st, err := e.Checkpoint(context.Background(), io.Discard, space)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -345,7 +346,7 @@ func FuzzReadImage(f *testing.F) {
 		e.ShardSize = 2 * addrspace.PageSize
 		e.Register(&sectionPlugin{sizes: []int{100, 3000}})
 		var img bytes.Buffer
-		if _, err := e.Checkpoint(&img, space); err != nil {
+		if _, err := e.Checkpoint(context.Background(), &img, space); err != nil {
 			f.Fatal(err)
 		}
 		f.Add(img.Bytes())

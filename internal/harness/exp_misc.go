@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -114,7 +115,7 @@ func ablNaiveRestore(t *Table) error {
 }
 
 func ablASLR(t *Table) error {
-	s, err := crac.NewSession(crac.Config{ASLR: true, ASLRSeed: 99})
+	s, err := crac.New(crac.WithASLR(99))
 	if err != nil {
 		return err
 	}
@@ -123,10 +124,10 @@ func ablASLR(t *Table) error {
 		return err
 	}
 	var img bytes.Buffer
-	if _, err := s.Checkpoint(&img); err != nil {
+	if _, err := s.Checkpoint(context.Background(), &img); err != nil {
 		return err
 	}
-	err = s.Restart(bytes.NewReader(img.Bytes()))
+	err = s.Restart(context.Background(), bytes.NewReader(img.Bytes()))
 	if err == nil {
 		t.AddRow("log-and-replay with ASLR enabled", "layout happened to match", "rerun with another seed")
 		return nil
@@ -140,7 +141,7 @@ func ablASLR(t *Table) error {
 }
 
 func ablActiveMalloc(t *Table) error {
-	s, err := crac.NewSession(crac.Config{})
+	s, err := crac.New()
 	if err != nil {
 		return err
 	}
@@ -161,12 +162,12 @@ func ablActiveMalloc(t *Table) error {
 	}
 	devMapped, devLive, _, _, _, _ := s.Library().ArenaFootprint()
 	var img bytes.Buffer
-	st, err := s.Checkpoint(&img)
+	st, err := s.Checkpoint(context.Background(), &img)
 	if err != nil {
 		return err
 	}
 	t.AddRow("active-malloc vs whole-arena checkpointing",
-		fmt.Sprintf("image saves %s of %s mapped arena", fmtBytes(devLive), fmtBytes(devMapped)),
+		fmt.Sprintf("image saves %s of %s mapped arena", FmtBytes(devLive), FmtBytes(devMapped)),
 		fmt.Sprintf("%dx smaller device payload; %d active of 200 allocations (Section 3.2.3)",
 			int(float64(devMapped)/float64(maxU64(devLive, 1))), len(keep)))
 	_ = st
@@ -221,7 +222,7 @@ func ablShadowConflict(t *Table, opt Options) error {
 	}
 
 	// CRAC: must succeed.
-	s, err := crac.NewSession(crac.Config{})
+	s, err := crac.New()
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -8,6 +9,7 @@ import (
 	"sort"
 	"time"
 
+	crac "repro"
 	"repro/internal/gpusim"
 	"repro/internal/workloads"
 	"repro/internal/workloads/rodinia"
@@ -162,7 +164,9 @@ func checkpointMidRun(prop gpusim.Properties, app *workloads.App, cfg workloads.
 		return 0, 0, 0, workloads.Result{}, err
 	}
 	defer os.RemoveAll(dir)
-	img := filepath.Join(dir, "ckpt.img")
+	imgPath := filepath.Join(dir, "ckpt.img")
+	store := crac.NewFileStore(imgPath)
+	ctx := context.Background()
 
 	step := 0
 	runCfg := cfg
@@ -172,14 +176,17 @@ func checkpointMidRun(prop gpusim.Properties, app *workloads.App, cfg workloads.
 			return nil
 		}
 		t0 := time.Now()
-		size, _, cerr := r.Session.CheckpointFile(img)
-		if cerr != nil {
+		if _, cerr := r.Session.CheckpointTo(ctx, store, "ckpt"); cerr != nil {
 			return cerr
 		}
 		ckpt = time.Since(t0)
-		imgSize = size
+		fi, serr := os.Stat(imgPath)
+		if serr != nil {
+			return serr
+		}
+		imgSize = fi.Size()
 		t0 = time.Now()
-		if rerr := r.Session.RestartFile(img); rerr != nil {
+		if rerr := r.Session.RestartFrom(ctx, store, "ckpt"); rerr != nil {
 			return rerr
 		}
 		restart = time.Since(t0)
@@ -215,7 +222,7 @@ func runFig3(opt Options) ([]*Table, error) {
 			ratio = rs.Seconds() / ck.Seconds()
 		}
 		t.AddRow(app.Name, fmtF(ck.Seconds(), 3), fmtF(rs.Seconds(), 3),
-			fmtBytes(uint64(size)), fmtF(ratio, 2))
+			FmtBytes(uint64(size)), fmtF(ratio, 2))
 	}
 	t.Note("checkpoint at mid-run; gzip disabled as in the paper (Section 4.4.1)")
 	t.Note("Heartwall and Streamcluster replay long cudaMalloc/cudaFree histories at restart — the paper's two outliers")

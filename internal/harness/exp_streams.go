@@ -255,7 +255,7 @@ func runFig5c(opt Options) ([]*Table, error) {
 			ratio = rs.Seconds() / ck.Seconds()
 		}
 		t.AddRow(f.app.Name, fmtF(ck.Seconds(), 3), fmtF(rs.Seconds(), 3),
-			fmtBytes(uint64(size)), fmtF(ratio, 2))
+			FmtBytes(uint64(size)), fmtF(ratio, 2))
 	}
 	t.Note("paper: HPGMG restart ≈1.75s dominated by CUDA API replay; HYPRE image largest (2.3GB at 250³)")
 	return []*Table{t}, nil

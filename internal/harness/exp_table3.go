@@ -278,7 +278,7 @@ func runTable3(opt Options) ([]*Table, error) {
 	}
 	rounds := opt.EffIters()
 	for _, c := range table3Cases(opt) {
-		opt.logf("table3: %s %s", c.op, fmtBytes(c.bytes))
+		opt.logf("table3: %s %s", c.op, FmtBytes(c.bytes))
 		// Interleave the three modes across rounds and take medians, so
 		// machine noise hits all columns alike.
 		var natTs, crTs, cmaTs []float64
@@ -303,12 +303,12 @@ func runTable3(opt Options) ([]*Table, error) {
 		nat, cr, cma := medianOf(natTs), medianOf(crTs), medianOf(cmaTs)
 		// Cross-mode result validation.
 		if rel := relDiff(natSum, crSum); rel > 1e-4 {
-			return nil, fmt.Errorf("%s %s: native/CRAC results differ: %v vs %v", c.op, fmtBytes(c.bytes), natSum, crSum)
+			return nil, fmt.Errorf("%s %s: native/CRAC results differ: %v vs %v", c.op, FmtBytes(c.bytes), natSum, crSum)
 		}
 		if rel := relDiff(natSum, cmaSum); rel > 1e-4 {
-			return nil, fmt.Errorf("%s %s: native/CMA results differ: %v vs %v", c.op, fmtBytes(c.bytes), natSum, cmaSum)
+			return nil, fmt.Errorf("%s %s: native/CMA results differ: %v vs %v", c.op, FmtBytes(c.bytes), natSum, cmaSum)
 		}
-		t.AddRow(c.op, fmtBytes(c.bytes), fmtF(nat, 3), fmtF(cr, 3),
+		t.AddRow(c.op, FmtBytes(c.bytes), fmtF(nat, 3), fmtF(cr, 3),
 			fmtF(overheadPct(cr, nat), 1), fmtF(cma, 3), fmtF(overheadPct(cma, nat), 0))
 	}
 	if !opt.Full && !opt.Quick {

@@ -99,7 +99,7 @@ func TestOptionsDefaults(t *testing.T) {
 }
 
 func TestFormatHelpers(t *testing.T) {
-	if fmtBytes(2<<30) != "2.0GB" || fmtBytes(5<<20) != "5MB" || fmtBytes(3<<10) != "3KB" || fmtBytes(12) != "12B" {
+	if FmtBytes(2<<30) != "2.0GB" || FmtBytes(5<<20) != "5MB" || FmtBytes(3<<10) != "3KB" || FmtBytes(12) != "12B" {
 		t.Fatal("fmtBytes")
 	}
 	if fmtCalls(2_500_000) != "2.5M" || fmtCalls(35_000) != "35K" || fmtCalls(120) != "120" {

@@ -67,7 +67,7 @@ type Runner struct {
 func NewRunner(mode Mode, prop gpusim.Properties) (*Runner, error) {
 	switch mode {
 	case ModeNative:
-		rt, err := crac.NewNative(crac.Config{Prop: prop})
+		rt, err := crac.NewNative(crac.WithDevice(prop))
 		if err != nil {
 			return nil, err
 		}
@@ -77,7 +77,7 @@ func NewRunner(mode Mode, prop gpusim.Properties) (*Runner, error) {
 		if mode == ModeCRACFSGSBase {
 			sw = crac.SwitchFSGSBase
 		}
-		s, err := crac.NewSession(crac.Config{Prop: prop, Switch: sw})
+		s, err := crac.New(crac.WithDevice(prop), crac.WithSwitcher(sw))
 		if err != nil {
 			return nil, err
 		}
@@ -278,8 +278,9 @@ func fmtF(v float64, prec int) string {
 	return fmt.Sprintf("%.*f", prec, v)
 }
 
-// fmtBytes renders a byte count like the paper's figure annotations.
-func fmtBytes(n uint64) string {
+// FmtBytes renders a byte count like the paper's figure annotations
+// (exported for the cmds, which print the same units).
+func FmtBytes(n uint64) string {
 	switch {
 	case n >= 1<<30:
 		return fmt.Sprintf("%.1fGB", float64(n)/(1<<30))

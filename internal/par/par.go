@@ -11,6 +11,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -69,11 +70,28 @@ func ForErr(n int, body func(i int) error) error {
 	return ForErrN(0, n, body)
 }
 
+// ForErrCtx is ForErrN with cancellation: once ctx is done, no further
+// items are dispatched and ctx.Err() is returned (in-flight items finish
+// first). A nil ctx behaves like context.Background(). Unlike the body
+// errors — which never stop the remaining items — cancellation aborts
+// the fan-out early, which is what lets a deadline cut a checkpoint off
+// mid-pipeline instead of draining every remaining shard.
+func ForErrCtx(ctx context.Context, workers, n int, body func(i int) error) error {
+	if ctx == nil {
+		return ForErrN(workers, n, body)
+	}
+	return forErr(ctx, workers, n, body)
+}
+
 // ForErrN is ForErr with an explicit worker count: workers<=0 uses all
 // CPUs, workers==1 runs body serially in-line (the reference path for
 // serial-vs-parallel comparisons). All items run even after an error;
 // the first error (in goroutine-observation order) is returned.
 func ForErrN(workers, n int, body func(i int) error) error {
+	return forErr(nil, workers, n, body)
+}
+
+func forErr(ctx context.Context, workers, n int, body func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -81,6 +99,16 @@ func ForErrN(workers, n int, body func(i int) error) error {
 	if w == 1 || n == 1 {
 		var first error
 		for i := 0; i < n; i++ {
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					// Like the parallel path: an already-recorded body
+					// error outranks the cancellation it may have caused.
+					if first != nil {
+						return first
+					}
+					return err
+				}
+			}
 			if err := body(i); err != nil && first == nil {
 				first = err
 			}
@@ -91,16 +119,25 @@ func ForErrN(workers, n int, body func(i int) error) error {
 		w = n
 	}
 	var (
-		wg    sync.WaitGroup
-		mu    sync.Mutex
-		first error
-		next  int
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		first     error
+		next      int
+		cancelled error
 	)
 	for g := 0; g < w; g++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx != nil {
+					if err := ctx.Err(); err != nil {
+						mu.Lock()
+						cancelled = err
+						mu.Unlock()
+						return
+					}
+				}
 				mu.Lock()
 				i := next
 				next++
@@ -119,5 +156,8 @@ func ForErrN(workers, n int, body func(i int) error) error {
 		}()
 	}
 	wg.Wait()
+	if cancelled != nil && first == nil {
+		return cancelled
+	}
 	return first
 }

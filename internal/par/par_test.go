@@ -1,6 +1,8 @@
 package par
 
 import (
+	"context"
+	"errors"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -66,5 +68,47 @@ func TestQuickForPartition(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestForErrCtxCancellation: a context cancelled partway stops further
+// dispatch and surfaces ctx.Err(), on both the serial and parallel
+// paths.
+func TestForErrCtxCancellation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		err := ForErrCtx(ctx, workers, 10_000, func(i int) error {
+			if ran.Add(1) == 8 {
+				cancel()
+			}
+			return nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if n := ran.Load(); n >= 10_000 {
+			t.Fatalf("workers=%d: cancellation did not stop dispatch (ran %d)", workers, n)
+		}
+	}
+}
+
+// TestForErrCtxNilAndBodyError: nil ctx degrades to ForErrN, and a body
+// error still wins over a later cancellation check.
+func TestForErrCtxNilAndBodyError(t *testing.T) {
+	boom := errors.New("boom")
+	if err := ForErrCtx(nil, 2, 100, func(i int) error {
+		if i == 3 {
+			return boom
+		}
+		return nil
+	}); !errors.Is(err, boom) {
+		t.Fatalf("nil ctx: err = %v, want boom", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := ForErrCtx(ctx, 2, 100, func(i int) error { return nil }); err != nil {
+		t.Fatalf("live ctx: err = %v", err)
 	}
 }

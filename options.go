@@ -1,0 +1,112 @@
+package crac
+
+import (
+	"repro/internal/gpusim"
+)
+
+// An Option configures a Session built by New, Restore, or RestoreFrom.
+// The zero configuration (no options) matches the paper's main setup: a
+// Tesla V100, the syscall fs switch, no compression, ASLR off, and the
+// parallel data path using every CPU.
+type Option func(*settings)
+
+// settings is the resolved option set. The deprecated Config shim
+// lowers onto the same struct, which is what makes the equivalence
+// between the two surfaces exact (see compat.go).
+type settings struct {
+	prop         gpusim.Properties
+	switcher     SwitcherKind
+	gzip         bool
+	gzipLevel    int
+	workers      int
+	shardSize    int
+	imageVersion int
+	aslr         bool
+	aslrSeed     int64
+
+	deviceArenaChunk  uint64
+	pinnedArenaChunk  uint64
+	managedArenaChunk uint64
+	growthMmaps       int
+
+	kernels *KernelRegistry
+}
+
+func resolve(opts []Option) settings {
+	var s settings
+	for _, o := range opts {
+		o(&s)
+	}
+	return s
+}
+
+// WithDevice selects the simulated device properties (default: Tesla
+// V100).
+func WithDevice(prop gpusim.Properties) Option {
+	return func(s *settings) { s.prop = prop }
+}
+
+// WithSwitcher selects the fs-register switch mechanism of the
+// upper→lower trampoline (default: SwitchSyscall, the unpatched-kernel
+// configuration of the paper's main experiments).
+func WithSwitcher(k SwitcherKind) Option {
+	return func(s *settings) { s.switcher = k }
+}
+
+// WithGzip enables per-shard gzip compression of checkpoint images at
+// the given compress/gzip level (gzip.BestSpeed..gzip.BestCompression;
+// 0 selects gzip.DefaultCompression). Each shard compresses
+// independently, so higher levels still scale across WithWorkers.
+func WithGzip(level int) Option {
+	return func(s *settings) { s.gzip, s.gzipLevel = true, level }
+}
+
+// WithWorkers bounds the checkpoint/restart data-path fan-out (image
+// write pipeline, active-malloc drain, region/memory refill): n<=0 uses
+// all CPUs, n==1 forces the serial reference path, which produces
+// byte-identical images.
+func WithWorkers(n int) Option {
+	return func(s *settings) { s.workers = n }
+}
+
+// WithShardSize overrides the v2 image shard granularity in bytes
+// (0 = the format default).
+func WithShardSize(bytes int) Option {
+	return func(s *settings) { s.shardSize = bytes }
+}
+
+// WithImageVersion pins the written image format: 2 (or 0) for the
+// chunked parallel layout, 1 for the legacy serial layout. Readers
+// accept both regardless.
+func WithImageVersion(v int) Option {
+	return func(s *settings) { s.imageVersion = v }
+}
+
+// WithASLR enables address-space randomization with the given seed.
+// CRAC requires ASLR off (the default); enabling it demonstrates the
+// replay-mismatch failure of paper Section 3.2.4 (see
+// ErrReplayMismatch).
+func WithASLR(seed int64) Option {
+	return func(s *settings) { s.aslr, s.aslrSeed = true, seed }
+}
+
+// WithArenaChunks tunes the lower-half arena growth chunk sizes, passed
+// through to the CUDA library (0 keeps each default).
+func WithArenaChunks(device, pinned, managed uint64) Option {
+	return func(s *settings) {
+		s.deviceArenaChunk, s.pinnedArenaChunk, s.managedArenaChunk = device, pinned, managed
+	}
+}
+
+// WithGrowthMmaps tunes how many growth mmaps the arenas may issue.
+func WithGrowthMmaps(n int) Option {
+	return func(s *settings) { s.growthMmaps = n }
+}
+
+// WithKernels registers the application's kernel tables on the new
+// session, making module kernels resolvable during log replay in a
+// process that never executed the original RegisterFunction calls.
+// Required for cross-process Restore / RestoreFrom; harmless elsewhere.
+func WithKernels(reg *KernelRegistry) Option {
+	return func(s *settings) { s.kernels = reg.clone() }
+}

@@ -1,0 +1,218 @@
+package crac
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/crt"
+)
+
+// runFixedWorkload performs an identical, deterministic CUDA workload
+// on a session, so two equally-configured sessions produce
+// byte-identical checkpoint images. Kernel registration happens in a
+// fixed order (unlike setupVecAdd's map iteration, whose random order
+// would legitimately reorder the call log between sessions).
+func runFixedWorkload(t *testing.T, s *Session) {
+	t.Helper()
+	rt := s.Runtime()
+	const n = 4096
+	fat, err := rt.RegisterFatBinary("vectest")
+	if err != nil {
+		t.Fatalf("RegisterFatBinary: %v", err)
+	}
+	for _, name := range []string{"scale", "vecAdd"} {
+		if err := rt.RegisterFunction(fat, name, vecAddKernels[name]); err != nil {
+			t.Fatalf("RegisterFunction(%s): %v", name, err)
+		}
+	}
+	var da, db, dc uint64
+	for _, p := range []*uint64{&da, &db, &dc} {
+		if *p, err = rt.Malloc(n * 4); err != nil {
+			t.Fatalf("Malloc: %v", err)
+		}
+	}
+	// An upper-half heap allocation, so the image carries at least one
+	// region in addition to the plugin sections.
+	if _, err := rt.AppAlloc(n * 4); err != nil {
+		t.Fatalf("AppAlloc: %v", err)
+	}
+	cfg := crt.LaunchConfig{Grid: crt.Dim3{X: n / 256}, Block: crt.Dim3{X: 256}}
+	if err := rt.LaunchKernel(fat, "vecAdd", cfg, crt.DefaultStream, da, db, dc, n); err != nil {
+		t.Fatalf("LaunchKernel: %v", err)
+	}
+	if err := rt.DeviceSynchronize(); err != nil {
+		t.Fatalf("DeviceSynchronize: %v", err)
+	}
+}
+
+// TestConfigShimEquivalence proves the deprecated Config/NewSession
+// shim and the functional-option surface configure identical sessions:
+// the same workload checkpoints to byte-identical images under both.
+func TestConfigShimEquivalence(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		opts []Option
+	}{
+		{
+			name: "defaults",
+			cfg:  Config{},
+			opts: nil,
+		},
+		{
+			name: "tuned-data-path",
+			cfg: Config{
+				GzipImage:           true,
+				GzipLevel:           gzip.BestSpeed,
+				CheckpointWorkers:   2,
+				CheckpointShardSize: 64 << 10,
+			},
+			opts: []Option{WithGzip(gzip.BestSpeed), WithWorkers(2), WithShardSize(64 << 10)},
+		},
+		{
+			name: "fsgsbase-switch",
+			cfg:  Config{Switch: SwitchFSGSBase},
+			opts: []Option{WithSwitcher(SwitchFSGSBase)},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			legacy, err := NewSession(tc.cfg)
+			if err != nil {
+				t.Fatalf("NewSession: %v", err)
+			}
+			defer legacy.Close()
+			modern, err := New(tc.opts...)
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			defer modern.Close()
+
+			runFixedWorkload(t, legacy)
+			runFixedWorkload(t, modern)
+
+			var a, b bytes.Buffer
+			if _, err := legacy.Checkpoint(context.Background(), &a); err != nil {
+				t.Fatalf("legacy Checkpoint: %v", err)
+			}
+			if _, err := modern.Checkpoint(context.Background(), &b); err != nil {
+				t.Fatalf("modern Checkpoint: %v", err)
+			}
+			if !bytes.Equal(a.Bytes(), b.Bytes()) {
+				t.Fatalf("Config shim and options produced different images (%d vs %d bytes)",
+					a.Len(), b.Len())
+			}
+		})
+	}
+}
+
+// TestCloseIdempotent covers the double-destroy bug: a second Close
+// must be a no-op, and operations after Close report ErrSessionClosed.
+func TestCloseIdempotent(t *testing.T) {
+	s, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s.Close() // must not double-destroy
+	if _, err := s.Checkpoint(context.Background(), &bytes.Buffer{}); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("Checkpoint after Close = %v, want ErrSessionClosed", err)
+	}
+	if err := s.Quiesce(); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("Quiesce after Close = %v, want ErrSessionClosed", err)
+	}
+	if s.Library() != nil || s.Space() == nil {
+		// Space survives (it is just memory); the lower half does not.
+		t.Fatalf("Close left lib=%v", s.Library())
+	}
+}
+
+// TestCloseAfterFailedRestart covers the second half of the
+// double-destroy bug: a restart that fails after tearing down the old
+// lower half leaves the session closed, and Close must not re-destroy
+// the already-destroyed objects.
+func TestCloseAfterFailedRestart(t *testing.T) {
+	s, err := New(WithASLR(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Runtime().Malloc(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	var img bytes.Buffer
+	if _, err := s.Checkpoint(context.Background(), &img); err != nil {
+		t.Fatal(err)
+	}
+	// With ASLR on, the fresh lower half lands elsewhere and replay
+	// detects the mismatch — after the old lower half is already gone.
+	err = s.Restart(context.Background(), bytes.NewReader(img.Bytes()))
+	if err == nil {
+		t.Skip("ASLR layout happened to match; cannot exercise the failure path")
+	}
+	if !errors.Is(err, ErrReplayMismatch) {
+		t.Fatalf("Restart = %v, want ErrReplayMismatch", err)
+	}
+	// The session is closed now, not pointing at destroyed objects.
+	if _, err := s.Checkpoint(context.Background(), &bytes.Buffer{}); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("Checkpoint after failed restart = %v, want ErrSessionClosed", err)
+	}
+	// A second restart attempt also reports closed rather than
+	// double-destroying.
+	if err := s.Restart(context.Background(), bytes.NewReader(img.Bytes())); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("second Restart = %v, want ErrSessionClosed", err)
+	}
+	s.Close() // must be a no-op, not a double-destroy
+}
+
+// TestCheckpointFileAtomic proves the deprecated CheckpointFile shim
+// inherits the FileStore atomic-write path: a failing checkpoint leaves
+// no partial image on disk.
+func TestCheckpointFileAtomic(t *testing.T) {
+	s, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close() // forces the checkpoint to fail after the temp file opens
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.img")
+	if _, _, err := s.CheckpointFile(path); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("CheckpointFile on closed session = %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("failed CheckpointFile left %s behind", path)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 0 {
+		t.Fatalf("failed CheckpointFile left temp files: %v", entries)
+	}
+}
+
+// TestCheckpointFileRoundTrip keeps the shim honest end-to-end.
+func TestCheckpointFileRoundTrip(t *testing.T) {
+	s, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	runFixedWorkload(t, s)
+	path := filepath.Join(t.TempDir(), "ckpt.img")
+	size, st, err := s.CheckpointFile(path)
+	if err != nil {
+		t.Fatalf("CheckpointFile: %v", err)
+	}
+	if size <= 0 || st.Regions == 0 {
+		t.Fatalf("CheckpointFile size=%d stats=%+v", size, st)
+	}
+	if err := s.RestartFile(path); err != nil {
+		t.Fatalf("RestartFile: %v", err)
+	}
+	if s.Generation() != 1 {
+		t.Fatalf("Generation = %d, want 1", s.Generation())
+	}
+}

@@ -1,9 +1,9 @@
 package crac
 
 import (
+	"context"
 	"fmt"
 	"io"
-	"os"
 	"sync"
 	"sync/atomic"
 
@@ -14,10 +14,13 @@ import (
 	"repro/internal/cuda"
 	"repro/internal/dmtcp"
 	"repro/internal/fsgs"
-	"repro/internal/gpusim"
 	"repro/internal/loader"
 	"repro/internal/replaylog"
 )
+
+// Stats describes one checkpoint operation (regions, payload bytes, and
+// the wall-time split between image writing and plugin hooks).
+type Stats = dmtcp.Stats
 
 // SwitcherKind selects the fs-register switching mechanism used by the
 // upper→lower trampoline (paper Section 4.4.5).
@@ -48,47 +51,14 @@ func (k SwitcherKind) newSwitcher() fsgs.Switcher {
 	}
 }
 
-// Config configures a Session.
-type Config struct {
-	// Prop selects the simulated device; zero value = Tesla V100.
-	Prop gpusim.Properties
-	// Switch selects the fs-register switch mechanism.
-	Switch SwitcherKind
-	// GzipImage compresses checkpoint images. The paper's experiments
-	// disable compression; so does the default.
-	GzipImage bool
-	// GzipLevel selects the compression level when GzipImage is on
-	// (gzip.BestSpeed..gzip.BestCompression); 0 = default level. Each
-	// shard compresses independently, so higher levels still scale
-	// across CheckpointWorkers.
-	GzipLevel int
-	// CheckpointWorkers bounds the checkpoint/restart data-path fan-out
-	// (image write pipeline, active-malloc drain, region/memory
-	// refill): <=0 uses all CPUs, 1 forces the serial reference path.
-	CheckpointWorkers int
-	// CheckpointShardSize overrides the v2 image shard granularity
-	// (bytes); 0 = dmtcp.DefaultShardSize.
-	CheckpointShardSize int
-	// ASLR enables address-space randomization. CRAC requires it off
-	// (the default); enabling it demonstrates the replay-mismatch
-	// failure of Section 3.2.4.
-	ASLR     bool
-	ASLRSeed int64
-	// Arena tuning, passed through to the CUDA library.
-	DeviceArenaChunk  uint64
-	PinnedArenaChunk  uint64
-	ManagedArenaChunk uint64
-	GrowthMmaps       int
-}
-
-func (c Config) libConfig(space *addrspace.Space) cuda.Config {
+func (s settings) libConfig(space *addrspace.Space) cuda.Config {
 	return cuda.Config{
-		Prop:              c.Prop,
+		Prop:              s.prop,
 		Space:             space,
-		DeviceArenaChunk:  c.DeviceArenaChunk,
-		PinnedArenaChunk:  c.PinnedArenaChunk,
-		ManagedArenaChunk: c.ManagedArenaChunk,
-		GrowthMmaps:       c.GrowthMmaps,
+		DeviceArenaChunk:  s.deviceArenaChunk,
+		PinnedArenaChunk:  s.pinnedArenaChunk,
+		ManagedArenaChunk: s.managedArenaChunk,
+		GrowthMmaps:       s.growthMmaps,
 	}
 }
 
@@ -97,7 +67,7 @@ func (c Config) libConfig(space *addrspace.Space) cuda.Config {
 // (application) and a disposable lower half (helper program + active
 // CUDA library), per Figure 1 of the paper.
 type Session struct {
-	cfg Config
+	cfg settings
 
 	mu         sync.Mutex
 	space      *addrspace.Space
@@ -111,7 +81,7 @@ type Session struct {
 
 // buildLowerHalf loads a fresh helper program and CUDA library into
 // space, returning the library and the published entry-point table.
-func buildLowerHalf(cfg Config, space *addrspace.Space) (*loader.Program, *cuda.Library, cracrt.EntryTable, error) {
+func buildLowerHalf(cfg settings, space *addrspace.Space) (*loader.Program, *cuda.Library, cracrt.EntryTable, error) {
 	helper, err := loader.NewLower(space).Load(loader.HelperSpec(cracrt.Symbols))
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("crac: loading helper: %w", err)
@@ -138,32 +108,44 @@ func buildLowerHalf(cfg Config, space *addrspace.Space) (*loader.Program, *cuda.
 // layout differently, as real ASLR does across exec().
 var aslrIncarnation atomic.Uint64
 
-func newSpace(cfg Config) *addrspace.Space {
+func newSpace(cfg settings) *addrspace.Space {
 	s := addrspace.New()
-	if cfg.ASLR {
-		s.SetASLR(true, cfg.ASLRSeed+int64(aslrIncarnation.Add(1))*0x9e3779b9)
+	if cfg.aslr {
+		s.SetASLR(true, cfg.aslrSeed+int64(aslrIncarnation.Add(1))*0x9e3779b9)
 	}
 	return s
 }
 
-// NewSession launches a CRAC session: it creates the process address
-// space, loads the lower-half helper (publishing the CUDA entry-point
-// table), initializes the CUDA library, and wires the trampoline runtime
-// and the checkpoint engine.
-func NewSession(cfg Config) (*Session, error) {
+// New launches a CRAC session: it creates the process address space,
+// loads the lower-half helper (publishing the CUDA entry-point table),
+// initializes the CUDA library, and wires the trampoline runtime and
+// the checkpoint engine. With no options the session matches the
+// paper's main configuration (Tesla V100, syscall fs switch, no
+// compression, ASLR off).
+func New(opts ...Option) (*Session, error) {
+	return newSession(resolve(opts))
+}
+
+func newSession(cfg settings) (*Session, error) {
 	space := newSpace(cfg)
 	helper, lib, entries, err := buildLowerHalf(cfg, space)
 	if err != nil {
 		return nil, err
 	}
-	rt := cracrt.New(lib, entries, cfg.Switch.newSwitcher())
+	rt := cracrt.New(lib, entries, cfg.switcher.newSwitcher())
+	if cfg.kernels != nil {
+		for module, funcs := range cfg.kernels.modules {
+			rt.RegisterKernelTable(module, funcs)
+		}
+	}
 	plugin := cracplugin.New(rt)
-	plugin.Workers = cfg.CheckpointWorkers
+	plugin.Workers = cfg.workers
 	engine := dmtcp.NewEngine()
-	engine.Gzip = cfg.GzipImage
-	engine.GzipLevel = cfg.GzipLevel
-	engine.Workers = cfg.CheckpointWorkers
-	engine.ShardSize = cfg.CheckpointShardSize
+	engine.Gzip = cfg.gzip
+	engine.GzipLevel = cfg.gzipLevel
+	engine.Workers = cfg.workers
+	engine.ShardSize = cfg.shardSize
+	engine.ImageVersion = cfg.imageVersion
 	engine.Register(plugin)
 	return &Session{
 		cfg:    cfg,
@@ -184,14 +166,17 @@ func (s *Session) Runtime() crt.Runtime { return s.rt }
 // and kernel-table registration for cross-process restore.
 func (s *Session) CRACRuntime() *cracrt.Runtime { return s.rt }
 
-// Space returns the session's current address space.
+// Space returns the session's current address space. Unlike the lower
+// half it survives Close (it is plain memory); use Library() == nil to
+// detect a closed session.
 func (s *Session) Space() *addrspace.Space {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.space
 }
 
-// Library returns the current lower-half CUDA library.
+// Library returns the current lower-half CUDA library (nil once closed
+// or after a failed restart).
 func (s *Session) Library() *cuda.Library {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -213,32 +198,34 @@ func (s *Session) RootBlob() []byte { return s.plugin.RootBlob() }
 
 // Checkpoint drains the device and writes a checkpoint image to w. The
 // session keeps running afterwards (DMTCP "checkpoint and continue").
-func (s *Session) Checkpoint(w io.Writer) (dmtcp.Stats, error) {
+// Cancelling ctx aborts the shard pipeline mid-image and returns an
+// error matching both ErrCancelled and the context's own error; the
+// session remains fully usable, but whatever bytes already reached w
+// are not a valid image (checkpoint through a Store for all-or-nothing
+// semantics).
+func (s *Session) Checkpoint(ctx context.Context, w io.Writer) (Stats, error) {
 	s.mu.Lock()
 	space := s.space
+	closed := s.lib == nil
 	s.mu.Unlock()
-	return s.engine.Checkpoint(w, space)
+	if closed {
+		return Stats{}, ErrSessionClosed
+	}
+	st, err := s.engine.Checkpoint(ctx, w, space)
+	return st, wrapCancelled(err)
 }
 
-// CheckpointFile checkpoints to a file and returns its size.
-func (s *Session) CheckpointFile(path string) (int64, dmtcp.Stats, error) {
-	f, err := os.Create(path)
-	if err != nil {
-		return 0, dmtcp.Stats{}, err
-	}
-	st, err := s.Checkpoint(f)
-	if err != nil {
-		f.Close()
-		return 0, st, err
-	}
-	if err := f.Close(); err != nil {
-		return 0, st, err
-	}
-	fi, err := os.Stat(path)
-	if err != nil {
-		return 0, st, err
-	}
-	return fi.Size(), st, nil
+// CheckpointTo checkpoints into a Store under name. The Put is atomic:
+// a failed or cancelled checkpoint leaves no image (and no partial
+// file) behind.
+func (s *Session) CheckpointTo(ctx context.Context, store Store, name string) (Stats, error) {
+	var st Stats
+	err := store.Put(ctx, name, func(w io.Writer) error {
+		var cerr error
+		st, cerr = s.Checkpoint(ctx, w)
+		return cerr
+	})
+	return st, wrapCancelled(err)
 }
 
 // Restart simulates killing the process and restarting it from the image
@@ -249,37 +236,56 @@ func (s *Session) CheckpointFile(path string) (int64, dmtcp.Stats, error) {
 // its original address; and the saved memory of active mallocs is
 // refilled. The application continues through the same Runtime value,
 // its virtual handles transparently re-mapped.
-func (s *Session) Restart(r io.Reader) error {
-	img, err := dmtcp.ReadImage(r)
+//
+// Restart is destructive: once the old lower half is torn down, an
+// error (including cancellation) leaves the session closed — only a
+// fresh Restore can revive the image.
+func (s *Session) Restart(ctx context.Context, r io.Reader) error {
+	img, err := OpenImage(r)
 	if err != nil {
 		return err
 	}
-	return s.restartFromImage(img)
+	return s.RestartImage(ctx, img)
 }
 
-// RestartFile restarts from an image file.
-func (s *Session) RestartFile(path string) error {
-	f, err := os.Open(path)
+// RestartImage restarts from an already-opened image.
+func (s *Session) RestartImage(ctx context.Context, img *Image) error {
+	return wrapCancelled(s.restartFromImage(ctx, img.img))
+}
+
+// RestartFrom restarts from the named image in a Store.
+func (s *Session) RestartFrom(ctx context.Context, store Store, name string) error {
+	rc, err := store.Get(ctx, name)
 	if err != nil {
-		return err
+		return wrapCancelled(err)
 	}
-	defer f.Close()
-	return s.Restart(f)
+	defer rc.Close()
+	return s.Restart(ctx, rc)
 }
 
-func (s *Session) restartFromImage(img *dmtcp.Image) error {
+func (s *Session) restartFromImage(ctx context.Context, img *dmtcp.Image) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	logBytes, ok := img.Sections.Get(cracplugin.SectionLog)
 	if !ok {
-		return fmt.Errorf("crac: image has no %s section", cracplugin.SectionLog)
+		return fmt.Errorf("%w: image has no %s section", ErrBadImage, cracplugin.SectionLog)
 	}
 	log, err := replaylog.DecodeBytes(logBytes)
 	if err != nil {
-		return fmt.Errorf("crac: decoding image log: %w", err)
+		return fmt.Errorf("%w: decoding image log: %v", ErrBadImage, err)
 	}
 
 	s.mu.Lock()
 	oldLib, oldHelper := s.lib, s.helper
+	// The lower half is about to die: clear the pointers first so a
+	// failure below (or a concurrent Close) can never tear the same
+	// objects down twice.
+	s.lib, s.helper = nil, nil
 	s.mu.Unlock()
+	if oldLib == nil {
+		return ErrSessionClosed
+	}
 
 	// The old process dies: tear down its device and lower half.
 	oldLib.Destroy()
@@ -292,24 +298,23 @@ func (s *Session) restartFromImage(img *dmtcp.Image) error {
 	if err != nil {
 		return err
 	}
-	// DMTCP restores the upper-half memory first...
-	if err := dmtcp.RestoreRegionsN(img, space, s.cfg.CheckpointWorkers); err != nil {
+	abort := func(err error) error {
 		lib.Destroy()
 		helper.Unload()
 		return err
+	}
+	// DMTCP restores the upper-half memory first...
+	if err := dmtcp.RestoreRegionsN(ctx, img, space, s.cfg.workers); err != nil {
+		return abort(err)
 	}
 	// ...then the CRAC plugin replays the log into the fresh library,
 	// re-creating allocations/streams/events/fat binaries...
 	if err := s.rt.Rebind(lib, entries, log); err != nil {
-		lib.Destroy()
-		helper.Unload()
-		return err
+		return abort(err)
 	}
 	// ...and refills the drained device/pinned/managed memory.
-	if err := s.engine.RunRestartHooks(img); err != nil {
-		lib.Destroy()
-		helper.Unload()
-		return err
+	if err := s.engine.RunRestartHooks(ctx, img); err != nil {
+		return abort(err)
 	}
 
 	s.mu.Lock()
@@ -320,42 +325,48 @@ func (s *Session) restartFromImage(img *dmtcp.Image) error {
 }
 
 // Restore builds a brand-new session (a new process) from a checkpoint
-// image — the cross-process restart path (cracrun writes an image; a later process restores it).
-// kernelTables resolves kernel names to functions, standing in for the
-// device code in the restored application's text segment; workloads
-// export their tables for this purpose.
-func Restore(r io.Reader, cfg Config, kernelTables map[string]map[string]cuda.Kernel) (*Session, error) {
-	s, err := NewSession(cfg)
+// image — the cross-process restart path (cracrun writes an image; a
+// later process restores it). Pass WithKernels so replay can resolve
+// kernel names in the restored process, standing in for the device code
+// in its text segment.
+func Restore(ctx context.Context, r io.Reader, opts ...Option) (*Session, error) {
+	img, err := OpenImage(r)
 	if err != nil {
 		return nil, err
 	}
-	for module, funcs := range kernelTables {
-		s.rt.RegisterKernelTable(module, funcs)
-	}
-	img, err := dmtcp.ReadImage(r)
+	return RestoreImage(ctx, img, opts...)
+}
+
+// RestoreImage builds a new session from an already-opened image.
+func RestoreImage(ctx context.Context, img *Image, opts ...Option) (*Session, error) {
+	s, err := New(opts...)
 	if err != nil {
 		return nil, err
 	}
-	if err := s.restartFromImage(img); err != nil {
+	if err := s.RestartImage(ctx, img); err != nil {
+		s.Close()
 		return nil, err
 	}
 	return s, nil
 }
 
-// RestoreFile restores a new session from an image file.
-func RestoreFile(path string, cfg Config, kernelTables map[string]map[string]cuda.Kernel) (*Session, error) {
-	f, err := os.Open(path)
+// RestoreFrom builds a new session from the named image in a Store.
+func RestoreFrom(ctx context.Context, store Store, name string, opts ...Option) (*Session, error) {
+	rc, err := store.Get(ctx, name)
 	if err != nil {
-		return nil, err
+		return nil, wrapCancelled(err)
 	}
-	defer f.Close()
-	return Restore(f, cfg, kernelTables)
+	defer rc.Close()
+	return Restore(ctx, rc, opts...)
 }
 
-// Close tears the session down.
+// Close tears the session down. It is idempotent: a second Close (or a
+// Close after a failed restart already tore the lower half down) is a
+// no-op.
 func (s *Session) Close() {
 	s.mu.Lock()
 	lib, helper := s.lib, s.helper
+	s.lib, s.helper = nil, nil
 	s.mu.Unlock()
 	if lib != nil {
 		lib.Destroy()
@@ -367,12 +378,16 @@ func (s *Session) Close() {
 
 // Quiesce implements dmtcp.Member for coordinated multi-rank checkpoints.
 func (s *Session) Quiesce() error {
-	return s.Library().DeviceSynchronize()
+	lib := s.Library()
+	if lib == nil {
+		return ErrSessionClosed
+	}
+	return lib.DeviceSynchronize()
 }
 
 // WriteCheckpoint implements dmtcp.Member.
 func (s *Session) WriteCheckpoint(w io.Writer) error {
-	_, err := s.Checkpoint(w)
+	_, err := s.Checkpoint(context.Background(), w)
 	return err
 }
 
@@ -383,7 +398,8 @@ func (s *Session) Resume() error { return nil }
 // and CUDA library, bound directly (no trampoline, no logging, no
 // checkpoint support). This is the "native" configuration of the paper's
 // overhead measurements.
-func NewNative(cfg Config) (*crt.Native, error) {
+func NewNative(opts ...Option) (*crt.Native, error) {
+	cfg := resolve(opts)
 	space := newSpace(cfg)
 	lib, err := cuda.NewLibrary(cfg.libConfig(space))
 	if err != nil {

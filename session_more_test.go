@@ -2,6 +2,7 @@ package crac
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"os"
 	"path/filepath"
@@ -29,10 +30,10 @@ func TestMultipleCheckpointRestartGenerations(t *testing.T) {
 			t.Fatalf("gen %d launch: %v", gen, err)
 		}
 		var img bytes.Buffer
-		if _, err := s.Checkpoint(&img); err != nil {
+		if _, err := s.Checkpoint(context.Background(), &img); err != nil {
 			t.Fatalf("gen %d checkpoint: %v", gen, err)
 		}
-		if err := s.Restart(bytes.NewReader(img.Bytes())); err != nil {
+		if err := s.Restart(context.Background(), bytes.NewReader(img.Bytes())); err != nil {
 			t.Fatalf("gen %d restart: %v", gen, err)
 		}
 		if s.Generation() != gen {
@@ -64,21 +65,21 @@ func TestRestartFromCorruptedImageFails(t *testing.T) {
 		t.Fatal(err)
 	}
 	var img bytes.Buffer
-	if _, err := s.Checkpoint(&img); err != nil {
+	if _, err := s.Checkpoint(context.Background(), &img); err != nil {
 		t.Fatal(err)
 	}
 	// Truncation anywhere in the image must be detected, never silently
 	// restored.
 	b := img.Bytes()
 	for _, cut := range []int{4, len(b) / 2, len(b) - 1} {
-		if err := s.Restart(bytes.NewReader(b[:cut])); err == nil {
+		if err := s.Restart(context.Background(), bytes.NewReader(b[:cut])); err == nil {
 			t.Fatalf("restart from %d-byte prefix succeeded", cut)
 		}
 	}
 	// Bit-flip in the magic.
 	bad := append([]byte(nil), b...)
 	bad[0] ^= 0xFF
-	if err := s.Restart(bytes.NewReader(bad)); err == nil {
+	if err := s.Restart(context.Background(), bytes.NewReader(bad)); err == nil {
 		t.Fatal("restart from bad magic succeeded")
 	}
 	// The session is still usable after rejected restarts (the old lower
@@ -195,7 +196,7 @@ func TestLowerHalfExcludedFromImage(t *testing.T) {
 		t.Fatal(err)
 	}
 	var img bytes.Buffer
-	if _, err := s.Checkpoint(&img); err != nil {
+	if _, err := s.Checkpoint(context.Background(), &img); err != nil {
 		t.Fatal(err)
 	}
 	parsed, err := dmtcp.ReadImage(bytes.NewReader(img.Bytes()))
@@ -227,7 +228,7 @@ func TestSwitcherKinds(t *testing.T) {
 func checkpointToBuffer(t *testing.T, s *Session) *bytes.Reader {
 	t.Helper()
 	var img bytes.Buffer
-	if _, err := s.Checkpoint(&img); err != nil {
+	if _, err := s.Checkpoint(context.Background(), &img); err != nil {
 		t.Fatal(err)
 	}
 	return bytes.NewReader(img.Bytes())

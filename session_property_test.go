@@ -2,6 +2,7 @@ package crac
 
 import (
 	"bytes"
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -43,10 +44,10 @@ func TestQuickImageDeterminism(t *testing.T) {
 			}
 		}
 		var img1, img2 bytes.Buffer
-		if _, err := s.Checkpoint(&img1); err != nil {
+		if _, err := s.Checkpoint(context.Background(), &img1); err != nil {
 			return false
 		}
-		if _, err := s.Checkpoint(&img2); err != nil {
+		if _, err := s.Checkpoint(context.Background(), &img2); err != nil {
 			return false
 		}
 		return bytes.Equal(img1.Bytes(), img2.Bytes())
@@ -78,7 +79,7 @@ func TestQuickRestartIdempotent(t *testing.T) {
 			}
 		}
 		var img bytes.Buffer
-		if _, err := s.Checkpoint(&img); err != nil {
+		if _, err := s.Checkpoint(context.Background(), &img); err != nil {
 			return false
 		}
 		snapshot := func() []cActive {
@@ -92,11 +93,11 @@ func TestQuickRestartIdempotent(t *testing.T) {
 			}
 			return out
 		}
-		if err := s.Restart(bytes.NewReader(img.Bytes())); err != nil {
+		if err := s.Restart(context.Background(), bytes.NewReader(img.Bytes())); err != nil {
 			return false
 		}
 		first := snapshot()
-		if err := s.Restart(bytes.NewReader(img.Bytes())); err != nil {
+		if err := s.Restart(context.Background(), bytes.NewReader(img.Bytes())); err != nil {
 			return false
 		}
 		second := snapshot()

@@ -2,6 +2,7 @@ package crac
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"testing"
 
@@ -78,7 +79,7 @@ func TestSessionVectorAddNativeVsCRAC(t *testing.T) {
 		t.Run(mode, func(t *testing.T) {
 			var rt crt.Runtime
 			if mode == "native" {
-				n, err := NewNative(Config{})
+				n, err := NewNative()
 				if err != nil {
 					t.Fatalf("NewNative: %v", err)
 				}
@@ -134,7 +135,7 @@ func TestSessionCheckpointRestartTransparency(t *testing.T) {
 
 	// Checkpoint mid-computation (the drain happens inside).
 	var img bytes.Buffer
-	st, err := s.Checkpoint(&img)
+	st, err := s.Checkpoint(context.Background(), &img)
 	if err != nil {
 		t.Fatalf("Checkpoint: %v", err)
 	}
@@ -144,7 +145,7 @@ func TestSessionCheckpointRestartTransparency(t *testing.T) {
 
 	// Simulated failure: restart from the image. The old lower half is
 	// gone; the log replays against a fresh library.
-	if err := s.Restart(bytes.NewReader(img.Bytes())); err != nil {
+	if err := s.Restart(context.Background(), bytes.NewReader(img.Bytes())); err != nil {
 		t.Fatalf("Restart: %v", err)
 	}
 	if s.Generation() != 1 {
@@ -200,10 +201,10 @@ func TestSessionRestartPreservesStreamsAndEvents(t *testing.T) {
 	}
 
 	var img bytes.Buffer
-	if _, err := s.Checkpoint(&img); err != nil {
+	if _, err := s.Checkpoint(context.Background(), &img); err != nil {
 		t.Fatalf("Checkpoint: %v", err)
 	}
-	if err := s.Restart(bytes.NewReader(img.Bytes())); err != nil {
+	if err := s.Restart(context.Background(), bytes.NewReader(img.Bytes())); err != nil {
 		t.Fatalf("Restart: %v", err)
 	}
 
@@ -254,15 +255,15 @@ func TestCrossProcessRestore(t *testing.T) {
 	s.SetRootBlob(root)
 
 	var img bytes.Buffer
-	if _, err := s.Checkpoint(&img); err != nil {
+	if _, err := s.Checkpoint(context.Background(), &img); err != nil {
 		t.Fatalf("Checkpoint: %v", err)
 	}
 	s.Close()
 
 	// A brand-new process restores from the image. It resolves kernels
 	// from its own text segment (the exported kernel table).
-	s2, err := Restore(bytes.NewReader(img.Bytes()), Config{},
-		map[string]map[string]cuda.Kernel{"vectest": vecAddKernels})
+	s2, err := Restore(context.Background(), bytes.NewReader(img.Bytes()),
+		WithKernels(NewKernelRegistry().AddTable("vectest", vecAddKernels)))
 	if err != nil {
 		t.Fatalf("Restore: %v", err)
 	}
@@ -304,10 +305,10 @@ func TestASLRBreaksReplayDeterminism(t *testing.T) {
 		t.Fatalf("Malloc: %v", err)
 	}
 	var img bytes.Buffer
-	if _, err := s.Checkpoint(&img); err != nil {
+	if _, err := s.Checkpoint(context.Background(), &img); err != nil {
 		t.Fatalf("Checkpoint: %v", err)
 	}
-	err = s.Restart(bytes.NewReader(img.Bytes()))
+	err = s.Restart(context.Background(), bytes.NewReader(img.Bytes()))
 	if err == nil {
 		t.Skip("ASLR happened to reproduce the layout; extremely unlikely but legal")
 	}
@@ -326,10 +327,10 @@ func TestGzipImageRoundTrip(t *testing.T) {
 	const n = 1024
 	_, _, _, dc, _ := setupVecAdd(t, rt, n)
 	var img bytes.Buffer
-	if _, err := s.Checkpoint(&img); err != nil {
+	if _, err := s.Checkpoint(context.Background(), &img); err != nil {
 		t.Fatalf("Checkpoint: %v", err)
 	}
-	if err := s.Restart(bytes.NewReader(img.Bytes())); err != nil {
+	if err := s.Restart(context.Background(), bytes.NewReader(img.Bytes())); err != nil {
 		t.Fatalf("Restart from gzip image: %v", err)
 	}
 	_ = dc

@@ -1,0 +1,360 @@
+package crac
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Store is a destination for named checkpoint images. Implementations
+// must make Put all-or-nothing: either the complete image becomes
+// visible under name, or nothing does — a checkpoint aborted halfway
+// (error or cancellation) must never leave a partial image behind.
+//
+// FileStore, DirStore, and MemStore are the built-in implementations;
+// remote or tiered storage plugs in through the same four methods.
+type Store interface {
+	// Put stores the image produced by write under name, atomically.
+	// write receives the destination; if it (or the commit) fails, the
+	// store is left as if Put was never called.
+	Put(ctx context.Context, name string, write func(io.Writer) error) error
+	// Get opens the named image for reading. A missing name reports
+	// ErrImageNotFound.
+	Get(ctx context.Context, name string) (io.ReadCloser, error)
+	// List returns the stored image names in lexical order.
+	List(ctx context.Context) ([]string, error)
+	// Delete removes the named image. Deleting a missing name reports
+	// ErrImageNotFound.
+	Delete(ctx context.Context, name string) error
+}
+
+// validateImageName rejects names that could escape a directory store
+// or collide with its temp files.
+func validateImageName(name string) error {
+	if name == "" || strings.ContainsAny(name, "/\\") || name == "." || name == ".." ||
+		strings.HasPrefix(name, ".") {
+		return fmt.Errorf("crac: invalid image name %q", name)
+	}
+	return nil
+}
+
+// atomicWriteFile writes through a temp file in dir and renames it to
+// dest on success; on any failure the temp file is removed and dest is
+// untouched. This is the atomic-write path shared by FileStore and
+// DirStore (and by the deprecated CheckpointFile shim).
+func atomicWriteFile(dir, dest string, write func(io.Writer) error) (err error) {
+	tmp, err := os.CreateTemp(dir, ".crac-put-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(name)
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(name, dest)
+}
+
+// FileStore holds at most one image, at a fixed file path — the
+// classic "checkpoint to this file" deployment. Whatever name is put
+// or asked for, the single path backs it; List reports the file's base
+// name while the image exists.
+type FileStore struct {
+	Path string
+}
+
+// NewFileStore returns a store backed by the single file at path.
+func NewFileStore(path string) *FileStore { return &FileStore{Path: path} }
+
+// Put implements Store with a temp-file+rename atomic write.
+func (s *FileStore) Put(ctx context.Context, name string, write func(io.Writer) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return atomicWriteFile(filepath.Dir(s.Path), s.Path, write)
+}
+
+// Get implements Store.
+func (s *FileStore) Get(ctx context.Context, name string) (io.ReadCloser, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	f, err := os.Open(s.Path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: %q (%s)", ErrImageNotFound, name, s.Path)
+		}
+		return nil, err
+	}
+	return f, nil
+}
+
+// List implements Store.
+func (s *FileStore) List(ctx context.Context) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if _, err := os.Stat(s.Path); err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	return []string{filepath.Base(s.Path)}, nil
+}
+
+// Delete implements Store.
+func (s *FileStore) Delete(ctx context.Context, name string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := os.Remove(s.Path); err != nil {
+		if os.IsNotExist(err) {
+			return fmt.Errorf("%w: %q (%s)", ErrImageNotFound, name, s.Path)
+		}
+		return err
+	}
+	return nil
+}
+
+// DirStore keeps one image file per name inside a directory — the
+// one-file-per-generation layout. Writes are atomic (temp+rename), and
+// an optional retention policy prunes the oldest images after each
+// successful Put.
+type DirStore struct {
+	// Dir is the backing directory.
+	Dir string
+	// Keep bounds how many images survive a Put: after a successful
+	// write, only the Keep most recent images (by modification time)
+	// are retained. Keep <= 0 retains everything. Retention is
+	// best-effort — it never fails an already-committed Put.
+	Keep int
+}
+
+const imageExt = ".img"
+
+// NewDirStore creates dir if needed and returns a store over it that
+// retains the keep most recent images (keep <= 0: all).
+func NewDirStore(dir string, keep int) (*DirStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &DirStore{Dir: dir, Keep: keep}, nil
+}
+
+func (s *DirStore) path(name string) string {
+	return filepath.Join(s.Dir, name+imageExt)
+}
+
+// Put implements Store: an atomic temp+rename write, then retention.
+// Once the rename commits, Put reports success — retention is
+// best-effort and a prune hiccup never turns a persisted checkpoint
+// into a reported failure.
+func (s *DirStore) Put(ctx context.Context, name string, write func(io.Writer) error) error {
+	if err := validateImageName(name); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := atomicWriteFile(s.Dir, s.path(name), write); err != nil {
+		return err
+	}
+	s.prune(name)
+	return nil
+}
+
+// prune applies the retention policy, never touching the image that was
+// just written. Best-effort: images it cannot list or remove are simply
+// retained until a later Put.
+func (s *DirStore) prune(justWritten string) {
+	if s.Keep <= 0 {
+		return
+	}
+	entries, err := os.ReadDir(s.Dir)
+	if err != nil {
+		return
+	}
+	type img struct {
+		name string
+		info fs.FileInfo
+	}
+	var imgs []img
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), imageExt) {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue // raced with a concurrent delete
+		}
+		imgs = append(imgs, img{name: strings.TrimSuffix(e.Name(), imageExt), info: info})
+	}
+	// Newest first; equal timestamps break on name so pruning is
+	// deterministic within one fast generation burst.
+	sort.Slice(imgs, func(i, j int) bool {
+		ti, tj := imgs[i].info.ModTime(), imgs[j].info.ModTime()
+		if !ti.Equal(tj) {
+			return ti.After(tj)
+		}
+		return imgs[i].name > imgs[j].name
+	})
+	for _, im := range imgs[min(s.Keep, len(imgs)):] {
+		if im.name == justWritten {
+			continue
+		}
+		os.Remove(s.path(im.name))
+	}
+}
+
+// Get implements Store.
+func (s *DirStore) Get(ctx context.Context, name string) (io.ReadCloser, error) {
+	if err := validateImageName(name); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	f, err := os.Open(s.path(name))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: %q in %s", ErrImageNotFound, name, s.Dir)
+		}
+		return nil, err
+	}
+	return f, nil
+}
+
+// List implements Store.
+func (s *DirStore) List(ctx context.Context) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(s.Dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), imageExt) {
+			continue
+		}
+		names = append(names, strings.TrimSuffix(e.Name(), imageExt))
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Delete implements Store.
+func (s *DirStore) Delete(ctx context.Context, name string) error {
+	if err := validateImageName(name); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := os.Remove(s.path(name)); err != nil {
+		if os.IsNotExist(err) {
+			return fmt.Errorf("%w: %q in %s", ErrImageNotFound, name, s.Dir)
+		}
+		return err
+	}
+	return nil
+}
+
+// MemStore keeps images in memory — tests, ephemeral checkpoints, and
+// the building block for remote-store write-through caches. Safe for
+// concurrent use.
+type MemStore struct {
+	mu sync.Mutex
+	m  map[string][]byte
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{m: make(map[string][]byte)} }
+
+// Put implements Store: the image is staged in a buffer and published
+// only if write succeeds, so a failed checkpoint leaves no trace.
+func (s *MemStore) Put(ctx context.Context, name string, write func(io.Writer) error) error {
+	if err := validateImageName(name); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := write(&buf); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if s.m == nil { // zero-value MemStore works, like the file stores
+		s.m = make(map[string][]byte)
+	}
+	s.m[name] = buf.Bytes()
+	s.mu.Unlock()
+	return nil
+}
+
+// Get implements Store.
+func (s *MemStore) Get(ctx context.Context, name string) (io.ReadCloser, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	b, ok := s.m[name]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrImageNotFound, name)
+	}
+	return io.NopCloser(bytes.NewReader(b)), nil
+}
+
+// List implements Store.
+func (s *MemStore) List(ctx context.Context) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.m))
+	for n := range s.m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Delete implements Store.
+func (s *MemStore) Delete(ctx context.Context, name string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.m[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrImageNotFound, name)
+	}
+	delete(s.m, name)
+	return nil
+}
+
+var (
+	_ Store = (*FileStore)(nil)
+	_ Store = (*DirStore)(nil)
+	_ Store = (*MemStore)(nil)
+)

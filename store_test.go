@@ -1,0 +1,223 @@
+package crac
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func storePutBytes(t *testing.T, s Store, name string, b []byte) {
+	t.Helper()
+	if err := s.Put(context.Background(), name, func(w io.Writer) error {
+		_, err := w.Write(b)
+		return err
+	}); err != nil {
+		t.Fatalf("Put(%s): %v", name, err)
+	}
+}
+
+func storeGetBytes(t *testing.T, s Store, name string) []byte {
+	t.Helper()
+	rc, err := s.Get(context.Background(), name)
+	if err != nil {
+		t.Fatalf("Get(%s): %v", name, err)
+	}
+	defer rc.Close()
+	b, err := io.ReadAll(rc)
+	if err != nil {
+		t.Fatalf("read %s: %v", name, err)
+	}
+	return b
+}
+
+// testEveryStore runs the same contract checks over all three built-in
+// stores.
+func testEveryStore(t *testing.T, mk func(t *testing.T) Store) {
+	ctx := context.Background()
+	t.Run("roundtrip", func(t *testing.T) {
+		s := mk(t)
+		storePutBytes(t, s, "gen1", []byte("image-one"))
+		if got := storeGetBytes(t, s, "gen1"); string(got) != "image-one" {
+			t.Fatalf("roundtrip = %q", got)
+		}
+	})
+	t.Run("overwrite", func(t *testing.T) {
+		s := mk(t)
+		storePutBytes(t, s, "gen1", []byte("old"))
+		storePutBytes(t, s, "gen1", []byte("new"))
+		if got := storeGetBytes(t, s, "gen1"); string(got) != "new" {
+			t.Fatalf("after overwrite = %q", got)
+		}
+	})
+	t.Run("missing", func(t *testing.T) {
+		s := mk(t)
+		if _, err := s.Get(ctx, "nope"); !errors.Is(err, ErrImageNotFound) {
+			t.Fatalf("Get missing = %v, want ErrImageNotFound", err)
+		}
+		if err := s.Delete(ctx, "nope"); !errors.Is(err, ErrImageNotFound) {
+			t.Fatalf("Delete missing = %v, want ErrImageNotFound", err)
+		}
+	})
+	t.Run("atomic-put-failure", func(t *testing.T) {
+		s := mk(t)
+		boom := errors.New("boom")
+		err := s.Put(ctx, "gen1", func(w io.Writer) error {
+			w.Write([]byte("partial bytes that must never become visible"))
+			return boom
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("Put error = %v, want boom", err)
+		}
+		if _, err := s.Get(ctx, "gen1"); !errors.Is(err, ErrImageNotFound) {
+			t.Fatalf("failed Put left an image behind: Get = %v", err)
+		}
+		names, err := s.List(ctx)
+		if err != nil || len(names) != 0 {
+			t.Fatalf("List after failed Put = %v, %v", names, err)
+		}
+	})
+	t.Run("cancelled-ctx", func(t *testing.T) {
+		s := mk(t)
+		cctx, cancel := context.WithCancel(ctx)
+		cancel()
+		if err := s.Put(cctx, "gen1", func(io.Writer) error { return nil }); !errors.Is(err, context.Canceled) {
+			t.Fatalf("Put with cancelled ctx = %v", err)
+		}
+	})
+	t.Run("delete", func(t *testing.T) {
+		s := mk(t)
+		storePutBytes(t, s, "gen1", []byte("x"))
+		if err := s.Delete(ctx, "gen1"); err != nil {
+			t.Fatalf("Delete: %v", err)
+		}
+		if _, err := s.Get(ctx, "gen1"); !errors.Is(err, ErrImageNotFound) {
+			t.Fatalf("Get after Delete = %v", err)
+		}
+	})
+}
+
+func TestMemStoreContract(t *testing.T) {
+	testEveryStore(t, func(t *testing.T) Store { return NewMemStore() })
+}
+
+func TestDirStoreContract(t *testing.T) {
+	testEveryStore(t, func(t *testing.T) Store {
+		s, err := NewDirStore(filepath.Join(t.TempDir(), "imgs"), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	})
+}
+
+func TestFileStoreRoundTrip(t *testing.T) {
+	// FileStore holds a single image at a fixed path, whatever the name.
+	ctx := context.Background()
+	path := filepath.Join(t.TempDir(), "ckpt.img")
+	s := NewFileStore(path)
+	storePutBytes(t, s, "anything", []byte("image"))
+	if got := storeGetBytes(t, s, "anything"); string(got) != "image" {
+		t.Fatalf("roundtrip = %q", got)
+	}
+	names, err := s.List(ctx)
+	if err != nil || len(names) != 1 || names[0] != "ckpt.img" {
+		t.Fatalf("List = %v, %v", names, err)
+	}
+	if err := s.Delete(ctx, "anything"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, err := s.Get(ctx, "anything"); !errors.Is(err, ErrImageNotFound) {
+		t.Fatalf("Get after Delete = %v", err)
+	}
+}
+
+func TestFileStoreAtomicFailure(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.img")
+	s := NewFileStore(path)
+	storePutBytes(t, s, "x", []byte("good image"))
+	boom := errors.New("boom")
+	err := s.Put(context.Background(), "x", func(w io.Writer) error {
+		w.Write([]byte("half an image"))
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Put = %v", err)
+	}
+	// The previous image survives untouched, and no temp files linger.
+	if got := storeGetBytes(t, s, "x"); string(got) != "good image" {
+		t.Fatalf("failed Put clobbered the image: %q", got)
+	}
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if e.Name() != "ckpt.img" {
+			t.Fatalf("leftover file %q after failed Put", e.Name())
+		}
+	}
+}
+
+func TestDirStoreRetention(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	s, err := NewDirStore(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		storePutBytes(t, s, fmt.Sprintf("gen%03d", i), []byte{byte(i)})
+		// Distinct mtimes so retention order is unambiguous on coarse
+		// filesystem clocks.
+		tm := time.Now().Add(time.Duration(i-6) * time.Second)
+		os.Chtimes(filepath.Join(dir, fmt.Sprintf("gen%03d.img", i)), tm, tm)
+	}
+	names, err := s.List(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"gen003", "gen004", "gen005"}
+	if len(names) != len(want) {
+		t.Fatalf("List after retention = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("List after retention = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestDirStoreRejectsHostileNames(t *testing.T) {
+	s, err := NewDirStore(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"", ".", "..", "a/b", `a\b`, ".hidden", "../escape"} {
+		if err := s.Put(context.Background(), name, func(io.Writer) error { return nil }); err == nil {
+			t.Fatalf("Put(%q) accepted a hostile name", name)
+		} else if !strings.Contains(err.Error(), "invalid image name") {
+			t.Fatalf("Put(%q) = %v, want invalid-name error", name, err)
+		}
+	}
+}
+
+func TestDirStoreListSorted(t *testing.T) {
+	s, err := NewDirStore(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		storePutBytes(t, s, n, []byte(n))
+	}
+	names, err := s.List(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 3 || names[0] != "alpha" || names[1] != "mid" || names[2] != "zeta" {
+		t.Fatalf("List = %v, want sorted", names)
+	}
+}

@@ -1,6 +1,7 @@
 package crac
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/crt"
@@ -79,7 +80,7 @@ func waitEventRig(t *testing.T, rt crt.Runtime) {
 
 func TestStreamWaitEventAcrossBindings(t *testing.T) {
 	t.Run("native", func(t *testing.T) {
-		rt, err := NewNative(Config{})
+		rt, err := NewNative()
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -103,7 +104,7 @@ func TestStreamWaitEventAcrossBindings(t *testing.T) {
 		waitEventRig(t, rt)
 	})
 	t.Run("traced", func(t *testing.T) {
-		rt, err := NewNative(Config{})
+		rt, err := NewNative()
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -125,7 +126,7 @@ func TestStreamWaitEventSurvivesRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	img := checkpointToBuffer(t, s)
-	if err := s.Restart(img); err != nil {
+	if err := s.Restart(context.Background(), img); err != nil {
 		t.Fatal(err)
 	}
 	waitEventRig(t, rt)
@@ -173,7 +174,7 @@ func TestMemGetInfo(t *testing.T) {
 	}
 	before, _, _ := rt.MemGetInfo()
 	img := checkpointToBuffer(t, s)
-	if err := s.Restart(img); err != nil {
+	if err := s.Restart(context.Background(), img); err != nil {
 		t.Fatal(err)
 	}
 	after, _, err := rt.MemGetInfo()
