@@ -325,6 +325,122 @@ func BenchmarkRestartParallel(b *testing.B) {
 	}
 }
 
+// countingStore measures image bytes flowing through Store.Put without
+// retaining them — the write-side cost of a checkpoint policy.
+type countingStore struct {
+	bytes int64
+	puts  int64
+}
+
+func (cs *countingStore) Put(ctx context.Context, name string, write func(io.Writer) error) error {
+	var w countingWriter
+	if err := write(&w); err != nil {
+		return err
+	}
+	cs.bytes += w.n
+	cs.puts++
+	return nil
+}
+func (cs *countingStore) Get(context.Context, string) (io.ReadCloser, error) {
+	return nil, crac.ErrImageNotFound
+}
+func (cs *countingStore) List(context.Context) ([]string, error) { return nil, nil }
+func (cs *countingStore) Delete(context.Context, string) error   { return nil }
+
+// BenchmarkCheckpointIncremental compares full v2 checkpoints against
+// the incremental v3 chain on a sparse-update workload: ~69 MiB of live
+// state (upper-half host buffers + device allocations + a managed
+// buffer) with well under 10% dirtied between checkpoints. The
+// imgMB/op metric is the average image size each policy writes per
+// checkpoint — the incremental chain is expected to write ≥5× fewer
+// payload bytes and finish proportionally faster.
+func BenchmarkCheckpointIncremental(b *testing.B) {
+	const (
+		hostBufs  = 16
+		devAllocs = 16
+		bufSize   = 2 << 20
+	)
+	for _, bc := range []struct {
+		name string
+		opts []crac.Option
+	}{
+		{"full-v2", nil},
+		// A bounded chain depth measures the steady state; an unbounded
+		// one would grow per-checkpoint lineage state with b.N.
+		{"incremental", []crac.Option{crac.WithIncremental(64)}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			opts := append([]crac.Option{crac.WithWorkers(0), crac.WithShardSize(256 << 10)}, bc.opts...)
+			s, err := crac.New(opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(s.Close)
+			rt := s.Runtime()
+			var host, dev []uint64
+			var total uint64
+			for i := 0; i < hostBufs; i++ {
+				h, err := rt.HostAlloc(bufSize)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := rt.Memset(h, byte(i+1), bufSize); err != nil {
+					b.Fatal(err)
+				}
+				host = append(host, h)
+				total += bufSize
+			}
+			for i := 0; i < devAllocs; i++ {
+				d, err := rt.Malloc(bufSize)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := rt.Memset(d, byte(0x21*i+3), bufSize); err != nil {
+					b.Fatal(err)
+				}
+				dev = append(dev, d)
+				total += bufSize
+			}
+			m, err := rt.MallocManaged(bufSize)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := rt.Memset(m, 0x7F, bufSize); err != nil {
+				b.Fatal(err)
+			}
+			total += bufSize
+
+			store := &countingStore{}
+			ctx := context.Background()
+			// The chain's base (and the full path's warm-up) stays out of
+			// the timed region: the steady state is what matters.
+			if _, err := s.CheckpointTo(ctx, store, "gen-base"); err != nil {
+				b.Fatal(err)
+			}
+			store.bytes, store.puts = 0, 0
+			b.SetBytes(int64(total))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Sparse update: 256 KiB of one host buffer, one 2 MiB
+				// device allocation — ~3% of the live state.
+				if err := rt.Memset(host[i%hostBufs]+4096, byte(i), 256<<10); err != nil {
+					b.Fatal(err)
+				}
+				if err := rt.Memset(dev[i%devAllocs], byte(i+1), bufSize); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := s.CheckpointTo(ctx, store, fmt.Sprintf("gen%d", i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if store.puts > 0 {
+				b.ReportMetric(float64(store.bytes)/float64(store.puts)/(1<<20), "imgMB/op")
+			}
+		})
+	}
+}
+
 // BenchmarkUVMFaultRoundTrip measures one host→device→host page
 // migration cycle through the pager.
 func BenchmarkUVMFaultRoundTrip(b *testing.B) {

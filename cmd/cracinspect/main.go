@@ -56,6 +56,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	info := img.Info()
 	fmt.Fprintf(stdout, "CRAC checkpoint image: %s\n", fs.Arg(0))
 	fmt.Fprintf(stdout, "  format: v%d, gzip=%v\n", info.Version, info.Gzip)
+	if info.Delta {
+		fmt.Fprintf(stdout, "  delta: depth %d, parent %q, %.1f%% dirty (%d of %d shards)\n",
+			info.DeltaDepth, info.Parent, 100*info.DirtyRatio, info.ShardsEmitted, info.ShardsTotal)
+		if !info.Materialized {
+			fmt.Fprintln(stdout, "  (payload not materialized: restore via the image's store to follow the chain)")
+		}
+	} else if info.Version >= 3 {
+		fmt.Fprintf(stdout, "  base image (chain root), %d shards\n", info.ShardsTotal)
+	}
 	fmt.Fprintf(stdout, "  upper-half regions: %d (%d bytes)\n", len(info.Regions), info.RegionBytes)
 	for _, r := range info.Regions {
 		fmt.Fprintf(stdout, "    %012x-%012x %8d  %s  %s\n", r.Start, r.Start+r.Len, r.Len, r.Prot, r.Label)

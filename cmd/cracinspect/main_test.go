@@ -108,3 +108,57 @@ func TestInspectErrors(t *testing.T) {
 		t.Fatalf("no args: exit=%d, want 2", code)
 	}
 }
+
+// TestInspectDeltaImage inspects a v3 base and a bare delta: the base
+// reports itself as a chain root; the delta reports its lineage, dirty
+// ratio, and unmaterialized payload.
+func TestInspectDeltaImage(t *testing.T) {
+	dir := t.TempDir()
+	store, err := crac.NewDirStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := crac.New(crac.WithIncremental(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rt := s.Runtime()
+	buf, err := rt.HostAlloc(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Memset(buf, 0xAB, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := s.CheckpointTo(ctx, store, "base"); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Memset(buf, 0xCD, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CheckpointTo(ctx, store, "delta"); err != nil {
+		t.Fatal(err)
+	}
+
+	code, out, errOut := runInspect(t, filepath.Join(dir, "base.img"))
+	if code != 0 {
+		t.Fatalf("base exit = %d, stderr:\n%s", code, errOut)
+	}
+	if !strings.Contains(out, "format: v3") || !strings.Contains(out, "base image (chain root)") {
+		t.Fatalf("base dump missing v3/base lines:\n%s", out)
+	}
+	code, out, errOut = runInspect(t, filepath.Join(dir, "delta.img"))
+	if code != 0 {
+		t.Fatalf("delta exit = %d, stderr:\n%s", code, errOut)
+	}
+	for _, want := range []string{
+		`delta: depth 1, parent "base"`,
+		"payload not materialized",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("delta dump missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -10,6 +10,7 @@
 //	cracrun -app Hotspot -mode crac -scale 0.5
 //	cracrun -app LULESH -mode crac -ckpt lulesh.img -ckpt-step 50
 //	cracrun -app Hotspot -mode crac -ckpt-dir ckpts/ -keep 3 -ckpt-step 2
+//	cracrun -app LULESH -ckpt-dir ckpts/ -incremental 8   # delta chain, base every 9th
 //	cracrun -app BFS -mode native
 //	cracrun -app UnifiedMemoryStreams -mode proxy-pipe   # CRUM-style baseline
 //	cracrun -app Hotspot -ckpt hs.img -timeout 30s       # deadline-bounded checkpoint
@@ -92,6 +93,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ckptStep = fs.Int("ckpt-step", 1, "hook step at which to checkpoint")
 		restart  = fs.Bool("restart", true, "restart from the image immediately after checkpointing")
 		timeout  = fs.Duration("timeout", 0, "checkpoint/restart deadline (0 = none)")
+		incr     = fs.Int("incremental", 0, "incremental checkpointing: up to N delta images per full base (requires -ckpt-dir; 0 = off)")
 		profile  = fs.Bool("profile", false, "print an nvprof-style per-API call summary")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -124,7 +126,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		prop = gpusim.QuadroK600()
 	}
 
-	runner, err := harness.NewRunner(mode, prop)
+	var sessionOpts []crac.Option
+	if *incr > 0 {
+		// A delta names its parent image, so the chain needs the
+		// one-file-per-generation store; a single fixed path would
+		// overwrite the parent the next delta depends on.
+		if *ckptDir == "" {
+			fmt.Fprintln(stderr, "cracrun: -incremental requires -ckpt-dir")
+			return 2
+		}
+		sessionOpts = append(sessionOpts, crac.WithIncremental(*incr))
+	}
+	runner, err := harness.NewRunner(mode, prop, sessionOpts...)
 	if err != nil {
 		fmt.Fprintln(stderr, "cracrun:", err)
 		return 1
@@ -136,12 +149,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "cracrun: -ckpt and -ckpt-dir are mutually exclusive")
 		return 2
 	}
+	var lastCkpt string
+	var store crac.Store
 	if *ckptPath != "" || *ckptDir != "" {
 		if runner.Session == nil {
 			fmt.Fprintln(stderr, "cracrun: -ckpt/-ckpt-dir require a crac mode")
 			return 2
 		}
-		var store crac.Store
 		if *ckptDir != "" {
 			store, err = crac.NewDirStore(*ckptDir, *keep)
 			if err != nil {
@@ -154,7 +168,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		step := 0
 		cfg.Hook = func(int) error {
 			step++
-			if step != *ckptStep {
+			if *incr > 0 {
+				// Incremental mode checkpoints repeatedly — every
+				// ckpt-step hook steps — growing a base+delta chain.
+				if *ckptStep <= 0 || step%*ckptStep != 0 {
+					return nil
+				}
+			} else if step != *ckptStep {
 				return nil
 			}
 			ctx := context.Background()
@@ -169,10 +189,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 			if err != nil {
 				return err
 			}
-			fmt.Fprintf(stdout, "checkpoint: %s (%d regions, %s payload) in %v\n",
-				name, st.Regions, harness.FmtBytes(st.RegionBytes+st.SectionBytes),
-				time.Since(t0).Round(time.Millisecond))
-			if *restart {
+			if st.Delta {
+				fmt.Fprintf(stdout, "checkpoint: %s delta (depth %d, %.1f%% dirty: %s of %s payload) in %v\n",
+					name, st.DeltaDepth, 100*st.DirtyRatio(),
+					harness.FmtBytes(st.PayloadWritten), harness.FmtBytes(st.PayloadTotal),
+					time.Since(t0).Round(time.Millisecond))
+			} else {
+				fmt.Fprintf(stdout, "checkpoint: %s (%d regions, %s payload) in %v\n",
+					name, st.Regions, harness.FmtBytes(st.RegionBytes+st.SectionBytes),
+					time.Since(t0).Round(time.Millisecond))
+			}
+			// In incremental mode a mid-run restart would break the chain
+			// (the next checkpoint becomes a base), so -restart instead
+			// restores the chain tip once, after the run completes.
+			if *restart && *incr == 0 {
 				t0 = time.Now()
 				if err := runner.Session.RestartFrom(ctx, store, name); err != nil {
 					return err
@@ -180,6 +210,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintf(stdout, "restart: completed in %v (generation %d)\n",
 					time.Since(t0).Round(time.Millisecond), runner.Session.Generation())
 			}
+			lastCkpt = name
 			return nil
 		}
 	}
@@ -194,6 +225,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintf(stderr, "cracrun: %s under %v: %v\n", app.Name, mode, err)
 		return 1
+	}
+	if *incr > 0 && *restart && lastCkpt != "" {
+		// Prove the chain tip restores: base + deltas materialize
+		// through the store, under the same deadline as any other
+		// checkpoint/restart operation.
+		ctx := context.Background()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
+		t0 := time.Now()
+		if err := runner.Session.RestartFrom(ctx, store, lastCkpt); err != nil {
+			fmt.Fprintf(stderr, "cracrun: restoring chain tip %s: %v\n", lastCkpt, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "restart: chain tip %s restored in %v (generation %d)\n",
+			lastCkpt, time.Since(t0).Round(time.Millisecond), runner.Session.Generation())
 	}
 	fmt.Fprintf(stdout, "%s under %v:\n", app.Name, mode)
 	fmt.Fprintf(stdout, "  runtime:    %v\n", res.Elapsed.Round(time.Millisecond))

@@ -90,3 +90,35 @@ func TestConflictingStoreFlagsAndHelp(t *testing.T) {
 		t.Fatalf("-h exit = %d, want 0", code)
 	}
 }
+
+// TestIncrementalChain runs a workload checkpointing every step into a
+// delta chain, then restores the chain tip at the end of the run.
+func TestIncrementalChain(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ckpts")
+	code, out, errOut := runCmd(t,
+		"-app", "Hotspot", "-mode", "crac", "-scale", "0.1",
+		"-ckpt-dir", dir, "-incremental", "8", "-ckpt-step", "1")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, errOut)
+	}
+	if !strings.Contains(out, "checkpoint: gen000 (") {
+		t.Fatalf("missing base checkpoint line:\n%s", out)
+	}
+	if !strings.Contains(out, "checkpoint: gen001 delta (depth 1") {
+		t.Fatalf("missing delta checkpoint line:\n%s", out)
+	}
+	if !strings.Contains(out, "restart: chain tip") {
+		t.Fatalf("missing chain-tip restart line:\n%s", out)
+	}
+	if !strings.Contains(out, "Hotspot under CRAC") {
+		t.Fatalf("missing result block:\n%s", out)
+	}
+}
+
+// TestIncrementalRequiresDirStore pins the flag validation.
+func TestIncrementalRequiresDirStore(t *testing.T) {
+	if code, _, errOut := runCmd(t, "-app", "Hotspot", "-ckpt", "x.img", "-incremental", "3"); code != 2 ||
+		!strings.Contains(errOut, "-incremental requires -ckpt-dir") {
+		t.Fatalf("exit=%d stderr=%q", code, errOut)
+	}
+}

@@ -60,6 +60,34 @@
 // names during replay, standing in for device code in the restored
 // application's text segment.
 //
+// # Incremental checkpoints
+//
+// WithIncremental turns repeated CheckpointTo calls into a delta
+// chain: a full v3 base image, then up to n deltas carrying only the
+// memory pages and allocation bytes written since their parent —
+// page-granular write tracking for upper-half regions, content-hashed
+// shards for plugin sections, and UVM-aware skipping of CPU-resident
+// managed pages untouched since the previous checkpoint. On sparse
+// workloads a delta is typically an order of magnitude smaller (and
+// faster to write) than a full image:
+//
+//	s, _ := crac.New(crac.WithIncremental(8)) // ≤8 deltas per base
+//	store, _ := crac.NewDirStore("ckpts", 4)  // Keep never orphans a chain
+//	for i := 0; ; i++ {
+//	    ... run the workload ...
+//	    s.CheckpointTo(ctx, store, fmt.Sprintf("gen%03d", i))
+//	}
+//	...
+//	s2, err := crac.RestoreFrom(ctx, store, "gen042") // materializes base+deltas
+//
+// Deltas name their parent image, and RestartFrom / RestoreFrom /
+// OpenImageFrom follow the lineage through the same Store
+// transparently; a delta opened outside its store still parses for
+// inspection but restores only with ErrDeltaChain. A restart breaks
+// the chain (the next checkpoint is a base), and DirStore retention
+// keeps every ancestor a retained image needs. Image.Info reports a
+// delta's depth, parent, and dirty ratio; cracinspect prints them.
+//
 // # Performance
 //
 // The checkpoint/restart data path is parallel and pipelined: region

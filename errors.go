@@ -41,6 +41,12 @@ var (
 
 	// ErrImageNotFound reports a Store lookup for a name with no image.
 	ErrImageNotFound = errors.New("crac: image not found")
+
+	// ErrDeltaChain reports an operation that needs a delta image's
+	// parent chain: restoring a bare delta image (use RestartFrom /
+	// RestoreFrom / OpenImageFrom against the Store holding the chain),
+	// or a chain whose parent image is missing or cyclic.
+	ErrDeltaChain = dmtcp.ErrDeltaChain
 )
 
 // wrapCancelled folds a context cancellation surfacing from the engine

@@ -98,14 +98,34 @@ func OpenImageFile(path string) (*Image, error) {
 	return OpenImage(f)
 }
 
-// OpenImageFrom parses the named checkpoint image out of a Store.
+// sectionMergers materializes plugin-owned opaque sections when a delta
+// chain is resolved.
+var sectionMergers = map[string]dmtcp.SectionMerger{
+	cracplugin.SectionDevMem2: cracplugin.MergeDevMem,
+}
+
+// OpenImageFrom parses the named checkpoint image out of a Store. A v3
+// delta image is materialized transparently: its parent chain is
+// followed (by name, through the same Store) back to the base and the
+// deltas are folded forward, yielding a complete image. A missing or
+// cyclic parent reports ErrDeltaChain.
 func OpenImageFrom(ctx context.Context, store Store, name string) (*Image, error) {
 	rc, err := store.Get(ctx, name)
 	if err != nil {
 		return nil, wrapCancelled(err)
 	}
-	defer rc.Close()
-	return OpenImage(rc)
+	img, err := dmtcp.ReadImage(rc)
+	rc.Close()
+	if err != nil {
+		return nil, err
+	}
+	img, err = dmtcp.ResolveChain(img, func(parent string) (io.ReadCloser, error) {
+		return store.Get(ctx, parent)
+	}, sectionMergers)
+	if err != nil {
+		return nil, wrapCancelled(err)
+	}
+	return &Image{img: img}, nil
 }
 
 // ImageRegion describes one upper-half memory region inside an image.
@@ -131,14 +151,40 @@ type ImageInfo struct {
 	Regions     []ImageRegion
 	Sections    []ImageSection
 	RegionBytes uint64
+
+	// Incremental (v3) lineage. Delta marks a delta image; Parent names
+	// the image it applies on top of; DeltaDepth is its distance from
+	// the chain's base. DirtyRatio is the fraction of the checkpointed
+	// payload the image actually carries (ShardsEmitted of ShardsTotal
+	// shards) — 1 for full images. Materialized reports whether the
+	// payload is complete (always true except for a delta opened
+	// outside its Store).
+	Delta         bool
+	Parent        string
+	DeltaDepth    int
+	ShardsTotal   int
+	ShardsEmitted int
+	DirtyRatio    float64
+	Materialized  bool
 }
 
 // Info summarizes the image.
 func (im *Image) Info() ImageInfo {
 	info := ImageInfo{
-		Version:     im.img.Version,
-		Gzip:        im.img.Gzip,
-		RegionBytes: im.img.TotalRegionBytes(),
+		Version:      im.img.Version,
+		Gzip:         im.img.Gzip,
+		RegionBytes:  im.img.TotalRegionBytes(),
+		DirtyRatio:   1,
+		Materialized: true,
+	}
+	if d := im.img.Delta; d != nil {
+		info.Delta = d.Depth > 0 || d.Parent != ""
+		info.Parent = d.Parent
+		info.DeltaDepth = d.Depth
+		info.ShardsTotal = d.ShardsTotal
+		info.ShardsEmitted = d.ShardsEmitted
+		info.DirtyRatio = d.DirtyRatio()
+		info.Materialized = d.Materialized
 	}
 	for _, r := range im.img.Regions {
 		info.Regions = append(info.Regions, ImageRegion{
@@ -148,6 +194,13 @@ func (im *Image) Info() ImageInfo {
 	for _, name := range im.img.Sections.Names() {
 		data, _ := im.img.Sections.Get(name)
 		info.Sections = append(info.Sections, ImageSection{Name: name, Size: len(data)})
+	}
+	if len(info.Sections) == 0 && im.img.Delta != nil && !im.img.Delta.Materialized {
+		// A bare delta's section bytes are unavailable, but its header
+		// table still describes the layout.
+		for _, sh := range im.img.Delta.SectionLayout() {
+			info.Sections = append(info.Sections, ImageSection{Name: sh.Name, Size: int(sh.Size)})
+		}
 	}
 	return info
 }

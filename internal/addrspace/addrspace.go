@@ -23,6 +23,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // PageSize is the simulated page size in bytes.
@@ -132,13 +133,21 @@ var (
 	ErrSplitRange  = errors.New("addrspace: range spans multiple regions")
 )
 
-// region is a live mapping. data always has length Len.
+// region is a live mapping. data always has length Len. gens holds one
+// write-generation stamp per page (len(data)/PageSize entries): the
+// value of the space's write epoch when the page was last written. A
+// freshly inserted region is stamped with the current epoch — its bytes
+// did not exist at any earlier epoch, so every incremental consumer must
+// treat them as dirty. Stamps are written with atomic stores (writers
+// hold only the read lock, and two writers to disjoint byte ranges may
+// share a page) and read with atomic loads.
 type region struct {
 	start uint64
 	prot  Prot
 	half  Half
 	label string
 	data  []byte
+	gens  []uint64
 }
 
 func (r *region) end() uint64 { return r.start + uint64(len(r.data)) }
@@ -180,6 +189,12 @@ type Space struct {
 	aslr    bool
 	rng     *rand.Rand
 
+	// epoch is the current write epoch, starting at 1. Writes stamp the
+	// pages they touch with the current epoch; CutEpoch advances it.
+	// epoch only changes under the write lock, so data-plane operations
+	// (which hold the read lock) see a stable value.
+	epoch uint64
+
 	mmapCount   uint64 // statistics: total MMap calls
 	munmapCount uint64
 }
@@ -207,6 +222,7 @@ func New(opts ...Option) *Space {
 	s := &Space{
 		lower: Window{DefaultLowerStart, DefaultLowerEnd},
 		upper: Window{DefaultUpperStart, DefaultUpperEnd},
+		epoch: 1,
 	}
 	for _, o := range opts {
 		o(s)
@@ -361,7 +377,11 @@ func (s *Space) overlapsLocked(start, length uint64) bool {
 }
 
 func (s *Space) insertLocked(start, length uint64, prot Prot, half Half, label string) uint64 {
-	r := &region{start: start, prot: prot, half: half, label: label, data: make([]byte, length)}
+	r := &region{start: start, prot: prot, half: half, label: label, data: make([]byte, length),
+		gens: make([]uint64, length/PageSize)}
+	for i := range r.gens {
+		r.gens[i] = s.epoch
+	}
 	idx := sort.Search(len(s.regions), func(i int) bool { return s.regions[i].start >= start })
 	s.regions = append(s.regions, nil)
 	copy(s.regions[idx+1:], s.regions[idx:])
@@ -399,18 +419,20 @@ func (s *Space) unmapLocked(addr, length uint64) {
 		case r.start < addr && r.end() > end:
 			// hole in the middle: split into two
 			left := &region{start: r.start, prot: r.prot, half: r.half, label: r.label,
-				data: r.data[:addr-r.start]}
+				data: r.data[:addr-r.start], gens: r.gens[:(addr-r.start)/PageSize]}
 			right := &region{start: end, prot: r.prot, half: r.half, label: r.label,
-				data: r.data[end-r.start:]}
+				data: r.data[end-r.start:], gens: r.gens[(end-r.start)/PageSize:]}
 			out = append(out, left, right)
 		case r.start < addr:
 			// trim tail
 			r.data = r.data[:addr-r.start]
+			r.gens = r.gens[:(addr-r.start)/PageSize]
 			out = append(out, r)
 		default:
 			// trim head
 			off := end - r.start
 			r.data = r.data[off:]
+			r.gens = r.gens[off/PageSize:]
 			r.start = end
 			out = append(out, r)
 		}
@@ -451,8 +473,9 @@ func (s *Space) splitAtLocked(addr uint64) {
 	for i, r := range s.regions {
 		if r.start < addr && addr < r.end() {
 			right := &region{start: addr, prot: r.prot, half: r.half, label: r.label,
-				data: r.data[addr-r.start:]}
+				data: r.data[addr-r.start:], gens: r.gens[(addr-r.start)/PageSize:]}
 			r.data = r.data[:addr-r.start]
+			r.gens = r.gens[:(addr-r.start)/PageSize]
 			rest := make([]*region, 0, len(s.regions)+1)
 			rest = append(rest, s.regions[:i+1]...)
 			rest = append(rest, right)
@@ -534,6 +557,7 @@ func (s *Space) accessLocked(addr uint64, need Prot, buf []byte, read bool) erro
 			copy(remaining[:chunk], r.data[off:off+chunk])
 		} else {
 			copy(r.data[off:off+chunk], remaining[:chunk])
+			r.stamp(off, chunk, s.epoch)
 		}
 		remaining = remaining[chunk:]
 		at += chunk
@@ -541,10 +565,39 @@ func (s *Space) accessLocked(addr uint64, need Prot, buf []byte, read bool) erro
 	return nil
 }
 
+// stamp marks the pages covering [off, off+length) as written at epoch.
+// Called with at least the read lock held; stores are atomic because
+// concurrent writers to disjoint byte ranges may share a page.
+func (r *region) stamp(off, length, epoch uint64) {
+	if length == 0 {
+		return
+	}
+	first := off / PageSize
+	last := (off + length - 1) / PageSize
+	for pi := first; pi <= last; pi++ {
+		atomic.StoreUint64(&r.gens[pi], epoch)
+	}
+}
+
 // Slice returns a direct, mutable view of [addr, addr+length). The range
 // must lie within a single region; this is the fast path used by kernel
 // execution (a real GPU would access this memory through UVA directly).
+//
+// Because the caller may write through the returned view, Slice
+// conservatively stamps the whole range dirty when the region is
+// writable. Callers that only read should use ReadSlice, which keeps
+// the dirty tracking precise.
 func (s *Space) Slice(addr, length uint64) ([]byte, error) {
+	return s.slice(addr, length, true)
+}
+
+// ReadSlice is Slice for read-only use: it returns the same view but
+// never marks the range dirty. The caller must not write through it.
+func (s *Space) ReadSlice(addr, length uint64) ([]byte, error) {
+	return s.slice(addr, length, false)
+}
+
+func (s *Space) slice(addr, length uint64, write bool) ([]byte, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	r := s.findLocked(addr)
@@ -559,6 +612,9 @@ func (s *Space) Slice(addr, length uint64) ([]byte, error) {
 			return nil, ErrSplitRange
 		}
 		return nil, fmt.Errorf("%w: %#x+%#x", ErrNotMapped, addr, length)
+	}
+	if write && r.prot&ProtWrite != 0 {
+		r.stamp(off, length, s.epoch)
 	}
 	return r.data[off : off+length : off+length], nil
 }
@@ -630,4 +686,116 @@ func (s *Space) Stats() (mmaps, munmaps uint64) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.mmapCount, s.munmapCount
+}
+
+// Span is a byte range [Off, Off+Len) relative to a region's start.
+type Span struct {
+	Off, Len uint64
+}
+
+// RegionDirty lists the page-granular dirty spans of one region.
+type RegionDirty struct {
+	Start uint64 // region start address
+	Spans []Span // merged, ascending, page-granular
+	Bytes uint64 // total dirty bytes (Σ Spans[i].Len)
+}
+
+// WriteEpoch returns the current write epoch. Pages written from now on
+// (until the next CutEpoch) are stamped with this value.
+func (s *Space) WriteEpoch() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.epoch
+}
+
+// CutEpoch takes a dirty-tracking cut: it returns the current epoch and
+// advances to the next one. Every write that happened before the call
+// is stamped ≤ the returned cut; every write after it is stamped > the
+// cut. An incremental checkpointer records the cut at each checkpoint
+// and asks DirtySince(prevCut) at the next one.
+func (s *Space) CutEpoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cut := s.epoch
+	s.epoch++
+	return cut
+}
+
+// DirtySince returns, for every region of the half with at least one
+// page written after the since cut, the merged dirty spans. since == 0
+// reports everything as dirty (pages carry the stamp of the epoch that
+// created them, and epochs start at 1).
+func (s *Space) DirtySince(h Half, since uint64) []RegionDirty {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []RegionDirty
+	for _, r := range s.regions {
+		if r.half != h {
+			continue
+		}
+		rd := RegionDirty{Start: r.start}
+		spanStart := int64(-1)
+		for pi := range r.gens {
+			dirty := atomic.LoadUint64(&r.gens[pi]) > since
+			switch {
+			case dirty && spanStart < 0:
+				spanStart = int64(pi)
+			case !dirty && spanStart >= 0:
+				rd.Spans = append(rd.Spans, Span{Off: uint64(spanStart) * PageSize,
+					Len: uint64(int64(pi)-spanStart) * PageSize})
+				spanStart = -1
+			}
+		}
+		if spanStart >= 0 {
+			rd.Spans = append(rd.Spans, Span{Off: uint64(spanStart) * PageSize,
+				Len: uint64(int64(len(r.gens))-spanStart) * PageSize})
+		}
+		// The final span may overhang the region end if the length is not
+		// a page multiple (split regions always are; be safe anyway).
+		if n := len(rd.Spans); n > 0 {
+			last := &rd.Spans[n-1]
+			if last.Off+last.Len > uint64(len(r.data)) {
+				last.Len = uint64(len(r.data)) - last.Off
+			}
+		}
+		for _, sp := range rd.Spans {
+			rd.Bytes += sp.Len
+		}
+		if len(rd.Spans) > 0 {
+			out = append(out, rd)
+		}
+	}
+	return out
+}
+
+// RangeDirtySince reports whether any page overlapping
+// [addr, addr+length) was written after the since cut. Unmapped bytes
+// in the range count as dirty — the caller cannot prove them unchanged.
+func (s *Space) RangeDirtySince(addr, length, since uint64) bool {
+	if length == 0 {
+		return false
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	end := addr + length
+	at := addr
+	for at < end {
+		r := s.findLocked(at)
+		if r == nil {
+			return true
+		}
+		first := (at - r.start) / PageSize
+		stop := end
+		if re := r.end(); re < stop {
+			stop = re
+		}
+		last := (stop - 1 - r.start) / PageSize
+		for pi := first; pi <= last; pi++ {
+			if atomic.LoadUint64(&r.gens[pi]) > since {
+				return true
+			}
+		}
+		at = r.end()
+	}
+	return false
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -395,5 +396,149 @@ func TestQuickReadWriteRoundTrip(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// --- dirty tracking (write epochs) ---
+
+func TestDirtyTrackingWriteAt(t *testing.T) {
+	s := New()
+	base, err := s.MMap(0, 8*PageSize, ProtRW, 0, HalfUpper, "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := s.CutEpoch()
+	// Nothing written since the cut.
+	if rd := s.DirtySince(HalfUpper, cut); len(rd) != 0 {
+		t.Fatalf("clean space reports dirty regions: %+v", rd)
+	}
+	// A write spanning pages 2..3 (partial pages on both ends).
+	if err := s.WriteAt(base+2*PageSize+100, make([]byte, PageSize)); err != nil {
+		t.Fatal(err)
+	}
+	rd := s.DirtySince(HalfUpper, cut)
+	if len(rd) != 1 || rd[0].Start != base {
+		t.Fatalf("dirty regions: %+v", rd)
+	}
+	want := []Span{{Off: 2 * PageSize, Len: 2 * PageSize}}
+	if len(rd[0].Spans) != 1 || rd[0].Spans[0] != want[0] {
+		t.Fatalf("dirty spans = %+v, want %+v", rd[0].Spans, want)
+	}
+	if rd[0].Bytes != 2*PageSize {
+		t.Fatalf("dirty bytes = %d", rd[0].Bytes)
+	}
+	// Before the cut everything is dirty (stamped at creation).
+	if rd := s.DirtySince(HalfUpper, 0); len(rd) != 1 || rd[0].Bytes != 8*PageSize {
+		t.Fatalf("since-0 must report the whole region: %+v", rd)
+	}
+}
+
+func TestDirtyTrackingSliceAndReadSlice(t *testing.T) {
+	s := New()
+	base, err := s.MMap(0, 4*PageSize, ProtRW, 0, HalfUpper, "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := s.CutEpoch()
+	// ReadSlice never dirties.
+	if _, err := s.ReadSlice(base, 4*PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if s.RangeDirtySince(base, 4*PageSize, cut) {
+		t.Fatal("ReadSlice dirtied the range")
+	}
+	// Slice conservatively dirties the requested range of a writable region.
+	if _, err := s.Slice(base+PageSize, PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if !s.RangeDirtySince(base+PageSize, PageSize, cut) {
+		t.Fatal("Slice did not dirty the range")
+	}
+	if s.RangeDirtySince(base, PageSize, cut) {
+		t.Fatal("Slice dirtied pages outside the requested range")
+	}
+	// A read-only region's Slice does not dirty.
+	ro, err := s.MMap(0, PageSize, ProtRead, 0, HalfUpper, "ro")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut2 := s.CutEpoch()
+	if _, err := s.Slice(ro, PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if s.RangeDirtySince(ro, PageSize, cut2) {
+		t.Fatal("Slice of a read-only region dirtied it")
+	}
+}
+
+func TestDirtyTrackingNewAndSplitMappings(t *testing.T) {
+	s := New()
+	base, err := s.MMap(0, 8*PageSize, ProtRW, 0, HalfUpper, "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteAt(base+6*PageSize, make([]byte, PageSize)); err != nil {
+		t.Fatal(err)
+	}
+	cut := s.CutEpoch()
+	// New mappings are dirty from birth.
+	nb, err := s.MMap(0, 2*PageSize, ProtRW, 0, HalfUpper, "new")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.RangeDirtySince(nb, 2*PageSize, cut) {
+		t.Fatal("fresh mapping must be dirty")
+	}
+	// Splitting preserves per-page stamps: unmap a hole over clean pages;
+	// the pre-cut write on page 6 stays clean relative to cut, the rest
+	// too.
+	if err := s.MUnmap(base+2*PageSize, PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if s.RangeDirtySince(base+6*PageSize, PageSize, cut) {
+		t.Fatal("split must not dirty surviving pages")
+	}
+	// Unmapped bytes count as dirty (cannot be proven unchanged).
+	if !s.RangeDirtySince(base, 8*PageSize, cut) {
+		t.Fatal("range with a hole must report dirty")
+	}
+}
+
+func TestDirtyTrackingConcurrentWriters(t *testing.T) {
+	s := New()
+	base, err := s.MMap(0, 64*PageSize, ProtRW, 0, HalfUpper, "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := s.CutEpoch()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				off := uint64(g*8+i) * PageSize
+				if err := s.WriteAt(base+off, make([]byte, PageSize)); err != nil {
+					t.Error(err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	rd := s.DirtySince(HalfUpper, cut)
+	if len(rd) != 1 || rd[0].Bytes != 64*PageSize {
+		t.Fatalf("concurrent writers lost dirty pages: %+v", rd)
+	}
+}
+
+func TestCutEpochMonotonic(t *testing.T) {
+	s := New()
+	c1 := s.CutEpoch()
+	c2 := s.CutEpoch()
+	if c2 != c1+1 {
+		t.Fatalf("cuts not monotonic: %d then %d", c1, c2)
+	}
+	if got := s.WriteEpoch(); got != c2+1 {
+		t.Fatalf("WriteEpoch = %d, want %d", got, c2+1)
 	}
 }

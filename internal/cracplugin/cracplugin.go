@@ -23,6 +23,7 @@ import (
 	"io"
 	"sync"
 
+	"repro/internal/addrspace"
 	"repro/internal/cracrt"
 	"repro/internal/dmtcp"
 	"repro/internal/par"
@@ -32,15 +33,26 @@ import (
 // Section names inside the checkpoint image.
 const (
 	SectionLog    = "crac.log"    // serialized replay log
-	SectionDevMem = "crac.devmem" // active-malloc memory payload
+	SectionDevMem = "crac.devmem" // active-malloc memory payload (legacy v1/v2 images)
 	SectionRoot   = "crac.root"   // application root blob (pointer table)
+
+	// SectionDevMem2 is the incremental-capable active-malloc payload of
+	// v3 images: each entry carries a presence flag, so a delta image
+	// lists every active allocation but bodies only the dirty ones. The
+	// section is opaque to the engine's generic shard delta; MergeDevMem
+	// materializes it across a chain.
+	SectionDevMem2 = "crac.devmem2"
 )
 
-// devMemEntryHdr is the per-allocation header inside the devmem section:
-// u64 addr, u64 size, then size payload bytes.
+// devMemEntryHdr is the per-allocation header inside the legacy devmem
+// section: u64 addr, u64 size, then size payload bytes.
 const devMemEntryHdr = 16
 
-// Plugin implements dmtcp.Plugin for CUDA state.
+// devMem2EntryHdr is the devmem2 per-allocation header: u64 addr,
+// u64 size, u8 flags (bit0: payload follows).
+const devMem2EntryHdr = 17
+
+// Plugin implements dmtcp.Plugin (and dmtcp.DeltaPlugin) for CUDA state.
 type Plugin struct {
 	rt *cracrt.Runtime
 
@@ -50,6 +62,19 @@ type Plugin struct {
 
 	mu   sync.Mutex
 	root []byte
+
+	// Incremental drain state. prevEntries holds the (addr → size) set
+	// of allocations whose payload the committed chain tip can supply;
+	// prevUVMCut is the UVM touch cut taken at that checkpoint. The
+	// staged pair is written by PreCheckpointDelta and promoted by
+	// CommitIncremental only once the image durably landed — a failed
+	// or abandoned checkpoint must not advance the skip baseline, or
+	// the next delta would skip allocations whose payload no chain
+	// image carries.
+	prevEntries   map[uint64]uint64
+	prevUVMCut    uint64
+	stagedEntries map[uint64]uint64
+	stagedUVMCut  uint64
 }
 
 // New creates the plugin over the CRAC runtime.
@@ -150,6 +175,243 @@ func (p *Plugin) PreCheckpoint(ctx context.Context, sections *dmtcp.SectionMap) 
 // drained, not torn down, so execution simply continues.
 func (p *Plugin) Resume() error { return nil }
 
+// PreCheckpointDelta implements dmtcp.DeltaPlugin: the same drain as
+// PreCheckpoint, but the active-malloc payload goes into the devmem2
+// section, which lists every active allocation and bodies only the
+// dirty ones. An allocation may be skipped only when all of the
+// following hold — each guard alone is insufficient:
+//
+//   - since > 0: this is a delta (a base carries everything);
+//   - the committed chain tip has its payload at the same (addr, size)
+//     (prevEntries): an allocation freed and re-issued at the same spot
+//     keeps its bytes in the simulated arenas, so the address-space
+//     dirty check below remains the content authority;
+//   - no page of it was written since the parent's epoch cut
+//     (addrspace write-generation tracking);
+//   - for managed (UVM) allocations, every page is additionally
+//     CPU-resident and untouched since the parent's UVM cut: a
+//     device-resident page belongs to the device and must be drained,
+//     exactly as real CRAC cannot trust the host copy of a page the
+//     GPU holds (paper Section 2.3).
+func (p *Plugin) PreCheckpointDelta(ctx context.Context, sections *dmtcp.SectionMap, since uint64) error {
+	lib := p.rt.Library()
+	if err := lib.DeviceSynchronize(); err != nil {
+		return fmt.Errorf("cracplugin: drain: %w", err)
+	}
+	// The UVM cut is taken after the queue drain: migrations flushed by
+	// pending kernels are stamped at or below it and their content is
+	// captured below; accesses racing the drain re-emit next time.
+	uvmCut := lib.UVM().CutEpoch()
+
+	logw := sections.Writer(SectionLog, 64+25*p.rt.Log().Len())
+	if err := p.rt.Log().Encode(logw); err != nil {
+		return fmt.Errorf("cracplugin: encoding log: %w", err)
+	}
+	logw.Close()
+
+	p.mu.Lock()
+	prevEntries := p.prevEntries
+	prevUVMCut := p.prevUVMCut
+	root := append([]byte(nil), p.root...)
+	p.mu.Unlock()
+
+	active := p.rt.Log().Active()
+	groups := [][]replaylog.Allocation{active.Device, active.Pinned, active.Managed}
+	space := lib.Space()
+	type entry struct {
+		alloc replaylog.Allocation
+		skip  bool
+		off   int // payload offset inside mem (emitted entries only)
+	}
+	var entries []entry
+	var count uint32
+	total := 4 // leading u32 count
+	for gi, g := range groups {
+		managed := gi == 2
+		for _, a := range g {
+			skip := since > 0 &&
+				prevEntries[a.Addr] == a.Size &&
+				!space.RangeDirtySince(a.Addr, a.Size, since) &&
+				(!managed || lib.UVM().CleanSince(a.Addr, a.Size, prevUVMCut))
+			count++
+			total += devMem2EntryHdr
+			if !skip {
+				total += int(a.Size)
+			}
+			entries = append(entries, entry{alloc: a, skip: skip})
+		}
+	}
+	mem := sections.AddZero(SectionDevMem2, total)
+	binary.LittleEndian.PutUint32(mem[0:], count)
+	staged := make(map[uint64]uint64, count)
+	var jobs []int
+	off := 4
+	for i := range entries {
+		e := &entries[i]
+		binary.LittleEndian.PutUint64(mem[off:], e.alloc.Addr)
+		binary.LittleEndian.PutUint64(mem[off+8:], e.alloc.Size)
+		if !e.skip {
+			mem[off+16] = 1
+		}
+		off += devMem2EntryHdr
+		if !e.skip {
+			e.off = off
+			off += int(e.alloc.Size)
+			jobs = append(jobs, i)
+		}
+		staged[e.alloc.Addr] = e.alloc.Size
+	}
+	if err := par.ForErrCtx(ctx, p.Workers, len(jobs), func(i int) error {
+		e := entries[jobs[i]]
+		if err := space.ReadAt(e.alloc.Addr, mem[e.off:e.off+int(e.alloc.Size)]); err != nil {
+			return fmt.Errorf("cracplugin: draining allocation %#x+%d: %w", e.alloc.Addr, e.alloc.Size, err)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	sections.MarkOpaque(SectionDevMem2)
+	sections.Add(SectionRoot, root)
+
+	p.mu.Lock()
+	p.stagedEntries = staged
+	p.stagedUVMCut = uvmCut
+	p.mu.Unlock()
+	return nil
+}
+
+// CommitIncremental promotes the drain state staged by the last
+// PreCheckpointDelta to the skip baseline. The caller invokes it once
+// the image has durably landed (e.g. the Store.Put committed); without
+// the call the baseline stays at the previous successful checkpoint.
+func (p *Plugin) CommitIncremental() {
+	p.mu.Lock()
+	if p.stagedEntries != nil {
+		p.prevEntries = p.stagedEntries
+		p.prevUVMCut = p.stagedUVMCut
+		p.stagedEntries = nil
+	}
+	p.mu.Unlock()
+}
+
+// ResetIncremental drops the skip baseline: the next delta drain emits
+// every allocation. Sessions call it when the chain breaks (restart).
+func (p *Plugin) ResetIncremental() {
+	p.mu.Lock()
+	p.prevEntries = nil
+	p.stagedEntries = nil
+	p.prevUVMCut = 0
+	p.stagedUVMCut = 0
+	p.mu.Unlock()
+}
+
+// dm2Entry is one parsed devmem2 entry.
+type dm2Entry struct {
+	addr    uint64
+	size    uint64
+	payload []byte // nil when the entry was skipped
+}
+
+// maxDevMemEntryBytes caps a single allocation's claimed size and
+// maxDevMemTotalBytes the merged section, so a corrupt or hostile
+// image fails with an error instead of demanding an absurd allocation
+// (mirroring the dmtcp decoder's sanity caps).
+const (
+	maxDevMemEntryBytes = 1 << 31
+	maxDevMemTotalBytes = 1 << 33
+)
+
+func parseDevMem2(b []byte) ([]dm2Entry, error) {
+	r := bytes.NewReader(b)
+	var u32 [4]byte
+	if _, err := io.ReadFull(r, u32[:]); err != nil {
+		return nil, fmt.Errorf("devmem2 count: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(u32[:])
+	// The count is unverified input: cap the pre-allocation at what the
+	// section could physically hold.
+	capHint := uint64(n)
+	if maxEntries := uint64(len(b)) / devMem2EntryHdr; capHint > maxEntries {
+		capHint = maxEntries
+	}
+	entries := make([]dm2Entry, 0, capHint)
+	off := 4
+	for i := uint32(0); i < n; i++ {
+		if off+devMem2EntryHdr > len(b) {
+			return nil, fmt.Errorf("devmem2 entry %d: %w", i, io.ErrUnexpectedEOF)
+		}
+		e := dm2Entry{
+			addr: binary.LittleEndian.Uint64(b[off:]),
+			size: binary.LittleEndian.Uint64(b[off+8:]),
+		}
+		if e.size > maxDevMemEntryBytes {
+			return nil, fmt.Errorf("devmem2 entry %d: oversized allocation (%d bytes)", i, e.size)
+		}
+		present := b[off+16]&1 != 0
+		off += devMem2EntryHdr
+		if present {
+			if uint64(len(b)-off) < e.size {
+				return nil, fmt.Errorf("devmem2 entry %d data: %w", i, io.ErrUnexpectedEOF)
+			}
+			e.payload = b[off : off+int(e.size)]
+			off += int(e.size)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// MergeDevMem is the dmtcp.SectionMerger for SectionDevMem2: it
+// materializes a delta's devmem2 against the parent chain's, producing
+// the full section a single non-incremental drain would have written —
+// the delta's entry order and layout with every payload present.
+func MergeDevMem(parent, delta []byte) ([]byte, error) {
+	de, err := parseDevMem2(delta)
+	if err != nil {
+		return nil, err
+	}
+	var parentPayload map[uint64][]byte
+	if parent != nil {
+		pe, err := parseDevMem2(parent)
+		if err != nil {
+			return nil, fmt.Errorf("parent: %w", err)
+		}
+		parentPayload = make(map[uint64][]byte, len(pe))
+		for _, e := range pe {
+			if e.payload != nil {
+				parentPayload[e.addr] = e.payload
+			}
+		}
+	}
+	total := uint64(4)
+	for _, e := range de {
+		total += devMem2EntryHdr + e.size
+	}
+	if total > maxDevMemTotalBytes {
+		return nil, fmt.Errorf("devmem2 section too large (%d bytes)", total)
+	}
+	out := make([]byte, total)
+	binary.LittleEndian.PutUint32(out[0:], uint32(len(de)))
+	off := 4
+	for _, e := range de {
+		payload := e.payload
+		if payload == nil {
+			pp, ok := parentPayload[e.addr]
+			if !ok || uint64(len(pp)) != e.size {
+				return nil, fmt.Errorf("allocation %#x+%d has no payload in the parent chain", e.addr, e.size)
+			}
+			payload = pp
+		}
+		binary.LittleEndian.PutUint64(out[off:], e.addr)
+		binary.LittleEndian.PutUint64(out[off+8:], e.size)
+		out[off+16] = 1
+		off += devMem2EntryHdr
+		copy(out[off:], payload)
+		off += int(e.size)
+	}
+	return out, nil
+}
+
 // Restart implements dmtcp.Plugin: refill the replayed allocations with
 // the saved bytes. The session must have rebound the runtime to the fresh
 // lower half (replaying the log) before the restart hooks run, so every
@@ -159,22 +421,36 @@ func (p *Plugin) Resume() error { return nil }
 // WriteAt per allocation over disjoint target ranges, stopping early if
 // ctx is cancelled.
 func (p *Plugin) Restart(ctx context.Context, sections *dmtcp.SectionMap) error {
+	var jobs []refillJob
+	space := p.rt.Library().Space()
+	if memBytes, ok := sections.Get(SectionDevMem2); ok {
+		// v3 images: the incremental-capable layout. Every payload must
+		// be present — a bare delta's section reaches a Restart hook only
+		// if the chain was never materialized.
+		entries, err := parseDevMem2(memBytes)
+		if err != nil {
+			return fmt.Errorf("cracplugin: %w", err)
+		}
+		jobs = make([]refillJob, 0, len(entries))
+		for _, e := range entries {
+			if e.payload == nil {
+				return fmt.Errorf("cracplugin: devmem2 entry %#x+%d has no payload (unmaterialized delta chain)", e.addr, e.size)
+			}
+			jobs = append(jobs, refillJob{addr: e.addr, data: e.payload})
+		}
+		return p.refill(ctx, space, jobs, sections)
+	}
 	memBytes, ok := sections.Get(SectionDevMem)
 	if !ok {
-		return fmt.Errorf("cracplugin: image has no %s section", SectionDevMem)
+		return fmt.Errorf("cracplugin: image has no %s or %s section", SectionDevMem, SectionDevMem2)
 	}
-	space := p.rt.Library().Space()
 	r := bytes.NewReader(memBytes)
 	var u32 [4]byte
 	if _, err := io.ReadFull(r, u32[:]); err != nil {
 		return fmt.Errorf("cracplugin: devmem count: %w", err)
 	}
 	n := binary.LittleEndian.Uint32(u32[:])
-	type job struct {
-		addr uint64
-		data []byte
-	}
-	jobs := make([]job, 0, n)
+	jobs = make([]refillJob, 0, n)
 	off := 4
 	for i := uint32(0); i < n; i++ {
 		if off+devMemEntryHdr > len(memBytes) {
@@ -186,9 +462,21 @@ func (p *Plugin) Restart(ctx context.Context, sections *dmtcp.SectionMap) error 
 		if uint64(len(memBytes)-off) < size {
 			return fmt.Errorf("cracplugin: devmem entry %d data: %w", i, io.ErrUnexpectedEOF)
 		}
-		jobs = append(jobs, job{addr: addr, data: memBytes[off : off+int(size)]})
+		jobs = append(jobs, refillJob{addr: addr, data: memBytes[off : off+int(size)]})
 		off += int(size)
 	}
+	return p.refill(ctx, space, jobs, sections)
+}
+
+// refillJob is one saved allocation to write back at restart.
+type refillJob struct {
+	addr uint64
+	data []byte
+}
+
+// refill writes the saved allocation bytes back and restores the root
+// blob, fanning the writes out over disjoint target ranges.
+func (p *Plugin) refill(ctx context.Context, space *addrspace.Space, jobs []refillJob, sections *dmtcp.SectionMap) error {
 	if err := par.ForErrCtx(ctx, p.Workers, len(jobs), func(i int) error {
 		if err := space.WriteAt(jobs[i].addr, jobs[i].data); err != nil {
 			return fmt.Errorf("cracplugin: refilling %#x+%d: %w", jobs[i].addr, len(jobs[i].data), err)
@@ -205,4 +493,7 @@ func (p *Plugin) Restart(ctx context.Context, sections *dmtcp.SectionMap) error 
 	return nil
 }
 
-var _ dmtcp.Plugin = (*Plugin)(nil)
+var (
+	_ dmtcp.Plugin      = (*Plugin)(nil)
+	_ dmtcp.DeltaPlugin = (*Plugin)(nil)
+)

@@ -3,6 +3,7 @@ package cracplugin
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
 	"testing"
 
 	"repro/internal/addrspace"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/fsgs"
 	"repro/internal/loader"
 	"repro/internal/replaylog"
+	"repro/internal/uvm"
 )
 
 func buildRT(t *testing.T) (*cracrt.Runtime, *cuda.Library) {
@@ -147,5 +149,198 @@ func TestRootBlobCopySemantics(t *testing.T) {
 	got[1] = 99 // returned copy must not leak back
 	if p.RootBlob()[1] != 2 {
 		t.Fatal("root blob getter aliases internal memory")
+	}
+}
+
+// drainDelta runs one incremental drain and returns the parsed devmem2
+// entries keyed by address (payload nil when skipped).
+func drainDelta(t *testing.T, p *Plugin, space *addrspace.Space, since uint64) map[uint64][]byte {
+	t.Helper()
+	sections := dmtcp.NewSectionMap()
+	if err := p.PreCheckpointDelta(context.Background(), sections, since); err != nil {
+		t.Fatal(err)
+	}
+	if !sections.Opaque(SectionDevMem2) {
+		t.Fatal("devmem2 must be marked opaque")
+	}
+	mem, ok := sections.Get(SectionDevMem2)
+	if !ok {
+		t.Fatal("no devmem2 section")
+	}
+	entries, err := parseDevMem2(mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[uint64][]byte, len(entries))
+	for _, e := range entries {
+		out[e.addr] = e.payload
+	}
+	return out
+}
+
+// TestIncrementalDrainSkipsCleanAllocations pins the skip rules: clean
+// committed allocations are listed without payload; dirty, uncommitted,
+// or device-touched managed allocations are drained.
+func TestIncrementalDrainSkipsCleanAllocations(t *testing.T) {
+	rt, lib := buildRT(t)
+	space := lib.Space()
+	d1, err := rt.Malloc(8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := rt.Malloc(8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := rt.MallocManaged(8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []uint64{d1, d2, m} {
+		if err := rt.Memset(a, 0x11, 8192); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := New(rt)
+
+	// Base drain (since 0): everything carries payload.
+	base := drainDelta(t, p, space, 0)
+	for addr, payload := range base {
+		if payload == nil {
+			t.Fatalf("base drain skipped %#x", addr)
+		}
+	}
+	p.CommitIncremental()
+	cut := space.CutEpoch()
+
+	// Dirty d2 only.
+	if err := rt.Memset(d2, 0x22, 100); err != nil {
+		t.Fatal(err)
+	}
+	delta := drainDelta(t, p, space, cut)
+	if delta[d1] != nil {
+		t.Fatalf("clean allocation %#x re-drained", d1)
+	}
+	if delta[d2] == nil {
+		t.Fatalf("dirty allocation %#x skipped", d2)
+	}
+	if delta[m] != nil {
+		t.Fatalf("clean host-resident managed allocation %#x re-drained", m)
+	}
+
+	// A device touch of the managed buffer (no byte change visible to
+	// the space epoch? prefetch migrates residency) forces a drain.
+	p.CommitIncremental()
+	cut = space.CutEpoch()
+	if err := lib.MemPrefetch(m, 8192, uvm.Device); err != nil {
+		t.Fatal(err)
+	}
+	delta = drainDelta(t, p, space, cut)
+	if delta[m] == nil {
+		t.Fatalf("device-resident managed allocation %#x must be drained", m)
+	}
+
+	// An uncommitted drain must not advance the baseline: repeat the
+	// drain WITHOUT CommitIncremental after allocating a fresh buffer in
+	// the pre-written arena; the new allocation is not in the committed
+	// entry set, so it must carry payload even if its pages are stale.
+	d3, err := rt.Malloc(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta = drainDelta(t, p, space, cut)
+	if delta[d3] == nil {
+		t.Fatalf("never-committed allocation %#x skipped", d3)
+	}
+}
+
+// TestMergeDevMem pins chain materialization of the devmem2 section.
+func TestMergeDevMem(t *testing.T) {
+	mk := func(entries ...dm2Entry) []byte {
+		total := 4
+		for _, e := range entries {
+			total += devMem2EntryHdr + len(e.payload)
+		}
+		b := make([]byte, total)
+		binary.LittleEndian.PutUint32(b, uint32(len(entries)))
+		off := 4
+		for _, e := range entries {
+			binary.LittleEndian.PutUint64(b[off:], e.addr)
+			binary.LittleEndian.PutUint64(b[off+8:], e.size)
+			if e.payload != nil {
+				b[off+16] = 1
+			}
+			off += devMem2EntryHdr
+			copy(b[off:], e.payload)
+			off += len(e.payload)
+		}
+		return b
+	}
+	parent := mk(
+		dm2Entry{addr: 0x1000, size: 4, payload: []byte("aaaa")},
+		dm2Entry{addr: 0x2000, size: 4, payload: []byte("bbbb")},
+	)
+	// Delta: 0x1000 skipped (inherit), 0x2000 freed, 0x3000 new.
+	delta := mk(
+		dm2Entry{addr: 0x1000, size: 4},
+		dm2Entry{addr: 0x3000, size: 4, payload: []byte("cccc")},
+	)
+	merged, err := MergeDevMem(parent, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := parseDevMem2(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || !bytes.Equal(got[0].payload, []byte("aaaa")) || !bytes.Equal(got[1].payload, []byte("cccc")) {
+		t.Fatalf("merge result wrong: %+v", got)
+	}
+	// A skipped entry with no parent payload is a broken chain.
+	bad := mk(dm2Entry{addr: 0x9000, size: 4})
+	if _, err := MergeDevMem(parent, bad); err == nil {
+		t.Fatal("missing parent payload must fail the merge")
+	}
+	// Size mismatch against the parent payload also fails.
+	badSize := mk(dm2Entry{addr: 0x1000, size: 8})
+	if _, err := MergeDevMem(parent, badSize); err == nil {
+		t.Fatal("size mismatch must fail the merge")
+	}
+}
+
+// TestParseDevMem2HostileInput pins that corrupt devmem2 sections fail
+// with errors instead of panicking or over-allocating: a huge entry
+// count, a huge size claim on a skipped entry, and a merge whose total
+// exceeds the sanity cap.
+func TestParseDevMem2HostileInput(t *testing.T) {
+	// Count claims 2^32-1 entries in a 21-byte section.
+	hugeCount := make([]byte, 4+devMem2EntryHdr)
+	binary.LittleEndian.PutUint32(hugeCount, 0xFFFF_FFFF)
+	if _, err := parseDevMem2(hugeCount); err == nil {
+		t.Fatal("hostile count must fail")
+	}
+	// A skipped entry claiming a 2^63-byte allocation.
+	hugeSize := make([]byte, 4+devMem2EntryHdr)
+	binary.LittleEndian.PutUint32(hugeSize, 1)
+	binary.LittleEndian.PutUint64(hugeSize[4:], 0x1000)
+	binary.LittleEndian.PutUint64(hugeSize[12:], 1<<63)
+	if _, err := parseDevMem2(hugeSize); err == nil {
+		t.Fatal("hostile size must fail")
+	}
+	if _, err := MergeDevMem(nil, hugeSize); err == nil {
+		t.Fatal("merge of hostile size must fail")
+	}
+	// Many skipped entries whose sizes sum past the section cap.
+	const n = 16
+	big := make([]byte, 4+n*devMem2EntryHdr)
+	binary.LittleEndian.PutUint32(big, n)
+	off := 4
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint64(big[off:], uint64(0x1000*(i+1)))
+		binary.LittleEndian.PutUint64(big[off+8:], maxDevMemEntryBytes)
+		off += devMem2EntryHdr
+	}
+	if _, err := MergeDevMem(nil, big); err == nil {
+		t.Fatal("merge exceeding the total cap must fail")
 	}
 }

@@ -129,7 +129,7 @@ func (l *Library) HostRegister(addr, size uint64) error {
 	if err := l.touch("cudaHostRegister"); err != nil {
 		return err
 	}
-	if _, err := l.space.Slice(addr, size); err != nil {
+	if _, err := l.space.ReadSlice(addr, size); err != nil {
 		return errf(ErrorInvalidHostPointer, "cudaHostRegister", "buffer %#x+%d not mapped: %v", addr, size, err)
 	}
 	l.mu.Lock()
@@ -202,7 +202,7 @@ func (l *Library) copyBytes(op string, dst, src, n uint64) error {
 	if n == 0 {
 		return nil
 	}
-	sb, serr := l.space.Slice(src, n)
+	sb, serr := l.space.ReadSlice(src, n)
 	db, derr := l.space.Slice(dst, n)
 	if serr == nil && derr == nil {
 		copy(db, sb)
@@ -339,7 +339,13 @@ func (l *Library) HostAccess(addr, n uint64, write bool) ([]byte, error) {
 			return nil, errf(ErrorInvalidValue, "hostAccess", "%v", err)
 		}
 	}
-	b, err := l.space.Slice(addr, n)
+	slice := l.space.Slice
+	if !write {
+		// A declared read keeps the dirty tracking precise; callers
+		// honoring write=false must not store through the view.
+		slice = l.space.ReadSlice
+	}
+	b, err := slice(addr, n)
 	if err != nil {
 		return nil, errf(ErrorInvalidHostPointer, "hostAccess", "%#x+%d: %v", addr, n, err)
 	}

@@ -1,0 +1,473 @@
+package dmtcp
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/addrspace"
+)
+
+// chainStore is a minimal in-memory name→image map for chain tests.
+type chainStore map[string][]byte
+
+func (cs chainStore) open(name string) (io.ReadCloser, error) {
+	b, ok := cs[name]
+	if !ok {
+		return nil, fmt.Errorf("no image %q", name)
+	}
+	return io.NopCloser(bytes.NewReader(b)), nil
+}
+
+// buildDeltaSpace maps a multi-page upper region plus a small one.
+func buildDeltaSpace(t *testing.T) (*addrspace.Space, uint64, uint64) {
+	t.Helper()
+	s := addrspace.New()
+	big, err := s.MMap(0, 16*addrspace.PageSize, addrspace.ProtRW, 0, addrspace.HalfUpper, "big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := s.MMap(0, 2*addrspace.PageSize, addrspace.ProtRW, 0, addrspace.HalfUpper, "small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteAt(big, bytes.Repeat([]byte{0xAA}, 16*addrspace.PageSize)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteAt(small, bytes.Repeat([]byte{0xBB}, 2*addrspace.PageSize)); err != nil {
+		t.Fatal(err)
+	}
+	return s, big, small
+}
+
+// ckptDelta runs one CheckpointDelta into a chainStore under name.
+func ckptDelta(t *testing.T, e *Engine, cs chainStore, space *addrspace.Space, prev *DeltaState, name string) (Stats, *DeltaState) {
+	t.Helper()
+	var buf bytes.Buffer
+	st, state, err := e.CheckpointDelta(context.Background(), &buf, space, prev, name)
+	if err != nil {
+		t.Fatalf("CheckpointDelta(%s): %v", name, err)
+	}
+	cs[name] = buf.Bytes()
+	return st, state
+}
+
+func regionBytes(t *testing.T, img *Image, label string) []byte {
+	t.Helper()
+	for _, rd := range img.Regions {
+		if rd.Label == label {
+			return rd.Data
+		}
+	}
+	t.Fatalf("image has no region %q", label)
+	return nil
+}
+
+func TestV3BaseRoundTrip(t *testing.T) {
+	for _, gz := range []bool{false, true} {
+		t.Run(fmt.Sprintf("gzip=%v", gz), func(t *testing.T) {
+			space, _, _ := buildDeltaSpace(t)
+			e := NewEngine()
+			e.Gzip = gz
+			e.ShardSize = 3 * addrspace.PageSize // force intra-region sharding
+			e.Register(&testPlugin{name: "p"})
+			cs := chainStore{}
+			st, state := ckptDelta(t, e, cs, space, nil, "base")
+			if st.Delta || st.DeltaDepth != 0 {
+				t.Fatalf("base reported as delta: %+v", st)
+			}
+			if st.ShardsWritten != st.ShardsTotal || st.PayloadWritten != st.PayloadTotal {
+				t.Fatalf("base must emit everything: %+v", st)
+			}
+			if state.Name != "base" || state.Depth != 0 {
+				t.Fatalf("bad state: %+v", state)
+			}
+			img, err := ReadImage(bytes.NewReader(cs["base"]))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if img.Version != 3 || !img.Complete() || img.Delta == nil || !img.Delta.Materialized {
+				t.Fatalf("base image not materialized: %+v", img.Delta)
+			}
+			if got := regionBytes(t, img, "big"); !bytes.Equal(got, bytes.Repeat([]byte{0xAA}, 16*addrspace.PageSize)) {
+				t.Fatal("big region bytes wrong")
+			}
+			if sec, ok := img.Sections.Get("p.data"); !ok || !bytes.Equal(sec, []byte("payload-p")) {
+				t.Fatalf("section missing or wrong: %q", sec)
+			}
+		})
+	}
+}
+
+func TestV3DeltaChainMaterializesIdentically(t *testing.T) {
+	for _, gz := range []bool{false, true} {
+		t.Run(fmt.Sprintf("gzip=%v", gz), func(t *testing.T) {
+			space, big, small := buildDeltaSpace(t)
+			e := NewEngine()
+			e.Gzip = gz
+			e.ShardSize = addrspace.PageSize
+			cs := chainStore{}
+			_, st0 := ckptDelta(t, e, cs, space, nil, "g0")
+
+			// Dirty one page of big, all of small.
+			if err := space.WriteAt(big+5*addrspace.PageSize, bytes.Repeat([]byte{0x11}, addrspace.PageSize)); err != nil {
+				t.Fatal(err)
+			}
+			if err := space.WriteAt(small, bytes.Repeat([]byte{0x22}, 2*addrspace.PageSize)); err != nil {
+				t.Fatal(err)
+			}
+			st1s, st1 := ckptDelta(t, e, cs, space, st0, "g1")
+			if !st1s.Delta || st1s.DeltaDepth != 1 {
+				t.Fatalf("expected delta depth 1: %+v", st1s)
+			}
+			if st1s.PayloadWritten != 3*addrspace.PageSize {
+				t.Fatalf("delta payload = %d, want 3 pages", st1s.PayloadWritten)
+			}
+
+			// Another round: a different page.
+			if err := space.WriteAt(big+9*addrspace.PageSize, bytes.Repeat([]byte{0x33}, 2*addrspace.PageSize)); err != nil {
+				t.Fatal(err)
+			}
+			_, _ = st1, ckptDelta2(t, e, cs, space, st1, "g2")
+
+			// Reference: a full base at the same point.
+			var ref bytes.Buffer
+			if _, _, err := e.CheckpointDelta(context.Background(), &ref, space, nil, ""); err != nil {
+				t.Fatal(err)
+			}
+			refImg, err := ReadImage(bytes.NewReader(ref.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			tip, err := ReadImage(bytes.NewReader(cs["g2"]))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tip.Complete() {
+				t.Fatal("unresolved delta must not be complete")
+			}
+			mat, err := ResolveChain(tip, cs.open, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !mat.Complete() {
+				t.Fatal("materialized chain must be complete")
+			}
+			if len(mat.Regions) != len(refImg.Regions) {
+				t.Fatalf("region count %d != %d", len(mat.Regions), len(refImg.Regions))
+			}
+			for i := range mat.Regions {
+				if mat.Regions[i].Start != refImg.Regions[i].Start || !bytes.Equal(mat.Regions[i].Data, refImg.Regions[i].Data) {
+					t.Fatalf("region %d differs after chain materialization", i)
+				}
+			}
+		})
+	}
+}
+
+// ckptDelta2 mirrors ckptDelta but discards the stats (loop helper).
+func ckptDelta2(t *testing.T, e *Engine, cs chainStore, space *addrspace.Space, prev *DeltaState, name string) *DeltaState {
+	t.Helper()
+	_, state := ckptDelta(t, e, cs, space, prev, name)
+	return state
+}
+
+func TestV3DeltaSkipsCleanSectionShards(t *testing.T) {
+	space, _, _ := buildDeltaSpace(t)
+	e := NewEngine()
+	e.ShardSize = addrspace.PageSize
+	grow := bytes.Repeat([]byte{0x55}, 3*addrspace.PageSize)
+	p := &growingSectionPlugin{data: grow}
+	e.Register(p)
+	cs := chainStore{}
+	_, st0 := ckptDelta(t, e, cs, space, nil, "b")
+	// Append one page to the section; nothing else changes.
+	p.data = append(p.data, bytes.Repeat([]byte{0x66}, addrspace.PageSize)...)
+	st, st1 := ckptDelta(t, e, cs, space, st0, "d")
+	// Only the appended section page is dirty (region payload clean).
+	if st.PayloadWritten != addrspace.PageSize {
+		t.Fatalf("append-only section re-emitted %d bytes, want one page", st.PayloadWritten)
+	}
+	tip, err := ReadImage(bytes.NewReader(cs["d"]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat, err := ResolveChain(tip, cs.open, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec, _ := mat.Sections.Get("grow.data")
+	if !bytes.Equal(sec, p.data) {
+		t.Fatal("materialized grown section differs")
+	}
+	_ = st1
+}
+
+type growingSectionPlugin struct {
+	data []byte
+}
+
+func (p *growingSectionPlugin) Name() string { return "grow" }
+func (p *growingSectionPlugin) PreCheckpoint(_ context.Context, s *SectionMap) error {
+	s.Add("grow.data", append([]byte(nil), p.data...))
+	return nil
+}
+func (p *growingSectionPlugin) Resume() error                                  { return nil }
+func (p *growingSectionPlugin) Restart(_ context.Context, _ *SectionMap) error { return nil }
+
+func TestV3WorkerCountDeterminism(t *testing.T) {
+	for _, gz := range []bool{false, true} {
+		images := map[int][]byte{}
+		for _, workers := range []int{1, 4} {
+			space, big, _ := buildDeltaSpace(t)
+			e := NewEngine()
+			e.Gzip = gz
+			e.Workers = workers
+			e.ShardSize = addrspace.PageSize
+			cs := chainStore{}
+			_, st0 := ckptDelta(t, e, cs, space, nil, "b")
+			if err := space.WriteAt(big+3*addrspace.PageSize, bytes.Repeat([]byte{0x42}, addrspace.PageSize)); err != nil {
+				t.Fatal(err)
+			}
+			ckptDelta(t, e, cs, space, st0, "d")
+			images[workers] = append(cs["b"], cs["d"]...)
+		}
+		if !bytes.Equal(images[1], images[4]) {
+			t.Fatalf("gzip=%v: v3 images differ between worker counts", gz)
+		}
+	}
+}
+
+func TestV3HashCorruptionDetected(t *testing.T) {
+	space, _, _ := buildDeltaSpace(t)
+	e := NewEngine()
+	e.ShardSize = addrspace.PageSize
+	cs := chainStore{}
+	ckptDelta(t, e, cs, space, nil, "b")
+	img := cs["b"]
+	// Flip a byte in the last shard's payload (well past the header).
+	bad := append([]byte(nil), img...)
+	bad[len(bad)-1] ^= 0xFF
+	if _, err := ReadImage(bytes.NewReader(bad)); !errors.Is(err, ErrBadImage) {
+		t.Fatalf("corrupted payload not detected: %v", err)
+	}
+}
+
+func TestV3DeltaRestoreWithoutChainFails(t *testing.T) {
+	space, big, _ := buildDeltaSpace(t)
+	e := NewEngine()
+	e.ShardSize = addrspace.PageSize
+	cs := chainStore{}
+	_, st0 := ckptDelta(t, e, cs, space, nil, "b")
+	if err := space.WriteAt(big, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	ckptDelta(t, e, cs, space, st0, "d")
+	tip, err := ReadImage(bytes.NewReader(cs["d"]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := addrspace.New()
+	if err := RestoreRegions(tip, fresh); !errors.Is(err, ErrDeltaChain) {
+		t.Fatalf("restoring an unmaterialized delta must fail with ErrDeltaChain, got %v", err)
+	}
+	// A broken lineage (missing parent) also classifies as ErrDeltaChain.
+	if _, err := ResolveChain(tip, chainStore{}.open, nil); !errors.Is(err, ErrDeltaChain) {
+		t.Fatalf("missing parent must fail with ErrDeltaChain, got %v", err)
+	}
+}
+
+func TestV3RegionRemapEmitsFully(t *testing.T) {
+	space, big, _ := buildDeltaSpace(t)
+	e := NewEngine()
+	e.ShardSize = addrspace.PageSize
+	cs := chainStore{}
+	_, st0 := ckptDelta(t, e, cs, space, nil, "b")
+	// Unmap the middle of big: the region splits; the delta's table must
+	// reflect the split and the materialized chain must still match a
+	// fresh base.
+	if err := space.MUnmap(big+4*addrspace.PageSize, 2*addrspace.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	// Map a brand-new region: stamped dirty from birth.
+	nr, err := space.MMap(0, addrspace.PageSize, addrspace.ProtRW, 0, addrspace.HalfUpper, "new")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := space.WriteAt(nr, bytes.Repeat([]byte{0x77}, addrspace.PageSize)); err != nil {
+		t.Fatal(err)
+	}
+	ckptDelta(t, e, cs, space, st0, "d")
+
+	var ref bytes.Buffer
+	if _, _, err := e.CheckpointDelta(context.Background(), &ref, space, nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	refImg, err := ReadImage(bytes.NewReader(ref.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tip, err := ReadImage(bytes.NewReader(cs["d"]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat, err := ResolveChain(tip, cs.open, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mat.Regions) != len(refImg.Regions) {
+		t.Fatalf("region count %d != %d", len(mat.Regions), len(refImg.Regions))
+	}
+	for i := range mat.Regions {
+		if mat.Regions[i].Start != refImg.Regions[i].Start ||
+			mat.Regions[i].Len != refImg.Regions[i].Len ||
+			!bytes.Equal(mat.Regions[i].Data, refImg.Regions[i].Data) {
+			t.Fatalf("region %d differs after remap", i)
+		}
+	}
+}
+
+func TestReadImageMeta(t *testing.T) {
+	space, big, _ := buildDeltaSpace(t)
+	e := NewEngine()
+	cs := chainStore{}
+	_, st0 := ckptDelta(t, e, cs, space, nil, "base")
+	if err := space.WriteAt(big, []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	ckptDelta(t, e, cs, space, st0, "d1")
+
+	m, err := ReadImageMeta(bytes.NewReader(cs["base"]))
+	if err != nil || m.Version != 3 || m.Delta || m.Parent != "" || m.Depth != 0 {
+		t.Fatalf("base meta: %+v, %v", m, err)
+	}
+	m, err = ReadImageMeta(bytes.NewReader(cs["d1"]))
+	if err != nil || !m.Delta || m.Parent != "base" || m.Depth != 1 {
+		t.Fatalf("delta meta: %+v, %v", m, err)
+	}
+
+	// v2 images report no lineage.
+	var v2 bytes.Buffer
+	if _, err := NewEngine().Checkpoint(context.Background(), &v2, space); err != nil {
+		t.Fatal(err)
+	}
+	m, err = ReadImageMeta(bytes.NewReader(v2.Bytes()))
+	if err != nil || m.Version != 2 || m.Delta || m.Parent != "" {
+		t.Fatalf("v2 meta: %+v, %v", m, err)
+	}
+}
+
+func TestV3ShardSizeChangeRotatesToBase(t *testing.T) {
+	space, _, _ := buildDeltaSpace(t)
+	e := NewEngine()
+	e.ShardSize = addrspace.PageSize
+	cs := chainStore{}
+	_, st0 := ckptDelta(t, e, cs, space, nil, "b")
+	e.ShardSize = 2 * addrspace.PageSize
+	st, state := ckptDelta(t, e, cs, space, st0, "next")
+	if st.Delta || state.Depth != 0 {
+		t.Fatalf("shard-size change must force a base, got %+v", st)
+	}
+}
+
+// hookWriter is a DeltaPlugin whose pre-checkpoint hook itself writes
+// to the space — the drain-time mutation window that must never lose
+// bytes across a chain.
+type hookWriter struct {
+	space *addrspace.Space
+	addr  uint64
+	val   byte
+	write bool
+}
+
+func (p *hookWriter) Name() string { return "hookwriter" }
+func (p *hookWriter) PreCheckpoint(_ context.Context, _ *SectionMap) error {
+	return p.PreCheckpointDelta(context.Background(), nil, 0)
+}
+func (p *hookWriter) PreCheckpointDelta(_ context.Context, _ *SectionMap, _ uint64) error {
+	if p.write {
+		if err := p.space.WriteAt(p.addr, []byte{p.val}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+func (p *hookWriter) Resume() error                                  { return nil }
+func (p *hookWriter) Restart(_ context.Context, _ *SectionMap) error { return nil }
+
+// TestV3HookTimeWritesStampAboveCut pins the cut ordering: a write
+// performed during the checkpoint's own hooks (after the cut is taken)
+// must be stamped above the cut and re-emitted by the NEXT delta, even
+// though this checkpoint's payload may also have captured it. With the
+// cut taken after the hooks, such writes would be stamped at the cut
+// value, reported clean forever, and lost from the chain.
+func TestV3HookTimeWritesStampAboveCut(t *testing.T) {
+	space, big, _ := buildDeltaSpace(t)
+	e := NewEngine()
+	e.ShardSize = addrspace.PageSize
+	hw := &hookWriter{space: space, addr: big + 7*addrspace.PageSize, val: 0x5A, write: true}
+	e.Register(hw)
+	cs := chainStore{}
+	_, st0 := ckptDelta(t, e, cs, space, nil, "base")
+
+	// The delta's own hook stays quiet: anything it emits for page 7 can
+	// only come from the base's hook-time write.
+	hw.write = false
+	st, _ := ckptDelta(t, e, cs, space, st0, "d1")
+	if st.PayloadWritten == 0 {
+		t.Fatal("hook-time write of the base checkpoint was reported clean and lost")
+	}
+	tip, err := ReadImage(bytes.NewReader(cs["d1"]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat, err := ResolveChain(tip, cs.open, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := regionBytes(t, mat, "big")
+	if got[7*addrspace.PageSize] != 0x5A {
+		t.Fatalf("chain lost the hook-time write: byte = %#x", got[7*addrspace.PageSize])
+	}
+}
+
+// TestV3DepthCapRotatesToBase pins the writer-side cap: the chain
+// rotates to a base before reaching the reader's maxChainDepth, so
+// every written image stays restorable no matter the caller's policy.
+func TestV3DepthCapRotatesToBase(t *testing.T) {
+	space, _, _ := buildDeltaSpace(t)
+	e := NewEngine()
+	var st *DeltaState
+	cs := chainStore{}
+	maxSeen := 0
+	for i := 0; i < maxChainDepth+3; i++ {
+		var buf bytes.Buffer
+		stats, next, err := e.CheckpointDelta(context.Background(), &buf, space, st, fmt.Sprintf("g%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs[fmt.Sprintf("g%d", i)] = buf.Bytes()
+		if stats.DeltaDepth > maxSeen {
+			maxSeen = stats.DeltaDepth
+		}
+		if stats.DeltaDepth >= maxChainDepth {
+			t.Fatalf("checkpoint %d written at unrestorable depth %d", i, stats.DeltaDepth)
+		}
+		st = next
+	}
+	if maxSeen != maxChainDepth-1 {
+		t.Fatalf("max depth seen %d, want rotation at %d", maxSeen, maxChainDepth-1)
+	}
+	// The deepest tip still materializes.
+	tip, err := ReadImage(bytes.NewReader(cs[fmt.Sprintf("g%d", maxChainDepth-1)]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ResolveChain(tip, cs.open, nil); err != nil {
+		t.Fatal(err)
+	}
+}

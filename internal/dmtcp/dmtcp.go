@@ -43,14 +43,25 @@ import (
 
 // SectionMap carries named plugin payloads inside a checkpoint image.
 type SectionMap struct {
-	order []string
-	m     map[string][]byte
+	order  []string
+	m      map[string][]byte
+	opaque map[string]bool
 }
 
 // NewSectionMap returns an empty section map.
 func NewSectionMap() *SectionMap {
-	return &SectionMap{m: make(map[string][]byte)}
+	return &SectionMap{m: make(map[string][]byte), opaque: make(map[string]bool)}
 }
+
+// MarkOpaque declares a section's bytes self-delta-encoded: the v3
+// delta writer must not apply generic shard-level deduplication to it
+// (the owning plugin already emitted an incremental encoding), and
+// chain materialization resolves it through a registered SectionMerger
+// instead of byte-offset inheritance.
+func (s *SectionMap) MarkOpaque(name string) { s.opaque[name] = true }
+
+// Opaque reports whether the section was marked with MarkOpaque.
+func (s *SectionMap) Opaque(name string) bool { return s.opaque[name] }
 
 // Add stores a section, replacing any previous content under name.
 func (s *SectionMap) Add(name string, data []byte) {
@@ -137,10 +148,22 @@ type RegionData struct {
 
 // Image is a parsed checkpoint image.
 type Image struct {
-	Version  int // image format version (1 or 2)
+	Version  int // image format version (1, 2 or 3)
 	Gzip     bool
 	Regions  []RegionData
 	Sections *SectionMap
+
+	// Delta is non-nil for v3 images. A v3 base parses to a complete
+	// (materialized) image; a v3 delta holds only its dirty shards until
+	// ApplyDelta / ResolveChain combines it with its parent chain —
+	// Regions carry no Data and Sections is empty until then.
+	Delta *DeltaInfo
+}
+
+// Complete reports whether the image carries its full payload (v1/v2
+// images always do; v3 deltas only after chain materialization).
+func (img *Image) Complete() bool {
+	return img.Delta == nil || img.Delta.Materialized
 }
 
 // TotalRegionBytes sums the serialized region payloads.
@@ -165,6 +188,27 @@ type Stats struct {
 	Duration      time.Duration
 	WriteDuration time.Duration
 	HookDuration  time.Duration
+
+	// Incremental (v3) accounting. ShardsTotal and PayloadTotal cover
+	// the full span layout of the checkpointed state; ShardsWritten and
+	// PayloadWritten count only the emitted (dirty) shards — for a full
+	// image the pairs are equal. Delta reports whether the image was a
+	// delta, and DeltaDepth its distance from the chain's base.
+	Delta          bool
+	DeltaDepth     int
+	ShardsTotal    int
+	ShardsWritten  int
+	PayloadTotal   uint64
+	PayloadWritten uint64
+}
+
+// DirtyRatio is PayloadWritten over PayloadTotal — the fraction of the
+// checkpointed state a delta actually carried (1 for a full image).
+func (st Stats) DirtyRatio() float64 {
+	if st.PayloadTotal == 0 {
+		return 1
+	}
+	return float64(st.PayloadWritten) / float64(st.PayloadTotal)
 }
 
 // DefaultShardSize is the payload shard granularity of the v2 pipeline:
@@ -204,6 +248,7 @@ func (e *Engine) Register(p Plugin) { e.plugins = append(e.plugins, p) }
 var (
 	imageMagicV1 = [8]byte{'C', 'R', 'A', 'C', 'I', 'M', 'G', '1'}
 	imageMagicV2 = [8]byte{'C', 'R', 'A', 'C', 'I', 'M', 'G', '2'}
+	imageMagicV3 = [8]byte{'C', 'R', 'A', 'C', 'I', 'M', 'G', '3'}
 )
 
 // ErrBadImage reports a malformed checkpoint image.
@@ -247,6 +292,12 @@ func (e *Engine) shardSize() int {
 // abandoned where it stands (callers that need all-or-nothing semantics
 // write through an atomic sink, e.g. a Store).
 func (e *Engine) Checkpoint(ctx context.Context, w io.Writer, space *addrspace.Space) (Stats, error) {
+	if e.ImageVersion == 3 {
+		// The v3 path has its own hook lifecycle (delta-aware plugins);
+		// with no lineage this writes a standalone full base image.
+		st, _, err := e.CheckpointDelta(ctx, w, space, nil, "")
+		return st, err
+	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -304,6 +355,14 @@ func (e *Engine) Checkpoint(ctx context.Context, w io.Writer, space *addrspace.S
 	return st, nil
 }
 
+// v1GzipPool recycles the whole-body gzip writer of the v1 serial
+// format across checkpoints (Reset re-arms a closed writer); v1 always
+// compresses at the default level, so every pooled writer fits.
+var v1GzipPool sync.Pool
+
+// v1ChunkPool recycles the bounded payload chunk buffer of writeBodyV1.
+var v1ChunkPool sync.Pool
+
 // writeImageV1 emits the legacy serial format: interleaved region
 // headers and payloads, optionally wrapped in a single gzip stream.
 func (e *Engine) writeImageV1(ctx context.Context, w io.Writer, space *addrspace.Space, regions []addrspace.RegionInfo, sections *SectionMap, st *Stats) error {
@@ -320,14 +379,21 @@ func (e *Engine) writeImageV1(ctx context.Context, w io.Writer, space *addrspace
 	body := w
 	var gz *gzip.Writer
 	if e.Gzip {
-		gz = gzip.NewWriter(w)
+		if pw, _ := v1GzipPool.Get().(*gzip.Writer); pw != nil {
+			pw.Reset(w)
+			gz = pw
+		} else {
+			gz = gzip.NewWriter(w)
+		}
 		body = gz
 	}
 	if err := writeBodyV1(ctx, body, space, regions, sections, st, e.shardSize()); err != nil {
 		return err
 	}
 	if gz != nil {
-		return gz.Close()
+		err := gz.Close()
+		v1GzipPool.Put(gz)
+		return err
 	}
 	return nil
 }
@@ -339,10 +405,17 @@ func writeBodyV1(ctx context.Context, w io.Writer, space *addrspace.Space, regio
 	if _, err := w.Write(u32[:]); err != nil {
 		return err
 	}
-	// One bounded, reused chunk buffer: region payloads stream through
-	// it instead of a grow-only whole-region buffer that pins the
-	// largest region's capacity for the rest of the walk.
-	buf := make([]byte, chunk)
+	// One bounded, pooled chunk buffer: region payloads stream through
+	// it instead of a grow-only whole-region buffer, and the buffer
+	// itself is recycled across checkpoints instead of reallocated per
+	// image.
+	bp, _ := v1ChunkPool.Get().(*[]byte)
+	if bp == nil || cap(*bp) < chunk {
+		b := make([]byte, chunk)
+		bp = &b
+	}
+	defer v1ChunkPool.Put(bp)
+	buf := (*bp)[:chunk]
 	for _, ri := range regions {
 		binary.LittleEndian.PutUint64(u64[:], ri.Start)
 		if _, err := w.Write(u64[:]); err != nil {
@@ -397,13 +470,21 @@ func writeBodyV1(ctx context.Context, w io.Writer, space *addrspace.Space, regio
 	return nil
 }
 
-// shardJob is one unit of the v2 write pipeline: a payload shard to be
-// read from the address space (regions) or sliced from memory
-// (sections), optionally compressed, and written in index order.
+// shardJob is one unit of the v2/v3 write pipeline: a payload shard to
+// be read from the address space (regions) or sliced from memory
+// (sections), optionally compressed, and written in index order. v3
+// jobs additionally carry the shard's span address and content hash,
+// framed into the extended v3 shard header.
 type shardJob struct {
 	addr   uint64 // source address when reading from the space
 	src    []byte // in-memory source (section shard); nil for regions
 	rawLen int
+
+	v3      bool
+	spanIdx uint32 // destination span (regions, then sections)
+	spanOff uint64 // offset within the span
+	hash    uint64 // FNV-1a of the raw bytes
+	hashed  bool   // hash precomputed (section shards); else workers fill it
 
 	enc    []byte        // framed payload, valid once done is closed
 	rawBuf *[]byte       // pooled region buffer to recycle after consumption
@@ -527,6 +608,10 @@ func (e *Engine) runWritePipeline(ctx context.Context, w io.Writer, space *addrs
 				return
 			}
 		}
+		if j.v3 && !j.hashed {
+			j.hash = fnvSum64(raw)
+			j.hashed = true
+		}
 		if gz == nil {
 			j.enc = raw
 			return
@@ -566,14 +651,25 @@ func (e *Engine) runWritePipeline(ctx context.Context, w io.Writer, space *addrs
 		return gzip.NewWriterLevel(io.Discard, level)
 	}
 
-	var hdr [8]byte
+	var hdr [shardHdrV3]byte
 	consume := func(j *shardJob) error {
 		if j.err != nil {
 			return j.err
 		}
-		binary.LittleEndian.PutUint32(hdr[0:], uint32(j.rawLen))
-		binary.LittleEndian.PutUint32(hdr[4:], uint32(len(j.enc)))
-		if _, err := w.Write(hdr[:]); err != nil {
+		var h []byte
+		if j.v3 {
+			binary.LittleEndian.PutUint32(hdr[0:], j.spanIdx)
+			binary.LittleEndian.PutUint64(hdr[4:], j.spanOff)
+			binary.LittleEndian.PutUint32(hdr[12:], uint32(j.rawLen))
+			binary.LittleEndian.PutUint32(hdr[16:], uint32(len(j.enc)))
+			binary.LittleEndian.PutUint64(hdr[20:], j.hash)
+			h = hdr[:shardHdrV3]
+		} else {
+			binary.LittleEndian.PutUint32(hdr[0:], uint32(j.rawLen))
+			binary.LittleEndian.PutUint32(hdr[4:], uint32(len(j.enc)))
+			h = hdr[:8]
+		}
+		if _, err := w.Write(h); err != nil {
 			return err
 		}
 		_, err := w.Write(j.enc)
@@ -687,23 +783,53 @@ func readString(r io.Reader) (string, error) {
 	return string(buf), nil
 }
 
-// readExact reads exactly n bytes, growing the buffer as data actually
-// arrives so a hostile length claim cannot force a giant allocation.
+// readStagePool recycles the staging chunk readExact streams large
+// payloads through, so repeated image reads stop allocating (and
+// copying through) a fresh bytes.Buffer per item.
+var readStagePool = sync.Pool{New: func() any {
+	b := make([]byte, 256<<10)
+	return &b
+}}
+
+// trustedExact bounds the up-front allocation readExact risks on an
+// unverified length claim: items at most this large get an exact buffer
+// immediately; larger claims grow only as data actually arrives.
+const trustedExact = 1 << 20
+
+// readExact reads exactly n bytes. Small items land in an exactly-sized
+// buffer with no slack; large items stream through a pooled staging
+// chunk so a hostile length claim cannot force a giant allocation.
 func readExact(r io.Reader, n uint64) ([]byte, error) {
 	if n > maxItemBytes {
 		return nil, fmt.Errorf("%w: oversized item (%d bytes)", ErrBadImage, n)
 	}
-	var b bytes.Buffer
-	if m, err := io.CopyN(&b, r, int64(n)); err != nil || uint64(m) != n {
-		if err == nil {
-			err = io.ErrUnexpectedEOF
-		}
-		return nil, err
+	if n == 0 {
+		return nil, nil
 	}
-	out := b.Bytes()
-	// The result may live as long as the parsed Image; don't pin the
-	// buffer's geometric-growth slack for large payloads.
-	if uint64(cap(out)) > n+n/4 && n >= 1<<16 {
+	if n <= trustedExact {
+		out := make([]byte, n)
+		if _, err := io.ReadFull(r, out); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	bp := readStagePool.Get().(*[]byte)
+	defer readStagePool.Put(bp)
+	stage := *bp
+	out := make([]byte, 0, trustedExact)
+	for uint64(len(out)) < n {
+		k := n - uint64(len(out))
+		if k > uint64(len(stage)) {
+			k = uint64(len(stage))
+		}
+		if _, err := io.ReadFull(r, stage[:k]); err != nil {
+			return nil, err
+		}
+		out = append(out, stage[:k]...)
+	}
+	// The result may live as long as the parsed Image; don't pin
+	// append's geometric-growth slack.
+	if uint64(cap(out)) > n+n/4 {
 		out = append(make([]byte, 0, n), out...)
 	}
 	return out, nil
@@ -720,6 +846,8 @@ func ReadImage(r io.Reader) (*Image, error) {
 		return readImageV1(r)
 	case imageMagicV2:
 		return readImageV2(r)
+	case imageMagicV3:
+		return readImageV3(r)
 	default:
 		// A CRACIMG prefix with an unknown version digit is an image from
 		// a build we don't speak, not garbage.
@@ -1046,6 +1174,9 @@ func RestoreRegions(img *Image, space *addrspace.Space) error {
 // concurrently over disjoint ranges (see the addrspace concurrency
 // contract), then read-only protections are applied.
 func RestoreRegionsN(ctx context.Context, img *Image, space *addrspace.Space, workers int) error {
+	if !img.Complete() {
+		return fmt.Errorf("%w: cannot restore regions from an unmaterialized delta", ErrDeltaChain)
+	}
 	for _, rd := range img.Regions {
 		if _, err := space.MMap(rd.Start, rd.Len, rd.Prot|addrspace.ProtWrite, addrspace.MapFixedNoReplace,
 			addrspace.HalfUpper, rd.Label); err != nil {

@@ -1,0 +1,207 @@
+package dmtcp
+
+// Edge-case coverage for the v2 span/frame machinery (ensureSpans,
+// readIntoSpans): zero-length spans, frames straddling a span boundary
+// (legal in the format, never emitted by the writer), and truncated
+// final frames. The images are hand-crafted byte streams so the tests
+// pin the *reader's* tolerance, not the writer's habits.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"repro/internal/addrspace"
+)
+
+// v2Builder assembles a v2 image byte stream field by field.
+type v2Builder struct {
+	buf bytes.Buffer
+}
+
+func (b *v2Builder) u8(v byte) { b.buf.WriteByte(v) }
+func (b *v2Builder) u32(v uint32) {
+	var x [4]byte
+	binary.LittleEndian.PutUint32(x[:], v)
+	b.buf.Write(x[:])
+}
+func (b *v2Builder) u64(v uint64) {
+	var x [8]byte
+	binary.LittleEndian.PutUint64(x[:], v)
+	b.buf.Write(x[:])
+}
+func (b *v2Builder) str(s string) {
+	var x [2]byte
+	binary.LittleEndian.PutUint16(x[:], uint16(len(s)))
+	b.buf.Write(x[:])
+	b.buf.WriteString(s)
+}
+func (b *v2Builder) raw(p []byte)  { b.buf.Write(p) }
+func (b *v2Builder) bytes() []byte { return b.buf.Bytes() }
+
+type v2Region struct {
+	start, length uint64
+	label         string
+}
+
+type v2Section struct {
+	name string
+	size uint64
+}
+
+// header emits magic..shardSize for the given layout (gzip off).
+func v2Header(regions []v2Region, sections []v2Section, shard uint32) *v2Builder {
+	b := &v2Builder{}
+	b.raw(imageMagicV2[:])
+	b.u32(0) // flags: no gzip
+	b.u32(uint32(len(regions)))
+	for _, r := range regions {
+		b.u64(r.start)
+		b.u64(r.length)
+		b.u8(byte(addrspace.ProtRW))
+		b.str(r.label)
+	}
+	b.u32(uint32(len(sections)))
+	for _, s := range sections {
+		b.str(s.name)
+		b.u64(s.size)
+	}
+	b.u32(shard)
+	return b
+}
+
+// frame appends one stored (uncompressed) frame.
+func (b *v2Builder) frame(p []byte) {
+	b.u32(uint32(len(p)))
+	b.u32(uint32(len(p)))
+	b.raw(p)
+}
+
+func pattern(n int, seed byte) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = seed + byte(i%31)
+	}
+	return p
+}
+
+func TestReadImageV2ZeroLengthSpans(t *testing.T) {
+	// Layout: a zero-length region between two live ones, and a
+	// zero-length section between two live ones. Zero-size spans own no
+	// payload bytes, so the frame stream skips straight over them.
+	const page = addrspace.PageSize
+	r1 := pattern(page, 1)
+	r2 := pattern(page, 7)
+	secA := pattern(5, 3)
+	secB := pattern(3, 9)
+	b := v2Header(
+		[]v2Region{
+			{start: addrspace.DefaultUpperStart, length: page, label: "r1"},
+			{start: addrspace.DefaultUpperStart + page, length: 0, label: "empty"},
+			{start: addrspace.DefaultUpperStart + 2*page, length: page, label: "r2"},
+		},
+		[]v2Section{{"a", 5}, {"z", 0}, {"b", 3}},
+		DefaultShardSize,
+	)
+	b.frame(r1)
+	b.frame(r2)
+	b.frame(secA)
+	b.frame(secB)
+	img, err := ReadImage(bytes.NewReader(b.bytes()))
+	if err != nil {
+		t.Fatalf("zero-length spans: %v", err)
+	}
+	if !bytes.Equal(img.Regions[0].Data, r1) || !bytes.Equal(img.Regions[2].Data, r2) {
+		t.Fatal("live region payloads wrong around a zero-length region")
+	}
+	if img.Regions[1].Len != 0 || len(img.Regions[1].Data) != 0 {
+		t.Fatal("zero-length region must stay empty")
+	}
+	if got, ok := img.Sections.Get("z"); !ok || len(got) != 0 {
+		t.Fatalf("zero-length section must be present and empty, got %v %v", got, ok)
+	}
+	if got, _ := img.Sections.Get("a"); !bytes.Equal(got, secA) {
+		t.Fatal("section a wrong")
+	}
+	if got, _ := img.Sections.Get("b"); !bytes.Equal(got, secB) {
+		t.Fatal("section b wrong")
+	}
+}
+
+func TestReadImageV2FrameStraddlesSpanBoundary(t *testing.T) {
+	// One frame covering the tail of region 1 and the head of region 2,
+	// and another straddling region 2 into the first section. The writer
+	// never emits such frames, but the format permits them and
+	// readIntoSpans must split them across destinations.
+	const page = addrspace.PageSize
+	r1 := pattern(page, 11)
+	r2 := pattern(page, 23)
+	sec := pattern(64, 41)
+	b := v2Header(
+		[]v2Region{
+			{start: addrspace.DefaultUpperStart, length: page, label: "r1"},
+			{start: addrspace.DefaultUpperStart + page, length: page, label: "r2"},
+		},
+		[]v2Section{{"s", 64}},
+		DefaultShardSize,
+	)
+	payload := append(append(append([]byte(nil), r1...), r2...), sec...)
+	b.frame(payload[:page/2])          // first half of r1
+	b.frame(payload[page/2 : page+10]) // rest of r1 + 10 bytes of r2
+	b.frame(payload[page+10:])         // rest of r2 + all of s
+	img, err := ReadImage(bytes.NewReader(b.bytes()))
+	if err != nil {
+		t.Fatalf("straddling frames: %v", err)
+	}
+	if !bytes.Equal(img.Regions[0].Data, r1) || !bytes.Equal(img.Regions[1].Data, r2) {
+		t.Fatal("straddled region payloads reassembled wrong")
+	}
+	if got, _ := img.Sections.Get("s"); !bytes.Equal(got, sec) {
+		t.Fatal("straddled section payload wrong")
+	}
+}
+
+func TestReadImageV2TruncatedFinalShard(t *testing.T) {
+	const page = addrspace.PageSize
+	b := v2Header(
+		[]v2Region{{start: addrspace.DefaultUpperStart, length: 2 * page, label: "r"}},
+		nil,
+		page,
+	)
+	b.frame(pattern(page, 1))
+	b.frame(pattern(page, 2))
+	whole := b.bytes()
+	for _, tc := range []struct {
+		name string
+		cut  int
+	}{
+		{"mid final payload", len(whole) - page/2},
+		{"after final header", len(whole) - page},
+		{"mid final header", len(whole) - page - 4},
+		{"missing final frame", len(whole) - page - 8},
+	} {
+		if _, err := ReadImage(bytes.NewReader(whole[:tc.cut])); !errors.Is(err, ErrBadImage) {
+			t.Fatalf("%s: want ErrBadImage, got %v", tc.name, err)
+		}
+	}
+	// Unharmed, the image still reads.
+	if _, err := ReadImage(bytes.NewReader(whole)); err != nil {
+		t.Fatalf("control read failed: %v", err)
+	}
+}
+
+func TestReadImageV2RejectsZeroLengthFrame(t *testing.T) {
+	const page = addrspace.PageSize
+	b := v2Header(
+		[]v2Region{{start: addrspace.DefaultUpperStart, length: page, label: "r"}},
+		nil,
+		page,
+	)
+	b.u32(0) // rawLen 0
+	b.u32(0) // encLen 0
+	b.raw(pattern(page, 1))
+	if _, err := ReadImage(bytes.NewReader(b.bytes())); !errors.Is(err, ErrBadImage) {
+		t.Fatalf("zero-length frame must be rejected, got %v", err)
+	}
+}

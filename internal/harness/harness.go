@@ -63,8 +63,11 @@ type Runner struct {
 	Proxy   *proxy.Runtime // non-nil in proxy modes
 }
 
-// NewRunner builds a runner for the mode over the given device.
-func NewRunner(mode Mode, prop gpusim.Properties) (*Runner, error) {
+// NewRunner builds a runner for the mode over the given device. Extra
+// options apply to the CRAC session modes (e.g. crac.WithIncremental);
+// the native and proxy bindings have no session to configure and
+// ignore them.
+func NewRunner(mode Mode, prop gpusim.Properties, opts ...crac.Option) (*Runner, error) {
 	switch mode {
 	case ModeNative:
 		rt, err := crac.NewNative(crac.WithDevice(prop))
@@ -77,7 +80,7 @@ func NewRunner(mode Mode, prop gpusim.Properties) (*Runner, error) {
 		if mode == ModeCRACFSGSBase {
 			sw = crac.SwitchFSGSBase
 		}
-		s, err := crac.New(crac.WithDevice(prop), crac.WithSwitcher(sw))
+		s, err := crac.New(append([]crac.Option{crac.WithDevice(prop), crac.WithSwitcher(sw)}, opts...)...)
 		if err != nil {
 			return nil, err
 		}

@@ -59,6 +59,10 @@ func (s Side) String() string {
 type page struct {
 	mu  sync.Mutex
 	res Residency
+	// gen is the manager's touch epoch at the page's last access or
+	// prefetch (0: never touched). Incremental checkpointing skips
+	// host-resident pages untouched since the previous checkpoint's cut.
+	gen uint64
 }
 
 // Region is one managed allocation under UVM control.
@@ -66,6 +70,7 @@ type Region struct {
 	Base uint64
 	Len  uint64
 
+	mgr   *Manager
 	pages []page
 
 	hostFaults   atomic.Uint64
@@ -93,6 +98,9 @@ type Stats struct {
 type Manager struct {
 	mu      sync.Mutex
 	regions map[uint64]*Region // keyed by base address
+
+	// epoch is the touch-epoch counter backing CutEpoch, starting at 1.
+	epoch atomic.Uint64
 }
 
 // ErrNotManaged is returned for addresses outside any managed region.
@@ -100,14 +108,58 @@ var ErrNotManaged = errors.New("uvm: address not in a managed region")
 
 // NewManager creates an empty UVM manager.
 func NewManager() *Manager {
-	return &Manager{regions: make(map[uint64]*Region)}
+	m := &Manager{regions: make(map[uint64]*Region)}
+	m.epoch.Store(1)
+	return m
+}
+
+// CutEpoch takes a touch-tracking cut: it returns the current epoch and
+// advances to the next one. Pages touched before the call carry a stamp
+// ≤ the returned cut; pages touched after it carry a larger stamp. See
+// CleanSince.
+func (m *Manager) CutEpoch() uint64 {
+	return m.epoch.Add(1) - 1
+}
+
+// CleanSince reports whether every page of [addr, addr+length) is
+// host-resident and untouched since the given cut — the pages whose
+// content the CPU side already holds and that no access has moved or
+// mutated since the previous checkpoint, which an incremental drain may
+// therefore skip (never-touched pages, stamp 0, are clean under any
+// cut). Bytes outside any managed region report false: the caller
+// cannot reason about them.
+func (m *Manager) CleanSince(addr, length, cut uint64) bool {
+	for length > 0 {
+		r, ok := m.Lookup(addr)
+		if !ok {
+			return false
+		}
+		chunk := r.Base + r.Len - addr
+		if chunk > length {
+			chunk = length
+		}
+		first := (addr - r.Base) / PageSize
+		last := (addr + chunk - 1 - r.Base) / PageSize
+		for pi := first; pi <= last; pi++ {
+			p := &r.pages[pi]
+			p.mu.Lock()
+			dirty := p.res != OnHost || p.gen > cut
+			p.mu.Unlock()
+			if dirty {
+				return false
+			}
+		}
+		addr += chunk
+		length -= chunk
+	}
+	return true
 }
 
 // Register places [base, base+length) under UVM control with all pages
 // initially host-resident (as cudaMallocManaged memory starts).
 func (m *Manager) Register(base, length uint64) *Region {
 	n := int((length + PageSize - 1) / PageSize)
-	r := &Region{Base: base, Len: length, pages: make([]page, n)}
+	r := &Region{Base: base, Len: length, mgr: m, pages: make([]page, n)}
 	m.mu.Lock()
 	m.regions[base] = r
 	m.mu.Unlock()
@@ -178,6 +230,7 @@ func (r *Region) access(side Side, addr, length uint64) int {
 	for pi := first; pi <= last; pi++ {
 		p := &r.pages[pi]
 		p.mu.Lock()
+		p.gen = r.mgr.epoch.Load()
 		if p.res != want {
 			// Hardware page fault: migrate the page to the accessor.
 			p.res = want
@@ -216,6 +269,7 @@ func (m *Manager) Prefetch(side Side, addr, length uint64) (moved int, err error
 		for pi := first; pi <= last; pi++ {
 			p := &r.pages[pi]
 			p.mu.Lock()
+			p.gen = m.epoch.Load()
 			if p.res != want {
 				p.res = want
 				moved++

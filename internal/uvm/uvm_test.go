@@ -197,3 +197,61 @@ func TestSideAndResidencyStrings(t *testing.T) {
 		t.Fatal("Residency strings")
 	}
 }
+
+func TestCleanSinceTracksTouchesAndResidency(t *testing.T) {
+	m := NewManager()
+	r := m.Register(0x1000, 8*PageSize)
+	_ = r
+	cut := m.CutEpoch()
+	// Never-touched, host-resident pages are clean.
+	if !m.CleanSince(0x1000, 8*PageSize, cut) {
+		t.Fatal("untouched host pages must be clean")
+	}
+	// A host access after the cut dirties its pages.
+	if _, err := m.Access(Host, 0x1000, PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if m.CleanSince(0x1000, PageSize, cut) {
+		t.Fatal("touched page must not be clean")
+	}
+	if !m.CleanSince(0x1000+PageSize, 7*PageSize, cut) {
+		t.Fatal("untouched tail must stay clean")
+	}
+	// Device-resident pages are never clean, even when touched before
+	// the cut.
+	if _, err := m.Access(Device, 0x1000+4*PageSize, PageSize); err != nil {
+		t.Fatal(err)
+	}
+	cut2 := m.CutEpoch()
+	if m.CleanSince(0x1000+4*PageSize, PageSize, cut2) {
+		t.Fatal("device-resident page must not be clean")
+	}
+	// Migrating it back before a new cut makes it clean again only
+	// after the touch falls behind the cut.
+	if _, err := m.Access(Host, 0x1000+4*PageSize, PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if m.CleanSince(0x1000+4*PageSize, PageSize, cut2) {
+		t.Fatal("freshly migrated page must not be clean against an old cut")
+	}
+	cut3 := m.CutEpoch()
+	if !m.CleanSince(0x1000+4*PageSize, PageSize, cut3) {
+		t.Fatal("host page untouched since newest cut must be clean")
+	}
+	// Unmanaged bytes are never clean.
+	if m.CleanSince(0x9000_0000, PageSize, cut3) {
+		t.Fatal("unmanaged range must not report clean")
+	}
+}
+
+func TestPrefetchCountsAsTouch(t *testing.T) {
+	m := NewManager()
+	m.Register(0x1000, 4*PageSize)
+	cut := m.CutEpoch()
+	if _, err := m.Prefetch(Device, 0x1000, PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if m.CleanSince(0x1000, PageSize, cut) {
+		t.Fatal("prefetched page must not be clean")
+	}
+}

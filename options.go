@@ -21,6 +21,7 @@ type settings struct {
 	workers      int
 	shardSize    int
 	imageVersion int
+	incremental  int // max deltas per base; 0 = incremental off
 	aslr         bool
 	aslrSeed     int64
 
@@ -80,6 +81,29 @@ func WithShardSize(bytes int) Option {
 // accept both regardless.
 func WithImageVersion(v int) Option {
 	return func(s *settings) { s.imageVersion = v }
+}
+
+// WithIncremental enables incremental checkpointing: CheckpointTo
+// writes a full v3 base image, then up to n delta images — each
+// carrying only the memory pages and allocation bytes written since its
+// parent — before rotating to a fresh base. Deltas name their parent
+// image, so restoring the chain tip transparently materializes
+// base + deltas (RestartFrom / RestoreFrom / OpenImageFrom follow the
+// lineage through the same Store). n <= 0 disables incremental mode.
+//
+// Only store-bound checkpoints join a chain: a plain Session.Checkpoint
+// to an io.Writer has no name for a parent to refer to and always
+// writes a self-contained image. A restart breaks the chain — the next
+// checkpoint after it is a base.
+func WithIncremental(n int) Option {
+	return func(s *settings) { s.incremental = n }
+}
+
+// WithDeltaEvery is WithIncremental expressed as a base cadence: a full
+// base image every n checkpoints, deltas in between (n <= 1 disables
+// incremental mode). WithDeltaEvery(n) ≡ WithIncremental(n-1).
+func WithDeltaEvery(n int) Option {
+	return func(s *settings) { s.incremental = n - 1 }
 }
 
 // WithASLR enables address-space randomization with the given seed.

@@ -77,6 +77,11 @@ type Session struct {
 	engine     *dmtcp.Engine
 	plugin     *cracplugin.Plugin
 	generation int // incremented on every restart
+
+	// incr is the incremental-checkpoint chain state: the lineage of the
+	// last committed CheckpointTo (nil: the next checkpoint is a base).
+	// Guarded by mu; committed only after the Store.Put succeeded.
+	incr *dmtcp.DeltaState
 }
 
 // buildLowerHalf loads a fresh helper program and CUDA library into
@@ -218,7 +223,19 @@ func (s *Session) Checkpoint(ctx context.Context, w io.Writer) (Stats, error) {
 // CheckpointTo checkpoints into a Store under name. The Put is atomic:
 // a failed or cancelled checkpoint leaves no image (and no partial
 // file) behind.
+//
+// With WithIncremental enabled, CheckpointTo transparently writes
+// either a full v3 base or a delta against the previous CheckpointTo
+// on this session: the first checkpoint (and every restart, shard-size
+// change, or chain reaching its configured depth) produces a base;
+// the rest carry only state written since their parent. The chain
+// state advances only when the Put commits, so a failed or cancelled
+// checkpoint never leaves the lineage pointing at an image that does
+// not exist.
 func (s *Session) CheckpointTo(ctx context.Context, store Store, name string) (Stats, error) {
+	if s.cfg.incremental > 0 {
+		return s.checkpointIncremental(ctx, store, name)
+	}
 	var st Stats
 	err := store.Put(ctx, name, func(w io.Writer) error {
 		var cerr error
@@ -226,6 +243,51 @@ func (s *Session) CheckpointTo(ctx context.Context, store Store, name string) (S
 		return cerr
 	})
 	return st, wrapCancelled(err)
+}
+
+func (s *Session) checkpointIncremental(ctx context.Context, store Store, name string) (Stats, error) {
+	s.mu.Lock()
+	space := s.space
+	closed := s.lib == nil
+	prev := s.incr
+	switch {
+	case prev == nil:
+	case singleImageStore(store):
+		// A FileStore backs every name with one path: a delta written
+		// there would replace the very base it depends on, regardless
+		// of the names used. Such stores only ever get self-contained
+		// images.
+		prev = nil
+	case prev.Depth >= s.cfg.incremental:
+		prev = nil // chain is full: rotate to a fresh base
+	case prev.InChain(name):
+		// The target name is one the chain still depends on (e.g. a
+		// fixed name reused every checkpoint): writing a delta there
+		// would overwrite its own ancestor. Write a self-contained base
+		// instead.
+		prev = nil
+	}
+	s.mu.Unlock()
+	if closed {
+		return Stats{}, ErrSessionClosed
+	}
+	var st Stats
+	var next *dmtcp.DeltaState
+	err := store.Put(ctx, name, func(w io.Writer) error {
+		var cerr error
+		st, next, cerr = s.engine.CheckpointDelta(ctx, w, space, prev, name)
+		return cerr
+	})
+	if err != nil {
+		return st, wrapCancelled(err)
+	}
+	// The image is durable: advance the chain and the plugin's drain
+	// baseline together.
+	s.plugin.CommitIncremental()
+	s.mu.Lock()
+	s.incr = next
+	s.mu.Unlock()
+	return st, nil
 }
 
 // Restart simulates killing the process and restarting it from the image
@@ -248,19 +310,26 @@ func (s *Session) Restart(ctx context.Context, r io.Reader) error {
 	return s.RestartImage(ctx, img)
 }
 
-// RestartImage restarts from an already-opened image.
+// RestartImage restarts from an already-opened image. A v3 delta must
+// be materialized first (open it through OpenImageFrom, which follows
+// the parent chain inside its Store): a bare delta reports
+// ErrDeltaChain.
 func (s *Session) RestartImage(ctx context.Context, img *Image) error {
+	if !img.img.Complete() {
+		return fmt.Errorf("%w: open the image through its Store to materialize the chain", ErrDeltaChain)
+	}
 	return wrapCancelled(s.restartFromImage(ctx, img.img))
 }
 
-// RestartFrom restarts from the named image in a Store.
+// RestartFrom restarts from the named image in a Store. A delta image's
+// parent chain is followed through the same Store and materialized
+// transparently.
 func (s *Session) RestartFrom(ctx context.Context, store Store, name string) error {
-	rc, err := store.Get(ctx, name)
+	img, err := OpenImageFrom(ctx, store, name)
 	if err != nil {
-		return wrapCancelled(err)
+		return err
 	}
-	defer rc.Close()
-	return s.Restart(ctx, rc)
+	return s.RestartImage(ctx, img)
 }
 
 func (s *Session) restartFromImage(ctx context.Context, img *dmtcp.Image) error {
@@ -320,7 +389,12 @@ func (s *Session) restartFromImage(ctx context.Context, img *dmtcp.Image) error 
 	s.mu.Lock()
 	s.space, s.helper, s.lib = space, helper, lib
 	s.generation++
+	// The restored process starts a fresh lineage: the old chain's epoch
+	// cuts are meaningless against the new address space, so the next
+	// incremental checkpoint must be a base.
+	s.incr = nil
 	s.mu.Unlock()
+	s.plugin.ResetIncremental()
 	return nil
 }
 
@@ -350,14 +424,14 @@ func RestoreImage(ctx context.Context, img *Image, opts ...Option) (*Session, er
 	return s, nil
 }
 
-// RestoreFrom builds a new session from the named image in a Store.
+// RestoreFrom builds a new session from the named image in a Store,
+// materializing delta chains through the same Store.
 func RestoreFrom(ctx context.Context, store Store, name string, opts ...Option) (*Session, error) {
-	rc, err := store.Get(ctx, name)
+	img, err := OpenImageFrom(ctx, store, name)
 	if err != nil {
-		return nil, wrapCancelled(err)
+		return nil, err
 	}
-	defer rc.Close()
-	return Restore(ctx, rc, opts...)
+	return RestoreImage(ctx, img, opts...)
 }
 
 // Close tears the session down. It is idempotent: a second Close (or a

@@ -11,6 +11,9 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
+
+	"repro/internal/dmtcp"
 )
 
 // Store is a destination for named checkpoint images. Implementations
@@ -141,9 +144,28 @@ type DirStore struct {
 	Dir string
 	// Keep bounds how many images survive a Put: after a successful
 	// write, only the Keep most recent images (by modification time)
-	// are retained. Keep <= 0 retains everything. Retention is
+	// are retained — plus every ancestor an incremental (v3) delta
+	// chain among them still needs: retention never orphans a chain by
+	// deleting a base or an intermediate delta that a retained image
+	// depends on. Keep <= 0 retains everything. Retention is
 	// best-effort — it never fails an already-committed Put.
 	Keep int
+
+	// pruneMu serializes retention passes: two concurrent Puts must not
+	// interleave their newest-first scans and deletions.
+	pruneMu sync.Mutex
+	// parentCache memoizes each image file's lineage header, keyed by
+	// name and validated against (mtime, size): stored images are
+	// immutable, so retention pays one header read per image instead of
+	// re-parsing every retained file on every Put. Guarded by pruneMu.
+	parentCache map[string]parentCacheEntry
+}
+
+// parentCacheEntry is one memoized lineage header.
+type parentCacheEntry struct {
+	parent string
+	mtime  time.Time
+	size   int64
 }
 
 const imageExt = ".img"
@@ -180,12 +202,16 @@ func (s *DirStore) Put(ctx context.Context, name string, write func(io.Writer) e
 }
 
 // prune applies the retention policy, never touching the image that was
-// just written. Best-effort: images it cannot list or remove are simply
-// retained until a later Put.
+// just written, anything written after it (a concurrent Put's image
+// belongs to that Put's retention window, not this one's), or any
+// ancestor a retained delta chain still needs. Best-effort: images it
+// cannot list, parse, or remove are simply retained until a later Put.
 func (s *DirStore) prune(justWritten string) {
 	if s.Keep <= 0 {
 		return
 	}
+	s.pruneMu.Lock()
+	defer s.pruneMu.Unlock()
 	entries, err := os.ReadDir(s.Dir)
 	if err != nil {
 		return
@@ -195,6 +221,8 @@ func (s *DirStore) prune(justWritten string) {
 		info fs.FileInfo
 	}
 	var imgs []img
+	var justInfo fs.FileInfo
+	infoByName := make(map[string]fs.FileInfo)
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), imageExt) {
 			continue
@@ -203,7 +231,12 @@ func (s *DirStore) prune(justWritten string) {
 		if err != nil {
 			continue // raced with a concurrent delete
 		}
-		imgs = append(imgs, img{name: strings.TrimSuffix(e.Name(), imageExt), info: info})
+		name := strings.TrimSuffix(e.Name(), imageExt)
+		if name == justWritten {
+			justInfo = info
+		}
+		infoByName[name] = info
+		imgs = append(imgs, img{name: name, info: info})
 	}
 	// Newest first; equal timestamps break on name so pruning is
 	// deterministic within one fast generation burst.
@@ -214,12 +247,65 @@ func (s *DirStore) prune(justWritten string) {
 		}
 		return imgs[i].name > imgs[j].name
 	})
-	for _, im := range imgs[min(s.Keep, len(imgs)):] {
-		if im.name == justWritten {
+	retained := make(map[string]bool, s.Keep+1)
+	retained[justWritten] = true
+	for _, im := range imgs[:min(s.Keep, len(imgs))] {
+		retained[im.name] = true
+	}
+	// Chain closure: every retained image's ancestry survives too, or a
+	// surviving delta could never be materialized again.
+	for name := range retained {
+		cur := name
+		for hops := 0; hops < maxLineageHops; hops++ {
+			parent := s.imageParent(cur, infoByName[cur])
+			if parent == "" || retained[parent] {
+				break
+			}
+			retained[parent] = true
+			cur = parent
+		}
+	}
+	for _, im := range imgs {
+		if retained[im.name] {
 			continue
+		}
+		if justInfo != nil && im.info.ModTime().After(justInfo.ModTime()) {
+			continue // a concurrent Put's fresher image: not ours to judge
 		}
 		os.Remove(s.path(im.name))
 	}
+}
+
+// maxLineageHops bounds the parent walk during retention, guarding
+// against a corrupt cyclic lineage.
+const maxLineageHops = 1024
+
+// imageParent reads the lineage header of a stored image; "" when the
+// image has no parent or cannot be read (best-effort, like prune).
+// Called with pruneMu held; results are memoized against the file's
+// (mtime, size) so each immutable image is parsed once.
+func (s *DirStore) imageParent(name string, info fs.FileInfo) string {
+	if info != nil {
+		if e, ok := s.parentCache[name]; ok && e.mtime.Equal(info.ModTime()) && e.size == info.Size() {
+			return e.parent
+		}
+	}
+	f, err := os.Open(s.path(name))
+	if err != nil {
+		return ""
+	}
+	defer f.Close()
+	meta, err := dmtcp.ReadImageMeta(f)
+	if err != nil {
+		return ""
+	}
+	if info != nil {
+		if s.parentCache == nil {
+			s.parentCache = make(map[string]parentCacheEntry)
+		}
+		s.parentCache[name] = parentCacheEntry{parent: meta.Parent, mtime: info.ModTime(), size: info.Size()}
+	}
+	return meta.Parent
 }
 
 // Get implements Store.
@@ -358,3 +444,21 @@ var (
 	_ Store = (*DirStore)(nil)
 	_ Store = (*MemStore)(nil)
 )
+
+// SingleImageStore is implemented by stores that back every name with
+// the same single image slot (FileStore). Incremental checkpointing
+// never writes deltas to such a store — each Put would overwrite the
+// parent the delta depends on — and always falls back to full base
+// images there.
+type SingleImageStore interface {
+	SingleImage() bool
+}
+
+// SingleImage marks FileStore as a one-slot store.
+func (s *FileStore) SingleImage() bool { return true }
+
+// singleImageStore reports whether store can hold only one image.
+func singleImageStore(store Store) bool {
+	si, ok := store.(SingleImageStore)
+	return ok && si.SingleImage()
+}

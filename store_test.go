@@ -221,3 +221,63 @@ func TestDirStoreListSorted(t *testing.T) {
 		t.Fatalf("List = %v, want sorted", names)
 	}
 }
+
+// TestDirStoreChainAwareRetention pins that Keep never orphans an
+// incremental chain: ancestors of retained delta images survive
+// retention even when they fall outside the Keep-newest window, and a
+// later chain rotation lets the old chain age out as a unit.
+func TestDirStoreChainAwareRetention(t *testing.T) {
+	store, err := NewDirStore(t.TempDir(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(WithIncremental(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	w := newIncrWorkload(t, s.Runtime())
+	ctx := context.Background()
+
+	for i := 0; i < 4; i++ {
+		w.step(t, i)
+		if _, err := s.CheckpointTo(ctx, store, fmt.Sprintf("gen%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Keep=2 would naively retain only gen2/gen3 — but gen3 is a delta
+	// whose lineage runs gen3→gen2→gen1→gen0, so the whole chain must
+	// survive.
+	names, err := store.List(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 4 {
+		t.Fatalf("chain ancestors pruned: %v", names)
+	}
+	restored, err := RestoreFrom(ctx, store, "gen3")
+	if err != nil {
+		t.Fatalf("chain tip must stay restorable after retention: %v", err)
+	}
+	restored.Close()
+
+	// A restart breaks the chain: the next checkpoints form a fresh
+	// base+delta pair, and the old chain — no longer an ancestor of
+	// anything retained — ages out entirely.
+	if err := s.RestartFrom(ctx, store, "gen3"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 4; i < 6; i++ {
+		if _, err := s.CheckpointTo(ctx, store, fmt.Sprintf("gen%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names, err = store.List(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"gen4", "gen5"}
+	if len(names) != 2 || names[0] != want[0] || names[1] != want[1] {
+		t.Fatalf("old chain not pruned after rotation: %v", names)
+	}
+}
