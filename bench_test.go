@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"testing"
+	"time"
 
 	crac "repro"
 	"repro/internal/crt"
@@ -437,6 +438,98 @@ func BenchmarkCheckpointIncremental(b *testing.B) {
 			if store.puts > 0 {
 				b.ReportMetric(float64(store.bytes)/float64(store.puts)/(1<<20), "imgMB/op")
 			}
+		})
+	}
+}
+
+// BenchmarkCheckpointPause measures the application-visible pause of a
+// checkpoint — the stop-the-world window — on the standard ~69 MiB
+// sparse-update workload, across the policy matrix: blocking vs
+// concurrent (snapshot-and-release), full images vs incremental deltas.
+// ns/op is the full checkpoint latency; the pauseMs/op metric is what a
+// serving application actually freezes for. The concurrent rows are
+// expected to pause ≥5× less than their blocking counterparts (pinned
+// by TestConcurrentPauseReduction in concurrent_test.go).
+func BenchmarkCheckpointPause(b *testing.B) {
+	const (
+		hostBufs  = 16
+		devAllocs = 16
+		bufSize   = 2 << 20
+	)
+	for _, bc := range []struct {
+		name string
+		opts []crac.Option
+	}{
+		{"blocking/full", nil},
+		{"blocking/delta", []crac.Option{crac.WithIncremental(64)}},
+		{"concurrent/full", []crac.Option{crac.WithConcurrentCheckpoint()}},
+		{"concurrent/delta", []crac.Option{crac.WithConcurrentCheckpoint(), crac.WithIncremental(64)}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			opts := append([]crac.Option{crac.WithWorkers(0), crac.WithShardSize(256 << 10)}, bc.opts...)
+			s, err := crac.New(opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(s.Close)
+			rt := s.Runtime()
+			var host, dev []uint64
+			var total uint64
+			for i := 0; i < hostBufs; i++ {
+				h, err := rt.HostAlloc(bufSize)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := rt.Memset(h, byte(i+1), bufSize); err != nil {
+					b.Fatal(err)
+				}
+				host = append(host, h)
+				total += bufSize
+			}
+			for i := 0; i < devAllocs; i++ {
+				d, err := rt.Malloc(bufSize)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := rt.Memset(d, byte(0x21*i+3), bufSize); err != nil {
+					b.Fatal(err)
+				}
+				dev = append(dev, d)
+				total += bufSize
+			}
+			m, err := rt.MallocManaged(bufSize)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := rt.Memset(m, 0x7F, bufSize); err != nil {
+				b.Fatal(err)
+			}
+			total += bufSize
+
+			store := &countingStore{}
+			ctx := context.Background()
+			if _, err := s.CheckpointTo(ctx, store, "gen-base"); err != nil {
+				b.Fatal(err)
+			}
+			var pause time.Duration
+			b.SetBytes(int64(total))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := rt.Memset(host[i%hostBufs]+4096, byte(i), 256<<10); err != nil {
+					b.Fatal(err)
+				}
+				if err := rt.Memset(dev[i%devAllocs], byte(i+1), bufSize); err != nil {
+					b.Fatal(err)
+				}
+				st, err := s.CheckpointTo(ctx, store, fmt.Sprintf("gen%d", i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				pause += st.PauseDuration
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(pause.Nanoseconds())/1e6/float64(b.N), "pauseMs/op")
+			b.ReportMetric(float64(pause.Nanoseconds())/float64(b.N), "pause-ns/op")
 		})
 	}
 }

@@ -94,6 +94,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		restart  = fs.Bool("restart", true, "restart from the image immediately after checkpointing")
 		timeout  = fs.Duration("timeout", 0, "checkpoint/restart deadline (0 = none)")
 		incr     = fs.Int("incremental", 0, "incremental checkpointing: up to N delta images per full base (requires -ckpt-dir; 0 = off)")
+		conc     = fs.Bool("concurrent", false, "snapshot-and-release checkpoints: pause only for the epoch cut, write the image concurrently")
 		profile  = fs.Bool("profile", false, "print an nvprof-style per-API call summary")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -136,6 +137,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		sessionOpts = append(sessionOpts, crac.WithIncremental(*incr))
+	}
+	if *conc {
+		sessionOpts = append(sessionOpts, crac.WithConcurrentCheckpoint())
 	}
 	runner, err := harness.NewRunner(mode, prop, sessionOpts...)
 	if err != nil {
@@ -189,15 +193,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 			if err != nil {
 				return err
 			}
+			// The application-visible pause: with -concurrent this is just
+			// the drain + copy-on-write arming, far below the total.
+			pause := st.PauseDuration.Round(time.Microsecond)
 			if st.Delta {
-				fmt.Fprintf(stdout, "checkpoint: %s delta (depth %d, %.1f%% dirty: %s of %s payload) in %v\n",
+				fmt.Fprintf(stdout, "checkpoint: %s delta (depth %d, %.1f%% dirty: %s of %s payload) in %v (paused %v)\n",
 					name, st.DeltaDepth, 100*st.DirtyRatio(),
 					harness.FmtBytes(st.PayloadWritten), harness.FmtBytes(st.PayloadTotal),
-					time.Since(t0).Round(time.Millisecond))
+					time.Since(t0).Round(time.Millisecond), pause)
 			} else {
-				fmt.Fprintf(stdout, "checkpoint: %s (%d regions, %s payload) in %v\n",
+				fmt.Fprintf(stdout, "checkpoint: %s (%d regions, %s payload) in %v (paused %v)\n",
 					name, st.Regions, harness.FmtBytes(st.RegionBytes+st.SectionBytes),
-					time.Since(t0).Round(time.Millisecond))
+					time.Since(t0).Round(time.Millisecond), pause)
 			}
 			// In incremental mode a mid-run restart would break the chain
 			// (the next checkpoint becomes a base), so -restart instead

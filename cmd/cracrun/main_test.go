@@ -122,3 +122,40 @@ func TestIncrementalRequiresDirStore(t *testing.T) {
 		t.Fatalf("exit=%d stderr=%q", code, errOut)
 	}
 }
+
+// TestConcurrentCheckpointFlag exercises -concurrent: the run must
+// checkpoint through the snapshot-and-release path, report the
+// application-visible pause, and still restart from the image.
+func TestConcurrentCheckpointFlag(t *testing.T) {
+	dir := t.TempDir()
+	code, out, errOut := runCmd(t,
+		"-app", "Hotspot", "-mode", "crac", "-scale", "0.1",
+		"-ckpt-dir", dir, "-ckpt-step", "1", "-concurrent")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, errOut)
+	}
+	if !strings.Contains(out, "checkpoint: gen000") || !strings.Contains(out, "(paused ") {
+		t.Fatalf("missing concurrent checkpoint/pause lines:\n%s", out)
+	}
+	if !strings.Contains(out, "restart:") {
+		t.Fatalf("missing restart line:\n%s", out)
+	}
+}
+
+// TestConcurrentIncrementalChain combines -concurrent with
+// -incremental: overlapped delta checkpoints, chain-tip restore.
+func TestConcurrentIncrementalChain(t *testing.T) {
+	dir := t.TempDir()
+	code, out, errOut := runCmd(t,
+		"-app", "Hotspot", "-mode", "crac", "-scale", "0.1",
+		"-ckpt-dir", dir, "-ckpt-step", "1", "-incremental", "4", "-concurrent")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, errOut)
+	}
+	if !strings.Contains(out, "checkpoint: gen001 delta (depth 1") {
+		t.Fatalf("missing delta line:\n%s", out)
+	}
+	if !strings.Contains(out, "(paused ") || !strings.Contains(out, "chain tip") {
+		t.Fatalf("missing pause/chain-tip lines:\n%s", out)
+	}
+}

@@ -88,6 +88,34 @@
 // keeps every ancestor a retained image needs. Image.Info reports a
 // delta's depth, parent, and dirty ratio; cracinspect prints them.
 //
+// # Concurrent checkpoints
+//
+// CheckpointAsync shrinks the application-visible pause to the epoch
+// cut: the session stops only for the stream drain and the arming of a
+// copy-on-write snapshot (O(metadata)), then the image write and the
+// Store commit overlap with further execution. The committed image is
+// byte-identical to a blocking checkpoint taken at the cut, no matter
+// how hard the application mutates memory during the overlap:
+//
+//	p, err := s.CheckpointAsync(ctx, store, "gen042")
+//	if err != nil { ... }           // pause is already over here
+//	... keep serving traffic ...
+//	stats, err := p.Wait()          // commit point
+//	fmt.Println(stats.PauseDuration, "paused of", stats.Duration)
+//
+// Only one checkpoint may be in flight (ErrCheckpointInFlight
+// otherwise); a failed or cancelled overlapped checkpoint leaves no
+// partial image and releases every retained copy-on-write page. The
+// ctx passed to CheckpointAsync governs the overlapped write too — keep
+// it live until Wait reports completion (cancelling it aborts the
+// in-flight image).
+// WithConcurrentCheckpoint reroutes the blocking Checkpoint and
+// CheckpointTo onto the same path, so existing checkpoint loops get
+// the short pause without code changes, and Stats.PauseDuration splits
+// the stop-the-world window from the overlapped WriteDuration. For a
+// precise cut, bracket the arming with the (now real) Quiesce/Resume
+// pair, which gates kernel launches and memory writes until resumed.
+//
 // # Performance
 //
 // The checkpoint/restart data path is parallel and pipelined: region

@@ -47,6 +47,21 @@ var (
 	// RestoreFrom / OpenImageFrom against the Store holding the chain),
 	// or a chain whose parent image is missing or cyclic.
 	ErrDeltaChain = dmtcp.ErrDeltaChain
+
+	// ErrCheckpointInFlight reports a checkpoint or restart issued while
+	// a concurrent checkpoint (CheckpointAsync) is still writing its
+	// image. Wait on the Pending, then retry.
+	ErrCheckpointInFlight = errors.New("crac: a concurrent checkpoint is in flight")
+
+	// ErrNotQuiesced reports a Session.Resume with no matching Quiesce:
+	// the pair must balance.
+	ErrNotQuiesced = errors.New("crac: resume without matching quiesce")
+
+	// ErrQuiesced reports an operation that cannot run while the session
+	// is quiesced: a restart tears down the gated runtime and would
+	// deadlock against the held launch gate (and the rebuilt address
+	// space would never match the pending Resume). Resume first.
+	ErrQuiesced = errors.New("crac: session is quiesced")
 )
 
 // wrapCancelled folds a context cancellation surfacing from the engine

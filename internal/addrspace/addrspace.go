@@ -195,6 +195,19 @@ type Space struct {
 	// (which hold the read lock) see a stable value.
 	epoch uint64
 
+	// snaps are the active copy-on-write snapshots. Mutated only under
+	// the write lock; data-plane writers (read lock) iterate it to
+	// preserve pristine pages before mutating (see snapshot.go).
+	snaps         []*Snapshot
+	retainedPages atomic.Int64 // CoW pages pinned across all snapshots
+
+	// Freeze/Thaw write gate (Session.Quiesce): every mutation path
+	// holds the read side for its whole critical section, and Freeze
+	// takes the write side — so Freeze both bars new mutations and waits
+	// out in-flight ones. Independent of mu, and acquired before it, so
+	// blocked mutators hold no lock a reader or checkpointer needs.
+	gate sync.RWMutex
+
 	mmapCount   uint64 // statistics: total MMap calls
 	munmapCount uint64
 }
@@ -289,6 +302,8 @@ func (s *Space) MMap(hint, length uint64, prot Prot, flags MapFlags, half Half, 
 		return 0, err
 	}
 
+	s.gate.RLock()
+	defer s.gate.RUnlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.mmapCount++
@@ -399,6 +414,8 @@ func (s *Space) MUnmap(addr, length uint64) error {
 		return ErrZeroLength
 	}
 	length = roundUp(length)
+	s.gate.RLock()
+	defer s.gate.RUnlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.munmapCount++
@@ -408,6 +425,9 @@ func (s *Space) MUnmap(addr, length uint64) error {
 
 // unmapLocked punches a hole [addr, addr+length) through the region list.
 func (s *Space) unmapLocked(addr, length uint64) {
+	// An active snapshot must keep the bytes the hole destroys (and
+	// survive a MAP_FIXED replacement, which routes through here).
+	s.preserveRangeLocked(addr, length)
 	end := addr + length
 	var out []*region
 	for _, r := range s.regions {
@@ -451,6 +471,8 @@ func (s *Space) MProtect(addr, length uint64, prot Prot) error {
 	}
 	length = roundUp(length)
 	end := addr + length
+	s.gate.RLock()
+	defer s.gate.RUnlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	// Verify full coverage first.
@@ -527,13 +549,18 @@ func (s *Space) ReadAt(addr uint64, p []byte) error {
 // WriteAt holds only the read lock: concurrent writes to non-overlapping
 // ranges are race-free (see the Space concurrency contract).
 func (s *Space) WriteAt(addr uint64, p []byte) error {
+	s.gate.RLock()
+	defer s.gate.RUnlock()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.accessLocked(addr, ProtWrite, p, false)
 }
 
 // accessLocked walks regions covering [addr, addr+len(buf)) and copies
-// between the region data and buf. read selects direction (true: region→buf).
+// between the region data and buf. read selects direction (true:
+// region→buf). Writes run preserve → stamp → copy: active snapshots
+// keep the pristine bytes, and a page's stamp is already above the cut
+// by the time its content changes.
 func (s *Space) accessLocked(addr uint64, need Prot, buf []byte, read bool) error {
 	if len(buf) == 0 {
 		return nil
@@ -556,8 +583,9 @@ func (s *Space) accessLocked(addr uint64, need Prot, buf []byte, read bool) erro
 		if read {
 			copy(remaining[:chunk], r.data[off:off+chunk])
 		} else {
-			copy(r.data[off:off+chunk], remaining[:chunk])
+			s.preserveForSnapshots(r, off, chunk)
 			r.stamp(off, chunk, s.epoch)
+			copy(r.data[off:off+chunk], remaining[:chunk])
 		}
 		remaining = remaining[chunk:]
 		at += chunk
@@ -598,6 +626,13 @@ func (s *Space) ReadSlice(addr, length uint64) ([]byte, error) {
 }
 
 func (s *Space) slice(addr, length uint64, write bool) ([]byte, error) {
+	if write {
+		// Held only for the stamp/preserve window, not for later writes
+		// through the returned view: Quiesce additionally gates kernel
+		// launches, which is what bounds writers that keep slices.
+		s.gate.RLock()
+		defer s.gate.RUnlock()
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	r := s.findLocked(addr)
@@ -614,6 +649,12 @@ func (s *Space) slice(addr, length uint64, write bool) ([]byte, error) {
 		return nil, fmt.Errorf("%w: %#x+%#x", ErrNotMapped, addr, length)
 	}
 	if write && r.prot&ProtWrite != 0 {
+		// The caller may mutate through the view after we return, so an
+		// active snapshot must take its copy now — same conservative
+		// granularity as the dirty stamp. A view must not be held across
+		// a later snapshot arming (the same contract dirty tracking
+		// already imposes across CutEpoch).
+		s.preserveForSnapshots(r, off, length)
 		r.stamp(off, length, s.epoch)
 	}
 	return r.data[off : off+length : off+length], nil
@@ -734,30 +775,8 @@ func (s *Space) DirtySince(h Half, since uint64) []RegionDirty {
 			continue
 		}
 		rd := RegionDirty{Start: r.start}
-		spanStart := int64(-1)
-		for pi := range r.gens {
-			dirty := atomic.LoadUint64(&r.gens[pi]) > since
-			switch {
-			case dirty && spanStart < 0:
-				spanStart = int64(pi)
-			case !dirty && spanStart >= 0:
-				rd.Spans = append(rd.Spans, Span{Off: uint64(spanStart) * PageSize,
-					Len: uint64(int64(pi)-spanStart) * PageSize})
-				spanStart = -1
-			}
-		}
-		if spanStart >= 0 {
-			rd.Spans = append(rd.Spans, Span{Off: uint64(spanStart) * PageSize,
-				Len: uint64(int64(len(r.gens))-spanStart) * PageSize})
-		}
-		// The final span may overhang the region end if the length is not
-		// a page multiple (split regions always are; be safe anyway).
-		if n := len(rd.Spans); n > 0 {
-			last := &rd.Spans[n-1]
-			if last.Off+last.Len > uint64(len(r.data)) {
-				last.Len = uint64(len(r.data)) - last.Off
-			}
-		}
+		rd.Spans = genSpans(func(pi int) uint64 { return atomic.LoadUint64(&r.gens[pi]) },
+			len(r.gens), uint64(len(r.data)), since)
 		for _, sp := range rd.Spans {
 			rd.Bytes += sp.Len
 		}

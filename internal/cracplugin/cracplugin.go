@@ -99,125 +99,187 @@ func (p *Plugin) RootBlob() []byte {
 	return append([]byte(nil), p.root...)
 }
 
-// PreCheckpoint implements dmtcp.Plugin: drain the queue of pending CUDA
-// kernels, then save the log and the memory of active mallocs. The
-// allocation drain honors ctx: a cancelled checkpoint stops copying
-// device memory at the next allocation boundary.
-func (p *Plugin) PreCheckpoint(ctx context.Context, sections *dmtcp.SectionMap) error {
+// uvmCleanChecker answers the managed-allocation skip question. The
+// live *uvm.Manager serves the blocking path (the emit runs inside the
+// pause, and a page's dirtiness is monotone past a cut, so live answers
+// are never less conservative); the frozen *uvm.Snapshot serves the
+// concurrent path, where overlapped faulting must not change what this
+// image skips.
+type uvmCleanChecker interface {
+	CleanSince(addr, length, cut uint64) bool
+}
+
+// freezeCap is the non-memory state FreezeCheckpoint captures inside
+// the stop-the-world window: everything the later emit needs except the
+// payload bytes themselves, which it reads through the snapshot view.
+type freezeCap struct {
+	entries     []replaylog.Entry // immutable call-log prefix at the cut
+	root        []byte
+	incremental bool
+	since       uint64
+	prevEntries map[uint64]uint64
+	prevUVMCut  uint64
+	uvmCut      uint64
+	uvm         uvmCleanChecker
+}
+
+// FreezeCheckpoint implements dmtcp.SnapshotPlugin: drain the queue of
+// pending CUDA kernels, then capture the call-log prefix, the UVM cut
+// and page-state view, and the incremental skip baseline — all
+// O(metadata). The returned emit runs later (possibly concurrently with
+// the application) and builds the sections from the capture, reading
+// allocation payloads only through the engine's view.
+func (p *Plugin) FreezeCheckpoint(since uint64, incremental bool) (dmtcp.EmitFunc, error) {
+	return p.freeze(since, incremental, true)
+}
+
+// freeze is the shared capture. frozenUVM selects the frozen UVM view
+// (needed only when the emit overlaps execution — the blocking hooks
+// skip the page-table copy).
+func (p *Plugin) freeze(since uint64, incremental, frozenUVM bool) (dmtcp.EmitFunc, error) {
 	lib := p.rt.Library()
 
 	// Step (a) of the classic sequence: drain the queue
 	// (cudaDeviceSynchronize) so no kernel is in flight.
 	if err := lib.DeviceSynchronize(); err != nil {
-		return fmt.Errorf("cracplugin: drain: %w", err)
+		return nil, fmt.Errorf("cracplugin: drain: %w", err)
 	}
+	fc := &freezeCap{
+		entries:     p.rt.Log().View(),
+		incremental: incremental,
+		since:       since,
+	}
+	if incremental {
+		// The UVM cut is taken after the queue drain: migrations flushed
+		// by pending kernels are stamped at or below it and their content
+		// is captured by the emit; accesses racing the drain re-emit next
+		// time.
+		fc.uvmCut = lib.UVM().CutEpoch()
+		if frozenUVM {
+			fc.uvm = lib.UVM().Snapshot()
+		} else {
+			fc.uvm = lib.UVM()
+		}
+	}
+	p.mu.Lock()
+	fc.prevEntries = p.prevEntries
+	fc.prevUVMCut = p.prevUVMCut
+	fc.root = append([]byte(nil), p.root...)
+	p.mu.Unlock()
+	return func(ctx context.Context, view addrspace.View, sections *dmtcp.SectionMap) error {
+		return p.emit(ctx, view, sections, fc)
+	}, nil
+}
 
-	// Serialize the call log straight into its section.
-	logw := sections.Writer(SectionLog, 64+25*p.rt.Log().Len())
-	if err := p.rt.Log().Encode(logw); err != nil {
-		return fmt.Errorf("cracplugin: encoding log: %w", err)
-	}
-	logw.Close()
-
-	// Save the memory of active mallocs in the lower-half arenas
-	// (device, pinned, managed). cudaHostAlloc buffers are upper-half
-	// regions and travel with the DMTCP image itself.
-	//
-	// The section layout is computed first, so the payload lands in the
-	// section buffer exactly once: headers serially (they're tiny),
-	// allocation bytes in parallel at precomputed offsets.
-	active := p.rt.Log().Active()
-	groups := [][]replaylog.Allocation{active.Device, active.Pinned, active.Managed}
-	var count uint32
-	total := 4 // leading u32 count
-	for _, g := range groups {
-		count += uint32(len(g))
-		for _, a := range g {
-			total += devMemEntryHdr + int(a.Size)
-		}
-	}
-	mem := sections.AddZero(SectionDevMem, total)
-	binary.LittleEndian.PutUint32(mem[0:], count)
-	type job struct {
-		alloc replaylog.Allocation
-		off   int // payload offset inside mem
-	}
-	jobs := make([]job, 0, count)
-	off := 4
-	for _, g := range groups {
-		for _, a := range g {
-			binary.LittleEndian.PutUint64(mem[off:], a.Addr)
-			binary.LittleEndian.PutUint64(mem[off+8:], a.Size)
-			off += devMemEntryHdr
-			jobs = append(jobs, job{alloc: a, off: off})
-			off += int(a.Size)
-		}
-	}
-	space := lib.Space()
-	if err := par.ForErrCtx(ctx, p.Workers, len(jobs), func(i int) error {
-		j := jobs[i]
-		if err := space.ReadAt(j.alloc.Addr, mem[j.off:j.off+int(j.alloc.Size)]); err != nil {
-			return fmt.Errorf("cracplugin: draining allocation %#x+%d: %w", j.alloc.Addr, j.alloc.Size, err)
-		}
-		return nil
-	}); err != nil {
+// PreCheckpoint implements dmtcp.Plugin: the blocking lifecycle is
+// freeze + emit back to back, reading through the live space — the same
+// code path as a concurrent checkpoint, hence byte-identical images.
+func (p *Plugin) PreCheckpoint(ctx context.Context, sections *dmtcp.SectionMap) error {
+	emit, err := p.freeze(0, false, false)
+	if err != nil {
 		return err
 	}
-
-	p.mu.Lock()
-	root := append([]byte(nil), p.root...)
-	p.mu.Unlock()
-	sections.Add(SectionRoot, root)
-	return nil
+	return emit(ctx, p.rt.Library().Space(), sections)
 }
 
 // Resume implements dmtcp.Plugin: nothing to undo — the device was only
 // drained, not torn down, so execution simply continues.
 func (p *Plugin) Resume() error { return nil }
 
-// PreCheckpointDelta implements dmtcp.DeltaPlugin: the same drain as
-// PreCheckpoint, but the active-malloc payload goes into the devmem2
-// section, which lists every active allocation and bodies only the
-// dirty ones. An allocation may be skipped only when all of the
-// following hold — each guard alone is insufficient:
+// PreCheckpointDelta implements dmtcp.DeltaPlugin: freeze + emit with
+// the incremental (devmem2) encoding, reading through the live space.
+func (p *Plugin) PreCheckpointDelta(ctx context.Context, sections *dmtcp.SectionMap, since uint64) error {
+	emit, err := p.freeze(since, true, false)
+	if err != nil {
+		return err
+	}
+	return emit(ctx, p.rt.Library().Space(), sections)
+}
+
+// emit builds the log, devmem, and root sections from a freeze capture.
+// The allocation drain honors ctx: a cancelled checkpoint stops copying
+// device memory at the next allocation boundary.
+//
+// In incremental mode the payload goes into the devmem2 section, which
+// lists every active allocation and bodies only the dirty ones. An
+// allocation may be skipped only when all of the following hold — each
+// guard alone is insufficient:
 //
 //   - since > 0: this is a delta (a base carries everything);
 //   - the committed chain tip has its payload at the same (addr, size)
 //     (prevEntries): an allocation freed and re-issued at the same spot
 //     keeps its bytes in the simulated arenas, so the address-space
 //     dirty check below remains the content authority;
-//   - no page of it was written since the parent's epoch cut
-//     (addrspace write-generation tracking);
+//   - no page of it was written since the parent's epoch cut (the
+//     view's write-generation tracking — frozen stamps for a snapshot);
 //   - for managed (UVM) allocations, every page is additionally
-//     CPU-resident and untouched since the parent's UVM cut: a
-//     device-resident page belongs to the device and must be drained,
-//     exactly as real CRAC cannot trust the host copy of a page the
-//     GPU holds (paper Section 2.3).
-func (p *Plugin) PreCheckpointDelta(ctx context.Context, sections *dmtcp.SectionMap, since uint64) error {
-	lib := p.rt.Library()
-	if err := lib.DeviceSynchronize(); err != nil {
-		return fmt.Errorf("cracplugin: drain: %w", err)
-	}
-	// The UVM cut is taken after the queue drain: migrations flushed by
-	// pending kernels are stamped at or below it and their content is
-	// captured below; accesses racing the drain re-emit next time.
-	uvmCut := lib.UVM().CutEpoch()
-
-	logw := sections.Writer(SectionLog, 64+25*p.rt.Log().Len())
-	if err := p.rt.Log().Encode(logw); err != nil {
+//     CPU-resident and untouched since the parent's UVM cut at freeze
+//     time: a device-resident page belongs to the device and must be
+//     drained, exactly as real CRAC cannot trust the host copy of a
+//     page the GPU holds (paper Section 2.3).
+func (p *Plugin) emit(ctx context.Context, view addrspace.View, sections *dmtcp.SectionMap, fc *freezeCap) error {
+	// Serialize the frozen call-log prefix straight into its section.
+	logw := sections.Writer(SectionLog, 64+25*len(fc.entries))
+	if err := replaylog.EncodeEntries(logw, fc.entries); err != nil {
 		return fmt.Errorf("cracplugin: encoding log: %w", err)
 	}
 	logw.Close()
 
-	p.mu.Lock()
-	prevEntries := p.prevEntries
-	prevUVMCut := p.prevUVMCut
-	root := append([]byte(nil), p.root...)
-	p.mu.Unlock()
-
-	active := p.rt.Log().Active()
+	// Save the memory of active mallocs in the lower-half arenas
+	// (device, pinned, managed) as of the capture. cudaHostAlloc buffers
+	// are upper-half regions and travel with the DMTCP image itself.
+	//
+	// The section layout is computed first, so the payload lands in the
+	// section buffer exactly once: headers serially (they're tiny),
+	// allocation bytes in parallel at precomputed offsets. Reading
+	// through a CoW snapshot, each drained range's retained pages are
+	// released as soon as its copy lands in the section buffer.
+	active := replaylog.ActiveOf(fc.entries)
 	groups := [][]replaylog.Allocation{active.Device, active.Pinned, active.Managed}
-	space := lib.Space()
+	releaser, _ := view.(addrspace.RangeReleaser)
+
+	if !fc.incremental {
+		var count uint32
+		total := 4 // leading u32 count
+		for _, g := range groups {
+			count += uint32(len(g))
+			for _, a := range g {
+				total += devMemEntryHdr + int(a.Size)
+			}
+		}
+		mem := sections.AddZero(SectionDevMem, total)
+		binary.LittleEndian.PutUint32(mem[0:], count)
+		type job struct {
+			alloc replaylog.Allocation
+			off   int // payload offset inside mem
+		}
+		jobs := make([]job, 0, count)
+		off := 4
+		for _, g := range groups {
+			for _, a := range g {
+				binary.LittleEndian.PutUint64(mem[off:], a.Addr)
+				binary.LittleEndian.PutUint64(mem[off+8:], a.Size)
+				off += devMemEntryHdr
+				jobs = append(jobs, job{alloc: a, off: off})
+				off += int(a.Size)
+			}
+		}
+		if err := par.ForErrCtx(ctx, p.Workers, len(jobs), func(i int) error {
+			j := jobs[i]
+			if err := view.ReadAt(j.alloc.Addr, mem[j.off:j.off+int(j.alloc.Size)]); err != nil {
+				return fmt.Errorf("cracplugin: draining allocation %#x+%d: %w", j.alloc.Addr, j.alloc.Size, err)
+			}
+			if releaser != nil {
+				releaser.ReleaseRange(j.alloc.Addr, j.alloc.Size)
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+		sections.Add(SectionRoot, fc.root)
+		return nil
+	}
+
 	type entry struct {
 		alloc replaylog.Allocation
 		skip  bool
@@ -229,10 +291,10 @@ func (p *Plugin) PreCheckpointDelta(ctx context.Context, sections *dmtcp.Section
 	for gi, g := range groups {
 		managed := gi == 2
 		for _, a := range g {
-			skip := since > 0 &&
-				prevEntries[a.Addr] == a.Size &&
-				!space.RangeDirtySince(a.Addr, a.Size, since) &&
-				(!managed || lib.UVM().CleanSince(a.Addr, a.Size, prevUVMCut))
+			skip := fc.since > 0 &&
+				fc.prevEntries[a.Addr] == a.Size &&
+				!view.RangeDirtySince(a.Addr, a.Size, fc.since) &&
+				(!managed || fc.uvm.CleanSince(a.Addr, a.Size, fc.prevUVMCut))
 			count++
 			total += devMem2EntryHdr
 			if !skip {
@@ -263,19 +325,22 @@ func (p *Plugin) PreCheckpointDelta(ctx context.Context, sections *dmtcp.Section
 	}
 	if err := par.ForErrCtx(ctx, p.Workers, len(jobs), func(i int) error {
 		e := entries[jobs[i]]
-		if err := space.ReadAt(e.alloc.Addr, mem[e.off:e.off+int(e.alloc.Size)]); err != nil {
+		if err := view.ReadAt(e.alloc.Addr, mem[e.off:e.off+int(e.alloc.Size)]); err != nil {
 			return fmt.Errorf("cracplugin: draining allocation %#x+%d: %w", e.alloc.Addr, e.alloc.Size, err)
+		}
+		if releaser != nil {
+			releaser.ReleaseRange(e.alloc.Addr, e.alloc.Size)
 		}
 		return nil
 	}); err != nil {
 		return err
 	}
 	sections.MarkOpaque(SectionDevMem2)
-	sections.Add(SectionRoot, root)
+	sections.Add(SectionRoot, fc.root)
 
 	p.mu.Lock()
 	p.stagedEntries = staged
-	p.stagedUVMCut = uvmCut
+	p.stagedUVMCut = fc.uvmCut
 	p.mu.Unlock()
 	return nil
 }
@@ -494,6 +559,7 @@ func (p *Plugin) refill(ctx context.Context, space *addrspace.Space, jobs []refi
 }
 
 var (
-	_ dmtcp.Plugin      = (*Plugin)(nil)
-	_ dmtcp.DeltaPlugin = (*Plugin)(nil)
+	_ dmtcp.Plugin         = (*Plugin)(nil)
+	_ dmtcp.DeltaPlugin    = (*Plugin)(nil)
+	_ dmtcp.SnapshotPlugin = (*Plugin)(nil)
 )

@@ -78,6 +78,14 @@ type Runtime struct {
 
 	launches atomic.Uint64
 	others   atomic.Uint64
+
+	// launchGate is the device-mutation half of Session.Quiesce: kernel
+	// launches and the memory-writing CUDA calls (Memset, Memcpy,
+	// MemcpyAsync) hold the read side for the duration of the call, and
+	// quiescing takes the write side — so once QuiesceLaunches returns,
+	// none of them is mid-flight and none can touch memory until
+	// ResumeLaunches.
+	launchGate sync.RWMutex
 }
 
 // New creates the CRAC runtime over an initial lower half.
@@ -233,6 +241,8 @@ func (r *Runtime) MallocManaged(size uint64) (uint64, error) {
 // Memcpy implements crt.Runtime. Pointers pass straight through to the
 // lower half — no buffer copying, the core of CRAC's low overhead.
 func (r *Runtime) Memcpy(dst, src, n uint64, kind crt.MemcpyKind) error {
+	r.launchGate.RLock()
+	defer r.launchGate.RUnlock()
 	r.others.Add(1)
 	lib, err := r.enter("cudaMemcpy")
 	if err != nil {
@@ -244,6 +254,8 @@ func (r *Runtime) Memcpy(dst, src, n uint64, kind crt.MemcpyKind) error {
 
 // MemcpyAsync implements crt.Runtime.
 func (r *Runtime) MemcpyAsync(dst, src, n uint64, kind crt.MemcpyKind, s crt.StreamHandle) error {
+	r.launchGate.RLock()
+	defer r.launchGate.RUnlock()
 	r.others.Add(1)
 	lib, err := r.enter("cudaMemcpyAsync")
 	if err != nil {
@@ -259,6 +271,8 @@ func (r *Runtime) MemcpyAsync(dst, src, n uint64, kind crt.MemcpyKind, s crt.Str
 
 // Memset implements crt.Runtime.
 func (r *Runtime) Memset(addr uint64, value byte, n uint64) error {
+	r.launchGate.RLock()
+	defer r.launchGate.RUnlock()
 	r.others.Add(1)
 	lib, err := r.enter("cudaMemset")
 	if err != nil {
@@ -560,6 +574,10 @@ func (r *Runtime) UnregisterFatBinary(h crt.FatBinHandle) error {
 // times (push/pop call configuration plus the launch itself); Counters
 // accounts for this via the 3× formula.
 func (r *Runtime) LaunchKernel(h crt.FatBinHandle, name string, cfg crt.LaunchConfig, s crt.StreamHandle, args ...uint64) error {
+	// A quiesced session blocks new launches here, before any trampoline
+	// crossing, so a subsequent device drain cannot race a straggler.
+	r.launchGate.RLock()
+	defer r.launchGate.RUnlock()
 	r.launches.Add(1)
 	// cudaPushCallConfiguration / cudaPopCallConfiguration crossings.
 	for _, sym := range [...]string{"cudaPushCallConfiguration", "cudaPopCallConfiguration"} {
@@ -585,6 +603,14 @@ func (r *Runtime) LaunchKernel(h crt.FatBinHandle, name string, cfg crt.LaunchCo
 	}
 	return lib.LaunchKernel(ph, name, cfg, ps, args...)
 }
+
+// QuiesceLaunches bars new kernel launches and waits for in-flight ones
+// to finish enqueueing. The gate stays closed until ResumeLaunches;
+// blocked launches wait (they do not fail). Part of Session.Quiesce.
+func (r *Runtime) QuiesceLaunches() { r.launchGate.Lock() }
+
+// ResumeLaunches reopens the launch gate closed by QuiesceLaunches.
+func (r *Runtime) ResumeLaunches() { r.launchGate.Unlock() }
 
 // DeviceSynchronize implements crt.Runtime.
 func (r *Runtime) DeviceSynchronize() error {
@@ -612,7 +638,19 @@ func (r *Runtime) DeviceProperties() gpusim.Properties {
 // through the pager but does not cross the trampoline (it is a hardware
 // page fault, not a CUDA call) — the reason CRAC's UVM support costs
 // nothing at runtime, unlike CRUM's mprotect-based shadow pages.
+//
+// The call itself is gated by Quiesce (the page migration and the dirty
+// stamp land inside it), but the returned view is raw memory: writing
+// through a view retained across a Quiesce or a concurrent-checkpoint
+// arming bypasses the gates and the copy-on-write preservation, exactly
+// as a raw pointer would on real hardware. Re-acquire views instead of
+// retaining them, or perform writes through gated calls (Memset/Memcpy
+// handle managed addresses).
 func (r *Runtime) HostAccess(addr, n uint64, write bool) ([]byte, error) {
+	if write {
+		r.launchGate.RLock()
+		defer r.launchGate.RUnlock()
+	}
 	r.mu.RLock()
 	lib := r.lib
 	r.mu.RUnlock()

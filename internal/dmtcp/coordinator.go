@@ -89,7 +89,17 @@ func (c *Coordinator) CheckpointAll(sink func(rank int) (io.WriteCloser, error))
 		return <-errs // nil if channel empty
 	}
 
+	// Whatever happens after the quiesce barrier starts, every rank that
+	// quiesced must be resumed: a Member's Quiesce really holds gates
+	// (launches and memory writes block until Resume), so skipping the
+	// resume phase on error would leave the whole job frozen. Ranks that
+	// never quiesced reject the unmatched Resume; that error is noise
+	// here, not a failure.
+	resumeAll := func() {
+		phase(func(_ int, m Member) error { m.Resume(); return nil })
+	}
 	if err := phase(func(_ int, m Member) error { return m.Quiesce() }); err != nil {
+		resumeAll()
 		return fmt.Errorf("dmtcp: quiesce barrier: %w", err)
 	}
 	if err := phase(func(r int, m Member) error {
@@ -103,6 +113,7 @@ func (c *Coordinator) CheckpointAll(sink func(rank int) (io.WriteCloser, error))
 		}
 		return w.Close()
 	}); err != nil {
+		resumeAll()
 		return fmt.Errorf("dmtcp: image write: %w", err)
 	}
 	if err := phase(func(_ int, m Member) error { return m.Resume() }); err != nil {

@@ -313,12 +313,14 @@ func (e *Engine) CheckpointDelta(ctx context.Context, w io.Writer, space *addrsp
 	}
 	st.HookDuration = hookDur + time.Since(resumeStart)
 	st.Duration = time.Since(start)
+	// A blocking checkpoint stops the world for its whole duration.
+	st.PauseDuration = st.Duration
 	return st, state, nil
 }
 
 // writeImageV3 emits the v3 header tables and the emitted shard set
 // through the shared worker pipeline.
-func (e *Engine) writeImageV3(ctx context.Context, w io.Writer, space *addrspace.Space, regions []addrspace.RegionInfo, sections *SectionMap, prev *DeltaState, selfName string, cut, since uint64, st *Stats) (*DeltaState, error) {
+func (e *Engine) writeImageV3(ctx context.Context, w io.Writer, view addrspace.View, regions []addrspace.RegionInfo, sections *SectionMap, prev *DeltaState, selfName string, cut, since uint64, st *Stats) (*DeltaState, error) {
 	delta := prev != nil
 	parent := ""
 	depth := 0
@@ -431,7 +433,7 @@ func (e *Engine) writeImageV3(ctx context.Context, w io.Writer, space *addrspace
 	var dirtyByStart map[uint64][]addrspace.Span
 	if delta {
 		dirtyByStart = make(map[uint64][]addrspace.Span)
-		for _, rd := range space.DirtySince(addrspace.HalfUpper, since) {
+		for _, rd := range view.DirtySince(addrspace.HalfUpper, since) {
 			dirtyByStart[rd.Start] = rd.Spans
 		}
 	}
@@ -494,7 +496,7 @@ func (e *Engine) writeImageV3(ctx context.Context, w io.Writer, space *addrspace
 	if _, err := w.Write(u32[:]); err != nil {
 		return nil, err
 	}
-	if err := e.runWritePipeline(ctx, w, space, jobs); err != nil {
+	if err := e.runWritePipeline(ctx, w, view, jobs); err != nil {
 		return nil, err
 	}
 	ancestry := []string{selfName}

@@ -185,9 +185,14 @@ type Stats struct {
 	// body; HookDuration covers the PreCheckpoint and Resume hooks.
 	// Benchmarks should attribute image-write cost to WriteDuration:
 	// the old single Duration silently folded hook time in.
+	// PauseDuration is the application-visible stop-the-world window: a
+	// blocking checkpoint pauses for its whole Duration, while a
+	// concurrent (snapshot-and-release) checkpoint pauses only for the
+	// drain + copy-on-write arming and overlaps the rest with execution.
 	Duration      time.Duration
 	WriteDuration time.Duration
 	HookDuration  time.Duration
+	PauseDuration time.Duration
 
 	// Incremental (v3) accounting. ShardsTotal and PayloadTotal cover
 	// the full span layout of the checkpointed state; ShardsWritten and
@@ -352,6 +357,8 @@ func (e *Engine) Checkpoint(ctx context.Context, w io.Writer, space *addrspace.S
 	}
 	st.HookDuration = hookDur + time.Since(resumeStart)
 	st.Duration = time.Since(start)
+	// A blocking checkpoint stops the world for its whole duration.
+	st.PauseDuration = st.Duration
 	return st, nil
 }
 
@@ -365,7 +372,7 @@ var v1ChunkPool sync.Pool
 
 // writeImageV1 emits the legacy serial format: interleaved region
 // headers and payloads, optionally wrapped in a single gzip stream.
-func (e *Engine) writeImageV1(ctx context.Context, w io.Writer, space *addrspace.Space, regions []addrspace.RegionInfo, sections *SectionMap, st *Stats) error {
+func (e *Engine) writeImageV1(ctx context.Context, w io.Writer, view addrspace.View, regions []addrspace.RegionInfo, sections *SectionMap, st *Stats) error {
 	if _, err := w.Write(imageMagicV1[:]); err != nil {
 		return err
 	}
@@ -387,7 +394,7 @@ func (e *Engine) writeImageV1(ctx context.Context, w io.Writer, space *addrspace
 		}
 		body = gz
 	}
-	if err := writeBodyV1(ctx, body, space, regions, sections, st, e.shardSize()); err != nil {
+	if err := writeBodyV1(ctx, body, view, regions, sections, st, e.shardSize()); err != nil {
 		return err
 	}
 	if gz != nil {
@@ -398,7 +405,7 @@ func (e *Engine) writeImageV1(ctx context.Context, w io.Writer, space *addrspace
 	return nil
 }
 
-func writeBodyV1(ctx context.Context, w io.Writer, space *addrspace.Space, regions []addrspace.RegionInfo, sections *SectionMap, st *Stats, chunk int) error {
+func writeBodyV1(ctx context.Context, w io.Writer, view addrspace.View, regions []addrspace.RegionInfo, sections *SectionMap, st *Stats, chunk int) error {
 	var u32 [4]byte
 	var u64 [8]byte
 	binary.LittleEndian.PutUint32(u32[:], uint32(len(regions)))
@@ -439,7 +446,7 @@ func writeBodyV1(ctx context.Context, w io.Writer, space *addrspace.Space, regio
 			if n > uint64(chunk) {
 				n = uint64(chunk)
 			}
-			if err := space.ReadAt(ri.Start+off, buf[:n]); err != nil {
+			if err := view.ReadAt(ri.Start+off, buf[:n]); err != nil {
 				return fmt.Errorf("dmtcp: reading region %v: %w", ri, err)
 			}
 			if _, err := w.Write(buf[:n]); err != nil {
@@ -497,7 +504,7 @@ type shardJob struct {
 // workers read shards out of the address space (and compress them when
 // gzip is on) concurrently, while this goroutine streams the frames to w
 // in deterministic shard order.
-func (e *Engine) writeImageV2(ctx context.Context, w io.Writer, space *addrspace.Space, regions []addrspace.RegionInfo, sections *SectionMap, st *Stats) error {
+func (e *Engine) writeImageV2(ctx context.Context, w io.Writer, view addrspace.View, regions []addrspace.RegionInfo, sections *SectionMap, st *Stats) error {
 	if _, err := w.Write(imageMagicV2[:]); err != nil {
 		return err
 	}
@@ -579,16 +586,55 @@ func (e *Engine) writeImageV2(ctx context.Context, w io.Writer, space *addrspace
 			jobs = append(jobs, shardJob{src: data[off : off+n], rawLen: n, done: make(chan struct{})})
 		}
 	}
-	return e.runWritePipeline(ctx, w, space, jobs)
+	return e.runWritePipeline(ctx, w, view, jobs)
 }
 
-func (e *Engine) runWritePipeline(ctx context.Context, w io.Writer, space *addrspace.Space, jobs []shardJob) error {
+// Package-level pipeline pools: per-shard staging buffers, compression
+// buffers, and per-level gzip writers are recycled across checkpoints
+// (not just within one image write), so a steady checkpoint cadence
+// stops allocating its data path. Buffers whose capacity does not fit
+// the current shard size are simply dropped.
+var (
+	shardRawPool sync.Pool // *[]byte staging buffers
+	shardEncPool sync.Pool // *bytes.Buffer gzip output
+	gzShardPools sync.Map  // gzip level → *sync.Pool of *gzip.Writer
+)
+
+func getShardBuf(shard int) *[]byte {
+	if bp, _ := shardRawPool.Get().(*[]byte); bp != nil && cap(*bp) >= shard {
+		return bp
+	}
+	b := make([]byte, shard)
+	return &b
+}
+
+func getShardGz(level int) (*gzip.Writer, error) {
+	pi, ok := gzShardPools.Load(level)
+	if !ok {
+		pi, _ = gzShardPools.LoadOrStore(level, new(sync.Pool))
+	}
+	pool := pi.(*sync.Pool)
+	if gz, _ := pool.Get().(*gzip.Writer); gz != nil {
+		return gz, nil
+	}
+	return gzip.NewWriterLevel(io.Discard, level)
+}
+
+func putShardGz(level int, gz *gzip.Writer) {
+	if gz == nil {
+		return
+	}
+	if pi, ok := gzShardPools.Load(level); ok {
+		pi.(*sync.Pool).Put(gz)
+	}
+}
+
+func (e *Engine) runWritePipeline(ctx context.Context, w io.Writer, view addrspace.View, jobs []shardJob) error {
 	shard := e.shardSize()
-	rawPool := sync.Pool{New: func() any {
-		b := make([]byte, shard)
-		return &b
-	}}
-	var encPool sync.Pool // *bytes.Buffer, gzip output
+	// Reading through a copy-on-write snapshot: drop each region shard's
+	// retained pages as soon as its frame is written, bounding the
+	// snapshot's peak memory to roughly the in-flight shard window.
+	releaser, _ := view.(addrspace.RangeReleaser)
 
 	process := func(j *shardJob, gz *gzip.Writer) {
 		// A cancelled context turns every remaining shard into a no-op:
@@ -601,9 +647,9 @@ func (e *Engine) runWritePipeline(ctx context.Context, w io.Writer, space *addrs
 		}
 		raw := j.src
 		if raw == nil {
-			j.rawBuf = rawPool.Get().(*[]byte)
+			j.rawBuf = getShardBuf(shard)
 			raw = (*j.rawBuf)[:j.rawLen]
-			if err := space.ReadAt(j.addr, raw); err != nil {
+			if err := view.ReadAt(j.addr, raw); err != nil {
 				j.err = fmt.Errorf("dmtcp: reading shard %#x+%d: %w", j.addr, j.rawLen, err)
 				return
 			}
@@ -618,7 +664,7 @@ func (e *Engine) runWritePipeline(ctx context.Context, w io.Writer, space *addrs
 		}
 		// One gzip member per shard: members concatenate into a valid
 		// multistream payload, and each compresses on its own CPU.
-		buf, _ := encPool.Get().(*bytes.Buffer)
+		buf, _ := shardEncPool.Get().(*bytes.Buffer)
 		if buf == nil {
 			buf = new(bytes.Buffer)
 		}
@@ -635,7 +681,7 @@ func (e *Engine) runWritePipeline(ctx context.Context, w io.Writer, space *addrs
 		j.enc = buf.Bytes()
 		j.encBuf = buf
 		if j.rawBuf != nil {
-			rawPool.Put(j.rawBuf)
+			shardRawPool.Put(j.rawBuf)
 			j.rawBuf = nil
 		}
 	}
@@ -648,7 +694,7 @@ func (e *Engine) runWritePipeline(ctx context.Context, w io.Writer, space *addrs
 		if !e.Gzip {
 			return nil, nil
 		}
-		return gzip.NewWriterLevel(io.Discard, level)
+		return getShardGz(level)
 	}
 
 	var hdr [shardHdrV3]byte
@@ -675,12 +721,17 @@ func (e *Engine) runWritePipeline(ctx context.Context, w io.Writer, space *addrs
 		_, err := w.Write(j.enc)
 		j.enc = nil
 		if j.rawBuf != nil {
-			rawPool.Put(j.rawBuf)
+			shardRawPool.Put(j.rawBuf)
 			j.rawBuf = nil
 		}
 		if j.encBuf != nil {
-			encPool.Put(j.encBuf)
+			shardEncPool.Put(j.encBuf)
 			j.encBuf = nil
+		}
+		if err == nil && releaser != nil && j.src == nil {
+			// The frame is on the wire: the snapshot may drop this
+			// region range's copy-on-write pages.
+			releaser.ReleaseRange(j.addr, uint64(j.rawLen))
 		}
 		return err
 	}
@@ -692,6 +743,7 @@ func (e *Engine) runWritePipeline(ctx context.Context, w io.Writer, space *addrs
 		if err != nil {
 			return err
 		}
+		defer putShardGz(level, gz)
 		for i := range jobs {
 			if err := ctx.Err(); err != nil {
 				return err
@@ -725,6 +777,7 @@ func (e *Engine) runWritePipeline(ctx context.Context, w io.Writer, space *addrs
 		wg.Add(1)
 		go func(gz *gzip.Writer) {
 			defer wg.Done()
+			defer putShardGz(level, gz)
 			for {
 				sem <- struct{}{}
 				i, ok := <-idxCh
@@ -749,7 +802,7 @@ func (e *Engine) runWritePipeline(ctx context.Context, w io.Writer, space *addrs
 		if firstErr == nil {
 			firstErr = consume(&jobs[i])
 		} else if jobs[i].rawBuf != nil {
-			rawPool.Put(jobs[i].rawBuf)
+			shardRawPool.Put(jobs[i].rawBuf)
 			jobs[i].rawBuf = nil
 		}
 		<-sem

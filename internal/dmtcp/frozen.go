@@ -1,0 +1,237 @@
+// Snapshot-and-release checkpoints: the engine side of CRAC's
+// concurrent checkpoint path.
+//
+// A blocking checkpoint stops the application for drain + image write +
+// store commit. The frozen path splits that into two phases:
+//
+//   - FreezeCheckpoint runs inside the stop-the-world window: plugin
+//     drains, epoch cuts, and the copy-on-write arming of the address
+//     space — O(metadata), no payload copying;
+//   - WriteFrozen runs afterwards, concurrently with the application:
+//     plugins emit their sections and the shard pipeline serializes the
+//     image, all reading memory through the armed snapshot.
+//
+// The image WriteFrozen produces is byte-identical to the image a
+// blocking checkpoint at the freeze point would have written, no matter
+// how hard the application mutates memory during the overlap (DESIGN.md
+// invariant 10).
+package dmtcp
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/addrspace"
+)
+
+// EmitFunc contributes one frozen plugin's sections to a checkpoint
+// image. It runs outside the stop-the-world window, possibly
+// concurrently with the application, and must read memory only through
+// view — never through the live address space.
+type EmitFunc func(ctx context.Context, view addrspace.View, sections *SectionMap) error
+
+// SnapshotPlugin is the optional extension of Plugin for concurrent
+// checkpoints. FreezeCheckpoint replaces PreCheckpoint /
+// PreCheckpointDelta in the frozen lifecycle: it runs inside the
+// stop-the-world window and must capture every non-memory input of the
+// checkpoint (call-log prefix, active sets, epoch cuts) — quickly. The
+// returned EmitFunc produces the plugin's sections later, from the
+// capture plus the memory view. since is the parent checkpoint's epoch
+// cut (0 for a base); incremental selects the v3 section encoding.
+//
+// Plugins that do not implement SnapshotPlugin still work under
+// FreezeCheckpoint: their full PreCheckpoint hook runs inside the pause
+// window against the live space, which is correct but pays the drain
+// cost in the pause.
+type SnapshotPlugin interface {
+	Plugin
+	FreezeCheckpoint(since uint64, incremental bool) (EmitFunc, error)
+}
+
+// frozenEmit is one plugin's contribution to a frozen checkpoint:
+// either a deferred emit function, or sections already captured in the
+// pause window (non-SnapshotPlugin fallback).
+type frozenEmit struct {
+	plugin Plugin
+	emit   EmitFunc
+	pre    *SectionMap
+}
+
+// Frozen is a checkpoint captured in the stop-the-world window, ready
+// to be written while the application keeps executing. The caller must
+// Release it exactly once, after WriteFrozen (or instead of it, when
+// abandoning the checkpoint) — releasing drops every copy-on-write page
+// the snapshot retained.
+type Frozen struct {
+	snap     *addrspace.Snapshot
+	cut      uint64
+	since    uint64
+	prev     *DeltaState
+	selfName string
+	version  int
+	emits    []frozenEmit
+	start    time.Time
+}
+
+// FreezeCheckpoint captures a checkpoint of space inside the
+// stop-the-world window: it takes the epoch cut (v3), runs the plugin
+// freeze hooks (draining the device), and arms the copy-on-write
+// snapshot. incremental forces the v3 format (a chain base when prev is
+// nil); prev and selfName carry the lineage exactly as in
+// CheckpointDelta. On return the application may resume: everything the
+// image needs is pinned.
+func (e *Engine) FreezeCheckpoint(ctx context.Context, space *addrspace.Space, incremental bool, prev *DeltaState, selfName string) (*Frozen, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	version := e.ImageVersion
+	if version == 0 {
+		version = 2
+	}
+	if incremental || prev != nil {
+		version = 3
+	}
+	switch version {
+	case 1, 2, 3:
+	default:
+		return nil, fmt.Errorf("%w: cannot write version %d", ErrUnsupportedVersion, version)
+	}
+	// Same rotation guards as CheckpointDelta: a shard-size change or a
+	// chain at the depth cap rotates to a fresh base.
+	if prev != nil && (prev.ShardSize != e.shardSize() || prev.Depth+1 >= maxChainDepth) {
+		prev = nil
+	}
+	fz := &Frozen{prev: prev, selfName: selfName, version: version, start: time.Now()}
+	if version == 3 {
+		// The cut precedes the drain hooks, exactly as in CheckpointDelta:
+		// writes racing the drain are stamped above the cut and re-emitted
+		// by the next delta.
+		fz.cut = space.CutEpoch()
+		if prev != nil {
+			fz.since = prev.Cut
+		}
+	}
+	for _, p := range e.plugins {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if sp, ok := p.(SnapshotPlugin); ok {
+			emit, err := sp.FreezeCheckpoint(fz.since, version == 3)
+			if err != nil {
+				return nil, fmt.Errorf("dmtcp: plugin %s freeze: %w", p.Name(), err)
+			}
+			fz.emits = append(fz.emits, frozenEmit{plugin: p, emit: emit})
+			continue
+		}
+		// Fallback: the plugin cannot defer its work, so its whole
+		// precheckpoint hook runs here, in the pause, against the live
+		// space — its sections are frozen by construction.
+		pre := NewSectionMap()
+		var err error
+		if dp, ok := p.(DeltaPlugin); ok && version == 3 {
+			err = dp.PreCheckpointDelta(ctx, pre, fz.since)
+		} else {
+			err = p.PreCheckpoint(ctx, pre)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dmtcp: plugin %s precheckpoint: %w", p.Name(), err)
+		}
+		fz.emits = append(fz.emits, frozenEmit{plugin: p, pre: pre})
+	}
+	// Arm the snapshot after the drain hooks, so the image includes the
+	// memory effects the drain flushed — the same ordering a blocking
+	// checkpoint observes.
+	fz.snap = space.Snapshot()
+	return fz, nil
+}
+
+// Cut returns the address-space epoch cut the checkpoint was frozen at
+// (0 for v1/v2 images, which take no cut).
+func (fz *Frozen) Cut() uint64 { return fz.cut }
+
+// StartedAt backdates the checkpoint's wall clock to t (ignored unless
+// earlier than the freeze entry). Callers that spent time reaching the
+// freeze — waiting out gates, draining the device — charge it here so
+// Stats.Duration always contains Stats.PauseDuration.
+func (fz *Frozen) StartedAt(t time.Time) {
+	if t.Before(fz.start) {
+		fz.start = t
+	}
+}
+
+// Release drops every copy-on-write page the frozen checkpoint pinned.
+// Idempotent; must be called once the image write finished or was
+// abandoned.
+func (fz *Frozen) Release() { fz.snap.Release() }
+
+// WriteFrozen serializes a frozen checkpoint to w, reading all memory
+// through the snapshot armed at freeze time, then runs the Resume
+// hooks. It may run concurrently with the application. The returned
+// DeltaState (v3 only) follows the CheckpointDelta contract: commit it
+// only once the image durably landed. Stats.PauseDuration is left zero —
+// the caller measured the pause and owns that split.
+func (e *Engine) WriteFrozen(ctx context.Context, w io.Writer, fz *Frozen) (Stats, *DeltaState, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	hookStart := time.Now()
+	sections := NewSectionMap()
+	for _, fe := range fz.emits {
+		if err := ctx.Err(); err != nil {
+			return Stats{}, nil, err
+		}
+		if fe.emit != nil {
+			if err := fe.emit(ctx, fz.snap, sections); err != nil {
+				return Stats{}, nil, fmt.Errorf("dmtcp: plugin %s emit: %w", fe.plugin.Name(), err)
+			}
+			continue
+		}
+		for _, name := range fe.pre.Names() {
+			data, _ := fe.pre.Get(name)
+			sections.Add(name, data)
+			if fe.pre.Opaque(name) {
+				sections.MarkOpaque(name)
+			}
+		}
+	}
+	hookDur := time.Since(hookStart)
+
+	regions := fz.snap.RegionsIn(addrspace.HalfUpper)
+	st := Stats{Regions: len(regions), Delta: fz.prev != nil}
+	if fz.prev != nil {
+		st.DeltaDepth = fz.prev.Depth + 1
+	}
+
+	writeStart := time.Now()
+	bw := bufio.NewWriterSize(w, 256<<10)
+	var state *DeltaState
+	var err error
+	switch fz.version {
+	case 1:
+		err = e.writeImageV1(ctx, bw, fz.snap, regions, sections, &st)
+	case 2:
+		err = e.writeImageV2(ctx, bw, fz.snap, regions, sections, &st)
+	case 3:
+		state, err = e.writeImageV3(ctx, bw, fz.snap, regions, sections, fz.prev, fz.selfName, fz.cut, fz.since, &st)
+	}
+	if err == nil {
+		err = bw.Flush()
+	}
+	st.WriteDuration = time.Since(writeStart)
+	if err != nil {
+		return st, nil, err
+	}
+
+	resumeStart := time.Now()
+	for i := len(e.plugins) - 1; i >= 0; i-- {
+		if err := e.plugins[i].Resume(); err != nil {
+			return st, nil, fmt.Errorf("dmtcp: plugin %s resume: %w", e.plugins[i].Name(), err)
+		}
+	}
+	st.HookDuration = hookDur + time.Since(resumeStart)
+	st.Duration = time.Since(fz.start)
+	return st, state, nil
+}

@@ -137,6 +137,17 @@ func (l *Log) Entries() []Entry {
 	return append([]Entry(nil), l.entries...)
 }
 
+// View returns the current log contents as an immutable prefix view,
+// without copying: the log is append-only, and the returned slice is
+// capacity-clamped, so later Appends (which either write beyond the
+// clamp or reallocate) never mutate it. This is the O(1) capture a
+// concurrent checkpoint takes inside its stop-the-world window.
+func (l *Log) View() []Entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.entries[:len(l.entries):len(l.entries)]
+}
+
 // Reset clears the log (used only by tests).
 func (l *Log) Reset() {
 	l.mu.Lock()
@@ -179,7 +190,14 @@ type FatBin struct {
 // the order slice after arena reuse, so liveness is per-entry, not
 // per-address.
 func (l *Log) Active() ActiveSet {
-	entries := l.Entries()
+	return ActiveOf(l.View())
+}
+
+// ActiveOf derives the live set from an explicit entry sequence —
+// typically a frozen View() prefix, so a checkpoint running
+// concurrently with the application computes the active set of the cut
+// point, not of the still-growing log.
+func ActiveOf(entries []Entry) ActiveSet {
 	var as ActiveSet
 	type allocList struct {
 		order []Allocation
@@ -300,7 +318,12 @@ const logMagic = uint32(0x43524c47) // "CRLG"
 
 // Encode writes the log to w in a self-describing binary format.
 func (l *Log) Encode(w io.Writer) error {
-	entries := l.Entries()
+	return EncodeEntries(w, l.View())
+}
+
+// EncodeEntries writes an explicit entry sequence (typically a frozen
+// View() prefix) in the same format as Encode.
+func EncodeEntries(w io.Writer, entries []Entry) error {
 	var hdr [8]byte
 	binary.LittleEndian.PutUint32(hdr[0:], logMagic)
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(entries)))

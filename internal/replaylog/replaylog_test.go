@@ -218,3 +218,41 @@ func TestReset(t *testing.T) {
 		t.Fatal("reset did not clear")
 	}
 }
+
+// TestViewIsImmutablePrefix: View is the O(1) stop-the-world capture a
+// concurrent checkpoint takes — later appends must not leak into it,
+// and ActiveOf/EncodeEntries over the view must equal what the live log
+// would have produced at capture time.
+func TestViewIsImmutablePrefix(t *testing.T) {
+	l := New()
+	l.Append(Entry{Kind: KindMalloc, Size: 64, Addr: 0x100})
+	l.Append(Entry{Kind: KindMalloc, Size: 64, Addr: 0x200})
+	v := l.View()
+	var atCut bytes.Buffer
+	if err := l.Encode(&atCut); err != nil {
+		t.Fatal(err)
+	}
+	// Mutate after the capture: enough appends to force a reallocation
+	// and exercise the in-place-append path first.
+	l.Append(Entry{Kind: KindFree, Addr: 0x100})
+	for i := 0; i < 64; i++ {
+		l.Append(Entry{Kind: KindMalloc, Size: 8, Addr: 0x1000 + uint64(i)*64})
+	}
+	if len(v) != 2 {
+		t.Fatalf("view grew to %d entries", len(v))
+	}
+	as := ActiveOf(v)
+	if len(as.Device) != 2 {
+		t.Fatalf("ActiveOf(view) sees %d device allocs, want 2 (free is post-capture)", len(as.Device))
+	}
+	var fromView bytes.Buffer
+	if err := EncodeEntries(&fromView, v); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fromView.Bytes(), atCut.Bytes()) {
+		t.Fatal("EncodeEntries(view) differs from the capture-time encoding")
+	}
+	if len(l.Entries()) != 67 {
+		t.Fatalf("live log has %d entries, want 67", len(l.Entries()))
+	}
+}

@@ -155,6 +155,81 @@ func (m *Manager) CleanSince(addr, length, cut uint64) bool {
 	return true
 }
 
+// Snapshot is a frozen copy of every managed page's residency and touch
+// epoch, captured by Manager.Snapshot. A concurrent checkpoint freezes
+// the UVM state in the stop-the-world window and evaluates its
+// may-skip-this-allocation decisions against the frozen view while the
+// application keeps faulting pages around — so the emitted image equals
+// the one a blocking checkpoint at the capture point would have written.
+type Snapshot struct {
+	regions []snapRegion
+}
+
+type snapRegion struct {
+	base, length uint64
+	res          []Residency
+	gen          []uint64
+}
+
+// Snapshot captures the residency and touch epoch of every managed page.
+// O(pages) metadata copy; no payload is touched.
+func (m *Manager) Snapshot() *Snapshot {
+	m.mu.Lock()
+	regions := make([]*Region, 0, len(m.regions))
+	for _, r := range m.regions {
+		regions = append(regions, r)
+	}
+	m.mu.Unlock()
+	sn := &Snapshot{regions: make([]snapRegion, 0, len(regions))}
+	for _, r := range regions {
+		sr := snapRegion{base: r.Base, length: r.Len,
+			res: make([]Residency, len(r.pages)), gen: make([]uint64, len(r.pages))}
+		for i := range r.pages {
+			p := &r.pages[i]
+			p.mu.Lock()
+			sr.res[i] = p.res
+			sr.gen[i] = p.gen
+			p.mu.Unlock()
+		}
+		sn.regions = append(sn.regions, sr)
+	}
+	return sn
+}
+
+// CleanSince is Manager.CleanSince evaluated against the frozen state:
+// whether every page of [addr, addr+length) was host-resident and
+// untouched since the cut at capture time. Bytes outside any region
+// captured report false.
+func (s *Snapshot) CleanSince(addr, length, cut uint64) bool {
+	for length > 0 {
+		var sr *snapRegion
+		for i := range s.regions {
+			r := &s.regions[i]
+			if addr >= r.base && addr < r.base+r.length {
+				sr = r
+				break
+			}
+		}
+		if sr == nil {
+			return false
+		}
+		chunk := sr.base + sr.length - addr
+		if chunk > length {
+			chunk = length
+		}
+		first := (addr - sr.base) / PageSize
+		last := (addr + chunk - 1 - sr.base) / PageSize
+		for pi := first; pi <= last; pi++ {
+			if sr.res[pi] != OnHost || sr.gen[pi] > cut {
+				return false
+			}
+		}
+		addr += chunk
+		length -= chunk
+	}
+	return true
+}
+
 // Register places [base, base+length) under UVM control with all pages
 // initially host-resident (as cudaMallocManaged memory starts).
 func (m *Manager) Register(base, length uint64) *Region {

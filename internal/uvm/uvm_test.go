@@ -255,3 +255,36 @@ func TestPrefetchCountsAsTouch(t *testing.T) {
 		t.Fatal("prefetched page must not be clean")
 	}
 }
+
+// TestSnapshotFreezesCleanSince: the frozen view keeps answering from
+// capture-time state while the live manager moves on — the property
+// that keeps an overlapped checkpoint's skip decisions byte-identical
+// to a blocking one's.
+func TestSnapshotFreezesCleanSince(t *testing.T) {
+	m := NewManager()
+	m.Register(0x1000, 4*PageSize)
+	cut := m.CutEpoch()
+	sn := m.Snapshot()
+	// Touch and migrate a page after the capture.
+	if _, err := m.Access(Device, 0x1000, PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if m.CleanSince(0x1000, PageSize, cut) {
+		t.Fatal("live view must see the post-capture touch")
+	}
+	if !sn.CleanSince(0x1000, PageSize, cut) {
+		t.Fatal("frozen view must not see the post-capture touch")
+	}
+	// A page dirty at capture stays dirty in the frozen view.
+	if _, err := m.Access(Device, 0x1000+PageSize, PageSize); err != nil {
+		t.Fatal(err)
+	}
+	sn2 := m.Snapshot()
+	if sn2.CleanSince(0x1000+PageSize, PageSize, cut) {
+		t.Fatal("frozen view must keep capture-time dirtiness")
+	}
+	// Unmanaged bytes report not-clean, as on the live manager.
+	if sn.CleanSince(0x9000_0000, PageSize, cut) {
+		t.Fatal("unmanaged range must not report clean in the frozen view")
+	}
+}

@@ -21,7 +21,8 @@ type settings struct {
 	workers      int
 	shardSize    int
 	imageVersion int
-	incremental  int // max deltas per base; 0 = incremental off
+	incremental  int  // max deltas per base; 0 = incremental off
+	concurrent   bool // blocking entry points use the snapshot path
 	aslr         bool
 	aslrSeed     int64
 
@@ -104,6 +105,19 @@ func WithIncremental(n int) Option {
 // incremental mode). WithDeltaEvery(n) ≡ WithIncremental(n-1).
 func WithDeltaEvery(n int) Option {
 	return func(s *settings) { s.incremental = n - 1 }
+}
+
+// WithConcurrentCheckpoint routes Checkpoint and CheckpointTo through
+// the snapshot-and-release (copy-on-write) path: the application is
+// stopped only for the stream drain, the epoch cut, and the snapshot
+// arming, while the shard pipeline, compression, and the Store commit
+// overlap with further execution. The resulting image is byte-identical
+// to a blocking checkpoint taken at the cut. CheckpointAsync uses the
+// snapshot path regardless of this option; the option moves the
+// blocking entry points onto it too, so existing checkpoint loops get
+// the short pause without code changes.
+func WithConcurrentCheckpoint() Option {
+	return func(s *settings) { s.concurrent = true }
 }
 
 // WithASLR enables address-space randomization with the given seed.

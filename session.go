@@ -6,6 +6,7 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/addrspace"
 	"repro/internal/cracplugin"
@@ -82,6 +83,15 @@ type Session struct {
 	// last committed CheckpointTo (nil: the next checkpoint is a base).
 	// Guarded by mu; committed only after the Store.Put succeeded.
 	incr *dmtcp.DeltaState
+
+	// inflight is the concurrent checkpoint currently writing its image
+	// in the background (nil: none). Guarded by mu; a second checkpoint
+	// or a restart while one is in flight reports ErrCheckpointInFlight.
+	inflight *Pending
+
+	// qmu serializes Quiesce/Resume; quiesced is the nesting depth.
+	qmu      sync.Mutex
+	quiesced int
 }
 
 // buildLowerHalf loads a fresh helper program and CUDA library into
@@ -201,20 +211,102 @@ func (s *Session) SetRootBlob(b []byte) { s.plugin.SetRootBlob(b) }
 // RootBlob returns the blob (after a restore, the one from the image).
 func (s *Session) RootBlob() []byte { return s.plugin.RootBlob() }
 
+// reserveCheckpoint claims the session's single checkpoint slot. Every
+// checkpoint path — blocking or concurrent — holds the slot for its
+// full duration, so two checkpoints can never interleave their epoch
+// cuts and plugin staging (which would corrupt the incremental skip
+// baseline). The caller must releaseCheckpoint (for async, the
+// background goroutine does, and the Pending doubles as the token).
+func (s *Session) reserveCheckpoint(name string) (*Pending, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lib == nil {
+		return nil, ErrSessionClosed
+	}
+	if s.inflight != nil {
+		if s.inflight.name != "" {
+			return nil, fmt.Errorf("%w: %q is still being written", ErrCheckpointInFlight, s.inflight.name)
+		}
+		return nil, ErrCheckpointInFlight
+	}
+	p := &Pending{name: name, done: make(chan struct{})}
+	s.inflight = p
+	return p, nil
+}
+
+func (s *Session) releaseCheckpoint() {
+	s.mu.Lock()
+	s.inflight = nil
+	s.mu.Unlock()
+}
+
+// armFrozen is the stop-the-world window of a concurrent checkpoint.
+// Unless the caller already holds a Quiesce, it micro-quiesces for the
+// duration of the arming — launch gate (waits out in-flight Memset/
+// Memcpy/launches, whose slice writes would otherwise span the arming
+// unpreserved), device drain, then memory freeze — so no writer that
+// resolved memory before the window can mutate it after the snapshot
+// arms. The gates reopen before armFrozen returns; only the returned
+// pause was application-visible.
+func (s *Session) armFrozen(ctx context.Context, space *addrspace.Space, incremental bool, prev *dmtcp.DeltaState, name string) (*dmtcp.Frozen, time.Duration, error) {
+	pauseStart := time.Now()
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	if s.quiesced == 0 {
+		s.rt.QuiesceLaunches()
+		defer s.rt.ResumeLaunches()
+		lib := s.Library()
+		if lib == nil {
+			return nil, 0, ErrSessionClosed
+		}
+		// Drain before freezing memory: in-flight kernels still write
+		// their results, and the freeze must wait for those writes, not
+		// deadlock them.
+		if err := lib.DeviceSynchronize(); err != nil {
+			return nil, 0, err
+		}
+		space.Freeze()
+		defer space.Thaw()
+	}
+	fz, err := s.engine.FreezeCheckpoint(ctx, space, incremental, prev, name)
+	if err != nil {
+		return nil, 0, err
+	}
+	// The gate waits and the drain above are application-visible pause
+	// too: charge them to the checkpoint's wall clock so Duration always
+	// contains PauseDuration.
+	fz.StartedAt(pauseStart)
+	return fz, time.Since(pauseStart), nil
+}
+
 // Checkpoint drains the device and writes a checkpoint image to w. The
 // session keeps running afterwards (DMTCP "checkpoint and continue").
 // Cancelling ctx aborts the shard pipeline mid-image and returns an
 // error matching both ErrCancelled and the context's own error; the
 // session remains fully usable, but whatever bytes already reached w
 // are not a valid image (checkpoint through a Store for all-or-nothing
-// semantics).
+// semantics). With WithConcurrentCheckpoint the write runs from a CoW
+// snapshot: only the drain + arming pauses other goroutines.
 func (s *Session) Checkpoint(ctx context.Context, w io.Writer) (Stats, error) {
+	if _, err := s.reserveCheckpoint(""); err != nil {
+		return Stats{}, err
+	}
+	defer s.releaseCheckpoint()
 	s.mu.Lock()
 	space := s.space
-	closed := s.lib == nil
 	s.mu.Unlock()
-	if closed {
-		return Stats{}, ErrSessionClosed
+	if s.cfg.concurrent {
+		// Snapshot-and-release: stop the world only for drain + CoW
+		// arming, then write from the snapshot. Goroutines other than
+		// this one keep executing through the whole write.
+		fz, pause, err := s.armFrozen(ctx, space, false, nil, "")
+		if err != nil {
+			return Stats{}, wrapCancelled(err)
+		}
+		defer fz.Release()
+		st, _, err := s.engine.WriteFrozen(ctx, w, fz)
+		st.PauseDuration = pause
+		return st, wrapCancelled(err)
 	}
 	st, err := s.engine.Checkpoint(ctx, w, space)
 	return st, wrapCancelled(err)
@@ -233,6 +325,16 @@ func (s *Session) Checkpoint(ctx context.Context, w io.Writer) (Stats, error) {
 // checkpoint never leaves the lineage pointing at an image that does
 // not exist.
 func (s *Session) CheckpointTo(ctx context.Context, store Store, name string) (Stats, error) {
+	if s.cfg.concurrent {
+		// Same snapshot path as CheckpointAsync, waited on: the calling
+		// goroutine blocks, but the application's other goroutines run
+		// through the whole image write and store commit.
+		p, err := s.CheckpointAsync(ctx, store, name)
+		if err != nil {
+			return Stats{}, err
+		}
+		return p.Wait()
+	}
 	if s.cfg.incremental > 0 {
 		return s.checkpointIncremental(ctx, store, name)
 	}
@@ -245,10 +347,10 @@ func (s *Session) CheckpointTo(ctx context.Context, store Store, name string) (S
 	return st, wrapCancelled(err)
 }
 
-func (s *Session) checkpointIncremental(ctx context.Context, store Store, name string) (Stats, error) {
-	s.mu.Lock()
-	space := s.space
-	closed := s.lib == nil
+// incrPrevLocked resolves the lineage the next store-bound checkpoint
+// should delta against (nil: write a base), applying the rotation
+// guards. Caller holds s.mu.
+func (s *Session) incrPrevLocked(store Store, name string) *dmtcp.DeltaState {
 	prev := s.incr
 	switch {
 	case prev == nil:
@@ -267,10 +369,18 @@ func (s *Session) checkpointIncremental(ctx context.Context, store Store, name s
 		// instead.
 		prev = nil
 	}
-	s.mu.Unlock()
-	if closed {
-		return Stats{}, ErrSessionClosed
+	return prev
+}
+
+func (s *Session) checkpointIncremental(ctx context.Context, store Store, name string) (Stats, error) {
+	if _, err := s.reserveCheckpoint(name); err != nil {
+		return Stats{}, err
 	}
+	defer s.releaseCheckpoint()
+	s.mu.Lock()
+	space := s.space
+	prev := s.incrPrevLocked(store, name)
+	s.mu.Unlock()
 	var st Stats
 	var next *dmtcp.DeltaState
 	err := store.Put(ctx, name, func(w io.Writer) error {
@@ -288,6 +398,107 @@ func (s *Session) checkpointIncremental(ctx context.Context, store Store, name s
 	s.incr = next
 	s.mu.Unlock()
 	return st, nil
+}
+
+// Pending is a concurrent checkpoint in flight: CheckpointAsync armed
+// its snapshot inside the stop-the-world window and the image is being
+// written in the background while the application executes.
+type Pending struct {
+	name string
+	done chan struct{}
+	st   Stats
+	err  error
+}
+
+// Name returns the store name the checkpoint is being written under.
+func (p *Pending) Name() string { return p.name }
+
+// Done returns a channel closed when the checkpoint has committed (or
+// failed); use it to select alongside application work.
+func (p *Pending) Done() <-chan struct{} { return p.done }
+
+// Wait blocks until the checkpoint commits and returns its Stats. The
+// error follows CheckpointTo's contract: on failure (including
+// cancellation) the Store holds no partial image and the session keeps
+// running.
+func (p *Pending) Wait() (Stats, error) {
+	<-p.done
+	return p.st, p.err
+}
+
+// CheckpointAsync takes a snapshot-and-release checkpoint: the
+// application is stopped only for the stream drain, the epoch cut, and
+// the copy-on-write arming of the address space — all O(metadata) —
+// and by the time CheckpointAsync returns, execution may continue. The
+// shard pipeline, compression, and the Store commit run on a background
+// goroutine against the snapshot; the committed image is byte-identical
+// to a blocking CheckpointTo at the cut, no matter how hard the
+// application mutates memory during the overlap.
+//
+// With WithIncremental, the checkpoint joins the session's delta chain
+// exactly as CheckpointTo does; the chain state and the plugin's skip
+// baseline advance only when the Put commits.
+//
+// Only one checkpoint may be in flight: a second CheckpointAsync (or a
+// blocking checkpoint, or a restart) while one is pending reports
+// ErrCheckpointInFlight. A failed or cancelled overlapped checkpoint
+// leaves no partial image in the Store and releases every retained
+// copy-on-write page.
+//
+// ctx governs the overlapped write, not just the arming: it must stay
+// live until Pending.Wait (or Done) reports completion. In particular,
+// `defer cancel()` in a function that returns right after
+// CheckpointAsync cancels the background write and the checkpoint
+// surfaces ErrCancelled from Wait.
+func (s *Session) CheckpointAsync(ctx context.Context, store Store, name string) (*Pending, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	incremental := s.cfg.incremental > 0
+	p, err := s.reserveCheckpoint(name)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	space := s.space
+	var prev *dmtcp.DeltaState
+	if incremental {
+		prev = s.incrPrevLocked(store, name)
+	}
+	s.mu.Unlock()
+
+	// The stop-the-world window: drain, cut, arm (micro-quiesced so no
+	// in-flight writer spans the arming). Everything after armFrozen
+	// returns overlaps with application execution.
+	fz, pause, err := s.armFrozen(ctx, space, incremental, prev, name)
+	if err != nil {
+		s.releaseCheckpoint()
+		return nil, wrapCancelled(err)
+	}
+
+	go func() {
+		var st Stats
+		var next *dmtcp.DeltaState
+		err := store.Put(ctx, name, func(w io.Writer) error {
+			var cerr error
+			st, next, cerr = s.engine.WriteFrozen(ctx, w, fz)
+			return cerr
+		})
+		// Success or not, every retained CoW page is dropped here.
+		fz.Release()
+		st.PauseDuration = pause
+		if err == nil && incremental {
+			s.plugin.CommitIncremental()
+			s.mu.Lock()
+			s.incr = next
+			s.mu.Unlock()
+		}
+		p.st = st
+		p.err = wrapCancelled(err)
+		s.releaseCheckpoint()
+		close(p.done)
+	}()
+	return p, nil
 }
 
 // Restart simulates killing the process and restarting it from the image
@@ -345,7 +556,23 @@ func (s *Session) restartFromImage(ctx context.Context, img *dmtcp.Image) error 
 		return fmt.Errorf("%w: decoding image log: %v", ErrBadImage, err)
 	}
 
+	// A quiesced session cannot restart: log replay would block on the
+	// held launch gate, and the fresh address space could never balance
+	// the pending Resume's Thaw. qmu stays held for the whole restart so
+	// a racing Quiesce cannot freeze the old space mid-swap (its Resume
+	// would then thaw the new, never-frozen one).
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	if s.quiesced > 0 {
+		return fmt.Errorf("%w: resume before restarting", ErrQuiesced)
+	}
 	s.mu.Lock()
+	if s.inflight != nil {
+		// A restart discards the address space an overlapped checkpoint
+		// is still reading from; wait the Pending out first.
+		s.mu.Unlock()
+		return fmt.Errorf("%w: cannot restart", ErrCheckpointInFlight)
+	}
 	oldLib, oldHelper := s.lib, s.helper
 	// The lower half is about to die: clear the pointers first so a
 	// failure below (or a concurrent Close) can never tear the same
@@ -450,13 +677,38 @@ func (s *Session) Close() {
 	}
 }
 
-// Quiesce implements dmtcp.Member for coordinated multi-rank checkpoints.
+// Quiesce brings the session to a checkpointable standstill and holds
+// it there: new kernel launches block before they reach the device, the
+// device drains, and every application-side memory mutation (WriteAt,
+// writable Slice, mmap/munmap/mprotect) blocks until Resume. Reads are
+// unaffected, so checkpoints may be taken while quiesced. Quiesce
+// nests; each call must be balanced by exactly one Resume. It also
+// implements dmtcp.Member for coordinated multi-rank checkpoints.
 func (s *Session) Quiesce() error {
-	lib := s.Library()
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	s.mu.Lock()
+	lib, space := s.lib, s.space
+	s.mu.Unlock()
 	if lib == nil {
 		return ErrSessionClosed
 	}
-	return lib.DeviceSynchronize()
+	if s.quiesced > 0 {
+		s.quiesced++
+		return nil
+	}
+	// Order matters: bar new launches first (the gate also waits out
+	// launches mid-enqueue), then drain what the device already holds,
+	// then freeze memory — a drained kernel may still be writing its
+	// results while the drain runs, so the freeze comes last.
+	s.rt.QuiesceLaunches()
+	if err := lib.DeviceSynchronize(); err != nil {
+		s.rt.ResumeLaunches()
+		return err
+	}
+	space.Freeze()
+	s.quiesced = 1
+	return nil
 }
 
 // WriteCheckpoint implements dmtcp.Member.
@@ -465,8 +717,25 @@ func (s *Session) WriteCheckpoint(w io.Writer) error {
 	return err
 }
 
-// Resume implements dmtcp.Member.
-func (s *Session) Resume() error { return nil }
+// Resume releases one level of Quiesce, unblocking memory writes and
+// kernel launches when the last level drops. An unbalanced Resume (no
+// matching Quiesce) reports ErrNotQuiesced. Implements dmtcp.Member.
+func (s *Session) Resume() error {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	if s.quiesced == 0 {
+		return ErrNotQuiesced
+	}
+	s.quiesced--
+	if s.quiesced == 0 {
+		s.mu.Lock()
+		space := s.space
+		s.mu.Unlock()
+		space.Thaw()
+		s.rt.ResumeLaunches()
+	}
+	return nil
+}
 
 // NewNative builds the uninstrumented baseline: the same simulated device
 // and CUDA library, bound directly (no trampoline, no logging, no
