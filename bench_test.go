@@ -14,6 +14,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"runtime"
 	"testing"
 	"time"
 
@@ -321,6 +322,104 @@ func BenchmarkRestartParallel(b *testing.B) {
 				if err := s.Restart(context.Background(), bytes.NewReader(img.Bytes())); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkRestartLazy measures time-to-first-kernel on the standard
+// ~69 MiB workload: from the start of the restart until one kernel
+// launch + sync has completed on the restored session. The eager rows
+// pay the full image decode and refill before the kernel can run; the
+// lazy rows (RestartAsync) pay only the metadata scan and log replay,
+// faulting in just the pages the kernel touches, while the prefetcher
+// drains the rest in the background (outside the timed window). The
+// lazy time-to-first-kernel is expected to be ≥10× below the eager
+// one; drainMs/op reports the overlapped background drain.
+func BenchmarkRestartLazy(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		lazy bool
+	}{
+		{"eager", false},
+		{"lazy", true},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			s, total := parallelBenchSession(b, 0, false)
+			rt := s.Runtime()
+			fat, err := rt.RegisterFatBinary(kernels.Module)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for name, k := range kernels.Table() {
+				if err := rt.RegisterFunction(fat, name, k); err != nil {
+					b.Fatal(err)
+				}
+			}
+			probe, err := rt.Malloc(64 << 10)
+			if err != nil {
+				b.Fatal(err)
+			}
+			store, err := crac.NewDirStore(b.TempDir(), 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			if _, err := s.CheckpointTo(ctx, store, "img"); err != nil {
+				b.Fatal(err)
+			}
+			firstKernel := func() {
+				lc := crt.LaunchConfig{Grid: crt.Dim3{X: 16}, Block: crt.Dim3{X: 256}}
+				if err := rt.LaunchKernel(fat, "fill", lc, crt.DefaultStream, probe, kernels.F32Arg(3), (64<<10)/4); err != nil {
+					b.Fatal(err)
+				}
+				if err := rt.DeviceSynchronize(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Warm up one full cycle.
+			if err := s.RestartFrom(ctx, store, "img"); err != nil {
+				b.Fatal(err)
+			}
+			firstKernel()
+			b.SetBytes(int64(total))
+			var drain, visible time.Duration
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// The previous iteration discarded a whole address space;
+				// collect it outside the timed window (symmetrically for
+				// both arms) so TTFK measures the restart path, not GC
+				// scheduling noise.
+				b.StopTimer()
+				runtime.GC()
+				b.StartTimer()
+				if bc.lazy {
+					tv := time.Now()
+					p, err := s.RestartAsync(ctx, store, "img")
+					if err != nil {
+						b.Fatal(err)
+					}
+					visible += time.Since(tv)
+					firstKernel()
+					// The background drain runs outside the TTFK window.
+					b.StopTimer()
+					st, err := p.Wait()
+					if err != nil {
+						b.Fatal(err)
+					}
+					drain += st.RestoreBackgroundDuration
+					b.StartTimer()
+				} else {
+					if err := s.RestartFrom(ctx, store, "img"); err != nil {
+						b.Fatal(err)
+					}
+					firstKernel()
+				}
+			}
+			b.StopTimer()
+			if bc.lazy {
+				b.ReportMetric(float64(drain.Nanoseconds())/1e6/float64(b.N), "drainMs/op")
+				b.ReportMetric(float64(visible.Nanoseconds())/1e6/float64(b.N), "visibleMs/op")
 			}
 		})
 	}

@@ -1,0 +1,179 @@
+// The benchmark-regression gate: `cracbench -compare old.json new.json`
+// diffs two -benchjson reports and fails (exit 1) when any timing
+// metric regressed beyond the threshold — CI runs it on every PR
+// against the committed BENCH_main.json baseline, so the perf wins of
+// the checkpoint/restart data path stay guarded.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/harness"
+)
+
+// timingUnit classifies a table column as a timing metric by its
+// header, returning the factor converting its values to milliseconds
+// (0: not a timing column).
+func timingUnit(col string) float64 {
+	switch {
+	case strings.Contains(col, "(ms)"):
+		return 1
+	case strings.Contains(col, "(s)"):
+		return 1000
+	default:
+		return 0
+	}
+}
+
+// rowKey identifies a table row by its leading non-timing label cells
+// (benchmark name, policy, path, ...), stopping at the first timing
+// column so value-ish trailing cells (sizes, ratios) don't break the
+// match when they legitimately change.
+func rowKey(columns, row []string) string {
+	var parts []string
+	for i, col := range columns {
+		if timingUnit(col) != 0 {
+			break
+		}
+		if i < len(row) {
+			parts = append(parts, row[i])
+		}
+	}
+	return strings.Join(parts, " / ")
+}
+
+// loadReport parses one -benchjson file.
+func loadReport(path string) (*benchReport, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r benchReport
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &r, nil
+}
+
+// comparison is one timing metric diffed across the two reports.
+type comparison struct {
+	metric string // "exp/table: row / column"
+	oldMS  float64
+	newMS  float64
+}
+
+func (c comparison) ratio() float64 {
+	if c.oldMS == 0 {
+		return 1
+	}
+	return c.newMS / c.oldMS
+}
+
+// collectComparisons pairs up every timing cell present in both
+// reports.
+func collectComparisons(oldR, newR *benchReport) []comparison {
+	type tableKey struct{ exp, table string }
+	oldTables := make(map[tableKey]*harness.Table)
+	for _, e := range oldR.Experiments {
+		for _, t := range e.Tables {
+			oldTables[tableKey{e.ID, t.ID + "/" + t.Title}] = t
+		}
+	}
+	var out []comparison
+	for _, e := range newR.Experiments {
+		for _, nt := range e.Tables {
+			ot, ok := oldTables[tableKey{e.ID, nt.ID + "/" + nt.Title}]
+			if !ok {
+				continue
+			}
+			oldRows := make(map[string][]string, len(ot.Rows))
+			for _, row := range ot.Rows {
+				oldRows[rowKey(ot.Columns, row)] = row
+			}
+			for _, row := range nt.Rows {
+				orow, ok := oldRows[rowKey(nt.Columns, row)]
+				if !ok {
+					continue
+				}
+				for ci, col := range nt.Columns {
+					unit := timingUnit(col)
+					if unit == 0 || ci >= len(row) || ci >= len(orow) {
+						continue
+					}
+					ov, err1 := strconv.ParseFloat(strings.TrimSpace(orow[ci]), 64)
+					nv, err2 := strconv.ParseFloat(strings.TrimSpace(row[ci]), 64)
+					if err1 != nil || err2 != nil {
+						continue
+					}
+					out = append(out, comparison{
+						metric: fmt.Sprintf("%s/%s: %s / %s", e.ID, nt.ID, rowKey(nt.Columns, row), col),
+						oldMS:  ov * unit,
+						newMS:  nv * unit,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// runCompare is the -compare entry point: exit 0 when no compared
+// timing regressed beyond threshold, 1 otherwise, 2 on usage errors.
+// A regression needs both a relative breach (new > old*(1+threshold))
+// and an absolute one (new-old > slackMS): quick-mode timings on
+// shared CI runners jitter by whole milliseconds, and the gate's job
+// is to catch a lost optimization — an order-of-magnitude shift — not
+// to flap on scheduler noise.
+func runCompare(oldPath, newPath string, threshold, minMS, slackMS float64, stdout, stderr io.Writer) int {
+	oldR, err := loadReport(oldPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "cracbench: baseline: %v\n", err)
+		return 2
+	}
+	newR, err := loadReport(newPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "cracbench: new report: %v\n", err)
+		return 2
+	}
+	comps := collectComparisons(oldR, newR)
+	if len(comps) == 0 {
+		fmt.Fprintln(stderr, "cracbench: the reports share no comparable timing metrics")
+		return 2
+	}
+	var regressions []comparison
+	skipped := 0
+	fmt.Fprintf(stdout, "bench-gate: %s -> %s (threshold %.0f%%, noise floor %.1fms)\n",
+		oldPath, newPath, threshold*100, minMS)
+	for _, c := range comps {
+		status := "ok"
+		switch {
+		case c.oldMS < minMS && c.newMS < minMS:
+			// Both sides under the noise floor: sub-millisecond jitter,
+			// not a signal. A tiny baseline with a LARGE new value (a
+			// lost optimization — the very thing the tiny baseline
+			// proves) is still compared.
+			status = "skip (below noise floor)"
+			skipped++
+		case c.newMS > c.oldMS*(1+threshold) && c.newMS-c.oldMS > slackMS:
+			status = "REGRESSION"
+			regressions = append(regressions, c)
+		}
+		fmt.Fprintf(stdout, "  %-60s %6.2fms -> %6.2fms  (%.2fx)  %s\n",
+			c.metric, c.oldMS, c.newMS, c.ratio(), status)
+	}
+	fmt.Fprintf(stdout, "bench-gate: %d metrics compared, %d below noise floor, %d regressions\n",
+		len(comps), skipped, len(regressions))
+	if len(regressions) > 0 {
+		fmt.Fprintf(stderr, "cracbench: %d timing metric(s) regressed more than %.0f%%:\n", len(regressions), threshold*100)
+		for _, c := range regressions {
+			fmt.Fprintf(stderr, "  %s: %.2fms -> %.2fms (%.2fx)\n", c.metric, c.oldMS, c.newMS, c.ratio())
+		}
+		return 1
+	}
+	return 0
+}

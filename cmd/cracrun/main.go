@@ -94,6 +94,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		restart  = fs.Bool("restart", true, "restart from the image immediately after checkpointing")
 		timeout  = fs.Duration("timeout", 0, "checkpoint/restart deadline (0 = none)")
 		incr     = fs.Int("incremental", 0, "incremental checkpointing: up to N delta images per full base (requires -ckpt-dir; 0 = off)")
+		lazy     = fs.Bool("lazy", false, "lazy on-demand restart: resume execution after metadata + log replay, fault shards in on access, drain in the background (reports time-to-first-kernel)")
 		conc     = fs.Bool("concurrent", false, "snapshot-and-release checkpoints: pause only for the epoch cut, write the image concurrently")
 		profile  = fs.Bool("profile", false, "print an nvprof-style per-API call summary")
 	)
@@ -127,6 +128,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		prop = gpusim.QuadroK600()
 	}
 
+	if *lazy && !*restart {
+		fmt.Fprintln(stderr, "cracrun: -lazy requires -restart")
+		return 2
+	}
 	var sessionOpts []crac.Option
 	if *incr > 0 {
 		// A delta names its parent image, so the chain needs the
@@ -155,6 +160,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	var lastCkpt string
 	var store crac.Store
+	var lazyPending *crac.Restarting
+	var lazyRestartAt time.Time
+	lazyTTFKReported := true
 	if *ckptPath != "" || *ckptDir != "" {
 		if runner.Session == nil {
 			fmt.Fprintln(stderr, "cracrun: -ckpt/-ckpt-dir require a crac mode")
@@ -172,6 +180,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		step := 0
 		cfg.Hook = func(int) error {
 			step++
+			if !lazyTTFKReported {
+				// The first hook step after a lazy restart: the app has run
+				// real kernels against faulted-in memory by now.
+				lazyTTFKReported = true
+				fmt.Fprintf(stdout, "restart: time-to-first-kernel %v (first app step completed after lazy restart)\n",
+					time.Since(lazyRestartAt).Round(time.Microsecond))
+			}
 			if *incr > 0 {
 				// Incremental mode checkpoints repeatedly — every
 				// ckpt-step hook steps — growing a base+delta chain.
@@ -211,11 +226,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 			// restores the chain tip once, after the run completes.
 			if *restart && *incr == 0 {
 				t0 = time.Now()
-				if err := runner.Session.RestartFrom(ctx, store, name); err != nil {
-					return err
+				if *lazy {
+					p, err := runner.Session.RestartAsync(ctx, store, name)
+					if err != nil {
+						return err
+					}
+					lazyPending, lazyRestartAt, lazyTTFKReported = p, t0, false
+					fmt.Fprintf(stdout, "restart: lazy, executing after %v visible pause (generation %d); image draining in the background\n",
+						time.Since(t0).Round(time.Microsecond), runner.Session.Generation())
+				} else {
+					if err := runner.Session.RestartFrom(ctx, store, name); err != nil {
+						return err
+					}
+					fmt.Fprintf(stdout, "restart: completed in %v (generation %d)\n",
+						time.Since(t0).Round(time.Millisecond), runner.Session.Generation())
 				}
-				fmt.Fprintf(stdout, "restart: completed in %v (generation %d)\n",
-					time.Since(t0).Round(time.Millisecond), runner.Session.Generation())
 			}
 			lastCkpt = name
 			return nil
@@ -233,6 +258,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "cracrun: %s under %v: %v\n", app.Name, mode, err)
 		return 1
 	}
+	if lazyPending != nil {
+		st, werr := lazyPending.Wait()
+		if werr != nil {
+			fmt.Fprintf(stderr, "cracrun: background drain: %v\n", werr)
+		} else {
+			untouched := 0
+			if lib := runner.Session.Library(); lib != nil {
+				untouched = lib.UVM().UntouchedHostPages()
+			}
+			fmt.Fprintf(stdout, "restart: background drain finished in %v (visible %v, total %v); %d managed pages still cold (host-resident, never touched)\n",
+				st.RestoreBackgroundDuration.Round(time.Microsecond),
+				st.RestoreVisibleDuration.Round(time.Microsecond),
+				st.RestoreDuration.Round(time.Microsecond), untouched)
+		}
+	}
 	if *incr > 0 && *restart && lastCkpt != "" {
 		// Prove the chain tip restores: base + deltas materialize
 		// through the store, under the same deadline as any other
@@ -244,12 +284,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 			defer cancel()
 		}
 		t0 := time.Now()
-		if err := runner.Session.RestartFrom(ctx, store, lastCkpt); err != nil {
-			fmt.Fprintf(stderr, "cracrun: restoring chain tip %s: %v\n", lastCkpt, err)
-			return 1
+		if *lazy {
+			p, err := runner.Session.RestartAsync(ctx, store, lastCkpt)
+			if err != nil {
+				fmt.Fprintf(stderr, "cracrun: restoring chain tip %s: %v\n", lastCkpt, err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "restart: chain tip %s lazily restored, executing after %v visible pause (generation %d)\n",
+				lastCkpt, time.Since(t0).Round(time.Microsecond), runner.Session.Generation())
+			if st, werr := p.Wait(); werr != nil {
+				fmt.Fprintf(stderr, "cracrun: background drain: %v\n", werr)
+			} else {
+				fmt.Fprintf(stdout, "restart: background drain finished in %v (total %v)\n",
+					st.RestoreBackgroundDuration.Round(time.Microsecond), st.RestoreDuration.Round(time.Microsecond))
+			}
+		} else {
+			if err := runner.Session.RestartFrom(ctx, store, lastCkpt); err != nil {
+				fmt.Fprintf(stderr, "cracrun: restoring chain tip %s: %v\n", lastCkpt, err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "restart: chain tip %s restored in %v (generation %d)\n",
+				lastCkpt, time.Since(t0).Round(time.Millisecond), runner.Session.Generation())
 		}
-		fmt.Fprintf(stdout, "restart: chain tip %s restored in %v (generation %d)\n",
-			lastCkpt, time.Since(t0).Round(time.Millisecond), runner.Session.Generation())
 	}
 	fmt.Fprintf(stdout, "%s under %v:\n", app.Name, mode)
 	fmt.Fprintf(stdout, "  runtime:    %v\n", res.Elapsed.Round(time.Millisecond))

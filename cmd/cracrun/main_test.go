@@ -159,3 +159,26 @@ func TestConcurrentIncrementalChain(t *testing.T) {
 		t.Fatalf("missing pause/chain-tip lines:\n%s", out)
 	}
 }
+
+// TestLazyRestartFlag exercises -lazy end-to-end: the restart reports
+// its visible pause, the time-to-first-kernel of the next app step,
+// and the background drain's completion.
+func TestLazyRestartFlag(t *testing.T) {
+	dir := t.TempDir()
+	code, out, errOut := runCmd(t,
+		"-app", "Hotspot", "-mode", "crac", "-scale", "0.1",
+		"-ckpt-dir", dir, "-ckpt-step", "2", "-lazy")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, errOut)
+	}
+	for _, want := range []string{
+		"restart: lazy, executing after",
+		"time-to-first-kernel",
+		"background drain finished",
+		"Hotspot under CRAC",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in output:\n%s", want, out)
+		}
+	}
+}

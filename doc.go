@@ -116,6 +116,32 @@
 // precise cut, bracket the arming with the (now real) Quiesce/Resume
 // pair, which gates kernel launches and memory writes until resumed.
 //
+// # Lazy restart
+//
+// RestartAsync turns restore latency into time-to-first-kernel: the
+// visible phase reads only the image metadata and the replay log,
+// rebuilds the lower half, and maps every restored byte cold — the
+// application (and its kernels) run immediately, faulting image shards
+// in on first access, while a background prefetcher drains the rest of
+// the image concurrently (device memory first, managed UVM pages
+// last). On the standard workload this is an order of magnitude faster
+// to first kernel than an eager restart:
+//
+//	p, err := s.RestartAsync(ctx, store, "gen042")
+//	if err != nil { ... }            // the session is already executing
+//	... serve traffic; cold memory faults in on demand ...
+//	stats, err := p.Wait()           // background drain finished
+//	fmt.Println(stats.RestoreVisibleDuration, "visible of", stats.RestoreDuration)
+//
+// Once the drain completes, memory is byte-identical to an eager
+// restart of the same image (DESIGN.md invariant 11); before that,
+// every access sees the same bytes through the fault path. Delta
+// chains restore shard-by-shard from the nearest ancestor that owns
+// each shard. Cancelling ctx stops only the prefetcher — the session
+// stays fully usable (faults keep materializing) and restartable.
+// WithLazyRestart reroutes RestartFrom and RestoreFrom onto the same
+// path for existing code.
+//
 // # Performance
 //
 // The checkpoint/restart data path is parallel and pipelined: region

@@ -208,6 +208,30 @@ type Space struct {
 	// blocked mutators hold no lock a reader or checkpointer needs.
 	gate sync.RWMutex
 
+	// Lazy-restart fault gate (lazy.go): coldBytes is the data-plane
+	// fast-path check (zero = no lazy restart in flight), lazyG the
+	// cold-page set and materializer under lazyMu. Lock order: mu (any
+	// mode) may be taken before lazyMu, never the reverse.
+	coldBytes atomic.Int64
+	lazyMu    sync.Mutex
+	lazyG     lazyGate
+
+	// mmapBacked selects anonymous-mmap backing for large regions (see
+	// allocBacking): zero pages on demand instead of a heap memclr.
+	// Lazily-restored spaces set it — their content arrives through
+	// FillCold, so eagerly wiped backing would be paid for nothing —
+	// while ordinary spaces keep heap backing (eager restores touch
+	// every byte once anyway, and sequential memclr beats page faults).
+	// backings pins every mapping the space ever allocated: a Slice
+	// view handed to a caller does not keep non-heap memory reachable
+	// on its own, so the mappings live exactly as long as the Space —
+	// unmapping a region (or freeing the allocation over it) can never
+	// invalidate an outstanding view while the space is alive, matching
+	// the memory-safety of heap backing. The finalizer reclaims them
+	// only when the whole Space is collected.
+	mmapBacked bool
+	backings   []*backing
+
 	mmapCount   uint64 // statistics: total MMap calls
 	munmapCount uint64
 }
@@ -392,7 +416,17 @@ func (s *Space) overlapsLocked(start, length uint64) bool {
 }
 
 func (s *Space) insertLocked(start, length uint64, prot Prot, half Half, label string) uint64 {
-	r := &region{start: start, prot: prot, half: half, label: label, data: make([]byte, length),
+	var data []byte
+	if s.mmapBacked {
+		var back *backing
+		data, back = allocBacking(length)
+		if back != nil {
+			s.backings = append(s.backings, back)
+		}
+	} else {
+		data = make([]byte, length)
+	}
+	r := &region{start: start, prot: prot, half: half, label: label, data: data,
 		gens: make([]uint64, length/PageSize)}
 	for i := range r.gens {
 		r.gens[i] = s.epoch
@@ -428,6 +462,10 @@ func (s *Space) unmapLocked(addr, length uint64) {
 	// An active snapshot must keep the bytes the hole destroys (and
 	// survive a MAP_FIXED replacement, which routes through here).
 	s.preserveRangeLocked(addr, length)
+	// Cold pages in the hole lose their logical content with the
+	// mapping: a later mapping at the same address starts warm (zeros),
+	// and the materializer must not fill stale image bytes into it.
+	s.clearColdLocked(addr, length)
 	end := addr + length
 	var out []*region
 	for _, r := range s.regions {
@@ -540,6 +578,11 @@ func (s *Space) findLocked(addr uint64) *region {
 // checked (ProtRead required). ReadAt holds only the read lock: see the
 // Space concurrency contract.
 func (s *Space) ReadAt(addr uint64, p []byte) error {
+	if s.coldBytes.Load() != 0 {
+		if err := s.faultRange(addr, uint64(len(p))); err != nil {
+			return err
+		}
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.accessLocked(addr, ProtRead, p, true)
@@ -549,6 +592,14 @@ func (s *Space) ReadAt(addr uint64, p []byte) error {
 // WriteAt holds only the read lock: concurrent writes to non-overlapping
 // ranges are race-free (see the Space concurrency contract).
 func (s *Space) WriteAt(addr uint64, p []byte) error {
+	// A write to a cold page needs the underlying content first: the
+	// write may cover only part of the page, and the rest must read
+	// back as image bytes, not zeros.
+	if s.coldBytes.Load() != 0 {
+		if err := s.faultRange(addr, uint64(len(p))); err != nil {
+			return err
+		}
+	}
 	s.gate.RLock()
 	defer s.gate.RUnlock()
 	s.mu.RLock()
@@ -626,6 +677,14 @@ func (s *Space) ReadSlice(addr, length uint64) ([]byte, error) {
 }
 
 func (s *Space) slice(addr, length uint64, write bool) ([]byte, error) {
+	// The caller gets a direct view and may access it at any later
+	// point, bypassing the fault gate — so the whole range materializes
+	// before the view is handed out.
+	if s.coldBytes.Load() != 0 {
+		if err := s.faultRange(addr, length); err != nil {
+			return nil, err
+		}
+	}
 	if write {
 		// Held only for the stamp/preserve window, not for later writes
 		// through the returned view: Quiesce additionally gates kernel
@@ -817,4 +876,13 @@ func (s *Space) RangeDirtySince(addr, length, since uint64) bool {
 		at = r.end()
 	}
 	return false
+}
+
+// SetMmapBacked toggles anonymous-mmap backing for regions created
+// from now on (see WithMmapBacking). Call before the space is
+// populated.
+func (s *Space) SetMmapBacked(on bool) {
+	s.mu.Lock()
+	s.mmapBacked = on
+	s.mu.Unlock()
 }

@@ -385,6 +385,12 @@ func TestQuickReadWriteRoundTrip(t *testing.T) {
 			data = data[:4*PageSize]
 		}
 		addr := base + uint64(off)
+		if uint64(off)+uint64(len(data)) > 16*PageSize {
+			// The write overruns the mapping: the property here is that
+			// it fails (a fuzzed offset near the top of the uint16 range
+			// lands within len(data) bytes of the region end).
+			return s.WriteAt(addr, data) != nil
+		}
 		if err := s.WriteAt(addr, data); err != nil {
 			return false
 		}

@@ -1,0 +1,40 @@
+//go:build linux || darwin
+
+package addrspace
+
+import (
+	"runtime"
+	"syscall"
+)
+
+// backingThreshold is the region size from which backing memory comes
+// from an anonymous mmap instead of the Go heap. Large regions (arena
+// chunks, big host buffers) dominate restart latency when allocated
+// with make: the runtime memclrs reused spans, so every restart pays a
+// sequential wipe of the whole arena footprint before a single byte is
+// restored. Anonymous mappings are zero on demand — the kernel hands
+// out zero pages faulted in on first touch — which is exactly the
+// behaviour the real mmap(2)-backed arenas have, and it shrinks a lazy
+// restart's visible phase to O(metadata).
+const backingThreshold = 1 << 20
+
+// backing owns one anonymous mapping. Regions (and frozen snapshot
+// regions) that slice into it keep a pointer, so the finalizer cannot
+// unmap memory that any live view can still reach.
+type backing struct{ b []byte }
+
+// allocBacking returns a zeroed byte slice of length n and its owner
+// (nil when the slice came from the Go heap). n is page-aligned.
+func allocBacking(n uint64) ([]byte, *backing) {
+	if n < backingThreshold {
+		return make([]byte, n), nil
+	}
+	b, err := syscall.Mmap(-1, 0, int(n), syscall.PROT_READ|syscall.PROT_WRITE,
+		syscall.MAP_ANON|syscall.MAP_PRIVATE)
+	if err != nil {
+		return make([]byte, n), nil
+	}
+	bk := &backing{b: b}
+	runtime.SetFinalizer(bk, func(bk *backing) { _ = syscall.Munmap(bk.b) })
+	return b, bk
+}

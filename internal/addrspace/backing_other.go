@@ -1,0 +1,12 @@
+//go:build !linux && !darwin
+
+package addrspace
+
+// backing is unused on platforms without anonymous-mmap support: all
+// region memory comes from the Go heap.
+type backing struct{}
+
+// allocBacking returns a zeroed byte slice of length n.
+func allocBacking(n uint64) ([]byte, *backing) {
+	return make([]byte, n), nil
+}

@@ -1,0 +1,226 @@
+package addrspace
+
+import (
+	"bytes"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// lazyTestSpace maps one 8-page upper-half region.
+func lazyTestSpace(t *testing.T) (*Space, uint64) {
+	t.Helper()
+	s := New()
+	addr := s.UpperWindow().Start
+	if _, err := s.MMap(addr, 8*PageSize, ProtRW, MapFixedNoReplace, HalfUpper, "lazy"); err != nil {
+		t.Fatal(err)
+	}
+	return s, addr
+}
+
+// TestLazyFaultGate checks the fault path end to end: cold reads call
+// the materializer, FillCold writes only cold pages, and warm pages
+// never fault again.
+func TestLazyFaultGate(t *testing.T) {
+	s, addr := lazyTestSpace(t)
+	content := make([]byte, 8*PageSize)
+	for i := range content {
+		content[i] = byte(i*3 + 1)
+	}
+	var faults atomic.Int64
+	s.BeginLazy(func(a, l uint64) error {
+		faults.Add(1)
+		s.FillCold(a, content[a-addr:a-addr+l])
+		s.MarkWarm(a, l)
+		return nil
+	})
+	s.MarkCold(addr, 8*PageSize)
+	if s.ColdBytes() != 8*PageSize {
+		t.Fatalf("cold bytes %d", s.ColdBytes())
+	}
+
+	got := make([]byte, 100)
+	if err := s.ReadAt(addr+PageSize+11, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content[PageSize+11:PageSize+111]) {
+		t.Fatal("faulted read returned wrong bytes")
+	}
+	if faults.Load() != 1 {
+		t.Fatalf("%d materializer calls, want 1", faults.Load())
+	}
+	// Same page again: no fault.
+	if err := s.ReadAt(addr+PageSize, got); err != nil {
+		t.Fatal(err)
+	}
+	if faults.Load() != 1 {
+		t.Fatalf("warm page re-faulted (%d calls)", faults.Load())
+	}
+	// A write to a cold page materializes first, then lands.
+	if err := s.WriteAt(addr+4*PageSize+8, []byte{0xEE}); err != nil {
+		t.Fatal(err)
+	}
+	page := make([]byte, PageSize)
+	if err := s.ReadAt(addr+4*PageSize, page); err != nil {
+		t.Fatal(err)
+	}
+	if page[8] != 0xEE || page[9] != content[4*PageSize+9] {
+		t.Fatal("partial write onto cold page lost surrounding image bytes")
+	}
+	if err := s.DrainLazy(); err != nil {
+		t.Fatal(err)
+	}
+	if s.ColdBytes() != 0 {
+		t.Fatalf("%d cold bytes after drain", s.ColdBytes())
+	}
+}
+
+// TestLazyFillColdSkipsWarm checks FillCold never overwrites a page
+// that is already warm (e.g. one the application wrote first).
+func TestLazyFillColdSkipsWarm(t *testing.T) {
+	s, addr := lazyTestSpace(t)
+	s.BeginLazy(func(a, l uint64) error {
+		s.MarkWarm(a, l) // materialize "nothing": content arrives via FillCold below
+		return nil
+	})
+	s.MarkCold(addr, 2*PageSize)
+	// Page 0 warms through a fault (application write wins).
+	if err := s.WriteAt(addr, []byte{0x55}); err != nil {
+		t.Fatal(err)
+	}
+	stale := bytes.Repeat([]byte{0xFF}, 2*PageSize)
+	s.FillCold(addr, stale)
+	var b [2]byte
+	if err := s.ReadAt(addr, b[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 0x55 {
+		t.Fatalf("FillCold overwrote a warm page: %#x", b[0])
+	}
+	// Page 1 is still cold: the fill landed there.
+	if err := s.ReadAt(addr+PageSize, b[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 0xFF {
+		t.Fatalf("FillCold skipped a cold page: %#x", b[0])
+	}
+}
+
+// TestLazyUnmapClearsCold checks an unmapped range loses its cold
+// marks: a fresh mapping at the same address starts warm and zeroed,
+// and the materializer never runs for it.
+func TestLazyUnmapClearsCold(t *testing.T) {
+	s, addr := lazyTestSpace(t)
+	var faults atomic.Int64
+	s.BeginLazy(func(a, l uint64) error {
+		faults.Add(1)
+		s.MarkWarm(a, l)
+		return nil
+	})
+	s.MarkCold(addr, 8*PageSize)
+	if err := s.MUnmap(addr, 4*PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if s.ColdBytes() != 4*PageSize {
+		t.Fatalf("cold bytes %d after unmap, want %d", s.ColdBytes(), 4*PageSize)
+	}
+	if _, err := s.MMap(addr, 4*PageSize, ProtRW, MapFixedNoReplace, HalfUpper, "fresh"); err != nil {
+		t.Fatal(err)
+	}
+	var b [1]byte
+	if err := s.ReadAt(addr, b[:]); err != nil {
+		t.Fatal(err)
+	}
+	if faults.Load() != 0 {
+		t.Fatal("remapped range faulted")
+	}
+	if b[0] != 0 {
+		t.Fatalf("fresh mapping not zero: %#x", b[0])
+	}
+}
+
+// TestLazyCoversNoFault checks the registration-style coverage probe
+// never materializes.
+func TestLazyCoversNoFault(t *testing.T) {
+	s, addr := lazyTestSpace(t)
+	var faults atomic.Int64
+	s.BeginLazy(func(a, l uint64) error {
+		faults.Add(1)
+		s.MarkWarm(a, l)
+		return nil
+	})
+	s.MarkCold(addr, 8*PageSize)
+	if !s.Covers(addr, 8*PageSize) {
+		t.Fatal("Covers false on a mapped range")
+	}
+	if s.Covers(addr, 9*PageSize) {
+		t.Fatal("Covers true beyond the mapping")
+	}
+	if !s.Readable(addr, 8*PageSize) {
+		t.Fatal("Readable false on an rw mapping")
+	}
+	if err := s.MProtect(addr, PageSize, ProtNone); err != nil {
+		t.Fatal(err)
+	}
+	if s.Readable(addr, 8*PageSize) {
+		t.Fatal("Readable true across a PROT_NONE page")
+	}
+	if !s.Covers(addr, 8*PageSize) {
+		t.Fatal("Covers must ignore protection")
+	}
+	if faults.Load() != 0 {
+		t.Fatal("Covers/Readable faulted")
+	}
+}
+
+// TestLazyMaterializerError checks a failing materializer surfaces on
+// the access (and the range stays cold for a retry).
+func TestLazyMaterializerError(t *testing.T) {
+	s, addr := lazyTestSpace(t)
+	boom := errors.New("shard truncated")
+	fail := true
+	s.BeginLazy(func(a, l uint64) error {
+		if fail {
+			return boom
+		}
+		s.MarkWarm(a, l)
+		return nil
+	})
+	s.MarkCold(addr, PageSize)
+	var b [1]byte
+	if err := s.ReadAt(addr, b[:]); !errors.Is(err, boom) {
+		t.Fatalf("error not surfaced: %v", err)
+	}
+	if s.ColdBytes() == 0 {
+		t.Fatal("failed materialization warmed the page")
+	}
+	fail = false
+	if err := s.ReadAt(addr, b[:]); err != nil {
+		t.Fatalf("retry failed: %v", err)
+	}
+}
+
+// TestLazySnapshotDrains checks arming a CoW snapshot drains the lazy
+// state first (snapshot reads bypass the fault gate).
+func TestLazySnapshotDrains(t *testing.T) {
+	s, addr := lazyTestSpace(t)
+	content := bytes.Repeat([]byte{0xAB}, 8*PageSize)
+	s.BeginLazy(func(a, l uint64) error {
+		s.FillCold(a, content[a-addr:a-addr+l])
+		s.MarkWarm(a, l)
+		return nil
+	})
+	s.MarkCold(addr, 8*PageSize)
+	sn := s.Snapshot()
+	defer sn.Release()
+	if s.ColdBytes() != 0 {
+		t.Fatalf("%d cold bytes under an armed snapshot", s.ColdBytes())
+	}
+	got := make([]byte, PageSize)
+	if err := sn.ReadAt(addr+2*PageSize, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content[2*PageSize:3*PageSize]) {
+		t.Fatal("snapshot read missed materialized content")
+	}
+}

@@ -74,7 +74,8 @@ type snapStripe struct {
 // live space does: structural trims and splits re-slice the region but
 // share the array, a MAP_FIXED replacement orphans it (immutable from
 // then on), and every in-place write preserves the page into the
-// snapshot before mutating.
+// snapshot before mutating. (Mmap-backed arrays are pinned by the
+// Space itself — Snapshot.space keeps it, and so them, reachable.)
 type snapRegion struct {
 	RegionInfo
 	gens []uint64
@@ -102,6 +103,14 @@ type Snapshot struct {
 // operation completes before the capture: the snapshot is consistent at
 // a single linearization point. The caller must Release it.
 func (s *Space) Snapshot() *Snapshot {
+	// Snapshot reads bypass the lazy fault gate (they copy out of the
+	// frozen backing arrays directly), so a snapshot may only arm over
+	// fully materialized memory. Callers that can surface the error
+	// (Session.armFrozen) drain first; this drain is the best-effort
+	// backstop for direct users.
+	if s.coldBytes.Load() != 0 {
+		_ = s.DrainLazy()
+	}
 	sn := &Snapshot{space: s}
 	for i := range sn.stripes {
 		sn.stripes[i].pages = make(map[uint64]*[PageSize]byte)

@@ -129,8 +129,12 @@ func (l *Library) HostRegister(addr, size uint64) error {
 	if err := l.touch("cudaHostRegister"); err != nil {
 		return err
 	}
-	if _, err := l.space.ReadSlice(addr, size); err != nil {
-		return errf(ErrorInvalidHostPointer, "cudaHostRegister", "buffer %#x+%d not mapped: %v", addr, size, err)
+	// A coverage + protection check, not a content view: registration
+	// must stay O(metadata) so replaying it during a lazy restart does
+	// not fault the whole buffer in — but an unmapped or unreadable
+	// range still fails, exactly as the old content-view probe did.
+	if !l.space.Readable(addr, size) {
+		return errf(ErrorInvalidHostPointer, "cudaHostRegister", "buffer %#x+%d not mapped or not readable", addr, size)
 	}
 	l.mu.Lock()
 	l.hostAllocs[addr] = size

@@ -194,6 +194,17 @@ type Stats struct {
 	HookDuration  time.Duration
 	PauseDuration time.Duration
 
+	// Lazy-restart timing split (Session.RestartAsync /
+	// WithLazyRestart). RestoreVisibleDuration is the application-
+	// blocking phase: index scan, metadata, lower-half rebuild, and log
+	// replay — everything before the first kernel can launch.
+	// RestoreBackgroundDuration is the overlapped prefetcher drain;
+	// RestoreDuration the total until the image was fully materialized.
+	// An eager restart is all-visible (the background split is zero).
+	RestoreDuration           time.Duration
+	RestoreVisibleDuration    time.Duration
+	RestoreBackgroundDuration time.Duration
+
 	// Incremental (v3) accounting. ShardsTotal and PayloadTotal cover
 	// the full span layout of the checkpointed state; ShardsWritten and
 	// PayloadWritten count only the emitted (dirty) shards — for a full

@@ -1,0 +1,704 @@
+// The LazyRestorer: fill plans, single-flight shard decode, and the
+// background prefetcher of the lazy restart path (see lazy.go).
+package dmtcp
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/addrspace"
+)
+
+// PrefetchClass orders the background drain: device memory first (a
+// restarted application's kernels touch it immediately), then pinned,
+// then the upper-half regions, and managed (UVM) memory last — its
+// CPU-resident pages are the coldest state and stay cold the longest,
+// materializing on first touch if the application gets there before
+// the prefetcher.
+type PrefetchClass int
+
+// Prefetch classes in drain order.
+const (
+	ClassDevice PrefetchClass = iota
+	ClassPinned
+	ClassRegion
+	ClassManaged
+)
+
+// planSource says where a fill plan's bytes come from.
+type planSource interface{ isPlanSource() }
+
+// regionSource resolves through the chain's region tables by absolute
+// address (the ApplyDelta inheritance rule).
+type regionSource struct{}
+
+// sectionSource reads [off, off+len) of one image's section payload.
+type sectionSource struct {
+	img  int
+	name string
+	off  uint64
+}
+
+// memSource pushes bytes already decoded during planning (a delta's
+// own devmem payload). The whole plan fills exactly once (two faults
+// overlapping one plan must not race same-byte writes), so the fill is
+// gated by a sync.Once — Do blocks concurrent callers until the first
+// fill completes, which is what makes the subsequent MarkWarm sound.
+type memSource struct {
+	data []byte
+	once *sync.Once
+}
+
+func (regionSource) isPlanSource()  {}
+func (sectionSource) isPlanSource() {}
+func (memSource) isPlanSource()     {}
+
+// fillPlan binds one target address range to its image bytes.
+type fillPlan struct {
+	addr, length uint64
+	class        PrefetchClass
+	src          planSource
+}
+
+// shardRef identifies one shard within one chain image.
+type shardRef struct{ img, idx int }
+
+// shardCall is one single-flight shard decode.
+type shardCall struct {
+	done chan struct{}
+	err  error
+}
+
+// LazyRestorer materializes a checkpoint image into an address space
+// on demand. Build it with NewLazyRestorer, register the fill plans
+// (PlanRegions + the plugin's section plans), Seal it, install
+// MaterializeRange as the space's Materializer, and start Prefetch on
+// a background goroutine. Safe for concurrent use after Seal.
+type LazyRestorer struct {
+	space *addrspace.Space
+	chain []*ShardIndex // [0] = tip; chain[i].parent == chain[i+1]
+
+	// Mergers resolves opaque sections for the eager-fallback path of
+	// RunLazyRestartHooks (plugins that do not implement
+	// LazyRestartPlugin).
+	Mergers map[string]SectionMerger
+
+	plans    []fillPlan // sorted by addr once sealed
+	secPlans map[secKey][]int
+	sealed   bool
+
+	mu    sync.Mutex
+	calls map[shardRef]*shardCall
+
+	decoded     atomic.Int64 // shards actually decoded (single-flight observability)
+	filledBytes atomic.Uint64
+
+	// fg counts foreground materializations in flight (faults and
+	// DrainLazy barriers). The prefetcher defers to them: on a machine
+	// where the drain competes with the application for cores, a
+	// restarted request must never queue behind background prefetching.
+	fg atomic.Int64
+}
+
+type secKey struct {
+	img  int
+	name string
+}
+
+// NewLazyRestorer builds a restorer over the linked index chain
+// (tip first; parents must already be linked with SetParent).
+func NewLazyRestorer(space *addrspace.Space, chain []*ShardIndex) (*LazyRestorer, error) {
+	if len(chain) == 0 {
+		return nil, fmt.Errorf("%w: empty index chain", ErrBadImage)
+	}
+	for i, ix := range chain[:len(chain)-1] {
+		if ix.parent != chain[i+1] {
+			return nil, fmt.Errorf("%w: index chain not linked at depth %d", ErrDeltaChain, i)
+		}
+	}
+	last := chain[len(chain)-1]
+	if last.Delta {
+		return nil, fmt.Errorf("%w: chain ends in a delta (%q unresolved)", ErrDeltaChain, last.Parent)
+	}
+	return &LazyRestorer{
+		space:    space,
+		chain:    chain,
+		secPlans: make(map[secKey][]int),
+		calls:    make(map[shardRef]*shardCall),
+	}, nil
+}
+
+// Tip returns the chain tip's index (the image being restored).
+func (r *LazyRestorer) Tip() *ShardIndex { return r.chain[0] }
+
+// Chain returns the linked index chain, tip first.
+func (r *LazyRestorer) Chain() []*ShardIndex { return r.chain }
+
+// ShardsDecoded counts the shards actually decoded so far — with the
+// single-flight cache, at most one decode per (image, shard) no matter
+// how faults and the prefetcher race.
+func (r *LazyRestorer) ShardsDecoded() int64 { return r.decoded.Load() }
+
+// FilledBytes counts the payload bytes pushed into the space so far.
+func (r *LazyRestorer) FilledBytes() uint64 { return r.filledBytes.Load() }
+
+// SectionBytes materializes a tip section completely (chain-resolved).
+func (r *LazyRestorer) SectionBytes(name string) ([]byte, error) {
+	return r.chain[0].SectionBytes(name)
+}
+
+// ImageSectionBytes materializes the named section as carried by chain
+// image img (the plugin uses it to read a delta's own devmem2 listing,
+// or an ancestor base's call log).
+func (r *LazyRestorer) ImageSectionBytes(img int, name string) ([]byte, error) {
+	if img < 0 || img >= len(r.chain) {
+		return nil, fmt.Errorf("%w: no chain image %d", ErrDeltaChain, img)
+	}
+	return r.chain[img].SectionBytes(name)
+}
+
+// PlanRegions registers one fill plan per tip region: the whole
+// upper-half memory restores on demand.
+func (r *LazyRestorer) PlanRegions() {
+	for _, rd := range r.chain[0].Regions {
+		r.addPlan(fillPlan{addr: rd.Start, length: rd.Len, class: ClassRegion, src: regionSource{}})
+	}
+}
+
+// PlanSection binds [addr, addr+length) to bytes [off, off+length) of
+// the named section of chain image img.
+func (r *LazyRestorer) PlanSection(addr, length uint64, img int, name string, off uint64, class PrefetchClass) error {
+	if img < 0 || img >= len(r.chain) {
+		return fmt.Errorf("%w: no chain image %d", ErrDeltaChain, img)
+	}
+	ix := r.chain[img]
+	si := ix.sectionIndex(name)
+	if si < 0 {
+		return fmt.Errorf("%w: image %d has no section %q", ErrBadImage, img, name)
+	}
+	if off+length > ix.Secs[si].Size {
+		return fmt.Errorf("%w: section %q plan %d+%d beyond %d", ErrBadImage, name, off, length, ix.Secs[si].Size)
+	}
+	idx := len(r.plans)
+	r.addPlan(fillPlan{addr: addr, length: length, class: class, src: sectionSource{img: img, name: name, off: off}})
+	key := secKey{img: img, name: name}
+	r.secPlans[key] = append(r.secPlans[key], idx)
+	return nil
+}
+
+// PlanMem binds [addr, addr+len(data)) to bytes already in memory.
+func (r *LazyRestorer) PlanMem(addr uint64, data []byte, class PrefetchClass) {
+	r.addPlan(fillPlan{addr: addr, length: uint64(len(data)), class: class,
+		src: memSource{data: data, once: new(sync.Once)}})
+}
+
+func (r *LazyRestorer) addPlan(p fillPlan) {
+	if r.sealed {
+		panic("dmtcp: LazyRestorer plan added after Seal")
+	}
+	if p.length == 0 {
+		return
+	}
+	r.plans = append(r.plans, p)
+}
+
+// Seal freezes the plan set (sorting it for lookup) and marks every
+// planned range cold in the space. Call after all plans are
+// registered, before installing the materializer and resuming the
+// application.
+func (r *LazyRestorer) Seal() {
+	sort.Slice(r.plans, func(i, j int) bool { return r.plans[i].addr < r.plans[j].addr })
+	// secPlans holds indices into the pre-sort slice; rebuild.
+	r.secPlans = make(map[secKey][]int)
+	for i, p := range r.plans {
+		if ss, ok := p.src.(sectionSource); ok {
+			key := secKey{img: ss.img, name: ss.name}
+			r.secPlans[key] = append(r.secPlans[key], i)
+		}
+	}
+	r.sealed = true
+	for _, p := range r.plans {
+		r.space.MarkCold(p.addr, p.length)
+	}
+}
+
+// plansOverlapping iterates the plans overlapping [addr, addr+length).
+func (r *LazyRestorer) plansOverlapping(addr, length uint64, fn func(p *fillPlan, lo, hi uint64) error) error {
+	end := addr + length
+	i := sort.Search(len(r.plans), func(i int) bool {
+		return r.plans[i].addr+r.plans[i].length > addr
+	})
+	for ; i < len(r.plans); i++ {
+		p := &r.plans[i]
+		if p.addr >= end {
+			break
+		}
+		lo, hi := p.addr, p.addr+p.length
+		if lo < addr {
+			lo = addr
+		}
+		if hi > end {
+			hi = end
+		}
+		if lo < hi {
+			if err := fn(p, lo, hi); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// resolveRegion collects, for the absolute range [addr, addr+length),
+// the shards of the nearest chain image owning each sub-range —
+// starting at chain image img. Clean ranges of a delta descend to the
+// parent; a base owns everything its regions cover.
+func (r *LazyRestorer) resolveRegion(img int, addr, length uint64, refs map[shardRef]struct{}) error {
+	ix := r.chain[img]
+	end := addr + length
+	at := addr
+	for _, spanIdx := range r.regionSpansOverlapping(ix, addr, end) {
+		rd := ix.Regions[spanIdx]
+		lo, hi := rd.Start, rd.Start+rd.Len
+		if lo < at {
+			lo = at
+		}
+		if hi > end {
+			hi = end
+		}
+		if lo >= hi {
+			continue
+		}
+		if lo > at {
+			// [at, lo) lies outside this image's regions.
+			if err := r.regionGap(img, at, lo-at, refs); err != nil {
+				return err
+			}
+		}
+		idxs, gaps := ix.shardsCovering(spanIdx, lo-rd.Start, hi-lo)
+		for _, k := range idxs {
+			refs[shardRef{img: img, idx: k}] = struct{}{}
+		}
+		for _, g := range gaps {
+			if img+1 >= len(r.chain) {
+				return fmt.Errorf("%w: region bytes %#x+%#x missing from base image", ErrDeltaChain, rd.Start+g.Off, g.Len)
+			}
+			if err := r.resolveRegion(img+1, rd.Start+g.Off, g.Len, refs); err != nil {
+				return err
+			}
+		}
+		at = hi
+	}
+	if at < end {
+		if err := r.regionGap(img, at, end-at, refs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// regionGap handles a range outside image img's region table. At the
+// tip that means the range was never planned (plans come from tip
+// regions) and there is nothing to fill; deeper in the chain it is a
+// lineage hole — a clean tip range whose ancestor does not map it,
+// which conservative dirty tracking (new mappings dirty from birth)
+// makes impossible for well-formed chains.
+func (r *LazyRestorer) regionGap(img int, addr, length uint64, refs map[shardRef]struct{}) error {
+	if img == 0 {
+		return nil
+	}
+	return fmt.Errorf("%w: region bytes %#x+%#x not mapped by ancestor image", ErrDeltaChain, addr, length)
+}
+
+// regionSpansOverlapping returns the indices of ix's regions
+// overlapping [addr, end), in address order.
+func (r *LazyRestorer) regionSpansOverlapping(ix *ShardIndex, addr, end uint64) []int {
+	var out []int
+	for i, rd := range ix.Regions {
+		if rd.Start+rd.Len <= addr {
+			continue
+		}
+		if rd.Start >= end {
+			break
+		}
+		out = append(out, i)
+	}
+	return out
+}
+
+// MaterializeRange is the addrspace Materializer: it materializes (at
+// least) the cold content of [addr, addr+length) and marks the range
+// warm. addr/length are page-aligned (the fault gate's contract).
+// Calls through this entry are foreground: the prefetcher yields to
+// them.
+func (r *LazyRestorer) MaterializeRange(addr, length uint64) error {
+	r.fg.Add(1)
+	defer r.fg.Add(-1)
+	return r.materialize(addr, length)
+}
+
+func (r *LazyRestorer) materialize(addr, length uint64) error {
+	refs := make(map[shardRef]struct{})
+	var mems []*fillPlan
+	err := r.plansOverlapping(addr, length, func(p *fillPlan, lo, hi uint64) error {
+		switch src := p.src.(type) {
+		case regionSource:
+			return r.resolveRegion(0, lo, hi-lo, refs)
+		case sectionSource:
+			ix := r.chain[src.img]
+			si := ix.sectionIndex(src.name)
+			span := len(ix.Regions) + si
+			secLo := src.off + (lo - p.addr)
+			idxs, gaps := ix.shardsCovering(span, secLo, hi-lo)
+			if len(gaps) > 0 {
+				// Section plans always name the image that owns the
+				// payload (a base's computed layout, or a delta's own
+				// opaque section, which is emitted in full).
+				return fmt.Errorf("%w: section %q bytes %d+%d missing from image %d", ErrDeltaChain, src.name, gaps[0].Off, gaps[0].Len, src.img)
+			}
+			for _, k := range idxs {
+				refs[shardRef{img: src.img, idx: k}] = struct{}{}
+			}
+			return nil
+		case memSource:
+			mems = append(mems, p)
+			return nil
+		default:
+			return fmt.Errorf("dmtcp: unknown plan source %T", src)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	// Deterministic decode order (ascending file position within each
+	// image) keeps a prefetcher chunk streaming forward.
+	ordered := make([]shardRef, 0, len(refs))
+	for ref := range refs {
+		ordered = append(ordered, ref)
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].img != ordered[j].img {
+			return ordered[i].img < ordered[j].img
+		}
+		return ordered[i].idx < ordered[j].idx
+	})
+	for _, ref := range ordered {
+		if err := r.ensureShard(ref); err != nil {
+			return err
+		}
+	}
+	for _, m := range mems {
+		src := m.src.(memSource)
+		addr := m.addr
+		// Whole-plan fill, exactly once: Do blocks concurrent callers
+		// until the bytes are in place.
+		src.once.Do(func() {
+			r.space.FillCold(addr, src.data)
+			r.filledBytes.Add(uint64(len(src.data)))
+		})
+	}
+	r.space.MarkWarm(addr, length)
+	return nil
+}
+
+// ensureShard decodes and scatters one shard exactly once; concurrent
+// callers (faults, the prefetcher) wait on the same in-flight call.
+// Successful decodes stay cached (their pages are filled; nothing may
+// decode-and-scatter them again), but a failed one is forgotten so the
+// next access retries — a transient store error must not permanently
+// poison the range, per the contract that cold memory keeps
+// materializing on demand after a failed or cancelled drain.
+func (r *LazyRestorer) ensureShard(ref shardRef) error {
+	r.mu.Lock()
+	c, ok := r.calls[ref]
+	if ok {
+		r.mu.Unlock()
+		<-c.done
+		return c.err
+	}
+	c = &shardCall{done: make(chan struct{})}
+	r.calls[ref] = c
+	r.mu.Unlock()
+	c.err = r.decodeAndScatter(ref)
+	if c.err != nil {
+		r.mu.Lock()
+		delete(r.calls, ref)
+		r.mu.Unlock()
+	}
+	close(c.done)
+	return c.err
+}
+
+// decodeAndScatter decodes shard ref and pushes its bytes to every
+// target range that resolves to it.
+func (r *LazyRestorer) decodeAndScatter(ref shardRef) error {
+	ix := r.chain[ref.img]
+	sh := &ix.shards[ref.idx]
+	bp := getShardBuf(int(sh.rawLen))
+	defer shardRawPool.Put(bp)
+	buf := (*bp)[:sh.rawLen]
+	if err := ix.readShard(ref.idx, buf); err != nil {
+		return err
+	}
+	r.decoded.Add(1)
+
+	if sh.span < len(ix.Regions) {
+		// Region shard: its absolute range, minus every sub-range a
+		// younger chain image overrides (their shards carry the newer
+		// bytes and are decoded by their own resolution), scatters by
+		// address. FillCold writes only still-cold pages, so ranges the
+		// application already faulted (or that were unmapped since) are
+		// untouched.
+		base := ix.Regions[sh.span].Start + sh.off
+		selected := []addrspace.Span{{Off: base, Len: uint64(sh.rawLen)}}
+		for younger := ref.img - 1; younger >= 0; younger-- {
+			selected = subtractRegionShards(r.chain[younger], selected)
+			if len(selected) == 0 {
+				break
+			}
+		}
+		for _, sel := range selected {
+			r.space.FillCold(sel.Off, buf[sel.Off-base:sel.Off-base+sel.Len])
+			r.filledBytes.Add(sel.Len)
+		}
+		return nil
+	}
+
+	// Section shard: scatter to the plans bound to this image+section.
+	sec := ix.Secs[sh.span-len(ix.Regions)]
+	for _, pi := range r.secPlans[secKey{img: ref.img, name: sec.Name}] {
+		p := &r.plans[pi]
+		ss := p.src.(sectionSource)
+		lo, hi := sh.off, sh.off+uint64(sh.rawLen)
+		if lo < ss.off {
+			lo = ss.off
+		}
+		if e := ss.off + p.length; hi > e {
+			hi = e
+		}
+		if lo >= hi {
+			continue
+		}
+		r.space.FillCold(p.addr+(lo-ss.off), buf[lo-sh.off:hi-sh.off])
+		r.filledBytes.Add(hi - lo)
+	}
+	return nil
+}
+
+// subtractRegionShards removes from spans (absolute address ranges)
+// every range covered by a shard of ix's regions.
+func subtractRegionShards(ix *ShardIndex, spans []addrspace.Span) []addrspace.Span {
+	var out []addrspace.Span
+	for _, sp := range spans {
+		parts := []addrspace.Span{sp}
+		for spanIdx, rd := range ix.Regions {
+			if rd.Start+rd.Len <= sp.Off || rd.Start >= sp.Off+sp.Len {
+				continue
+			}
+			var next []addrspace.Span
+			for _, part := range parts {
+				lo, hi := part.Off, part.Off+part.Len
+				clo, chi := rd.Start, rd.Start+rd.Len
+				if clo < lo {
+					clo = lo
+				}
+				if chi > hi {
+					chi = hi
+				}
+				if clo >= chi {
+					next = append(next, part)
+					continue
+				}
+				idxs, _ := ix.shardsCovering(spanIdx, clo-rd.Start, chi-clo)
+				covered := make([]addrspace.Span, 0, len(idxs))
+				for _, k := range idxs {
+					sh := &ix.shards[k]
+					covered = append(covered, addrspace.Span{Off: rd.Start + sh.off, Len: uint64(sh.rawLen)})
+				}
+				next = append(next, subtractSpans(part, covered)...)
+			}
+			parts = next
+			if len(parts) == 0 {
+				break
+			}
+		}
+		out = append(out, parts...)
+	}
+	return out
+}
+
+// subtractSpans removes the (ascending, possibly overlapping-with-part
+// boundaries) cover ranges from part.
+func subtractSpans(part addrspace.Span, cover []addrspace.Span) []addrspace.Span {
+	var out []addrspace.Span
+	at := part.Off
+	end := part.Off + part.Len
+	for _, c := range cover {
+		clo, chi := c.Off, c.Off+c.Len
+		if chi <= at || clo >= end {
+			continue
+		}
+		if clo > at {
+			out = append(out, addrspace.Span{Off: at, Len: clo - at})
+		}
+		if chi > at {
+			at = chi
+		}
+		if at >= end {
+			return out
+		}
+	}
+	if at < end {
+		out = append(out, addrspace.Span{Off: at, Len: end - at})
+	}
+	return out
+}
+
+// prefetchChunk is the page-aligned granularity of the background
+// drain: roughly one shard, so the prefetcher reaches a yield point —
+// where it defers to foreground faults and lets the scheduler run the
+// application — at sub-millisecond intervals even on a single core.
+const prefetchChunk = 1 << 20
+
+// Prefetch drains every plan, class by class in PrefetchClass order,
+// until the whole image is materialized or ctx is cancelled. Faults
+// racing the prefetcher deduplicate on the single-flight shard calls,
+// and foreground materializations (faults, DrainLazy barriers) take
+// strict priority: the drain pauses while any is in flight, so a
+// restarted request never queues behind background prefetching. A
+// cancelled prefetch leaves the remaining cold pages materializable on
+// demand — the session stays fully usable.
+func (r *LazyRestorer) Prefetch(ctx context.Context) error {
+	for _, class := range []PrefetchClass{ClassDevice, ClassPinned, ClassRegion, ClassManaged} {
+		for i := range r.plans {
+			p := &r.plans[i]
+			if p.class != class {
+				continue
+			}
+			start := p.addr &^ (addrspace.PageSize - 1)
+			end := (p.addr + p.length + addrspace.PageSize - 1) &^ (addrspace.PageSize - 1)
+			for at := start; at < end; at += prefetchChunk {
+				for r.fg.Load() != 0 {
+					if err := ctx.Err(); err != nil {
+						return err
+					}
+					time.Sleep(50 * time.Microsecond)
+				}
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				hi := at + prefetchChunk
+				if hi > end {
+					hi = end
+				}
+				if err := r.materialize(at, hi-at); err != nil {
+					return err
+				}
+				// A scheduling point per chunk: on saturated cores the
+				// application (and its faults) get the processor between
+				// every decoded shard.
+				runtime.Gosched()
+			}
+		}
+	}
+	return nil
+}
+
+// Span overlap note: plans never overlap each other (regions are
+// disjoint mappings; devmem entries are disjoint allocations in the
+// lower half), so a page belongs to at most one plan per byte and
+// MaterializeRange's per-plan fills are disjoint.
+
+// LazyRestartPlugin is the optional extension of Plugin for lazy
+// restarts: instead of refilling its state eagerly from materialized
+// sections, the plugin registers fill plans on the restorer (and may
+// read small sections eagerly through it). Plugins that do not
+// implement it fall back to their Restart hook over eagerly
+// materialized sections — regions still restore lazily.
+type LazyRestartPlugin interface {
+	Plugin
+	LazyRestart(ctx context.Context, r *LazyRestorer) error
+}
+
+// RunLazyRestartHooks invokes every plugin's lazy restart hook, in
+// registration order. Plugins without LazyRestart get their eager
+// Restart hook with a fully materialized SectionMap (opaque sections
+// resolved through r.Mergers), built at most once.
+func (e *Engine) RunLazyRestartHooks(ctx context.Context, r *LazyRestorer) error {
+	var eager *SectionMap
+	for _, p := range e.plugins {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if lp, ok := p.(LazyRestartPlugin); ok {
+			if err := lp.LazyRestart(ctx, r); err != nil {
+				return fmt.Errorf("dmtcp: plugin %s lazy restart: %w", p.Name(), err)
+			}
+			continue
+		}
+		if eager == nil {
+			var err error
+			if eager, err = r.materializeSections(); err != nil {
+				return err
+			}
+		}
+		if err := p.Restart(ctx, eager); err != nil {
+			return fmt.Errorf("dmtcp: plugin %s restart: %w", p.Name(), err)
+		}
+	}
+	return nil
+}
+
+// materializeSections builds the tip's complete SectionMap: non-opaque
+// sections chain-resolve by name+offset, opaque ones merge through the
+// registered mergers (each chain image's opaque bytes are complete, so
+// the fold mirrors ApplyDelta's).
+func (r *LazyRestorer) materializeSections() (*SectionMap, error) {
+	out := NewSectionMap()
+	for _, sec := range r.chain[0].Secs {
+		var data []byte
+		var err error
+		if sec.Opaque {
+			data, err = r.opaqueSectionBytes(0, sec.Name)
+		} else {
+			data, err = r.chain[0].SectionBytes(sec.Name)
+		}
+		if err != nil {
+			return nil, err
+		}
+		out.Add(sec.Name, data)
+		if sec.Opaque {
+			out.MarkOpaque(sec.Name)
+		}
+	}
+	return out, nil
+}
+
+// opaqueSectionBytes folds an opaque section across the chain from the
+// base up to image img, through the registered merger.
+func (r *LazyRestorer) opaqueSectionBytes(img int, name string) ([]byte, error) {
+	ix := r.chain[img]
+	self, err := ix.SectionBytes(name)
+	if err != nil {
+		return nil, err
+	}
+	if !ix.Delta {
+		return self, nil
+	}
+	merger := r.Mergers[name]
+	if merger == nil {
+		return nil, fmt.Errorf("%w: opaque section %q has no merger", ErrDeltaChain, name)
+	}
+	var parent []byte
+	if img+1 < len(r.chain) && r.chain[img+1].HasSection(name) {
+		if parent, err = r.opaqueSectionBytes(img+1, name); err != nil {
+			return nil, err
+		}
+	}
+	return merger(parent, self)
+}

@@ -230,6 +230,29 @@ func (s *Snapshot) CleanSince(addr, length, cut uint64) bool {
 	return true
 }
 
+// UntouchedHostPages counts pages that are host-resident and never
+// touched since the manager came up (stamp 0). After a lazy restart
+// this is the managed memory left cold: payload materialization writes
+// through the address space, not through Access, so it neither
+// migrates pages nor stamps touch epochs — the pages move (and warm)
+// only when the restarted application actually reaches them.
+func (m *Manager) UntouchedHostPages() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, r := range m.regions {
+		for i := range r.pages {
+			p := &r.pages[i]
+			p.mu.Lock()
+			if p.res == OnHost && p.gen == 0 {
+				n++
+			}
+			p.mu.Unlock()
+		}
+	}
+	return n
+}
+
 // Register places [base, base+length) under UVM control with all pages
 // initially host-resident (as cudaMallocManaged memory starts).
 func (m *Manager) Register(base, length uint64) *Region {

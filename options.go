@@ -23,6 +23,7 @@ type settings struct {
 	imageVersion int
 	incremental  int  // max deltas per base; 0 = incremental off
 	concurrent   bool // blocking entry points use the snapshot path
+	lazyRestart  bool // RestartFrom/RestoreFrom use the lazy fault-in path
 	aslr         bool
 	aslrSeed     int64
 
@@ -118,6 +119,21 @@ func WithDeltaEvery(n int) Option {
 // the short pause without code changes.
 func WithConcurrentCheckpoint() Option {
 	return func(s *settings) { s.concurrent = true }
+}
+
+// WithLazyRestart routes RestartFrom and RestoreFrom through the lazy
+// on-demand restore path: only image metadata and the replay log are
+// read eagerly, every restored byte faults in on first access, and a
+// background prefetcher drains the rest of the image while the
+// application executes — time-to-first-kernel shrinks from
+// O(image size) to O(replay log). The drain continues past the call's
+// return (cancelled by Close or a later restart); use RestartAsync
+// directly to observe or wait for it. Restored memory is byte-
+// identical to an eager restart once the drain completes (DESIGN.md
+// invariant 11), and every access before that sees the same bytes the
+// eager path would have written.
+func WithLazyRestart() Option {
+	return func(s *settings) { s.lazyRestart = true }
 }
 
 // WithASLR enables address-space randomization with the given seed.

@@ -89,6 +89,11 @@ type Session struct {
 	// or a restart while one is in flight reports ErrCheckpointInFlight.
 	inflight *Pending
 
+	// lazy is the lazy restart currently draining in the background
+	// (nil: none). Guarded by mu; a later restart or Close cancels it
+	// before discarding the space it serves.
+	lazy *lazyHandle
+
 	// qmu serializes Quiesce/Resume; quiesced is the nesting depth.
 	qmu      sync.Mutex
 	quiesced int
@@ -267,6 +272,13 @@ func (s *Session) armFrozen(ctx context.Context, space *addrspace.Space, increme
 		}
 		space.Freeze()
 		defer space.Thaw()
+	}
+	// A copy-on-write snapshot reads frozen backing arrays directly,
+	// bypassing the lazy fault gate — so a still-draining lazy restart
+	// must fully materialize before the snapshot arms, or the image
+	// would capture unmaterialized zeros.
+	if err := space.DrainLazy(); err != nil {
+		return nil, 0, err
 	}
 	fz, err := s.engine.FreezeCheckpoint(ctx, space, incremental, prev, name)
 	if err != nil {
@@ -534,8 +546,15 @@ func (s *Session) RestartImage(ctx context.Context, img *Image) error {
 
 // RestartFrom restarts from the named image in a Store. A delta image's
 // parent chain is followed through the same Store and materialized
-// transparently.
+// transparently. With WithLazyRestart the restart is lazy: RestartFrom
+// returns as soon as the session can execute (metadata + replay only)
+// and the image drains in the background — use RestartAsync directly
+// to observe the drain.
 func (s *Session) RestartFrom(ctx context.Context, store Store, name string) error {
+	if s.cfg.lazyRestart {
+		_, err := s.RestartAsync(ctx, store, name)
+		return err
+	}
 	img, err := OpenImageFrom(ctx, store, name)
 	if err != nil {
 		return err
@@ -573,14 +592,19 @@ func (s *Session) restartFromImage(ctx context.Context, img *dmtcp.Image) error 
 		s.mu.Unlock()
 		return fmt.Errorf("%w: cannot restart", ErrCheckpointInFlight)
 	}
-	oldLib, oldHelper := s.lib, s.helper
+	oldLib, oldHelper, oldLazy := s.lib, s.helper, s.lazy
 	// The lower half is about to die: clear the pointers first so a
 	// failure below (or a concurrent Close) can never tear the same
 	// objects down twice.
-	s.lib, s.helper = nil, nil
+	s.lib, s.helper, s.lazy = nil, nil, nil
 	s.mu.Unlock()
 	if oldLib == nil {
 		return ErrSessionClosed
+	}
+	// A still-draining lazy restart serves the space about to be
+	// discarded: stop it before tearing the world down.
+	if oldLazy != nil {
+		oldLazy.detach()
 	}
 
 	// The old process dies: tear down its device and lower half.
@@ -652,8 +676,22 @@ func RestoreImage(ctx context.Context, img *Image, opts ...Option) (*Session, er
 }
 
 // RestoreFrom builds a new session from the named image in a Store,
-// materializing delta chains through the same Store.
+// materializing delta chains through the same Store. With
+// WithLazyRestart the restore is lazy: the session returns ready to
+// execute while the image drains in the background.
 func RestoreFrom(ctx context.Context, store Store, name string, opts ...Option) (*Session, error) {
+	cfg := resolve(opts)
+	if cfg.lazyRestart {
+		s, err := newSession(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := s.RestartAsync(ctx, store, name); err != nil {
+			s.Close()
+			return nil, err
+		}
+		return s, nil
+	}
 	img, err := OpenImageFrom(ctx, store, name)
 	if err != nil {
 		return nil, err
@@ -666,9 +704,12 @@ func RestoreFrom(ctx context.Context, store Store, name string, opts ...Option) 
 // no-op.
 func (s *Session) Close() {
 	s.mu.Lock()
-	lib, helper := s.lib, s.helper
-	s.lib, s.helper = nil, nil
+	lib, helper, lazy := s.lib, s.helper, s.lazy
+	s.lib, s.helper, s.lazy = nil, nil, nil
 	s.mu.Unlock()
+	if lazy != nil {
+		lazy.detach()
+	}
 	if lib != nil {
 		lib.Destroy()
 	}

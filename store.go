@@ -439,10 +439,110 @@ func (s *MemStore) Delete(ctx context.Context, name string) error {
 	return nil
 }
 
+// ReaderAtCloser is a random-access image handle, as returned by
+// RandomAccessStore.GetAt.
+type ReaderAtCloser interface {
+	io.ReaderAt
+	io.Closer
+}
+
+// RandomAccessStore is an optional Store capability: GetAt opens the
+// named image for random access, which is what lets a lazy restart
+// (RestartAsync, WithLazyRestart) decode individual shards on demand
+// instead of streaming the whole image. All built-in stores implement
+// it; a store that cannot (a network stream, say) still works — the
+// lazy path falls the image back into memory first, keeping the
+// restore-side laziness but paying an eager download.
+type RandomAccessStore interface {
+	// GetAt opens the named image for random access, returning its
+	// size. A missing name reports ErrImageNotFound.
+	GetAt(ctx context.Context, name string) (ReaderAtCloser, int64, error)
+}
+
+// GetAt implements RandomAccessStore.
+func (s *FileStore) GetAt(ctx context.Context, name string) (ReaderAtCloser, int64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	return openFileAt(s.Path, func() error {
+		return fmt.Errorf("%w: %q (%s)", ErrImageNotFound, name, s.Path)
+	})
+}
+
+// GetAt implements RandomAccessStore.
+func (s *DirStore) GetAt(ctx context.Context, name string) (ReaderAtCloser, int64, error) {
+	if err := validateImageName(name); err != nil {
+		return nil, 0, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	return openFileAt(s.path(name), func() error {
+		return fmt.Errorf("%w: %q in %s", ErrImageNotFound, name, s.Dir)
+	})
+}
+
+func openFileAt(path string, missing func() error) (ReaderAtCloser, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, missing()
+		}
+		return nil, 0, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	return f, fi.Size(), nil
+}
+
+// GetAt implements RandomAccessStore. Stored images are immutable
+// byte slices, so the handle is a view, not a copy.
+func (s *MemStore) GetAt(ctx context.Context, name string) (ReaderAtCloser, int64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	s.mu.Lock()
+	b, ok := s.m[name]
+	s.mu.Unlock()
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %q", ErrImageNotFound, name)
+	}
+	return nopReaderAtCloser{bytes.NewReader(b)}, int64(len(b)), nil
+}
+
+type nopReaderAtCloser struct{ *bytes.Reader }
+
+func (nopReaderAtCloser) Close() error { return nil }
+
+// openImageAt opens the named image for random access, slurping it
+// into memory when the store offers no RandomAccessStore capability.
+func openImageAt(ctx context.Context, store Store, name string) (ReaderAtCloser, int64, error) {
+	if ras, ok := store.(RandomAccessStore); ok {
+		return ras.GetAt(ctx, name)
+	}
+	rc, err := store.Get(ctx, name)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer rc.Close()
+	b, err := io.ReadAll(rc)
+	if err != nil {
+		return nil, 0, err
+	}
+	return nopReaderAtCloser{bytes.NewReader(b)}, int64(len(b)), nil
+}
+
 var (
 	_ Store = (*FileStore)(nil)
 	_ Store = (*DirStore)(nil)
 	_ Store = (*MemStore)(nil)
+
+	_ RandomAccessStore = (*FileStore)(nil)
+	_ RandomAccessStore = (*DirStore)(nil)
+	_ RandomAccessStore = (*MemStore)(nil)
 )
 
 // SingleImageStore is implemented by stores that back every name with
