@@ -360,7 +360,7 @@ func BenchmarkRestartLazy(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			store, err := crac.NewDirStore(b.TempDir(), 0)
+			store, err := crac.NewDirStore(b.TempDir(), 0, crac.WithNoSync())
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -8,9 +8,11 @@
 //
 //	cracinspect image.img
 //	cracinspect -log image.img     # include the full call log
+//	cracinspect -verify image.img  # integrity-check and report
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -30,6 +32,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("cracinspect", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	showLog := fs.Bool("log", false, "dump every call-log entry")
+	verify := fs.Bool("verify", false, "integrity-check the image (trailer, shard hashes, log)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -37,7 +40,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	if fs.NArg() != 1 {
-		fmt.Fprintln(stderr, "usage: cracinspect [-log] <image>")
+		fmt.Fprintln(stderr, "usage: cracinspect [-log] [-verify] <image>")
 		return 2
 	}
 	img, err := crac.OpenImageFile(fs.Arg(0))
@@ -45,6 +48,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		switch {
 		case errors.Is(err, crac.ErrUnsupportedVersion):
 			fmt.Fprintln(stderr, "cracinspect: image from an unsupported format version:", err)
+		case errors.Is(err, crac.ErrCorruptImage):
+			fmt.Fprintln(stderr, "cracinspect: corrupt CRAC image (integrity check failed):", err)
 		case errors.Is(err, crac.ErrBadImage):
 			fmt.Fprintln(stderr, "cracinspect: not a valid CRAC image:", err)
 		default:
@@ -56,6 +61,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	info := img.Info()
 	fmt.Fprintf(stdout, "CRAC checkpoint image: %s\n", fs.Arg(0))
 	fmt.Fprintf(stdout, "  format: v%d, gzip=%v\n", info.Version, info.Gzip)
+	if *verify {
+		if err := img.Verify(context.Background()); err != nil {
+			fmt.Fprintln(stderr, "cracinspect: verify:", err)
+			return 1
+		}
+		if info.Verified {
+			fmt.Fprintln(stdout, "  integrity: OK (whole-image trailer checksum verified)")
+		} else {
+			fmt.Fprintln(stdout, "  integrity: OK (legacy image without trailer; content checks passed)")
+		}
+	}
 	if info.Delta {
 		fmt.Fprintf(stdout, "  delta: depth %d, parent %q, %.1f%% dirty (%d of %d shards)\n",
 			info.DeltaDepth, info.Parent, 100*info.DirtyRatio, info.ShardsEmitted, info.ShardsTotal)

@@ -97,6 +97,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		lazy     = fs.Bool("lazy", false, "lazy on-demand restart: resume execution after metadata + log replay, fault shards in on access, drain in the background (reports time-to-first-kernel)")
 		conc     = fs.Bool("concurrent", false, "snapshot-and-release checkpoints: pause only for the epoch cut, write the image concurrently")
 		profile  = fs.Bool("profile", false, "print an nvprof-style per-API call summary")
+		verify   = fs.Bool("verify", false, "verify each checkpoint's chain end to end after it commits")
+		scrub    = fs.Bool("scrub", false, "scrub the store before running: quarantine corrupt images and condemned deltas")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -177,6 +179,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		} else {
 			store = crac.NewFileStore(*ckptPath)
 		}
+		if *scrub {
+			rep, err := crac.Scrub(context.Background(), store)
+			if err != nil {
+				fmt.Fprintln(stderr, "cracrun: scrub:", err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "scrub: %d intact, %d corrupt, %d condemned, %d quarantined\n",
+				len(rep.Intact), len(rep.Corrupt), len(rep.Condemned), len(rep.Quarantined))
+			for _, issue := range rep.Corrupt {
+				fmt.Fprintf(stdout, "scrub: corrupt %s: %v\n", issue.Name, issue.Err)
+			}
+			for _, name := range rep.Condemned {
+				fmt.Fprintf(stdout, "scrub: condemned %s (broken ancestry)\n", name)
+			}
+		}
 		step := 0
 		cfg.Hook = func(int) error {
 			step++
@@ -220,6 +237,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintf(stdout, "checkpoint: %s (%d regions, %s payload) in %v (paused %v)\n",
 					name, st.Regions, harness.FmtBytes(st.RegionBytes+st.SectionBytes),
 					time.Since(t0).Round(time.Millisecond), pause)
+			}
+			if *verify {
+				chain, verr := crac.VerifyChain(ctx, store, name)
+				if verr != nil {
+					return fmt.Errorf("verifying checkpoint %s: %w", name, verr)
+				}
+				fmt.Fprintf(stdout, "verify: %s OK (%d chain member(s))\n", name, len(chain))
 			}
 			// In incremental mode a mid-run restart would break the chain
 			// (the next checkpoint becomes a base), so -restart instead

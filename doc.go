@@ -47,7 +47,9 @@
 //
 // Failures classify with errors.Is against the package's typed errors:
 // ErrBadImage, ErrUnsupportedVersion, ErrReplayMismatch, ErrCancelled,
-// ErrSessionClosed, ErrImageNotFound.
+// ErrSessionClosed, ErrImageNotFound, ErrCorruptImage (integrity
+// damage, distinct from structural ErrBadImage), and ErrTransient
+// (retry-safe store failures; see Transient).
 //
 // # Images as artifacts
 //
@@ -141,6 +143,41 @@
 // stays fully usable (faults keep materializing) and restartable.
 // WithLazyRestart reroutes RestartFrom and RestoreFrom onto the same
 // path for existing code.
+//
+// # Fault tolerance
+//
+// Every v2/v3 image ends in a whole-image checksum trailer, checked as
+// the image is read (Info reports Verified); Image.Verify, VerifyChain
+// and Scrub re-check stored images — Scrub quarantines corrupt images
+// and the deltas their corruption condemns, and RepairChain re-bases a
+// broken lineage. Flaky stores wrap with WithRetry (or per-session
+// WithCheckpointRetry), which retries transiently failing operations
+// with bounded exponential backoff — the checkpoint pipeline itself
+// runs exactly once per attempt. Supervisor composes all of it into a
+// CRAFT-style restart loop: periodic checkpoints, failure detection,
+// and automatic restart from the newest generation whose whole chain
+// verifies:
+//
+//	sv, err := crac.NewSupervisor(crac.SupervisorConfig{
+//	    Factory: newAppSession,          // a fresh session per process
+//	    Store:   store,
+//	    Retry:   crac.DefaultRetryPolicy(),
+//	    Interval: time.Minute,
+//	})
+//	if err != nil { ... }
+//	go sv.Run(ctx)                       // checkpoint every Interval
+//	...
+//	sv.ReportFailure(err)                // crash detected: next cycle
+//	                                     // restarts from the newest
+//	                                     // verified image
+//	fmt.Println(sv.Stats().LastMTTR)
+//
+// A corrupt tip falls back generation by generation; when nothing
+// intact remains the supervisor cold-starts a fresh factory session.
+// crac.NewFaultStore injects deterministic store faults (transient and
+// permanent errors, torn writes, bit flips, latency) for testing, and
+// cracrun -verify/-scrub plus cracinspect -verify surface the
+// integrity checks on the command line.
 //
 // # Performance
 //

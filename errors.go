@@ -23,6 +23,22 @@ var (
 	// the version digit is unknown).
 	ErrUnsupportedVersion = dmtcp.ErrUnsupportedVersion
 
+	// ErrCorruptImage reports a checkpoint image that was structurally
+	// valid when written but fails its integrity checks now — a trailer
+	// checksum or per-shard content hash mismatch, a truncated trailer,
+	// bytes past the image's end. Distinct from ErrBadImage ("not a
+	// valid image stream"): a corrupt image usually has intact siblings
+	// (an older generation, a chain ancestor) worth falling back to —
+	// see Scrub, RepairChain, and Supervisor.
+	ErrCorruptImage = dmtcp.ErrCorruptImage
+
+	// ErrTransient marks a store failure worth retrying: the operation
+	// may succeed if reissued (a flaky disk, a dropped connection, an
+	// overloaded remote). Store implementations wrap it (or expose a
+	// `Transient() bool` method on their errors) to opt an error into
+	// the WithRetry backoff loop; see Transient.
+	ErrTransient = errors.New("crac: transient store error")
+
 	// ErrReplayMismatch reports that replaying the CUDA call log on a
 	// fresh lower half did not reproduce the original addresses — the
 	// determinism violation of paper Section 3.2.4 (ASLR left on, or a
@@ -63,6 +79,25 @@ var (
 	// space would never match the pending Resume). Resume first.
 	ErrQuiesced = errors.New("crac: session is quiesced")
 )
+
+// Transient reports whether err is worth retrying: it wraps
+// ErrTransient, or any error in its chain exposes a `Transient() bool`
+// method returning true (the de-facto convention of net.Error and
+// custom store errors). Context cancellation and deadline errors are
+// never transient — the caller asked to stop, retrying would defy it.
+func Transient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	if errors.Is(err, ErrTransient) {
+		return true
+	}
+	var te interface{ Transient() bool }
+	return errors.As(err, &te) && te.Transient()
+}
 
 // wrapCancelled folds a context cancellation surfacing from the engine
 // or the fan-out helpers into the public ErrCancelled sentinel while

@@ -152,6 +152,12 @@ type ImageInfo struct {
 	Sections    []ImageSection
 	RegionBytes uint64
 
+	// Verified reports that the image stream carried an integrity
+	// trailer and its whole-image checksum matched when the image was
+	// read. False for legacy (pre-trailer) images and the v1+gzip
+	// layout, whose gzip CRC covers the body instead.
+	Verified bool
+
 	// Incremental (v3) lineage. Delta marks a delta image; Parent names
 	// the image it applies on top of; DeltaDepth is its distance from
 	// the chain's base. DirtyRatio is the fraction of the checkpointed
@@ -173,6 +179,7 @@ func (im *Image) Info() ImageInfo {
 	info := ImageInfo{
 		Version:      im.img.Version,
 		Gzip:         im.img.Gzip,
+		Verified:     im.img.Verified,
 		RegionBytes:  im.img.TotalRegionBytes(),
 		DirtyRatio:   1,
 		Materialized: true,

@@ -121,3 +121,60 @@ func (c *Coordinator) CheckpointAll(sink func(rank int) (io.WriteCloser, error))
 	}
 	return nil
 }
+
+// Restarter is a Member that can also be restarted from an image —
+// what turns the coordinator's resume-on-failure into full restart
+// supervision: when a job dies, every rank is rolled back to the same
+// coordinated checkpoint instead of merely resuming.
+type Restarter interface {
+	Member
+	// RestartCheckpoint rebuilds the rank's state from the image in r.
+	RestartCheckpoint(r io.Reader) error
+}
+
+// RestartAll restarts every registered rank from the image source(rank)
+// provides, in parallel. Every rank is attempted even after a failure —
+// a partial restart is reported (first error wins), never silently
+// abandoned, so the caller can retry or tear the job down knowing every
+// rank was driven to a definite state. Ranks that do not implement
+// Restarter fail their slot.
+func (c *Coordinator) RestartAll(source func(rank int) (io.ReadCloser, error)) error {
+	c.mu.Lock()
+	members := make(map[int]Member, len(c.members))
+	for r, m := range c.members {
+		members[r] = m
+	}
+	c.mu.Unlock()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, len(members))
+	for r, m := range members {
+		wg.Add(1)
+		go func(r int, m Member) {
+			defer wg.Done()
+			rs, ok := m.(Restarter)
+			if !ok {
+				errs <- fmt.Errorf("rank %d: member cannot restart", r)
+				return
+			}
+			src, err := source(r)
+			if err != nil {
+				errs <- fmt.Errorf("rank %d: %w", r, err)
+				return
+			}
+			err = rs.RestartCheckpoint(src)
+			if cerr := src.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				errs <- fmt.Errorf("rank %d: %w", r, err)
+			}
+		}(r, m)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return fmt.Errorf("dmtcp: restart: %w", err)
+	}
+	return nil
+}

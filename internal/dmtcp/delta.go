@@ -157,6 +157,15 @@ type DeltaInfo struct {
 	shards    []deltaShard // nil once materialized
 }
 
+// ID returns the image's content-derived identity (0 when unknown —
+// e.g. a materialized image assembled in memory).
+func (d *DeltaInfo) ID() uint64 { return d.id }
+
+// ParentID returns the recorded identity of the parent image (0 for a
+// base). Chain verification matches it against the parent's ID to
+// catch a swapped or regenerated parent whose name still matches.
+func (d *DeltaInfo) ParentID() uint64 { return d.parentID }
+
 // DirtyRatio is RawEmitted over RawTotal (1 for an empty layout).
 func (d *DeltaInfo) DirtyRatio() float64 {
 	if d.RawTotal == 0 {
@@ -295,10 +304,16 @@ func (e *Engine) CheckpointDelta(ctx context.Context, w io.Writer, space *addrsp
 	}
 
 	writeStart := time.Now()
-	bw := bufio.NewWriterSize(w, 256<<10)
+	// v3 compresses per shard, never whole-body, so the integrity
+	// trailer applies unconditionally.
+	tw := newTrailerWriter(w)
+	bw := bufio.NewWriterSize(tw, 256<<10)
 	state, err := e.writeImageV3(ctx, bw, space, regions, sections, prev, selfName, cut, since, &st)
 	if err == nil {
 		err = bw.Flush()
+	}
+	if err == nil {
+		err = tw.Finish()
 	}
 	st.WriteDuration = time.Since(writeStart)
 	if err != nil {
@@ -739,7 +754,7 @@ func readImageV3(r io.Reader) (*Image, error) {
 			f.enc = nil
 		}
 		if fnvSum64(f.dst) != f.hash {
-			return fmt.Errorf("%w: shard %d content hash mismatch", ErrBadImage, i)
+			return fmt.Errorf("%w: shard %d content hash mismatch", ErrCorruptImage, i)
 		}
 		return nil
 	}); err != nil {

@@ -249,11 +249,19 @@ func TestV3HashCorruptionDetected(t *testing.T) {
 	cs := chainStore{}
 	ckptDelta(t, e, cs, space, nil, "b")
 	img := cs["b"]
-	// Flip a byte in the last shard's payload (well past the header).
+	// Flip a byte in the last shard's payload (well past the header,
+	// before the integrity trailer). Integrity failures now classify
+	// as ErrCorruptImage, distinct from structural ErrBadImage.
 	bad := append([]byte(nil), img...)
-	bad[len(bad)-1] ^= 0xFF
-	if _, err := ReadImage(bytes.NewReader(bad)); !errors.Is(err, ErrBadImage) {
+	bad[len(bad)-1-trailerSize] ^= 0xFF
+	if _, err := ReadImage(bytes.NewReader(bad)); !errors.Is(err, ErrCorruptImage) {
 		t.Fatalf("corrupted payload not detected: %v", err)
+	}
+	// The trailer itself is covered too.
+	bad = append([]byte(nil), img...)
+	bad[len(bad)-1] ^= 0xFF
+	if _, err := ReadImage(bytes.NewReader(bad)); !errors.Is(err, ErrCorruptImage) {
+		t.Fatalf("corrupted trailer not detected: %v", err)
 	}
 }
 

@@ -153,6 +153,12 @@ type Image struct {
 	Regions  []RegionData
 	Sections *SectionMap
 
+	// Verified reports that the stream carried an integrity trailer and
+	// its whole-image checksum matched. False means a legacy, pre-trailer
+	// image: still readable, but only per-shard hashes (v3) or the gzip
+	// CRC (v1+gzip) guard its bytes.
+	Verified bool
+
 	// Delta is non-nil for v3 images. A v3 base parses to a complete
 	// (materialized) image; a v3 delta holds only its dirty shards until
 	// ApplyDelta / ResolveChain combines it with its parent chain —
@@ -251,6 +257,12 @@ type Engine struct {
 	// v2 layout, 1 for the legacy serial layout.
 	ImageVersion int
 
+	// ShardHook, when set, runs in commit order just before each payload
+	// shard is written to the image stream; returning an error aborts the
+	// checkpoint with that error. Fault-injection tests use it to fail
+	// the writer mid-image at a chosen shard.
+	ShardHook func(shard int) error
+
 	plugins []Plugin
 }
 
@@ -335,14 +347,23 @@ func (e *Engine) Checkpoint(ctx context.Context, w io.Writer, space *addrspace.S
 	st := Stats{Regions: len(regions)}
 
 	writeStart := time.Now()
-	// Buffer the image stream: header and frame writes are a few bytes
-	// each and must not hit the underlying writer (often a file)
-	// directly.
-	bw := bufio.NewWriterSize(w, 256<<10)
 	version := e.ImageVersion
 	if version == 0 {
 		version = 2
 	}
+	// Every format except v1+gzip gets the integrity trailer (the v1
+	// gzip body is read through a buffered inflater that may consume
+	// past the member's end, so trailing bytes cannot be located).
+	var tw *trailerWriter
+	sink := w
+	if version != 1 || !e.Gzip {
+		tw = newTrailerWriter(w)
+		sink = tw
+	}
+	// Buffer the image stream: header and frame writes are a few bytes
+	// each and must not hit the underlying writer (often a file)
+	// directly.
+	bw := bufio.NewWriterSize(sink, 256<<10)
 	var err error
 	switch version {
 	case 1:
@@ -354,6 +375,9 @@ func (e *Engine) Checkpoint(ctx context.Context, w io.Writer, space *addrspace.S
 	}
 	if err == nil {
 		err = bw.Flush()
+	}
+	if err == nil && tw != nil {
+		err = tw.Finish()
 	}
 	st.WriteDuration = time.Since(writeStart)
 	if err != nil {
@@ -709,9 +733,23 @@ func (e *Engine) runWritePipeline(ctx context.Context, w io.Writer, view addrspa
 	}
 
 	var hdr [shardHdrV3]byte
-	consume := func(j *shardJob) error {
+	consume := func(i int, j *shardJob) error {
 		if j.err != nil {
 			return j.err
+		}
+		if e.ShardHook != nil {
+			if err := e.ShardHook(i); err != nil {
+				j.enc = nil
+				if j.rawBuf != nil {
+					shardRawPool.Put(j.rawBuf)
+					j.rawBuf = nil
+				}
+				if j.encBuf != nil {
+					shardEncPool.Put(j.encBuf)
+					j.encBuf = nil
+				}
+				return err
+			}
 		}
 		var h []byte
 		if j.v3 {
@@ -760,7 +798,7 @@ func (e *Engine) runWritePipeline(ctx context.Context, w io.Writer, view addrspa
 				return err
 			}
 			process(&jobs[i], gz)
-			if err := consume(&jobs[i]); err != nil {
+			if err := consume(i, &jobs[i]); err != nil {
 				return err
 			}
 		}
@@ -811,7 +849,7 @@ func (e *Engine) runWritePipeline(ctx context.Context, w io.Writer, view addrspa
 		}
 		<-jobs[i].done
 		if firstErr == nil {
-			firstErr = consume(&jobs[i])
+			firstErr = consume(i, &jobs[i])
 		} else if jobs[i].rawBuf != nil {
 			shardRawPool.Put(jobs[i].rawBuf)
 			jobs[i].rawBuf = nil
@@ -899,19 +937,27 @@ func readExact(r io.Reader, n uint64) ([]byte, error) {
 	return out, nil
 }
 
-// ReadImage parses a checkpoint image in either format.
+// ReadImage parses a checkpoint image in either format, then checks
+// the integrity trailer (when one is present — see trailer.go) against
+// the body it just consumed; a mismatch reports ErrCorruptImage.
 func ReadImage(r io.Reader) (*Image, error) {
+	// The whole body — magic included — flows through the hashing
+	// reader, so the trailer check at the end covers every byte the
+	// parser consumed.
+	hr := newHashingReader(r)
 	var magic [8]byte
-	if _, err := io.ReadFull(r, magic[:]); err != nil {
+	if _, err := io.ReadFull(hr, magic[:]); err != nil {
 		return nil, fmt.Errorf("%w: magic: %v", ErrBadImage, err)
 	}
+	var img *Image
+	var err error
 	switch magic {
 	case imageMagicV1:
-		return readImageV1(r)
+		img, err = readImageV1(hr)
 	case imageMagicV2:
-		return readImageV2(r)
+		img, err = readImageV2(hr)
 	case imageMagicV3:
-		return readImageV3(r)
+		img, err = readImageV3(hr)
 	default:
 		// A CRACIMG prefix with an unknown version digit is an image from
 		// a build we don't speak, not garbage.
@@ -920,6 +966,20 @@ func ReadImage(r io.Reader) (*Image, error) {
 		}
 		return nil, fmt.Errorf("%w: bad magic %q", ErrBadImage, magic[:])
 	}
+	if err != nil {
+		return nil, err
+	}
+	if img.Version == 1 && img.Gzip {
+		// The buffered inflater may have consumed past the gzip member's
+		// end, so a trailer cannot be located; the member's own CRC
+		// already covered the body.
+		return img, nil
+	}
+	img.Verified, err = verifyTrailer(hr)
+	if err != nil {
+		return nil, err
+	}
+	return img, nil
 }
 
 func readImageV1(r io.Reader) (*Image, error) {
@@ -992,6 +1052,18 @@ func readImageV1(r io.Reader) (*Image, error) {
 			return nil, fmt.Errorf("%w: section %d data: %v", ErrBadImage, i, err)
 		}
 		img.Sections.Add(name, data)
+	}
+	if img.Gzip {
+		// No CRAC trailer covers a v1+gzip image, so drain the member to
+		// its end: the inflater verifies the gzip CRC footer only when
+		// read through, and any bytes past it are corruption.
+		var tail [1]byte
+		if n, err := io.ReadFull(body, tail[:]); n != 0 || err != io.EOF {
+			if err == nil {
+				err = errors.New("trailing data after gzip member")
+			}
+			return nil, fmt.Errorf("%w: gzip stream: %v", ErrCorruptImage, err)
+		}
 	}
 	return img, nil
 }

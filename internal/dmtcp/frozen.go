@@ -206,7 +206,15 @@ func (e *Engine) WriteFrozen(ctx context.Context, w io.Writer, fz *Frozen) (Stat
 	}
 
 	writeStart := time.Now()
-	bw := bufio.NewWriterSize(w, 256<<10)
+	// Same trailer rule as the blocking writer: every format except the
+	// whole-body-gzip v1 layout carries the integrity trailer.
+	var tw *trailerWriter
+	sink := w
+	if fz.version != 1 || !e.Gzip {
+		tw = newTrailerWriter(w)
+		sink = tw
+	}
+	bw := bufio.NewWriterSize(sink, 256<<10)
 	var state *DeltaState
 	var err error
 	switch fz.version {
@@ -219,6 +227,9 @@ func (e *Engine) WriteFrozen(ctx context.Context, w io.Writer, fz *Frozen) (Stat
 	}
 	if err == nil {
 		err = bw.Flush()
+	}
+	if err == nil && tw != nil {
+		err = tw.Finish()
 	}
 	st.WriteDuration = time.Since(writeStart)
 	if err != nil {

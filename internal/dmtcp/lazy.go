@@ -685,7 +685,7 @@ func (ix *ShardIndex) readShard(i int, dst []byte) error {
 		}
 	}
 	if sh.hashed && fnvSum64(dst) != sh.hash {
-		return fmt.Errorf("%w: shard at %d: content hash mismatch", ErrBadImage, sh.fileOff)
+		return fmt.Errorf("%w: shard at %d: content hash mismatch", ErrCorruptImage, sh.fileOff)
 	}
 	return nil
 }

@@ -1,0 +1,283 @@
+// Package faults is a deterministic, seedable fault injector for the
+// checkpoint store layer. An Injector decides, per store operation,
+// whether (and how) to fail: transient errors, permanent errors, torn
+// writes that commit a prefix, silent bit flips, and added latency.
+// crac.NewFaultStore interprets the decisions against a real Store;
+// the torture tests and the harness "faults" experiment drive both.
+//
+// Determinism is the point: given the same seed and the same operation
+// sequence, an Injector makes the same decisions, so any torture-test
+// failure reproduces from the seed echoed by the test.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Op identifies which store operation a decision applies to.
+type Op int
+
+const (
+	OpPut Op = iota
+	OpGet
+	OpList
+	OpDelete
+	OpGetAt
+	numOps
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpPut:
+		return "put"
+	case OpGet:
+		return "get"
+	case OpList:
+		return "list"
+	case OpDelete:
+		return "delete"
+	case OpGetAt:
+		return "getat"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// Kind is one injected failure class.
+type Kind int
+
+const (
+	// KindNone: the operation proceeds untouched.
+	KindNone Kind = iota
+	// KindTransient: the operation fails with a retryable error and no
+	// effect on the store.
+	KindTransient
+	// KindPermanent: the operation fails with a non-retryable error and
+	// no effect on the store.
+	KindPermanent
+	// KindTorn: a write commits only a prefix of its bytes, then fails
+	// with a transient error — the crash-mid-write a non-atomic store
+	// would exhibit. Reads serve only a prefix, then fail.
+	KindTorn
+	// KindBitFlip: the operation "succeeds" but its bytes are silently
+	// corrupted — one flipped bit. Only integrity checks can catch it.
+	KindBitFlip
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindNone:
+		return "none"
+	case KindTransient:
+		return "transient"
+	case KindPermanent:
+		return "permanent"
+	case KindTorn:
+		return "torn"
+	case KindBitFlip:
+		return "bitflip"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Error is an injected store failure.
+type Error struct {
+	Op   Op
+	Kind Kind
+	Seq  uint64 // the injector's decision sequence number
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("faults: injected %s failure on %s (seq %d)", e.Kind, e.Op, e.Seq)
+}
+
+// Transient reports whether the failure is worth retrying, which is
+// what crac.Transient keys on. A torn write is transient at the store
+// level: the atomic Put contract discarded the partial image, so a
+// retry starts clean.
+func (e *Error) Transient() bool {
+	return e.Kind == KindTransient || e.Kind == KindTorn
+}
+
+// Rates are per-operation fault probabilities in [0, 1]. They are
+// drawn in a fixed order (transient, permanent, torn, bitflip), first
+// hit wins, so a schedule is reproducible from the seed alone.
+type Rates struct {
+	Transient float64
+	Permanent float64
+	Torn      float64
+	BitFlip   float64
+}
+
+func (r Rates) zero() bool {
+	return r.Transient == 0 && r.Permanent == 0 && r.Torn == 0 && r.BitFlip == 0
+}
+
+// Config configures an Injector.
+type Config struct {
+	// Seed feeds the deterministic PRNG. Equal seeds and operation
+	// sequences produce equal decisions.
+	Seed int64
+	// Per-operation fault rates.
+	Put    Rates
+	Get    Rates
+	List   Rates
+	Delete Rates
+	GetAt  Rates
+	// Latency, when positive, is added to every operation (before any
+	// injected failure), modeling a slow store.
+	Latency time.Duration
+}
+
+func (c *Config) rates(op Op) Rates {
+	switch op {
+	case OpPut:
+		return c.Put
+	case OpGet:
+		return c.Get
+	case OpList:
+		return c.List
+	case OpDelete:
+		return c.Delete
+	case OpGetAt:
+		return c.GetAt
+	default:
+		return Rates{}
+	}
+}
+
+// Decision is one resolved injection: what to do to the current
+// operation.
+type Decision struct {
+	Kind Kind
+	// Err is the injected error for failing kinds (nil for KindNone and
+	// KindBitFlip).
+	Err error
+	// Frac in (0, 1) positions a torn write's cut or a bit flip's
+	// target, as a fraction of the payload.
+	Frac float64
+	// Delay is the configured latency to add.
+	Delay time.Duration
+}
+
+// Injector makes deterministic fault decisions. Safe for concurrent
+// use; concurrency does make the interleaving of decisions racy, so
+// tests that need an exact schedule either serialize their operations
+// or use FailNext.
+type Injector struct {
+	mu    sync.Mutex
+	cfg   Config
+	rng   *rand.Rand
+	seq   uint64
+	queue map[Op][]Kind
+	stats map[Op]map[Kind]uint64
+}
+
+// New returns an Injector for cfg.
+func New(cfg Config) *Injector {
+	return &Injector{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		queue: make(map[Op][]Kind),
+		stats: make(map[Op]map[Kind]uint64),
+	}
+}
+
+// FailNext queues an exact failure for the next Decide(op) — ahead of
+// any probabilistic draw — letting a test force "the next Put tears" or
+// "the next Get flips a bit" without touching the rates.
+func (inj *Injector) FailNext(op Op, kind Kind) {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	inj.queue[op] = append(inj.queue[op], kind)
+}
+
+// Decide resolves what happens to the next operation of kind op.
+func (inj *Injector) Decide(op Op) Decision {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	inj.seq++
+	kind := KindNone
+	if q := inj.queue[op]; len(q) > 0 {
+		kind = q[0]
+		inj.queue[op] = q[1:]
+	} else if r := inj.cfg.rates(op); !r.zero() {
+		// One draw per probability, in a fixed order, every time — so
+		// the PRNG stream advances identically whatever the outcome and
+		// the schedule replays from the seed.
+		draws := [4]float64{inj.rng.Float64(), inj.rng.Float64(), inj.rng.Float64(), inj.rng.Float64()}
+		switch {
+		case draws[0] < r.Transient:
+			kind = KindTransient
+		case draws[1] < r.Permanent:
+			kind = KindPermanent
+		case draws[2] < r.Torn:
+			kind = KindTorn
+		case draws[3] < r.BitFlip:
+			kind = KindBitFlip
+		}
+	}
+	d := Decision{Kind: kind, Delay: inj.cfg.Latency}
+	if kind == KindTorn || kind == KindBitFlip {
+		// 1%..99% of the payload: never a no-op cut at either end.
+		d.Frac = 0.01 + 0.98*inj.rng.Float64()
+	}
+	switch kind {
+	case KindTransient, KindPermanent, KindTorn:
+		d.Err = &Error{Op: op, Kind: kind, Seq: inj.seq}
+	}
+	if inj.stats[op] == nil {
+		inj.stats[op] = make(map[Kind]uint64)
+	}
+	inj.stats[op][kind]++
+	return d
+}
+
+// Stats returns a copy of the per-operation decision counts (KindNone
+// included), for assertions and reporting.
+func (inj *Injector) Stats() map[Op]map[Kind]uint64 {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	out := make(map[Op]map[Kind]uint64, len(inj.stats))
+	for op, m := range inj.stats {
+		c := make(map[Kind]uint64, len(m))
+		for k, n := range m {
+			c[k] = n
+		}
+		out[op] = c
+	}
+	return out
+}
+
+// Injected sums every non-KindNone decision.
+func (inj *Injector) Injected() uint64 {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	var n uint64
+	for _, m := range inj.stats {
+		for k, c := range m {
+			if k != KindNone {
+				n += c
+			}
+		}
+	}
+	return n
+}
+
+// FlipBit flips one bit of b, positioned by frac in [0, 1), and
+// returns the byte index it hit (-1 for an empty slice).
+func FlipBit(b []byte, frac float64) int {
+	if len(b) == 0 {
+		return -1
+	}
+	i := int(frac * float64(len(b)))
+	if i >= len(b) {
+		i = len(b) - 1
+	}
+	b[i] ^= 1 << (i % 8)
+	return i
+}

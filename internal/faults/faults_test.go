@@ -1,0 +1,164 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// drain pulls n decisions for op and returns the sequence of kinds.
+func drain(inj *Injector, op Op, n int) []Kind {
+	out := make([]Kind, n)
+	for i := range out {
+		out[i] = inj.Decide(op).Kind
+	}
+	return out
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	cfg := Config{
+		Seed: 42,
+		Put:  Rates{Transient: 0.3, Torn: 0.1, BitFlip: 0.1},
+		Get:  Rates{Transient: 0.2},
+	}
+	a := drain(New(cfg), OpPut, 200)
+	b := drain(New(cfg), OpPut, 200)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedule diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	var injected int
+	for _, k := range a {
+		if k != KindNone {
+			injected++
+		}
+	}
+	if injected == 0 {
+		t.Fatal("no faults injected at 50% combined rate over 200 draws")
+	}
+}
+
+func TestSeedChangesSchedule(t *testing.T) {
+	cfg := Config{Seed: 1, Put: Rates{Transient: 0.5}}
+	a := drain(New(cfg), OpPut, 100)
+	cfg.Seed = 2
+	b := drain(New(cfg), OpPut, 100)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 100-draw schedules")
+	}
+}
+
+func TestRatesIsolatedPerOp(t *testing.T) {
+	inj := New(Config{Seed: 7, Put: Rates{Permanent: 1}})
+	if d := inj.Decide(OpGet); d.Kind != KindNone {
+		t.Fatalf("Get drew %v with only Put rates configured", d.Kind)
+	}
+	if d := inj.Decide(OpPut); d.Kind != KindPermanent {
+		t.Fatalf("Put drew %v, want permanent at rate 1", d.Kind)
+	}
+}
+
+func TestFailNextQueue(t *testing.T) {
+	inj := New(Config{Seed: 3}) // zero rates: only the queue can fire
+	inj.FailNext(OpPut, KindBitFlip)
+	inj.FailNext(OpPut, KindTransient)
+
+	d := inj.Decide(OpGet)
+	if d.Kind != KindNone {
+		t.Fatalf("queued Put fault fired on Get: %v", d.Kind)
+	}
+	d = inj.Decide(OpPut)
+	if d.Kind != KindBitFlip {
+		t.Fatalf("first queued = %v, want bit flip", d.Kind)
+	}
+	d = inj.Decide(OpPut)
+	if d.Kind != KindTransient {
+		t.Fatalf("second queued = %v, want transient", d.Kind)
+	}
+	if d.Err == nil {
+		t.Fatal("transient decision carries no error")
+	}
+	if d = inj.Decide(OpPut); d.Kind != KindNone {
+		t.Fatalf("queue not drained: %v", d.Kind)
+	}
+}
+
+func TestErrorClassification(t *testing.T) {
+	cases := []struct {
+		kind      Kind
+		transient bool
+	}{
+		{KindTransient, true},
+		{KindTorn, true},
+		{KindPermanent, false},
+		{KindBitFlip, false},
+	}
+	for _, c := range cases {
+		e := &Error{Op: OpPut, Kind: c.kind, Seq: 1}
+		if e.Transient() != c.transient {
+			t.Errorf("%v.Transient() = %v, want %v", c.kind, e.Transient(), c.transient)
+		}
+		var fe *Error
+		if !errors.As(error(e), &fe) {
+			t.Errorf("%v not errors.As-able to *Error", c.kind)
+		}
+		if e.Error() == "" {
+			t.Errorf("%v has empty message", c.kind)
+		}
+	}
+}
+
+func TestStatsAndInjected(t *testing.T) {
+	inj := New(Config{Seed: 9, Put: Rates{Transient: 1}})
+	const n = 5
+	for i := 0; i < n; i++ {
+		inj.Decide(OpPut)
+	}
+	inj.Decide(OpGet) // clean: no rates for Get
+	if got := inj.Injected(); got != n {
+		t.Fatalf("Injected() = %d, want %d", got, n)
+	}
+	st := inj.Stats()
+	if st[OpPut][KindTransient] != n {
+		t.Fatalf("Stats()[Put][Transient] = %d, want %d", st[OpPut][KindTransient], n)
+	}
+}
+
+func TestLatency(t *testing.T) {
+	inj := New(Config{Seed: 5, Latency: 3 * time.Millisecond})
+	d := inj.Decide(OpGet)
+	if d.Delay != 3*time.Millisecond {
+		t.Fatalf("Delay = %v, want 3ms", d.Delay)
+	}
+}
+
+func TestFlipBit(t *testing.T) {
+	b := make([]byte, 64)
+	i := FlipBit(b, 0.5)
+	if i < 0 || i >= len(b) {
+		t.Fatalf("flip index %d out of range", i)
+	}
+	if b[i] == 0 {
+		t.Fatalf("byte %d not flipped", i)
+	}
+	var nonzero int
+	for _, v := range b {
+		if v != 0 {
+			nonzero++
+		}
+	}
+	if nonzero != 1 {
+		t.Fatalf("%d bytes changed, want exactly 1", nonzero)
+	}
+	if got := FlipBit(nil, 0.5); got != -1 {
+		t.Fatalf("FlipBit(nil) = %d, want -1", got)
+	}
+}

@@ -46,7 +46,7 @@ func runRestart(opt Options) ([]*Table, error) {
 		return nil, err
 	}
 	defer os.RemoveAll(dir)
-	store, err := crac.NewDirStore(dir, 0)
+	store, err := crac.NewDirStore(dir, 0, crac.WithNoSync())
 	if err != nil {
 		return nil, err
 	}

@@ -165,7 +165,7 @@ func checkpointMidRun(prop gpusim.Properties, app *workloads.App, cfg workloads.
 	}
 	defer os.RemoveAll(dir)
 	imgPath := filepath.Join(dir, "ckpt.img")
-	store := crac.NewFileStore(imgPath)
+	store := crac.NewFileStore(imgPath, crac.WithNoSync())
 	ctx := context.Background()
 
 	step := 0

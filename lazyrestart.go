@@ -138,6 +138,7 @@ func (s *Session) RestartAsync(ctx context.Context, store Store, name string) (*
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	store = s.retryWrap(store)
 	start := time.Now()
 	chain, closers, err := openIndexChain(ctx, store, name)
 	if err != nil {

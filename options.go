@@ -26,6 +26,7 @@ type settings struct {
 	lazyRestart  bool // RestartFrom/RestoreFrom use the lazy fault-in path
 	aslr         bool
 	aslrSeed     int64
+	retry        *RetryPolicy // nil: no store retry wrapping
 
 	deviceArenaChunk  uint64
 	pinnedArenaChunk  uint64
@@ -134,6 +135,16 @@ func WithConcurrentCheckpoint() Option {
 // eager path would have written.
 func WithLazyRestart() Option {
 	return func(s *settings) { s.lazyRestart = true }
+}
+
+// WithCheckpointRetry wraps every store-bound operation of the session
+// (CheckpointTo, CheckpointAsync, RestartFrom, lazy restarts) in
+// WithRetry with the given policy: transient store failures back off
+// and retry instead of failing the checkpoint. The zero RetryPolicy
+// selects DefaultRetryPolicy. Only the store commit retries — the
+// checkpoint pipeline itself runs once (see WithRetry).
+func WithCheckpointRetry(policy RetryPolicy) Option {
+	return func(s *settings) { s.retry = &policy }
 }
 
 // WithASLR enables address-space randomization with the given seed.

@@ -347,6 +347,7 @@ func (s *Session) CheckpointTo(ctx context.Context, store Store, name string) (S
 		}
 		return p.Wait()
 	}
+	store = s.retryWrap(store)
 	if s.cfg.incremental > 0 {
 		return s.checkpointIncremental(ctx, store, name)
 	}
@@ -357,6 +358,17 @@ func (s *Session) CheckpointTo(ctx context.Context, store Store, name string) (S
 		return cerr
 	})
 	return st, wrapCancelled(err)
+}
+
+// retryWrap applies the session's WithCheckpointRetry policy to a
+// store-bound operation (identity when the option is unset). Layered
+// here — not inside the stores — so one option covers every entry
+// point and caller-provided stores alike.
+func (s *Session) retryWrap(store Store) Store {
+	if s.cfg.retry == nil {
+		return store
+	}
+	return WithRetry(store, *s.cfg.retry)
 }
 
 // incrPrevLocked resolves the lineage the next store-bound checkpoint
@@ -467,6 +479,7 @@ func (s *Session) CheckpointAsync(ctx context.Context, store Store, name string)
 		ctx = context.Background()
 	}
 	incremental := s.cfg.incremental > 0
+	store = s.retryWrap(store)
 	p, err := s.reserveCheckpoint(name)
 	if err != nil {
 		return nil, err
@@ -555,11 +568,30 @@ func (s *Session) RestartFrom(ctx context.Context, store Store, name string) err
 		_, err := s.RestartAsync(ctx, store, name)
 		return err
 	}
-	img, err := OpenImageFrom(ctx, store, name)
+	img, err := OpenImageFrom(ctx, s.retryWrap(store), name)
 	if err != nil {
 		return err
 	}
 	return s.RestartImage(ctx, img)
+}
+
+// RestartCheckpoint implements dmtcp.Restarter, making a Session a
+// restartable rank under a Coordinator's RestartAll: the rank is
+// rolled back to the coordinated checkpoint in r. Restart's contract
+// applies — a failure past teardown leaves the session closed.
+func (s *Session) RestartCheckpoint(r io.Reader) error {
+	return s.Restart(context.Background(), r)
+}
+
+// Rebase breaks the session's incremental lineage: the next store-
+// bound checkpoint writes a self-contained v3 base instead of a delta,
+// whatever the chain state was. Repair paths use it when the stored
+// chain is no longer trustworthy (see RepairChain); it is also the
+// escape hatch when a chain's store is being switched mid-session.
+func (s *Session) Rebase() {
+	s.mu.Lock()
+	s.incr = nil
+	s.mu.Unlock()
 }
 
 func (s *Session) restartFromImage(ctx context.Context, img *dmtcp.Image) error {
@@ -681,6 +713,9 @@ func RestoreImage(ctx context.Context, img *Image, opts ...Option) (*Session, er
 // execute while the image drains in the background.
 func RestoreFrom(ctx context.Context, store Store, name string, opts ...Option) (*Session, error) {
 	cfg := resolve(opts)
+	if cfg.retry != nil {
+		store = WithRetry(store, *cfg.retry)
+	}
 	if cfg.lazyRestart {
 		s, err := newSession(cfg)
 		if err != nil {

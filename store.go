@@ -48,29 +48,96 @@ func validateImageName(name string) error {
 	return nil
 }
 
+// A StoreOption configures a file-backed store (NewFileStore,
+// NewDirStore).
+type StoreOption func(*storeSettings)
+
+type storeSettings struct{ noSync bool }
+
+// WithNoSync drops the fsync barriers from the store's atomic write
+// path (temp-file sync, directory sync around rename and retention).
+// Put remains atomic against process crashes — the rename still commits
+// all-or-nothing — but a machine crash shortly after Put returns may
+// lose or truncate the image. For benchmarks and tests, where the
+// images are throwaway and the fsyncs would dominate the measured
+// write; durable by default everywhere else.
+func WithNoSync() StoreOption {
+	return func(s *storeSettings) { s.noSync = true }
+}
+
+func resolveStoreOpts(opts []StoreOption) storeSettings {
+	var s storeSettings
+	for _, o := range opts {
+		o(&s)
+	}
+	return s
+}
+
+// syncDir flushes a directory's entries, making a just-committed
+// rename (or a retention delete) durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
 // atomicWriteFile writes through a temp file in dir and renames it to
-// dest on success; on any failure the temp file is removed and dest is
-// untouched. This is the atomic-write path shared by FileStore and
-// DirStore (and by the deprecated CheckpointFile shim).
-func atomicWriteFile(dir, dest string, write func(io.Writer) error) (err error) {
+// dest on success; on any failure — error or panic out of write — the
+// temp file is removed and dest is untouched. This is the atomic-write
+// path shared by FileStore and DirStore (and by the deprecated
+// CheckpointFile shim). Unless sync is false, the temp file is fsynced
+// before the rename and the directory after it, so a Put that returned
+// success survives a machine crash: rename-without-sync can leave dest
+// pointing at a file whose blocks never reached disk.
+func atomicWriteFile(dir, dest string, sync bool, write func(io.Writer) error) (err error) {
 	tmp, err := os.CreateTemp(dir, ".crac-put-*")
 	if err != nil {
 		return err
 	}
 	name := tmp.Name()
+	cleanup := func() {
+		tmp.Close()
+		os.Remove(name)
+	}
 	defer func() {
+		if r := recover(); r != nil {
+			cleanup()
+			panic(r)
+		}
 		if err != nil {
-			tmp.Close()
-			os.Remove(name)
+			cleanup()
 		}
 	}()
 	if err = write(tmp); err != nil {
 		return err
 	}
+	if sync {
+		if err = tmp.Sync(); err != nil {
+			return err
+		}
+	}
 	if err = tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(name, dest)
+	if err = os.Rename(name, dest); err != nil {
+		return err
+	}
+	if sync {
+		if err = syncDir(dir); err != nil {
+			// The rename is committed; report the durability failure
+			// without attempting to remove dest (removing a committed
+			// image would be worse than an image that may not survive
+			// a power cut).
+			return fmt.Errorf("crac: syncing %s: %w", dir, err)
+		}
+	}
+	return nil
 }
 
 // FileStore holds at most one image, at a fixed file path — the
@@ -79,17 +146,21 @@ func atomicWriteFile(dir, dest string, write func(io.Writer) error) (err error) 
 // name while the image exists.
 type FileStore struct {
 	Path string
+	// NoSync drops the fsync barriers from Put (see WithNoSync).
+	NoSync bool
 }
 
 // NewFileStore returns a store backed by the single file at path.
-func NewFileStore(path string) *FileStore { return &FileStore{Path: path} }
+func NewFileStore(path string, opts ...StoreOption) *FileStore {
+	return &FileStore{Path: path, NoSync: resolveStoreOpts(opts).noSync}
+}
 
 // Put implements Store with a temp-file+rename atomic write.
 func (s *FileStore) Put(ctx context.Context, name string, write func(io.Writer) error) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	return atomicWriteFile(filepath.Dir(s.Path), s.Path, write)
+	return atomicWriteFile(filepath.Dir(s.Path), s.Path, !s.NoSync, write)
 }
 
 // Get implements Store.
@@ -150,6 +221,9 @@ type DirStore struct {
 	// depends on. Keep <= 0 retains everything. Retention is
 	// best-effort — it never fails an already-committed Put.
 	Keep int
+	// NoSync drops the fsync barriers from Put and retention (see
+	// WithNoSync).
+	NoSync bool
 
 	// pruneMu serializes retention passes: two concurrent Puts must not
 	// interleave their newest-first scans and deletions.
@@ -172,11 +246,11 @@ const imageExt = ".img"
 
 // NewDirStore creates dir if needed and returns a store over it that
 // retains the keep most recent images (keep <= 0: all).
-func NewDirStore(dir string, keep int) (*DirStore, error) {
+func NewDirStore(dir string, keep int, opts ...StoreOption) (*DirStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	return &DirStore{Dir: dir, Keep: keep}, nil
+	return &DirStore{Dir: dir, Keep: keep, NoSync: resolveStoreOpts(opts).noSync}, nil
 }
 
 func (s *DirStore) path(name string) string {
@@ -194,7 +268,7 @@ func (s *DirStore) Put(ctx context.Context, name string, write func(io.Writer) e
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	if err := atomicWriteFile(s.Dir, s.path(name), write); err != nil {
+	if err := atomicWriteFile(s.Dir, s.path(name), !s.NoSync, write); err != nil {
 		return err
 	}
 	s.prune(name)
@@ -265,6 +339,15 @@ func (s *DirStore) prune(justWritten string) {
 			cur = parent
 		}
 	}
+	// Ordering: by the time retention runs, Put has already fsynced the
+	// just-written image and its directory entry (unless NoSync), so
+	// every image the survivors depend on is durable before anything is
+	// removed — a crash mid-prune can strand extra files but never
+	// deletes the only durable ancestor of a surviving delta. The
+	// closing dir sync makes the removals themselves durable, so a
+	// pruned parent cannot reappear after a crash and masquerade as a
+	// live chain member.
+	removed := false
 	for _, im := range imgs {
 		if retained[im.name] {
 			continue
@@ -272,7 +355,12 @@ func (s *DirStore) prune(justWritten string) {
 		if justInfo != nil && im.info.ModTime().After(justInfo.ModTime()) {
 			continue // a concurrent Put's fresher image: not ours to judge
 		}
-		os.Remove(s.path(im.name))
+		if os.Remove(s.path(im.name)) == nil {
+			removed = true
+		}
+	}
+	if removed && !s.NoSync {
+		syncDir(s.Dir)
 	}
 }
 
@@ -385,6 +473,11 @@ func (s *MemStore) Put(ctx context.Context, name string, write func(io.Writer) e
 	}
 	var buf bytes.Buffer
 	if err := write(&buf); err != nil {
+		return err
+	}
+	// A cancellation that raced the end of write must not publish: the
+	// writer may have been abandoned mid-image by the same cancel.
+	if err := ctx.Err(); err != nil {
 		return err
 	}
 	s.mu.Lock()

@@ -1,0 +1,318 @@
+package crac
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/dmtcp"
+)
+
+// Verify re-checks an opened image's integrity: every per-shard
+// content hash (for an unmaterialized delta), every region payload
+// length, and — when the image carries a CUDA call log — that the log
+// still decodes. Failures classify as ErrCorruptImage (recorded hashes
+// no longer match) or ErrBadImage (structural inconsistency).
+//
+// ReadImage already enforces the stream-level checks (trailer
+// checksum, shard hashes) while parsing, so for a freshly-opened image
+// Verify mostly re-confirms; its value is images held in memory, and
+// the uniform entry point VerifyChain and Scrub build on.
+func (im *Image) Verify(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := im.img.VerifyContent(); err != nil {
+		return err
+	}
+	if im.img.Complete() {
+		if _, err := im.decodeLog(); err != nil {
+			// The section bytes passed their hashes but the log no
+			// longer parses: the image cannot be restored, and the
+			// damage is to content, not structure.
+			return fmt.Errorf("%w: %v", ErrCorruptImage, err)
+		}
+	}
+	return nil
+}
+
+// quarantineSuffix marks images Scrub moved aside. Quarantined names
+// are invisible to chain resolution (nothing names a parent with the
+// suffix) and skipped by later scrubs and the Supervisor's candidate
+// scan.
+const quarantineSuffix = "~quarantined"
+
+// Quarantined reports whether a store name is a quarantined image
+// (moved aside by Scrub).
+func Quarantined(name string) bool {
+	return strings.HasSuffix(name, quarantineSuffix)
+}
+
+// VerifyChain verifies the named image and, for a v3 delta, every
+// ancestor down to its base: each member must read back intact
+// (trailer checksum, per-shard hashes), each parent link must resolve,
+// and each recorded parent identity must match the parent image
+// actually found under that name (catching a regenerated parent whose
+// name still matches). It returns the chain's names, tip first, ending
+// at the base.
+//
+// The first failure aborts the walk: the returned error classifies it
+// (ErrCorruptImage, ErrBadImage, ErrImageNotFound, ErrDeltaChain) and
+// the returned names cover the members verified before it.
+func VerifyChain(ctx context.Context, store Store, name string) ([]string, error) {
+	var chain []string
+	seen := make(map[string]bool)
+	var childParentID uint64
+	cur := name
+	for {
+		if err := ctx.Err(); err != nil {
+			return chain, err
+		}
+		if seen[cur] || len(chain) > maxLazyChainDepth {
+			return chain, fmt.Errorf("%w: broken lineage at %q", ErrDeltaChain, cur)
+		}
+		seen[cur] = true
+		img, err := readStoredImage(ctx, store, cur)
+		if err != nil {
+			if len(chain) > 0 {
+				err = fmt.Errorf("%w: parent %q: %w", ErrDeltaChain, cur, err)
+			}
+			return chain, err
+		}
+		if err := img.VerifyContent(); err != nil {
+			return chain, fmt.Errorf("image %q: %w", cur, err)
+		}
+		if childParentID != 0 && (img.Delta == nil || img.Delta.ID() != childParentID) {
+			return chain, fmt.Errorf("%w: image %q is not the recorded parent (identity mismatch)", ErrDeltaChain, cur)
+		}
+		chain = append(chain, cur)
+		if img.Delta == nil || img.Delta.Parent == "" {
+			return chain, nil
+		}
+		childParentID = img.Delta.ParentID()
+		cur = img.Delta.Parent
+	}
+}
+
+// readStoredImage reads and parses one stored image without resolving
+// its chain.
+func readStoredImage(ctx context.Context, store Store, name string) (*dmtcp.Image, error) {
+	rc, err := store.Get(ctx, name)
+	if err != nil {
+		return nil, wrapCancelled(err)
+	}
+	img, err := dmtcp.ReadImage(rc)
+	rc.Close()
+	if err != nil {
+		return nil, err
+	}
+	return img, nil
+}
+
+// ScrubIssue is one image Scrub found damaged.
+type ScrubIssue struct {
+	Name string
+	Err  error
+}
+
+// ScrubReport summarizes one Scrub pass.
+type ScrubReport struct {
+	// Intact images passed verification and have intact ancestry.
+	Intact []string
+	// Corrupt images failed verification themselves.
+	Corrupt []ScrubIssue
+	// Condemned images are intact deltas whose ancestry is broken — a
+	// corrupt, missing, or identity-mismatched ancestor makes them
+	// unrestorable, so they count as casualties of their ancestor.
+	Condemned []string
+	// Quarantined lists the images moved aside (renamed with
+	// quarantineSuffix) by this pass — the corrupt and condemned ones,
+	// minus any whose quarantine itself failed.
+	Quarantined []string
+}
+
+// Scrub verifies every image in the store and quarantines the damaged
+// ones: each corrupt image — and every delta whose ancestry runs
+// through one (lineage-aware: a corrupt base condemns its deltas) — is
+// renamed aside with quarantineSuffix so chain resolution, retention,
+// and the Supervisor never trip over it, while the bytes stay
+// available for forensics. Already-quarantined images are skipped.
+// Best-effort like DirStore retention: an image that cannot be moved
+// is reported but left in place. Single-slot stores (FileStore) verify
+// but never quarantine — the slot's image is all there is.
+func Scrub(ctx context.Context, store Store) (*ScrubReport, error) {
+	names, err := store.List(ctx)
+	if err != nil {
+		return nil, wrapCancelled(err)
+	}
+	rep := &ScrubReport{}
+	type member struct {
+		parent   string
+		id       uint64
+		parentID uint64
+		corrupt  bool
+	}
+	members := make(map[string]*member)
+	for _, name := range names {
+		if Quarantined(name) {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
+		m := &member{}
+		img, err := readStoredImage(ctx, store, name)
+		if err == nil {
+			err = img.VerifyContent()
+		}
+		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return rep, wrapCancelled(err)
+			}
+			m.corrupt = true
+			rep.Corrupt = append(rep.Corrupt, ScrubIssue{Name: name, Err: err})
+		} else if img.Delta != nil {
+			m.parent = img.Delta.Parent
+			m.id = img.Delta.ID()
+			m.parentID = img.Delta.ParentID()
+		}
+		members[name] = m
+	}
+
+	// Lineage pass: an intact delta is condemned when any hop of its
+	// ancestry is corrupt, missing, identity-mismatched, or cyclic.
+	for name, m := range members {
+		if m.corrupt {
+			continue
+		}
+		broken := false
+		cur, wantID := m.parent, m.parentID
+		for hops := 0; cur != ""; hops++ {
+			p, ok := members[cur]
+			if hops >= maxLineageHops || !ok || p.corrupt || (wantID != 0 && p.id != wantID) {
+				broken = true
+				break
+			}
+			cur, wantID = p.parent, p.parentID
+		}
+		if broken {
+			rep.Condemned = append(rep.Condemned, name)
+		} else {
+			rep.Intact = append(rep.Intact, name)
+		}
+	}
+	// The member map randomized the order; reports are deterministic.
+	sort.Strings(rep.Intact)
+	sort.Strings(rep.Condemned)
+
+	if singleImageStore(store) {
+		return rep, nil
+	}
+	quarantine := func(name string) {
+		src, err := store.Get(ctx, name)
+		if err != nil {
+			return
+		}
+		err = store.Put(ctx, name+quarantineSuffix, func(w io.Writer) error {
+			_, cerr := io.Copy(w, src)
+			return cerr
+		})
+		src.Close()
+		if err != nil {
+			return
+		}
+		if store.Delete(ctx, name) == nil {
+			rep.Quarantined = append(rep.Quarantined, name)
+		}
+	}
+	for _, issue := range rep.Corrupt {
+		quarantine(issue.Name)
+	}
+	for _, name := range rep.Condemned {
+		quarantine(name)
+	}
+	return rep, nil
+}
+
+// RepairReport summarizes one RepairChain call.
+type RepairReport struct {
+	// Intact: the chain verified end to end; nothing was repaired.
+	Intact bool
+	// Tip names the newest verified image after the repair: the
+	// original tip (Intact), a fresh re-checkpoint (Rebased != ""), or
+	// the newest intact ancestor the chain fell back to.
+	Tip string
+	// Rebased names the re-checkpoint written from the live session,
+	// when one was taken.
+	Rebased string
+	// Broken lists the chain members skipped as corrupt or unreachable.
+	Broken []string
+}
+
+// RepairChain restores a usable checkpoint lineage after corruption.
+// If the chain under tip verifies end to end, it reports Intact. If
+// sess is non-nil (a live session whose state supersedes the stored
+// chain), the repair re-checkpoints: the session's incremental lineage
+// is rebased (Session.Rebase) so the next image is a self-contained
+// base, written as tip + "-rebase" (suffixed further if taken) and
+// verified — the broken chain stays in place for Scrub to quarantine.
+// With no session, the repair falls back down the stored lineage to
+// the newest ancestor whose own chain verifies, reporting it as the
+// new Tip. When nothing intact remains, it returns an error wrapping
+// ErrCorruptImage.
+func RepairChain(ctx context.Context, store Store, tip string, sess *Session) (*RepairReport, error) {
+	if _, err := VerifyChain(ctx, store, tip); err == nil {
+		return &RepairReport{Intact: true, Tip: tip}, nil
+	}
+	rep := &RepairReport{}
+	if sess != nil {
+		sess.Rebase()
+		name := tip + "-rebase"
+		if existing, err := store.List(ctx); err == nil {
+			taken := make(map[string]bool, len(existing))
+			for _, n := range existing {
+				taken[n] = true
+			}
+			for i := 2; taken[name]; i++ {
+				name = fmt.Sprintf("%s-rebase%d", tip, i)
+			}
+		}
+		if _, err := sess.CheckpointTo(ctx, store, name); err != nil {
+			return nil, fmt.Errorf("crac: repair re-checkpoint: %w", err)
+		}
+		if _, err := VerifyChain(ctx, store, name); err != nil {
+			return nil, fmt.Errorf("crac: repair re-checkpoint failed verification: %w", err)
+		}
+		rep.Rebased, rep.Tip = name, name
+		return rep, nil
+	}
+
+	// No live session: fall back down the stored lineage. Parent names
+	// come from the header-only meta read, which usually survives
+	// payload corruption; a member whose header is unreadable ends the
+	// walk.
+	cur := tip
+	seen := make(map[string]bool)
+	for hops := 0; cur != "" && hops < maxLineageHops && !seen[cur]; hops++ {
+		seen[cur] = true
+		if _, err := VerifyChain(ctx, store, cur); err == nil {
+			rep.Tip = cur
+			return rep, nil
+		}
+		rep.Broken = append(rep.Broken, cur)
+		rc, err := store.Get(ctx, cur)
+		if err != nil {
+			break
+		}
+		meta, err := dmtcp.ReadImageMeta(rc)
+		rc.Close()
+		if err != nil {
+			break
+		}
+		cur = meta.Parent
+	}
+	return nil, fmt.Errorf("%w: no intact ancestor of %q", ErrCorruptImage, tip)
+}
