@@ -61,6 +61,9 @@ func BenchmarkTable3BLASvsIPC(b *testing.B)        { runExperiment(b, "table3") 
 func BenchmarkFig6FSGSBASE(b *testing.B)           { runExperiment(b, "fig6") }
 func BenchmarkAblationDesignChoices(b *testing.B)  { runExperiment(b, "ablations") }
 
+// Beyond the paper: live-migration downtime vs stop-copy-restart.
+func BenchmarkMigrate(b *testing.B) { runExperiment(b, "migrate") }
+
 // Microbenchmarks of the primitives.
 
 // benchSession builds a CRAC session with a registered kernel module and

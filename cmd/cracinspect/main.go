@@ -4,11 +4,19 @@
 // sections, and a summary of the CUDA call log and the active resources
 // it implies.
 //
+// Images can live on disk or behind a netstore server (crac.ServeStore
+// / cracmigrate -serve): an http(s):// argument names an image on such
+// a server — everything after the last path segment is the image name,
+// the rest is the store base URL — and delta lineage is resolved across
+// the wire, hop by hop, through the same ranged reads a lazy restart
+// would use.
+//
 // Usage:
 //
 //	cracinspect image.img
 //	cracinspect -log image.img     # include the full call log
 //	cracinspect -verify image.img  # integrity-check and report
+//	cracinspect http://ckpt-host:9120/gen042   # image "gen042" on a netstore server
 package main
 
 import (
@@ -18,9 +26,21 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	crac "repro"
 )
+
+// splitStoreURL splits an http(s) image URL into the store base URL
+// and the image name (the last path segment).
+func splitStoreURL(arg string) (base, name string, err error) {
+	i := strings.LastIndex(arg, "/")
+	base, name = arg[:i], arg[i+1:]
+	if name == "" || strings.HasSuffix(base, "/") || !strings.Contains(base, "://") {
+		return "", "", fmt.Errorf("store URL %q must end in /<image-name>", arg)
+	}
+	return base, name, nil
+}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -40,10 +60,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	if fs.NArg() != 1 {
-		fmt.Fprintln(stderr, "usage: cracinspect [-log] [-verify] <image>")
+		fmt.Fprintln(stderr, "usage: cracinspect [-log] [-verify] <image-file | http(s)://host[:port]/image>")
 		return 2
 	}
-	img, err := crac.OpenImageFile(fs.Arg(0))
+	ctx := context.Background()
+	arg := fs.Arg(0)
+	var (
+		img   *crac.Image
+		err   error
+		name  string     // image name within store, when remote
+		store crac.Store // non-nil when inspecting over the wire
+	)
+	if strings.HasPrefix(arg, "http://") || strings.HasPrefix(arg, "https://") {
+		var base string
+		if base, name, err = splitStoreURL(arg); err == nil {
+			var hs *crac.HTTPStore
+			if hs, err = crac.NewHTTPStore(base); err == nil {
+				store = hs
+				img, err = crac.OpenImageFrom(ctx, store, name)
+			}
+		}
+	} else {
+		img, err = crac.OpenImageFile(arg)
+	}
 	if err != nil {
 		switch {
 		case errors.Is(err, crac.ErrUnsupportedVersion):
@@ -62,20 +101,57 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "CRAC checkpoint image: %s\n", fs.Arg(0))
 	fmt.Fprintf(stdout, "  format: v%d, gzip=%v\n", info.Version, info.Gzip)
 	if *verify {
-		if err := img.Verify(context.Background()); err != nil {
-			fmt.Fprintln(stderr, "cracinspect: verify:", err)
-			return 1
-		}
-		if info.Verified {
-			fmt.Fprintln(stdout, "  integrity: OK (whole-image trailer checksum verified)")
+		if store != nil {
+			// Remote image: verify the whole delta lineage through the
+			// store, the same resolution a restore would perform.
+			chain, err := crac.VerifyChain(ctx, store, name)
+			if err != nil {
+				fmt.Fprintln(stderr, "cracinspect: verify:", err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "  integrity: OK (chain of %d verified across the wire: %s)\n",
+				len(chain), strings.Join(chain, " <- "))
 		} else {
-			fmt.Fprintln(stdout, "  integrity: OK (legacy image without trailer; content checks passed)")
+			if err := img.Verify(ctx); err != nil {
+				fmt.Fprintln(stderr, "cracinspect: verify:", err)
+				return 1
+			}
+			if info.Verified {
+				fmt.Fprintln(stdout, "  integrity: OK (whole-image trailer checksum verified)")
+			} else {
+				fmt.Fprintln(stdout, "  integrity: OK (legacy image without trailer; content checks passed)")
+			}
 		}
 	}
 	if info.Delta {
 		fmt.Fprintf(stdout, "  delta: depth %d, parent %q, %.1f%% dirty (%d of %d shards)\n",
 			info.DeltaDepth, info.Parent, 100*info.DirtyRatio, info.ShardsEmitted, info.ShardsTotal)
-		if !info.Materialized {
+		if store != nil {
+			// With a store at hand the chain is resolvable: report every
+			// ancestor hop down to the base.
+			fmt.Fprintln(stdout, "  lineage:")
+			seen := map[string]bool{name: true}
+			for cur := info.Parent; cur != ""; {
+				if seen[cur] {
+					fmt.Fprintln(stderr, "cracinspect: lineage: cycle at", cur)
+					return 1
+				}
+				seen[cur] = true
+				pimg, err := crac.OpenImageFrom(ctx, store, cur)
+				if err != nil {
+					fmt.Fprintf(stderr, "cracinspect: lineage: opening %q: %v\n", cur, err)
+					return 1
+				}
+				pi := pimg.Info()
+				if pi.Delta {
+					fmt.Fprintf(stdout, "    %-16s delta depth %d, %.1f%% dirty (%d of %d shards)\n",
+						cur, pi.DeltaDepth, 100*pi.DirtyRatio, pi.ShardsEmitted, pi.ShardsTotal)
+				} else {
+					fmt.Fprintf(stdout, "    %-16s base (chain root), %d shards\n", cur, pi.ShardsTotal)
+				}
+				cur = pi.Parent
+			}
+		} else if !info.Materialized {
 			fmt.Fprintln(stdout, "  (payload not materialized: restore via the image's store to follow the chain)")
 		}
 	} else if info.Version >= 3 {

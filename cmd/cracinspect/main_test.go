@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
@@ -160,5 +161,55 @@ func TestInspectDeltaImage(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("delta dump missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestInspectHTTPStore inspects a delta chain living behind a netstore
+// server: the URL form opens the image across the wire, the lineage
+// walk resolves every ancestor, and -verify checks the whole chain.
+func TestInspectHTTPStore(t *testing.T) {
+	store := crac.NewMemStore()
+	s, err := crac.New(crac.WithIncremental(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rt := s.Runtime()
+	buf, err := rt.HostAlloc(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i, name := range []string{"gen0", "gen1", "gen2"} {
+		if err := rt.Memset(buf, byte(0xA0+i), 8192); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.CheckpointTo(ctx, store, name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := httptest.NewServer(crac.ServeStore(store))
+	defer srv.Close()
+
+	code, out, errOut := runInspect(t, "-verify", srv.URL+"/gen2")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, errOut)
+	}
+	for _, want := range []string{
+		`delta: depth 2, parent "gen1"`,
+		"lineage:",
+		"gen1", "base (chain root)",
+		"chain of 3 verified across the wire: gen2 <- gen1 <- gen0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("remote dump missing %q:\n%s", want, out)
+		}
+	}
+
+	if code, _, errOut := runInspect(t, srv.URL+"/absent"); code != 1 || errOut == "" {
+		t.Fatalf("missing remote image: exit=%d stderr=%q", code, errOut)
+	}
+	if code, _, _ := runInspect(t, "http://"); code != 1 {
+		t.Fatalf("malformed store URL accepted")
 	}
 }

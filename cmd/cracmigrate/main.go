@@ -1,0 +1,260 @@
+// Command cracmigrate demonstrates live migration of a CRAC session
+// between two processes over the netstore protocol.
+//
+// The destination role serves a directory-backed image store over
+// HTTP; any number of sources can migrate into it:
+//
+//	cracmigrate -serve :9120 -dir /var/crac/images [-keep 8]
+//
+// The source role runs a demo GPU workload (kernels launching, a
+// mutator dirtying its working set) and live-migrates it into such a
+// server, printing the pre-copy round report and the downtime summary:
+//
+//	cracmigrate -dst http://ckpt-host:9120 [-rounds 6]
+//
+// -loopback runs both roles in one process over 127.0.0.1 — a
+// self-contained smoke of the whole protocol stack (pre-copy deltas,
+// final CoW cut, lazy activation, post-copy replication) with no setup:
+//
+//	cracmigrate -loopback
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	crac "repro"
+	"repro/internal/crt"
+	"repro/internal/kernels"
+	"repro/internal/workloads"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole program behind main, split out so tests can drive
+// the binary in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cracmigrate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		serveAddr = fs.String("serve", "", "destination role: listen address for the image store server (e.g. :9120)")
+		dir       = fs.String("dir", "", "with -serve: backing directory for received images")
+		keep      = fs.Int("keep", 0, "with -serve: retain only the N most recent images (0 = all)")
+		dst       = fs.String("dst", "", "source role: destination store base URL (http(s)://host:port)")
+		rounds    = fs.Int("rounds", 5, "source role: maximum pre-copy rounds before the final cut")
+		loopback  = fs.Bool("loopback", false, "run source and destination in-process over 127.0.0.1")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "cracmigrate:", err)
+		return 1
+	}
+	switch {
+	case *loopback:
+		tmp, err := os.MkdirTemp("", "cracmigrate-")
+		if err != nil {
+			return fail(err)
+		}
+		defer os.RemoveAll(tmp)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return fail(err)
+		}
+		defer ln.Close()
+		if err := serveOn(ln, tmp, *keep, stdout, false); err != nil {
+			return fail(err)
+		}
+		return source(fmt.Sprintf("http://%s", ln.Addr()), *rounds, stdout, stderr)
+	case *serveAddr != "":
+		if *dir == "" {
+			fmt.Fprintln(stderr, "cracmigrate: -serve requires -dir")
+			return 2
+		}
+		ln, err := net.Listen("tcp", *serveAddr)
+		if err != nil {
+			return fail(err)
+		}
+		if err := serveOn(ln, *dir, *keep, stdout, true); err != nil {
+			return fail(err)
+		}
+		return 0
+	case *dst != "":
+		return source(*dst, *rounds, stdout, stderr)
+	}
+	fmt.Fprintln(stderr, "usage: cracmigrate -serve ADDR -dir DIR [-keep N] | -dst URL [-rounds N] | -loopback")
+	return 2
+}
+
+// serveOn serves a DirStore on ln; block=false runs the server in the
+// background (the loopback demo's destination half).
+func serveOn(ln net.Listener, dir string, keep int, stdout io.Writer, block bool) error {
+	store, err := crac.NewDirStore(dir, keep)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "cracmigrate: serving image store %s on http://%s\n", dir, ln.Addr())
+	srv := &http.Server{Handler: crac.ServeStore(store)}
+	if block {
+		return srv.Serve(ln)
+	}
+	go srv.Serve(ln)
+	return nil
+}
+
+// source runs the demo workload and live-migrates it to the store at
+// baseURL, reporting rounds and downtime.
+func source(baseURL string, rounds int, stdout, stderr io.Writer) int {
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "cracmigrate:", err)
+		return 1
+	}
+	dst, err := crac.NewHTTPStore(baseURL)
+	if err != nil {
+		return fail(err)
+	}
+	const (
+		bufSize = uint64(512 << 10)
+		bufs    = 8
+	)
+	reg := crac.NewKernelRegistry().AddTable(kernels.Module, kernels.Table())
+	s, err := crac.New(crac.WithWorkers(0), crac.WithIncremental(64),
+		crac.WithShardSize(128<<10), crac.WithKernels(reg))
+	if err != nil {
+		return fail(err)
+	}
+	defer s.Close()
+	rt := s.Runtime()
+	fat, err := rt.RegisterFatBinary(kernels.Module)
+	if err != nil {
+		return fail(err)
+	}
+	for name, k := range kernels.Table() {
+		if err := rt.RegisterFunction(fat, name, k); err != nil {
+			return fail(err)
+		}
+	}
+	var host, dev []uint64
+	for i := 0; i < bufs; i++ {
+		h, err := rt.HostAlloc(bufSize)
+		if err != nil {
+			return fail(err)
+		}
+		if err := rt.Memset(h, byte(i+1), bufSize); err != nil {
+			return fail(err)
+		}
+		host = append(host, h)
+		d, err := rt.Malloc(bufSize)
+		if err != nil {
+			return fail(err)
+		}
+		if err := rt.Memset(d, byte(0x5B*i+17), bufSize); err != nil {
+			return fail(err)
+		}
+		dev = append(dev, d)
+	}
+	// The workload keeps executing while pre-copy streams: kernels on
+	// the device, a mutator over a bounded hot set.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := rt.LaunchKernel(fat, "fill", workloads.Launch1D(int(bufSize/8)), crt.DefaultStream,
+				dev[i%2], kernels.F32Arg(float32(i)), bufSize/8); err != nil {
+				return
+			}
+			if err := rt.Memset(host[i%2], byte(i), bufSize/4); err != nil {
+				return
+			}
+		}
+	}()
+	defer func() {
+		close(stop)
+		// A successful migration leaves the source quiesced at the cut;
+		// release it so a mutator parked at the launch gate can observe
+		// stop and exit. ErrNotQuiesced (migration failed early) is fine.
+		s.Resume()
+		wg.Wait()
+	}()
+
+	fmt.Fprintf(stdout, "cracmigrate: migrating demo session (%d buffers x %dKB host+device) to %s\n",
+		bufs, bufSize>>10, dst.BaseURL())
+	ctx := context.Background()
+	src := crac.NewMemStore() // source-side staging for the final cut
+	t0 := time.Now()
+	m, err := crac.Migrate(ctx, s, src, dst,
+		crac.WithMigrateRounds(rounds), crac.WithMigrateRoundDelay(2*time.Millisecond))
+	if err != nil {
+		return fail(err)
+	}
+	defer m.Dest.Close()
+	rep := m.Report
+
+	fmt.Fprintln(stdout, "round  image            kind     payload      shards   pause")
+	for i, r := range rep.Rounds {
+		kind := "base"
+		if r.Delta {
+			kind = "delta"
+		}
+		if r.Final {
+			kind = "cut"
+		}
+		fmt.Fprintf(stdout, "%5d  %-15s  %-7s  %9s  %4d/%-4d  %s\n",
+			i, r.Name, kind, fmtBytes(r.PayloadBytes), r.DirtyShards, r.TotalShards, r.Pause)
+	}
+	fmt.Fprintf(stdout, "pre-copy: %s over %d rounds (converged=%v); final cut: %s\n",
+		fmtBytes(rep.PreCopyBytes), len(rep.Rounds)-1, rep.Converged, fmtBytes(rep.FinalBytes))
+	fmt.Fprintf(stdout, "downtime: %s (source stopped -> destination executing); total %s\n",
+		rep.Downtime, time.Since(t0))
+
+	// Post-copy tail: wait for the destination store to hold the whole
+	// chain, then prove it with an end-to-end chain verification.
+	if err := m.Wait(); err != nil {
+		return fail(fmt.Errorf("post-copy tail: %w", err))
+	}
+	chain, err := crac.VerifyChain(ctx, dst, rep.Tip)
+	if err != nil {
+		return fail(fmt.Errorf("verifying migrated chain: %w", err))
+	}
+	fmt.Fprintf(stdout, "destination chain verified: %d images, tip %q\n", len(chain), rep.Tip)
+	if err := m.Dest.Runtime().DeviceSynchronize(); err != nil {
+		return fail(err)
+	}
+	fmt.Fprintln(stdout, "destination session executing; migration complete")
+	return 0
+}
+
+// fmtBytes renders a byte count compactly.
+func fmtBytes(n uint64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%dKB", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

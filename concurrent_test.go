@@ -789,3 +789,48 @@ func TestWithConcurrentCheckpointOption(t *testing.T) {
 		t.Fatal("concurrent Checkpoint(w) differs from blocking")
 	}
 }
+
+// TestCloseWhileQuiesced pins that Close on a quiesced session (the
+// state a migrated source is left in) releases the quiesce and tears
+// down instead of deadlocking against the frozen space, and that
+// writers parked at the gate unblock rather than hanging forever.
+func TestCloseWhileQuiesced(t *testing.T) {
+	s, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := s.Runtime()
+	buf, err := rt.HostAlloc(64 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nested quiesce: Close must drain every level, not just one.
+	if err := s.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+	parked := make(chan struct{})
+	go func() {
+		defer close(parked)
+		rt.Memset(buf, 0xEE, 64<<10) // blocked at the write gate; outcome irrelevant
+	}()
+	time.Sleep(10 * time.Millisecond) // let the writer reach the gate
+	closed := make(chan struct{})
+	go func() {
+		s.Close()
+		close(closed)
+	}()
+	for what, ch := range map[string]chan struct{}{"Close": closed, "parked writer": parked} {
+		select {
+		case <-ch:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("%s did not return on a quiesced session", what)
+		}
+	}
+	s.Close() // idempotent after the quiesced teardown
+	if err := s.Resume(); !errors.Is(err, ErrNotQuiesced) {
+		t.Fatalf("Resume after Close = %v, want ErrNotQuiesced", err)
+	}
+}

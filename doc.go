@@ -144,6 +144,38 @@
 // WithLazyRestart reroutes RestartFrom and RestoreFrom onto the same
 // path for existing code.
 //
+// # Live migration
+//
+// Migrate moves a running session onto a fresh one — typically with
+// the destination store served by another host over the netstore
+// protocol (NewHTTPStore / ServeStore). Pre-copy rounds stream
+// concurrent delta checkpoints to the destination while the source
+// keeps executing; when the dirty rate converges (or plateaus) the
+// source is quiesced, a final delta is cut under the pause into a
+// source-local store, and the destination session activates lazily —
+// reading the pre-copied images locally and post-copy faulting the
+// final cut across the wire while a background tail replicates it
+// over and clears the source:
+//
+//	dst, _ := crac.NewHTTPStore("http://ckpt-host:9120")
+//	src := crac.NewMemStore()                // final-cut staging
+//	m, err := crac.Migrate(ctx, s, src, dst,
+//	    crac.WithMigrateRounds(6))
+//	if err != nil { ... }                    // source still resumable
+//	fmt.Println(m.Report.Downtime, "down,",  // quiesce -> dest executing
+//	    m.Report.PreCopyBytes, "pre-copied over",
+//	    len(m.Report.Rounds)-1, "rounds")
+//	... m.Dest is executing; serve from it ...
+//	err = m.Wait()                           // post-copy tail drained:
+//	                                         // dst holds the whole chain
+//
+// The migrated session's memory is byte-identical to a blocking
+// checkpoint taken at the final cut. The source is left quiesced —
+// resume it to fail back, close it to complete the handoff
+// (WithMigrateCloseSource does the latter automatically). Network
+// failures classify through Transient, so WithRetry composes around
+// an HTTP store; cmd/cracmigrate packages both roles as a CLI.
+//
 // # Fault tolerance
 //
 // Every v2/v3 image ends in a whole-image checksum trailer, checked as

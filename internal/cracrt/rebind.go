@@ -35,6 +35,26 @@ func (r *Runtime) RegisterKernelTable(module string, funcs map[string]cuda.Kerne
 	}
 }
 
+// KernelTables returns a deep copy of every kernel table the runtime
+// can resolve, both tables installed via RegisterKernelTable and
+// kernels registered directly through RegisterFunction. Live migration
+// uses it to seed the destination session's runtime, so log replay
+// there resolves the same kernels without the application re-executing
+// its registrations.
+func (r *Runtime) KernelTables() map[string]map[string]cuda.Kernel {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]map[string]cuda.Kernel, len(r.kernelsByModule))
+	for module, funcs := range r.kernelsByModule {
+		t := make(map[string]cuda.Kernel, len(funcs))
+		for name, k := range funcs {
+			t[name] = k
+		}
+		out[module] = t
+	}
+	return out
+}
+
 // Rebind installs a fresh lower half (library plus entry table) and
 // replays the call log against it, rebuilding the virtual→physical handle
 // maps. If log is non-nil it replaces the runtime's log first

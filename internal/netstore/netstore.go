@@ -1,0 +1,459 @@
+// Package netstore is the HTTP transport behind crac's remote Store:
+// a deliberately small REST protocol exposing a named-image store over
+// HTTP(S), so checkpoints can be written to — and lazily restored from
+// — another node. The package speaks in plain transport terms
+// (io.Reader, names, ranges) and knows nothing about image formats;
+// crac.NewHTTPStore and crac.ServeStore adapt it to the Store surface.
+//
+// Protocol (rooted at the server's base URL):
+//
+//	GET    /v1/images            list image names (JSON array)
+//	GET    /v1/images/{name}     read an image; Range requests honoured
+//	HEAD   /v1/images/{name}     image size (Content-Length)
+//	PUT    /v1/images/{name}     store an image (streamed request body)
+//	DELETE /v1/images/{name}     remove an image
+//
+// Range support on GET is what lets a lazy restart's shard index fault
+// individual shards across the wire instead of downloading whole
+// images.
+//
+// Error classification matters more than the protocol here: every
+// client failure is either a *StatusError (the server answered, with
+// that status) or a *TransportError (the network ate the request), and
+// both expose the Transient() convention crac's retry layer keys on —
+// 5xx, 408, 429, timeouts, and connection resets retry; 4xx and a
+// caller-cancelled context do not.
+package netstore
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"time"
+)
+
+// routePrefix roots every image route; bump it if the wire protocol
+// ever changes incompatibly.
+const routePrefix = "/v1/images"
+
+// ErrNotFound reports a name with no image on the server. It is never
+// transient: retrying a lookup for an image that is not there will not
+// make it appear.
+var ErrNotFound = errors.New("netstore: image not found")
+
+// ReaderAtCloser mirrors crac.ReaderAtCloser so the two packages can
+// interoperate without an import cycle (the root package adapts).
+type ReaderAtCloser interface {
+	io.ReaderAt
+	io.Closer
+}
+
+// Backend is the store a Handler serves, expressed as plain functions
+// so any image store can plug in without this package importing it.
+// Get, Put, List, and Delete are required; GetAt is optional (without
+// it, Range requests fall back to a full read server-side), as is
+// IsNotFound (without it, every backend error maps to a 500).
+type Backend struct {
+	Get        func(ctx context.Context, name string) (io.ReadCloser, error)
+	GetAt      func(ctx context.Context, name string) (ReaderAtCloser, int64, error)
+	Put        func(ctx context.Context, name string, write func(io.Writer) error) error
+	List       func(ctx context.Context) ([]string, error)
+	Delete     func(ctx context.Context, name string) error
+	IsNotFound func(err error) bool
+}
+
+// NewHandler serves b over the netstore protocol.
+func NewHandler(b Backend) http.Handler {
+	h := &handler{b: b}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET "+routePrefix, h.list)
+	mux.HandleFunc("GET "+routePrefix+"/{name}", h.get)
+	mux.HandleFunc("HEAD "+routePrefix+"/{name}", h.get)
+	mux.HandleFunc("PUT "+routePrefix+"/{name}", h.put)
+	mux.HandleFunc("DELETE "+routePrefix+"/{name}", h.delete)
+	return mux
+}
+
+type handler struct{ b Backend }
+
+// writeErr maps a backend error onto the wire: 404 for a missing
+// image, 500 for everything else, with the error text as the body so
+// the client can surface it.
+func (h *handler) writeErr(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	if h.b.IsNotFound != nil && h.b.IsNotFound(err) {
+		code = http.StatusNotFound
+	}
+	http.Error(w, err.Error(), code)
+}
+
+func (h *handler) list(w http.ResponseWriter, r *http.Request) {
+	names, err := h.b.List(r.Context())
+	if err != nil {
+		h.writeErr(w, err)
+		return
+	}
+	if names == nil {
+		names = []string{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(names)
+}
+
+func (h *handler) get(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if h.b.GetAt != nil {
+		src, size, err := h.b.GetAt(r.Context(), name)
+		if err != nil {
+			h.writeErr(w, err)
+			return
+		}
+		defer src.Close()
+		w.Header().Set("Content-Type", "application/octet-stream")
+		// ServeContent handles HEAD, Range (single and invalid ranges,
+		// 206/416), and Content-Length from the seeker's size.
+		http.ServeContent(w, r, "", time.Time{}, io.NewSectionReader(src, 0, size))
+		return
+	}
+	rc, err := h.b.Get(r.Context(), name)
+	if err != nil {
+		h.writeErr(w, err)
+		return
+	}
+	defer rc.Close()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if r.Method == http.MethodHead {
+		return
+	}
+	io.Copy(w, rc)
+}
+
+func (h *handler) put(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	err := h.b.Put(r.Context(), name, func(dst io.Writer) error {
+		_, cerr := io.Copy(dst, r.Body)
+		return cerr
+	})
+	if err != nil {
+		h.writeErr(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusCreated)
+}
+
+func (h *handler) delete(w http.ResponseWriter, r *http.Request) {
+	if err := h.b.Delete(r.Context(), r.PathValue("name")); err != nil {
+		h.writeErr(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// A StatusError is a request the server answered with a non-success
+// status. Transient follows HTTP semantics: server-side failures and
+// throttling retry, client errors do not.
+type StatusError struct {
+	Op   string // "get", "put", ...
+	Name string // image name ("" for list)
+	Code int
+	Body string // first bytes of the response body, for diagnostics
+}
+
+func (e *StatusError) Error() string {
+	msg := fmt.Sprintf("netstore: %s %q: server returned %d %s",
+		e.Op, e.Name, e.Code, http.StatusText(e.Code))
+	if b := strings.TrimSpace(e.Body); b != "" {
+		msg += ": " + b
+	}
+	return msg
+}
+
+// Transient reports whether the status is worth retrying.
+func (e *StatusError) Transient() bool {
+	return e.Code >= 500 || e.Code == http.StatusTooManyRequests ||
+		e.Code == http.StatusRequestTimeout
+}
+
+// A TransportError is a request that never got an HTTP answer: dial
+// failures, connection resets, client-side timeouts. All of them are
+// transient — the server may well be reachable on the next attempt.
+//
+// TransportError deliberately does not implement Unwrap: Go's HTTP
+// client wraps per-request timeouts in context.DeadlineExceeded, which
+// the crac retry predicate reads as "the caller asked to stop". A
+// per-request timeout with a live caller context is exactly the case
+// retries exist for, so the cause stays reachable only through Error
+// text. When the caller's own context is done, the client returns that
+// context error directly (not a TransportError) and no retry happens.
+type TransportError struct {
+	Op   string
+	Name string
+	Err  error
+}
+
+func (e *TransportError) Error() string {
+	return fmt.Sprintf("netstore: %s %q: %v", e.Op, e.Name, e.Err)
+}
+
+// Transient reports true: transport failures are always worth a retry.
+func (e *TransportError) Transient() bool { return true }
+
+// errPutAborted closes the PUT body pipe when the request dies before
+// the writer finishes, so the writer unblocks with a recognizable
+// cause.
+var errPutAborted = errors.New("netstore: put request aborted")
+
+// Client speaks the netstore protocol against one base URL.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the server at baseURL (scheme and
+// host, e.g. "http://ckpt-host:9120"; any path prefix is kept). A nil
+// httpClient uses http.DefaultClient.
+func NewClient(baseURL string, httpClient *http.Client) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("netstore: parsing base URL: %w", err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("netstore: base URL %q: scheme must be http or https", baseURL)
+	}
+	if u.Host == "" {
+		return nil, fmt.Errorf("netstore: base URL %q: missing host", baseURL)
+	}
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(u.String(), "/"), hc: httpClient}, nil
+}
+
+// BaseURL returns the server base URL the client talks to.
+func (c *Client) BaseURL() string { return c.base }
+
+func (c *Client) imageURL(name string) string {
+	return c.base + routePrefix + "/" + url.PathEscape(name)
+}
+
+// fail classifies a request that produced no HTTP response: the
+// caller's own cancellation surfaces as the context error (never
+// retried), anything else as a retryable TransportError.
+func (c *Client) fail(ctx context.Context, op, name string, err error) error {
+	if cerr := ctx.Err(); cerr != nil {
+		return fmt.Errorf("netstore: %s %q: %w", op, name, cerr)
+	}
+	return &TransportError{Op: op, Name: name, Err: err}
+}
+
+// statusErr drains and closes a non-success response into a
+// StatusError (or ErrNotFound for a 404).
+func statusErr(op, name string, resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return &StatusError{Op: op, Name: name, Code: resp.StatusCode, Body: string(body)}
+}
+
+// Get opens the named image as a stream.
+func (c *Client) Get(ctx context.Context, name string) (io.ReadCloser, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.imageURL(name), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, c.fail(ctx, "get", name, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, statusErr("get", name, resp)
+	}
+	return resp.Body, nil
+}
+
+// Put streams the image produced by write to the server under name.
+// The atomicity contract is the server-side store's: the body streams
+// as write produces it, and the server publishes all-or-nothing. If
+// write itself fails, its error is returned verbatim (so the caller
+// can classify pipeline errors, not wrapped transport ones).
+func (c *Client) Put(ctx context.Context, name string, write func(io.Writer) error) error {
+	pr, pw := io.Pipe()
+	done := make(chan error, 1)
+	go func() {
+		err := write(pw)
+		pw.CloseWithError(err)
+		done <- err
+	}()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.imageURL(name), pr)
+	if err != nil {
+		pr.CloseWithError(errPutAborted)
+		<-done
+		return err
+	}
+	resp, derr := c.hc.Do(req)
+	// If the request died before consuming the body (connection refused,
+	// reset mid-stream), unblock the writer; harmless when the pipe is
+	// already closed.
+	pr.CloseWithError(errPutAborted)
+	werr := <-done
+	// The write func's own failures take priority over the transport
+	// fallout they cause — but errors *we* caused by tearing the pipe
+	// down (our abort marker, or the transport closing the request body
+	// after a failed Do) are fallout, not pipeline errors.
+	if werr != nil && !errors.Is(werr, errPutAborted) && !errors.Is(werr, io.ErrClosedPipe) {
+		// The image pipeline itself failed; that error — not the
+		// transport fallout it caused — is the one to report.
+		if derr == nil {
+			resp.Body.Close()
+		}
+		return werr
+	}
+	if derr != nil {
+		return c.fail(ctx, "put", name, derr)
+	}
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK &&
+		resp.StatusCode != http.StatusNoContent {
+		return statusErr("put", name, resp)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return nil
+}
+
+// List returns the server's image names in lexical order.
+func (c *Client) List(ctx context.Context) ([]string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+routePrefix, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, c.fail(ctx, "list", "", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, statusErr("list", "", resp)
+	}
+	defer resp.Body.Close()
+	var names []string
+	if err := json.NewDecoder(resp.Body).Decode(&names); err != nil {
+		return nil, &TransportError{Op: "list", Err: fmt.Errorf("decoding response: %w", err)}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Delete removes the named image on the server.
+func (c *Client) Delete(ctx context.Context, name string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.imageURL(name), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return c.fail(ctx, "delete", name, err)
+	}
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		return statusErr("delete", name, resp)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return nil
+}
+
+// GetAt opens the named image for random access: one HEAD resolves the
+// size, then every ReadAt issues an independent Range request, so
+// concurrent shard faults across a lazy restart each fetch exactly the
+// bytes they need.
+func (c *Client) GetAt(ctx context.Context, name string) (ReaderAtCloser, int64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodHead, c.imageURL(name), nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, 0, c.fail(ctx, "stat", name, err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		return nil, 0, fmt.Errorf("%w: %q", ErrNotFound, name)
+	default:
+		return nil, 0, &StatusError{Op: "stat", Name: name, Code: resp.StatusCode}
+	}
+	if resp.ContentLength < 0 {
+		return nil, 0, &TransportError{Op: "stat", Name: name,
+			Err: errors.New("server reported no Content-Length")}
+	}
+	return &rangeReader{c: c, ctx: ctx, name: name, size: resp.ContentLength}, resp.ContentLength, nil
+}
+
+// rangeReader is the ReaderAtCloser behind Client.GetAt. The context
+// captured at GetAt time governs every ReadAt — matching the store
+// contract, where the handle lives within the operation (a restart)
+// that opened it. Safe for concurrent ReadAt.
+type rangeReader struct {
+	c    *Client
+	ctx  context.Context
+	name string
+	size int64
+}
+
+func (r *rangeReader) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("netstore: %q: negative read offset %d", r.name, off)
+	}
+	if off >= r.size {
+		return 0, io.EOF
+	}
+	short := false
+	if max := r.size - off; int64(len(p)) > max {
+		p, short = p[:max], true
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	req, err := http.NewRequestWithContext(r.ctx, http.MethodGet, r.c.imageURL(r.name), nil)
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Range", fmt.Sprintf("bytes=%d-%d", off, off+int64(len(p))-1))
+	resp, err := r.c.hc.Do(req)
+	if err != nil {
+		return 0, r.c.fail(r.ctx, "read", r.name, err)
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	switch resp.StatusCode {
+	case http.StatusPartialContent:
+	case http.StatusOK:
+		// A server without Range support replays the whole image; take
+		// the slice we asked for.
+		if _, err := io.CopyN(io.Discard, resp.Body, off); err != nil {
+			return 0, r.c.fail(r.ctx, "read", r.name, err)
+		}
+	default:
+		return 0, statusErr("read", r.name, resp)
+	}
+	n, err := io.ReadFull(resp.Body, p)
+	if err != nil {
+		return n, r.c.fail(r.ctx, "read", r.name, err)
+	}
+	if short {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (r *rangeReader) Close() error { return nil }

@@ -167,6 +167,10 @@ func (s *Session) RestartAsync(ctx context.Context, store Store, name string) (*
 		return failOpen(fmt.Errorf("%w: resume before restarting", ErrQuiesced))
 	}
 	s.mu.Lock()
+	if s.migrating {
+		s.mu.Unlock()
+		return failOpen(fmt.Errorf("%w: cannot restart", ErrMigrationInFlight))
+	}
 	if s.inflight != nil {
 		s.mu.Unlock()
 		return failOpen(fmt.Errorf("%w: cannot restart", ErrCheckpointInFlight))

@@ -94,6 +94,13 @@ type Session struct {
 	// before discarding the space it serves.
 	lazy *lazyHandle
 
+	// migrating marks a live migration in progress (crac.Migrate).
+	// Guarded by mu. While set, only the migration itself may take
+	// checkpoints — an interleaved user checkpoint would entangle its
+	// delta lineage (and the plugin's single dirty baseline) with the
+	// migration's pre-copy chain — and restarts are refused outright.
+	migrating bool
+
 	// qmu serializes Quiesce/Resume; quiesced is the nesting depth.
 	qmu      sync.Mutex
 	quiesced int
@@ -223,10 +230,20 @@ func (s *Session) RootBlob() []byte { return s.plugin.RootBlob() }
 // baseline). The caller must releaseCheckpoint (for async, the
 // background goroutine does, and the Pending doubles as the token).
 func (s *Session) reserveCheckpoint(name string) (*Pending, error) {
+	return s.reserveCheckpointSlot(name, false)
+}
+
+// reserveCheckpointSlot is reserveCheckpoint with the migration door:
+// while a migration holds the session, only its own rounds (migration
+// == true) may claim the slot.
+func (s *Session) reserveCheckpointSlot(name string, migration bool) (*Pending, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.lib == nil {
 		return nil, ErrSessionClosed
+	}
+	if s.migrating && !migration {
+		return nil, fmt.Errorf("%w: cannot checkpoint", ErrMigrationInFlight)
 	}
 	if s.inflight != nil {
 		if s.inflight.name != "" {
@@ -618,6 +635,12 @@ func (s *Session) restartFromImage(ctx context.Context, img *dmtcp.Image) error 
 		return fmt.Errorf("%w: resume before restarting", ErrQuiesced)
 	}
 	s.mu.Lock()
+	if s.migrating {
+		// A restart mid-migration would discard the very state the
+		// pre-copy rounds are moving.
+		s.mu.Unlock()
+		return fmt.Errorf("%w: cannot restart", ErrMigrationInFlight)
+	}
 	if s.inflight != nil {
 		// A restart discards the address space an overlapped checkpoint
 		// is still reading from; wait the Pending out first.
@@ -736,8 +759,20 @@ func RestoreFrom(ctx context.Context, store Store, name string, opts ...Option) 
 
 // Close tears the session down. It is idempotent: a second Close (or a
 // Close after a failed restart already tore the lower half down) is a
-// no-op.
+// no-op. Closing a quiesced session (a migrated source, say) releases
+// the quiesce first: teardown unmaps the address space, which would
+// otherwise deadlock against the frozen space's write gate.
 func (s *Session) Close() {
+	s.qmu.Lock()
+	if s.quiesced > 0 {
+		s.mu.Lock()
+		space := s.space
+		s.mu.Unlock()
+		s.quiesced = 0
+		space.Thaw()
+		s.rt.ResumeLaunches()
+	}
+	s.qmu.Unlock()
 	s.mu.Lock()
 	lib, helper, lazy := s.lib, s.helper, s.lazy
 	s.lib, s.helper, s.lazy = nil, nil, nil

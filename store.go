@@ -301,11 +301,17 @@ func (s *DirStore) prune(justWritten string) {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), imageExt) {
 			continue
 		}
+		name := strings.TrimSuffix(e.Name(), imageExt)
+		// Quarantined images are forensic artifacts: they neither count
+		// toward Keep nor anchor a lineage closure, and prune never
+		// removes them — Scrub moved them aside, a human removes them.
+		if Quarantined(name) {
+			continue
+		}
 		info, err := e.Info()
 		if err != nil {
 			continue // raced with a concurrent delete
 		}
-		name := strings.TrimSuffix(e.Name(), imageExt)
 		if name == justWritten {
 			justInfo = info
 		}
@@ -428,7 +434,15 @@ func (s *DirStore) List(ctx context.Context) ([]string, error) {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), imageExt) {
 			continue
 		}
-		names = append(names, strings.TrimSuffix(e.Name(), imageExt))
+		name := strings.TrimSuffix(e.Name(), imageExt)
+		// Images Scrub quarantined are dead to the store: chain
+		// resolution, retention, and re-scrubs must never consider them
+		// live. They stay on disk (Get by exact name still works) for
+		// forensics only.
+		if Quarantined(name) {
+			continue
+		}
+		names = append(names, name)
 	}
 	sort.Strings(names)
 	return names, nil

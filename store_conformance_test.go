@@ -1,0 +1,292 @@
+package crac
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net/http/httptest"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/faults"
+)
+
+// storeFixture builds one Store implementation for the shared
+// conformance suite. single marks one-slot stores (FileStore), whose
+// List reports a fixed name and whose every Put lands in the same
+// place.
+type storeFixture struct {
+	name   string
+	single bool
+	build  func(t *testing.T) Store
+}
+
+// conformanceFixtures covers every Store the package ships: the local
+// file-backed pair, the in-memory store, the fault-injecting wrapper
+// (with no faults armed — it must be transparent), the retry wrapper,
+// and the HTTP client/server pair over a real loopback listener.
+func conformanceFixtures() []storeFixture {
+	return []storeFixture{
+		{name: "FileStore", single: true, build: func(t *testing.T) Store {
+			return NewFileStore(filepath.Join(t.TempDir(), "slot.img"), WithNoSync())
+		}},
+		{name: "DirStore", build: func(t *testing.T) Store {
+			s, err := NewDirStore(t.TempDir(), 0, WithNoSync())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}},
+		{name: "MemStore", build: func(t *testing.T) Store {
+			return NewMemStore()
+		}},
+		{name: "FaultStore", build: func(t *testing.T) Store {
+			// No faults armed: the wrapper must behave exactly like the
+			// store it wraps.
+			return NewFaultStore(NewMemStore(), faults.New(faults.Config{}))
+		}},
+		{name: "RetryStore", build: func(t *testing.T) Store {
+			return WithRetry(NewMemStore(), DefaultRetryPolicy())
+		}},
+		{name: "HTTPStore", build: func(t *testing.T) Store {
+			srv := httptest.NewServer(ServeStore(NewMemStore()))
+			t.Cleanup(srv.Close)
+			s, err := NewHTTPStore(srv.URL)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}},
+	}
+}
+
+// TestStoreConformance runs every Store implementation through the
+// same contract: Put atomicity, round-trips, overwrite, missing-name
+// errors, List ordering, ranged GetAt reads, and context cancellation.
+func TestStoreConformance(t *testing.T) {
+	for _, fx := range conformanceFixtures() {
+		t.Run(fx.name, func(t *testing.T) {
+			t.Run("RoundTrip", func(t *testing.T) { conformRoundTrip(t, fx) })
+			t.Run("PutAtomic", func(t *testing.T) { conformPutAtomic(t, fx) })
+			t.Run("Missing", func(t *testing.T) { conformMissing(t, fx) })
+			t.Run("List", func(t *testing.T) { conformList(t, fx) })
+			t.Run("GetAt", func(t *testing.T) { conformGetAt(t, fx) })
+			t.Run("Cancelled", func(t *testing.T) { conformCancelled(t, fx) })
+		})
+	}
+}
+
+func conformPut(t *testing.T, s Store, name string, data []byte) {
+	t.Helper()
+	if err := s.Put(context.Background(), name, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	}); err != nil {
+		t.Fatalf("Put(%q): %v", name, err)
+	}
+}
+
+func conformGet(t *testing.T, s Store, name string) []byte {
+	t.Helper()
+	rc, err := s.Get(context.Background(), name)
+	if err != nil {
+		t.Fatalf("Get(%q): %v", name, err)
+	}
+	defer rc.Close()
+	data, err := io.ReadAll(rc)
+	if err != nil {
+		t.Fatalf("reading %q: %v", name, err)
+	}
+	return data
+}
+
+func conformRoundTrip(t *testing.T, fx storeFixture) {
+	s := fx.build(t)
+	want := bytes.Repeat([]byte("roundtrip"), 1000)
+	conformPut(t, s, "img", want)
+	if got := conformGet(t, s, "img"); !bytes.Equal(got, want) {
+		t.Fatalf("round trip: got %d bytes, want %d", len(got), len(want))
+	}
+	// Overwrite replaces, never appends.
+	conformPut(t, s, "img", []byte("v2"))
+	if got := conformGet(t, s, "img"); string(got) != "v2" {
+		t.Fatalf("after overwrite: %q, want %q", got, "v2")
+	}
+	if err := s.Delete(context.Background(), "img"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, err := s.Get(context.Background(), "img"); !errors.Is(err, ErrImageNotFound) {
+		t.Fatalf("Get after Delete = %v, want ErrImageNotFound", err)
+	}
+}
+
+func conformPutAtomic(t *testing.T, fx storeFixture) {
+	s := fx.build(t)
+	conformPut(t, s, "img", []byte("intact"))
+	boom := errors.New("pipeline failure")
+	err := s.Put(context.Background(), "img", func(w io.Writer) error {
+		w.Write(bytes.Repeat([]byte("torn"), 4096))
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("failed Put = %v, want the write error back", err)
+	}
+	// All-or-nothing: the failed write neither replaced nor destroyed
+	// the previous image.
+	if got := conformGet(t, s, "img"); string(got) != "intact" {
+		t.Fatalf("after failed Put: %q, want previous image intact", got)
+	}
+	// A failed first write publishes nothing.
+	s2 := fx.build(t)
+	if err := s2.Put(context.Background(), "fresh", func(w io.Writer) error {
+		return boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("failed Put = %v, want the write error back", err)
+	}
+	if _, err := s2.Get(context.Background(), "fresh"); !errors.Is(err, ErrImageNotFound) {
+		t.Fatalf("Get after failed Put = %v, want ErrImageNotFound", err)
+	}
+}
+
+func conformMissing(t *testing.T, fx storeFixture) {
+	s := fx.build(t)
+	if _, err := s.Get(context.Background(), "absent"); !errors.Is(err, ErrImageNotFound) {
+		t.Fatalf("Get(absent) = %v, want ErrImageNotFound", err)
+	}
+	if err := s.Delete(context.Background(), "absent"); !errors.Is(err, ErrImageNotFound) {
+		t.Fatalf("Delete(absent) = %v, want ErrImageNotFound", err)
+	}
+	if ra, ok := s.(RandomAccessStore); ok {
+		if _, _, err := ra.GetAt(context.Background(), "absent"); !errors.Is(err, ErrImageNotFound) {
+			t.Fatalf("GetAt(absent) = %v, want ErrImageNotFound", err)
+		}
+	}
+	// Missing-image errors are deterministic, not transient: retrying
+	// them would never help.
+	if _, err := s.Get(context.Background(), "absent"); Transient(err) {
+		t.Fatalf("Get(absent) classified transient: %v", err)
+	}
+}
+
+func conformList(t *testing.T, fx storeFixture) {
+	s := fx.build(t)
+	names, err := s.List(context.Background())
+	if err != nil {
+		t.Fatalf("List on empty store: %v", err)
+	}
+	if len(names) != 0 {
+		t.Fatalf("List on empty store = %v", names)
+	}
+	if fx.single {
+		conformPut(t, s, "only", []byte("x"))
+		names, err := s.List(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(names) != 1 {
+			t.Fatalf("single-slot List = %v, want one name", names)
+		}
+		return
+	}
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		conformPut(t, s, n, []byte(n))
+	}
+	names, err = s.List(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("List = %v, want lexical order", names)
+	}
+	if len(names) != 3 || names[0] != "alpha" || names[1] != "mid" || names[2] != "zeta" {
+		t.Fatalf("List = %v, want [alpha mid zeta]", names)
+	}
+}
+
+func conformGetAt(t *testing.T, fx storeFixture) {
+	s := fx.build(t)
+	ra, ok := s.(RandomAccessStore)
+	if !ok {
+		t.Skipf("%s does not implement RandomAccessStore", fx.name)
+	}
+	data := make([]byte, 100_003) // odd size: exercises the tail read
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	conformPut(t, s, "img", data)
+	src, size, err := ra.GetAt(context.Background(), "img")
+	if err != nil {
+		t.Fatalf("GetAt: %v", err)
+	}
+	defer src.Close()
+	if size != int64(len(data)) {
+		t.Fatalf("GetAt size = %d, want %d", size, len(data))
+	}
+	reads := []struct{ off, n int }{
+		{0, 16},               // head
+		{50_000, 4096},        // middle
+		{len(data) - 17, 17},  // exact tail
+		{len(data) - 100, 99}, // short of the tail
+	}
+	for _, r := range reads {
+		buf := make([]byte, r.n)
+		n, err := src.ReadAt(buf, int64(r.off))
+		if err != nil && err != io.EOF {
+			t.Fatalf("ReadAt(%d+%d): %v", r.off, r.n, err)
+		}
+		if n != r.n || !bytes.Equal(buf[:n], data[r.off:r.off+r.n]) {
+			t.Fatalf("ReadAt(%d+%d): wrong bytes (n=%d)", r.off, r.n, n)
+		}
+	}
+	// Reads at or past EOF report io.EOF, not an error.
+	if _, err := src.ReadAt(make([]byte, 8), size); err != io.EOF {
+		t.Fatalf("ReadAt(EOF) = %v, want io.EOF", err)
+	}
+	// A read straddling EOF returns the available bytes with io.EOF.
+	buf := make([]byte, 64)
+	n, err := src.ReadAt(buf, size-10)
+	if n != 10 || err != io.EOF {
+		t.Fatalf("ReadAt straddling EOF = (%d, %v), want (10, io.EOF)", n, err)
+	}
+	if !bytes.Equal(buf[:10], data[len(data)-10:]) {
+		t.Fatal("ReadAt straddling EOF: wrong tail bytes")
+	}
+}
+
+func conformCancelled(t *testing.T, fx storeFixture) {
+	s := fx.build(t)
+	conformPut(t, s, "img", []byte("x"))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ops := map[string]func() error{
+		"Put": func() error {
+			return s.Put(ctx, "c", func(w io.Writer) error { _, err := w.Write([]byte("y")); return err })
+		},
+		"Get": func() error {
+			rc, err := s.Get(ctx, "img")
+			if err == nil {
+				rc.Close()
+			}
+			return err
+		},
+		"List":   func() error { _, err := s.List(ctx); return err },
+		"Delete": func() error { return s.Delete(ctx, "img") },
+	}
+	for name, op := range ops {
+		err := op()
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s with cancelled ctx = %v, want context.Canceled", name, err)
+		}
+		// Cancellation is the caller's own doing — never transient, or a
+		// retry policy would keep hammering an abandoned operation.
+		if Transient(err) {
+			t.Errorf("%s cancellation classified transient: %v", name, err)
+		}
+	}
+	// The store stays usable after cancelled calls.
+	if got := conformGet(t, s, "img"); string(got) != "x" {
+		t.Fatalf("after cancelled ops: %q, want %q", got, "x")
+	}
+}

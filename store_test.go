@@ -222,6 +222,50 @@ func TestDirStoreListSorted(t *testing.T) {
 	}
 }
 
+// TestDirStoreQuarantineDead pins that images Scrub moved aside are
+// dead to the store: List hides them (so chain resolution and a
+// re-scrub never consider them live), retention neither counts them
+// toward Keep nor removes them, and their bytes stay fetchable by
+// exact name for forensics.
+func TestDirStoreQuarantineDead(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	s, err := NewDirStore(dir, 2, WithNoSync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	storePutBytes(t, s, "bad~quarantined", []byte("forensics"))
+	// Oldest mtime: a live image this stale would be pruned first.
+	old := time.Now().Add(-time.Hour)
+	os.Chtimes(filepath.Join(dir, "bad~quarantined.img"), old, old)
+	for i := 0; i < 3; i++ {
+		storePutBytes(t, s, fmt.Sprintf("gen%d", i), []byte{byte(i)})
+		tm := time.Now().Add(time.Duration(i-3) * time.Second)
+		os.Chtimes(filepath.Join(dir, fmt.Sprintf("gen%d.img", i)), tm, tm)
+	}
+	storePutBytes(t, s, "gen3", []byte{3})
+
+	names, err := s.List(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range names {
+		if Quarantined(n) {
+			t.Fatalf("List = %v: quarantined image listed as live", names)
+		}
+	}
+	// Keep=2 retains the two newest live images; the quarantined file
+	// neither displaced a live slot nor got pruned itself.
+	if len(names) != 2 || names[0] != "gen2" || names[1] != "gen3" {
+		t.Fatalf("List = %v, want [gen2 gen3]", names)
+	}
+	rc, err := s.Get(ctx, "bad~quarantined")
+	if err != nil {
+		t.Fatalf("quarantined bytes pruned: %v", err)
+	}
+	rc.Close()
+}
+
 // TestDirStoreChainAwareRetention pins that Keep never orphans an
 // incremental chain: ancestors of retained delta images survive
 // retention even when they fall outside the Keep-newest window, and a
