@@ -64,6 +64,9 @@ func BenchmarkAblationDesignChoices(b *testing.B)  { runExperiment(b, "ablations
 // Beyond the paper: live-migration downtime vs stop-copy-restart.
 func BenchmarkMigrate(b *testing.B) { runExperiment(b, "migrate") }
 
+// Beyond the paper: content-addressed dedup, stored bytes plain vs CAS.
+func BenchmarkDedup(b *testing.B) { runExperiment(b, "dedup") }
+
 // Microbenchmarks of the primitives.
 
 // benchSession builds a CRAC session with a registered kernel module and

@@ -17,6 +17,8 @@
 //	cracinspect -log image.img     # include the full call log
 //	cracinspect -verify image.img  # integrity-check and report
 //	cracinspect http://ckpt-host:9120/gen042   # image "gen042" on a netstore server
+//	cracinspect -dedup ./checkpoints           # dedup report over a whole store
+//	cracinspect -dedup http://ckpt-host:9120   # same, across the wire
 package main
 
 import (
@@ -46,6 +48,52 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// runDedup prints the content-addressed storage report for a whole
+// store: unique vs referenced chunk bytes, the dedup ratio, and the
+// chain depth of every lineage it holds.
+func runDedup(ctx context.Context, arg string, stdout, stderr io.Writer) int {
+	var store crac.Store
+	if strings.HasPrefix(arg, "http://") || strings.HasPrefix(arg, "https://") {
+		hs, err := crac.NewHTTPStore(arg)
+		if err != nil {
+			fmt.Fprintln(stderr, "cracinspect:", err)
+			return 1
+		}
+		store = hs
+	} else {
+		ds, err := crac.NewDirStore(arg, 0)
+		if err != nil {
+			fmt.Fprintln(stderr, "cracinspect:", err)
+			return 1
+		}
+		store = ds
+	}
+	st, err := crac.DedupReport(ctx, store)
+	if err != nil {
+		fmt.Fprintln(stderr, "cracinspect: dedup:", err)
+		return 1
+	}
+	mb := func(b uint64) float64 { return float64(b) / (1 << 20) }
+	fmt.Fprintf(stdout, "CRAC store dedup report: %s\n", arg)
+	fmt.Fprintf(stdout, "  images: %d (%d content-addressed manifests)\n", st.Images, st.Manifests)
+	fmt.Fprintf(stdout, "  chunks: %d unique, %d references, %d orphaned (pending GC)\n",
+		st.Chunks, st.ChunkRefs, st.Orphans)
+	fmt.Fprintf(stdout, "  bytes:  %.2f MB referenced -> %.2f MB stored (+%.2f MB inline metadata)\n",
+		mb(st.ReferencedChunkBytes), mb(st.UniqueChunkBytes), mb(st.InlineBytes))
+	if r := st.Ratio(); r > 0 {
+		fmt.Fprintf(stdout, "  dedup ratio: %.2fx\n", r)
+	} else {
+		fmt.Fprintln(stdout, "  dedup ratio: n/a (no content-addressed chunks in this store)")
+	}
+	if len(st.Lineages) > 0 {
+		fmt.Fprintln(stdout, "  lineages:")
+		for _, l := range st.Lineages {
+			fmt.Fprintf(stdout, "    %-24s chain depth %d\n", l.Tip, l.Depth)
+		}
+	}
+	return 0
+}
+
 // run is the whole program behind main, split out so tests can drive
 // the binary in-process.
 func run(args []string, stdout, stderr io.Writer) int {
@@ -53,6 +101,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	showLog := fs.Bool("log", false, "dump every call-log entry")
 	verify := fs.Bool("verify", false, "integrity-check the image (trailer, shard hashes, log)")
+	dedup := fs.Bool("dedup", false, "report content-addressed dedup for a whole store (argument: store dir or base URL)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -61,10 +110,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if fs.NArg() != 1 {
 		fmt.Fprintln(stderr, "usage: cracinspect [-log] [-verify] <image-file | http(s)://host[:port]/image>")
+		fmt.Fprintln(stderr, "       cracinspect -dedup <store-dir | http(s)://host[:port]>")
 		return 2
 	}
 	ctx := context.Background()
 	arg := fs.Arg(0)
+	if *dedup {
+		return runDedup(ctx, arg, stdout, stderr)
+	}
 	var (
 		img   *crac.Image
 		err   error

@@ -176,6 +176,38 @@
 // failures classify through Transient, so WithRetry composes around
 // an HTTP store; cmd/cracmigrate packages both roles as a CLI.
 //
+// # Content-addressed storage and compaction
+//
+// NewCASStore wraps any Store with chunk-level deduplication: images
+// become small manifests, shard payloads are stored once per unique
+// content (SHA-256 keyed), and identical state across generations,
+// sessions, and fleets is stored — and, over an HTTP destination that
+// answers the batch-exists probe, transferred — only once:
+//
+//	cs := crac.NewCASStore(backing)          // any Store, local or HTTP
+//	_, err := s.CheckpointTo(ctx, cs, "gen042") // manifest + novel chunks
+//	...
+//	rep, err := crac.DedupReport(ctx, cs)    // cracinspect -dedup
+//	fmt.Printf("%.1fx dedup over %d chunks\n", rep.Ratio(), rep.Chunks)
+//	_, err = cs.GC(ctx)                      // sweep unreferenced chunks
+//
+// Reads reconstruct the original bytes exactly (lazy restart's random
+// access included), List hides the chunk namespace, and GC never
+// touches a chunk a live manifest references.
+//
+// Compact squashes a delta chain's base + k deltas into one
+// self-contained base from stored bytes alone — no session, no
+// quiesce, safe while the writing session keeps checkpointing — then
+// deletes the squashed ancestors no other lineage needs:
+//
+//	st, err := crac.Compact(ctx, store, "gen042")
+//	fmt.Println("depth", st.Depth, "freed", st.Deleted)
+//
+// The compacted tip restores byte-identically to the chain it
+// replaced and keeps the identity live deltas bind to.
+// SupervisorConfig.CompactAfter runs it automatically whenever the
+// chain depth reaches the bound.
+//
 // # Fault tolerance
 //
 // Every v2/v3 image ends in a whole-image checksum trailer, checked as

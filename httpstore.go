@@ -119,9 +119,18 @@ func (s *HTTPStore) GetAt(ctx context.Context, name string) (ReaderAtCloser, int
 	return src, size, nil
 }
 
+// ExistsBatch implements BatchExister in one round trip, so a CASStore
+// layered over an HTTPStore skips uploading chunks the remote side
+// already holds. Older servers without the endpoint are handled by the
+// client (it falls back to a List).
+func (s *HTTPStore) ExistsBatch(ctx context.Context, names []string) (map[string]bool, error) {
+	return s.c.ExistsBatch(ctx, names)
+}
+
 var (
 	_ Store             = (*HTTPStore)(nil)
 	_ RandomAccessStore = (*HTTPStore)(nil)
+	_ BatchExister      = (*HTTPStore)(nil)
 )
 
 // ServeStore exposes store over HTTP as an http.Handler speaking the
@@ -141,6 +150,17 @@ func ServeStore(store Store) http.Handler {
 		},
 		GetAt: func(ctx context.Context, name string) (netstore.ReaderAtCloser, int64, error) {
 			return openImageAt(ctx, store, name)
+		},
+		Exists: func(ctx context.Context, name string) (bool, error) {
+			rc, err := store.Get(ctx, name)
+			if err != nil {
+				if errors.Is(err, ErrImageNotFound) {
+					return false, nil
+				}
+				return false, err
+			}
+			rc.Close()
+			return true, nil
 		},
 	}
 	return netstore.NewHandler(b)

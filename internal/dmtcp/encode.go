@@ -1,0 +1,174 @@
+package dmtcp
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// ShardSize returns the shard grid the image was written with (0 when
+// unknown, e.g. an image assembled in memory).
+func (d *DeltaInfo) ShardSize() int { return d.shardSize }
+
+// EncodeBase serializes a fully materialized image as a standalone v3
+// base image under the caller-chosen identity id. It is the write half
+// of chain compaction: ResolveChain materializes `base + k deltas`
+// from stored bytes alone, and EncodeBase re-emits the result as a new
+// base that keeps the old tip's identity — so deltas already recorded
+// against the tip (parentID == id) still verify and apply against the
+// compacted base, and the running session never pauses.
+//
+// The image must be complete (a base, or a delta after
+// ApplyDelta/ResolveChain); shards flow through the same worker
+// pipeline as live checkpoints, so output is byte-deterministic for
+// any worker count. The engine's Gzip/ShardSize settings choose the
+// output encoding; callers compacting an existing chain should mirror
+// the chain's shard size so later deltas keep addressing the same
+// grid.
+func (e *Engine) EncodeBase(ctx context.Context, w io.Writer, img *Image, id uint64) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if img == nil {
+		return fmt.Errorf("%w: EncodeBase on a nil image", ErrBadImage)
+	}
+	if img.Delta != nil && !img.Delta.Materialized {
+		return fmt.Errorf("%w: EncodeBase needs a materialized image", ErrDeltaChain)
+	}
+	if err := img.VerifyContent(); err != nil {
+		return err
+	}
+	tw := newTrailerWriter(w)
+	bw := bufio.NewWriterSize(tw, 256<<10)
+	if err := e.encodeBaseBody(ctx, bw, img, id); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return tw.Finish()
+}
+
+// encodeBaseBody writes the v3 header tables and every shard of the
+// materialized image, mirroring writeImageV3's base layout exactly.
+func (e *Engine) encodeBaseBody(ctx context.Context, w io.Writer, img *Image, id uint64) error {
+	shard := e.shardSize()
+	sections := img.Sections
+	if sections == nil {
+		sections = NewSectionMap()
+	}
+	names := sections.Names()
+
+	if _, err := w.Write(imageMagicV3[:]); err != nil {
+		return err
+	}
+	var flags [4]byte
+	if e.Gzip {
+		flags[0] |= 1
+	}
+	if _, err := w.Write(flags[:]); err != nil {
+		return err
+	}
+	if err := writeString(w, ""); err != nil { // a base names no parent
+		return err
+	}
+	var u32 [4]byte
+	var u64b [8]byte
+	binary32 := func(v uint32) error {
+		binary.LittleEndian.PutUint32(u32[:], v)
+		_, err := w.Write(u32[:])
+		return err
+	}
+	binary64 := func(v uint64) error {
+		binary.LittleEndian.PutUint64(u64b[:], v)
+		_, err := w.Write(u64b[:])
+		return err
+	}
+	if err := binary32(0); err != nil { // depth 0
+		return err
+	}
+	if err := binary64(id); err != nil { // preserved identity
+		return err
+	}
+	if err := binary64(0); err != nil { // no parent id
+		return err
+	}
+
+	if err := binary32(uint32(len(img.Regions))); err != nil {
+		return err
+	}
+	for i := range img.Regions {
+		rd := &img.Regions[i]
+		if err := binary64(rd.Start); err != nil {
+			return err
+		}
+		if err := binary64(rd.Len); err != nil {
+			return err
+		}
+		if _, err := w.Write([]byte{byte(rd.Prot)}); err != nil {
+			return err
+		}
+		if err := writeString(w, rd.Label); err != nil {
+			return err
+		}
+	}
+	if err := binary32(uint32(len(names))); err != nil {
+		return err
+	}
+	for _, name := range names {
+		data, _ := sections.Get(name)
+		if err := writeString(w, name); err != nil {
+			return err
+		}
+		if err := binary64(uint64(len(data))); err != nil {
+			return err
+		}
+		var sf byte
+		if sections.Opaque(name) {
+			sf |= 1
+		}
+		if _, err := w.Write([]byte{sf}); err != nil {
+			return err
+		}
+	}
+	if err := binary32(uint32(shard)); err != nil {
+		return err
+	}
+
+	// Shard plan: every shard of every span, in layout order, all
+	// sourced from the materialized payload (no address-space view).
+	var jobs []shardJob
+	spanIdx := uint32(0)
+	for i := range img.Regions {
+		rd := &img.Regions[i]
+		data := rd.Data
+		for off := 0; off < len(data); off += shard {
+			n := len(data) - off
+			if n > shard {
+				n = shard
+			}
+			jobs = append(jobs, shardJob{src: data[off : off+n], rawLen: n,
+				v3: true, spanIdx: spanIdx, spanOff: uint64(off), done: make(chan struct{})})
+		}
+		spanIdx++
+	}
+	for _, name := range names {
+		data, _ := sections.Get(name)
+		for off := 0; off < len(data); off += shard {
+			n := len(data) - off
+			if n > shard {
+				n = shard
+			}
+			jobs = append(jobs, shardJob{src: data[off : off+n], rawLen: n,
+				v3: true, spanIdx: spanIdx, spanOff: uint64(off), done: make(chan struct{})})
+		}
+		spanIdx++
+	}
+	if err := binary32(uint32(len(jobs))); err != nil {
+		return err
+	}
+	// Every job carries src, so the nil view is never dereferenced.
+	return e.runWritePipeline(ctx, w, nil, jobs)
+}

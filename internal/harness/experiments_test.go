@@ -11,7 +11,7 @@ import (
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"table2", "fig2", "fig3", "fig6", "table1", "fig4a", "fig4b",
 		"fig5a", "fig5b", "fig5c", "table3", "intro", "ablations", "pause", "restart",
-		"faults", "migrate"}
+		"faults", "migrate", "dedup"}
 	have := make(map[string]bool)
 	for _, e := range All() {
 		have[e.ID] = true

@@ -12,10 +12,15 @@
 //	HEAD   /v1/images/{name}     image size (Content-Length)
 //	PUT    /v1/images/{name}     store an image (streamed request body)
 //	DELETE /v1/images/{name}     remove an image
+//	POST   /v1/exists            batch existence check (JSON array in,
+//	                             JSON array of the present subset out)
 //
 // Range support on GET is what lets a lazy restart's shard index fault
 // individual shards across the wire instead of downloading whole
-// images.
+// images. The batch-exists endpoint is what makes replication
+// delta-aware: a content-addressed sender asks once which chunk keys
+// the destination already holds and ships only the rest, so migration
+// pre-copy rounds and supervisor uploads skip bytes the far side has.
 //
 // Error classification matters more than the protocol here: every
 // client failure is either a *StatusError (the server answered, with
@@ -26,6 +31,7 @@
 package netstore
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -35,12 +41,21 @@ import (
 	"net/url"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 )
 
 // routePrefix roots every image route; bump it if the wire protocol
 // ever changes incompatibly.
 const routePrefix = "/v1/images"
+
+// existsRoute is the batch existence-check endpoint.
+const existsRoute = "/v1/exists"
+
+// maxExistsBatch bounds one batch-exists request, matching the image
+// decoder's item-count philosophy: generous for real use, small enough
+// that a hostile request cannot balloon server memory.
+const maxExistsBatch = 1 << 16
 
 // ErrNotFound reports a name with no image on the server. It is never
 // transient: retrying a lookup for an image that is not there will not
@@ -66,6 +81,9 @@ type Backend struct {
 	List       func(ctx context.Context) ([]string, error)
 	Delete     func(ctx context.Context, name string) error
 	IsNotFound func(err error) bool
+	// Exists is optional; without it, batch-exists requests fall back
+	// to one List and a set intersection.
+	Exists func(ctx context.Context, name string) (bool, error)
 }
 
 // NewHandler serves b over the netstore protocol.
@@ -77,6 +95,7 @@ func NewHandler(b Backend) http.Handler {
 	mux.HandleFunc("HEAD "+routePrefix+"/{name}", h.get)
 	mux.HandleFunc("PUT "+routePrefix+"/{name}", h.put)
 	mux.HandleFunc("DELETE "+routePrefix+"/{name}", h.delete)
+	mux.HandleFunc("POST "+existsRoute, h.exists)
 	return mux
 }
 
@@ -134,10 +153,23 @@ func (h *handler) get(w http.ResponseWriter, r *http.Request) {
 	io.Copy(w, rc)
 }
 
+// putCopyPool recycles the body-staging buffer of PUT requests. A
+// supervisor uploading every few seconds — or a CAS sender streaming
+// hundreds of chunk PUTs per checkpoint — would otherwise allocate a
+// fresh copy buffer per image on the server's hot path.
+var putCopyPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 256<<10)
+		return &b
+	},
+}
+
 func (h *handler) put(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	err := h.b.Put(r.Context(), name, func(dst io.Writer) error {
-		_, cerr := io.Copy(dst, r.Body)
+		bp := putCopyPool.Get().(*[]byte)
+		_, cerr := io.CopyBuffer(struct{ io.Writer }{dst}, struct{ io.Reader }{r.Body}, *bp)
+		putCopyPool.Put(bp)
 		return cerr
 	})
 	if err != nil {
@@ -145,6 +177,51 @@ func (h *handler) put(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.WriteHeader(http.StatusCreated)
+}
+
+// exists answers a batch existence check: a JSON array of names in,
+// the present subset (in request order) out.
+func (h *handler) exists(w http.ResponseWriter, r *http.Request) {
+	var names []string
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<26)).Decode(&names); err != nil {
+		http.Error(w, "netstore: malformed exists request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(names) > maxExistsBatch {
+		http.Error(w, fmt.Sprintf("netstore: exists batch of %d exceeds limit %d",
+			len(names), maxExistsBatch), http.StatusBadRequest)
+		return
+	}
+	present := []string{}
+	if h.b.Exists != nil {
+		for _, n := range names {
+			ok, err := h.b.Exists(r.Context(), n)
+			if err != nil {
+				h.writeErr(w, err)
+				return
+			}
+			if ok {
+				present = append(present, n)
+			}
+		}
+	} else {
+		all, err := h.b.List(r.Context())
+		if err != nil {
+			h.writeErr(w, err)
+			return
+		}
+		have := make(map[string]bool, len(all))
+		for _, n := range all {
+			have[n] = true
+		}
+		for _, n := range names {
+			if have[n] {
+				present = append(present, n)
+			}
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(present)
 }
 
 func (h *handler) delete(w http.ResponseWriter, r *http.Request) {
@@ -348,6 +425,62 @@ func (c *Client) List(ctx context.Context) ([]string, error) {
 	}
 	sort.Strings(names)
 	return names, nil
+}
+
+// ExistsBatch reports which of the named images the server already
+// holds, in one round trip. Names absent from the returned map do not
+// exist server-side. Against a server predating the exists endpoint
+// (404/405/501), it degrades to one List — correct, just not
+// constant-cost in the store size.
+func (c *Client) ExistsBatch(ctx context.Context, names []string) (map[string]bool, error) {
+	have := make(map[string]bool, len(names))
+	if len(names) == 0 {
+		return have, nil
+	}
+	body, err := json.Marshal(names)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+existsRoute, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, c.fail(ctx, "exists", "", err)
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound, http.StatusMethodNotAllowed, http.StatusNotImplemented:
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		all, lerr := c.List(ctx)
+		if lerr != nil {
+			return nil, lerr
+		}
+		onServer := make(map[string]bool, len(all))
+		for _, n := range all {
+			onServer[n] = true
+		}
+		for _, n := range names {
+			if onServer[n] {
+				have[n] = true
+			}
+		}
+		return have, nil
+	default:
+		return nil, statusErr("exists", "", resp)
+	}
+	defer resp.Body.Close()
+	var present []string
+	if err := json.NewDecoder(resp.Body).Decode(&present); err != nil {
+		return nil, &TransportError{Op: "exists", Err: fmt.Errorf("decoding response: %w", err)}
+	}
+	for _, n := range present {
+		have[n] = true
+	}
+	return have, nil
 }
 
 // Delete removes the named image on the server.

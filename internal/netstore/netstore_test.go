@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"sort"
 	"sync"
 	"testing"
@@ -376,5 +377,146 @@ func TestNewClientValidation(t *testing.T) {
 	}
 	if c.BaseURL() != "http://host:9120/prefix" {
 		t.Fatalf("BaseURL = %q, want trailing slash trimmed", c.BaseURL())
+	}
+}
+
+// TestExistsBatch covers the batch existence endpoint end to end: the
+// present subset comes back (and nothing else), an armed Backend.Exists
+// probe is preferred over List, and empty batches cost no request.
+func TestExistsBatch(t *testing.T) {
+	b, c, _ := newPair(t)
+	ctx := context.Background()
+	clientPut(t, c, "held-a", []byte("a"))
+	clientPut(t, c, "held-b", []byte("b"))
+
+	have, err := c.ExistsBatch(ctx, []string{"held-a", "absent", "held-b", "also-absent"})
+	if err != nil {
+		t.Fatalf("ExistsBatch: %v", err)
+	}
+	if len(have) != 2 || !have["held-a"] || !have["held-b"] {
+		t.Fatalf("ExistsBatch = %v, want exactly the two held names", have)
+	}
+	if have["absent"] || have["also-absent"] {
+		t.Fatalf("ExistsBatch reported absent names present: %v", have)
+	}
+
+	// Empty batch: answered locally, no round trip to fail on.
+	cDead, err := NewClient("http://127.0.0.1:1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	have, err = cDead.ExistsBatch(ctx, nil)
+	if err != nil || len(have) != 0 {
+		t.Fatalf("empty ExistsBatch = (%v, %v), want empty map, nil", have, err)
+	}
+
+	// With a dedicated probe the handler must use it, not List.
+	var probed, listed int
+	be := b.backend()
+	innerList := be.List
+	be.List = func(ctx context.Context) ([]string, error) { listed++; return innerList(ctx) }
+	be.Exists = func(ctx context.Context, name string) (bool, error) {
+		probed++
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		_, ok := b.m[name]
+		return ok, nil
+	}
+	srv := httptest.NewServer(NewHandler(be))
+	defer srv.Close()
+	c2, err := NewClient(srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	have, err = c2.ExistsBatch(ctx, []string{"held-a", "absent"})
+	if err != nil {
+		t.Fatalf("ExistsBatch with probe: %v", err)
+	}
+	if len(have) != 1 || !have["held-a"] {
+		t.Fatalf("ExistsBatch with probe = %v", have)
+	}
+	if probed != 2 || listed != 0 {
+		t.Fatalf("probe calls = %d, List calls = %d; want the probe used, List untouched", probed, listed)
+	}
+}
+
+// TestExistsBatchLegacyFallback: against a server predating the exists
+// endpoint the client degrades to one List and still answers correctly.
+func TestExistsBatchLegacyFallback(t *testing.T) {
+	b := newMemBackend()
+	inner := NewHandler(b.backend())
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && r.URL.Path == existsRoute {
+			http.NotFound(w, r) // old server: route absent
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+	c, err := NewClient(srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientPut(t, c, "kept", []byte("x"))
+	have, err := c.ExistsBatch(context.Background(), []string{"kept", "gone"})
+	if err != nil {
+		t.Fatalf("ExistsBatch against legacy server: %v", err)
+	}
+	if len(have) != 1 || !have["kept"] {
+		t.Fatalf("legacy fallback = %v, want {kept:true}", have)
+	}
+}
+
+// TestExistsBatchOversized: a batch beyond the server limit is a hard
+// 400, not a partial answer.
+func TestExistsBatchOversized(t *testing.T) {
+	_, c, _ := newPair(t)
+	names := make([]string, maxExistsBatch+1)
+	for i := range names {
+		names[i] = fmt.Sprintf("n%06d", i)
+	}
+	_, err := c.ExistsBatch(context.Background(), names)
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusBadRequest {
+		t.Fatalf("oversized ExistsBatch = %v, want StatusError 400", err)
+	}
+}
+
+// TestPutCopyPooled is the alloc regression for the server's PUT hot
+// path: the body-staging buffer must come from putCopyPool, not be
+// allocated per request. 32 uploads through an unpooled path allocate
+// ≥ 32 × 256 KiB = 8 MB; pooled stays far under that.
+func TestPutCopyPooled(t *testing.T) {
+	h := NewHandler(Backend{
+		Put: func(ctx context.Context, name string, write func(io.Writer) error) error {
+			return write(io.Discard)
+		},
+	})
+	body := bytes.Repeat([]byte("x"), 1<<20)
+	upload := func() {
+		req := httptest.NewRequest(http.MethodPut, "/v1/images/img", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusCreated {
+			t.Fatalf("put status = %d", rec.Code)
+		}
+	}
+	upload() // warm the pool
+	var best uint64
+	for round := 0; round < 5; round++ {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		for i := 0; i < 32; i++ {
+			upload()
+		}
+		runtime.ReadMemStats(&after)
+		d := after.TotalAlloc - before.TotalAlloc
+		if round == 0 || d < best {
+			best = d
+		}
+	}
+	if best > 4<<20 {
+		t.Fatalf("32 uploads allocated %d bytes (best of 5); the PUT copy buffer is not pooled", best)
 	}
 }

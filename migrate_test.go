@@ -12,8 +12,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -594,3 +597,86 @@ func TestFallbackStore(t *testing.T) {
 		t.Fatalf("List = %v, want %v", names, want)
 	}
 }
+
+// TestMigrateDedupSkipsPresentChunks is the transferred-bytes
+// acceptance bound for content-addressed migration: migrating a second,
+// nearly identical session to a destination that already holds the
+// first one's chunks must move a small fraction of the bytes — the
+// pre-copy uploads batch-probe the destination over the wire and skip
+// every chunk it already has.
+func TestMigrateDedupSkipsPresentChunks(t *testing.T) {
+	ctx := context.Background()
+
+	// Real HTTP destination, instrumented: count every byte PUT into
+	// the chunk namespace.
+	var chunkPutBytes atomic.Int64
+	backend := ServeStore(NewMemStore())
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPut && strings.Contains(r.URL.Path, "/cas-") {
+			r.Body = countingBody{rc: r.Body, n: &chunkPutBytes}
+		}
+		backend.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	migrateOne := func(prefix string) *Migration {
+		s, err := New(WithShardSize(64 << 10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+		w := migrateWorkload(t, s)
+		for r := 0; r < 3; r++ {
+			w.step(t, r)
+		}
+		// A fresh client per migration: the CAS present-cache starts
+		// cold, so skipping re-uploads requires the batch-exists probe
+		// to actually cross the wire.
+		hs, err := NewHTTPStore(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := NewCASStore(hs)
+		m, err := Migrate(ctx, s, NewMemStore(), dst, WithMigratePrefix(prefix))
+		if err != nil {
+			t.Fatalf("Migrate(%s): %v", prefix, err)
+		}
+		t.Cleanup(func() { m.Dest.Close() })
+		drainMigration(t, m)
+		return m
+	}
+
+	migrateOne("m1")
+	firstBytes := chunkPutBytes.Load()
+	if firstBytes == 0 {
+		t.Fatal("first migration uploaded no chunk bytes — counting middleware is broken")
+	}
+
+	chunkPutBytes.Store(0)
+	m2 := migrateOne("m2")
+	secondBytes := chunkPutBytes.Load()
+	if secondBytes*5 > firstBytes {
+		t.Fatalf("second migration uploaded %d chunk bytes vs %d for the first — dedup skipped less than 5× (%.2fx)",
+			secondBytes, firstBytes, float64(firstBytes)/float64(max(secondBytes, 1)))
+	}
+
+	// The deduplicated destination still activated a real session:
+	// its final cut verifies and its state is live.
+	if _, err := m2.Dest.Runtime().Malloc(4096); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// countingBody counts the bytes read from a request body.
+type countingBody struct {
+	rc io.ReadCloser
+	n  *atomic.Int64
+}
+
+func (c countingBody) Read(p []byte) (int, error) {
+	n, err := c.rc.Read(p)
+	c.n.Add(int64(n))
+	return n, err
+}
+
+func (c countingBody) Close() error { return c.rc.Close() }

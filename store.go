@@ -1,6 +1,7 @@
 package crac
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"fmt"
@@ -13,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cas"
 	"repro/internal/dmtcp"
 )
 
@@ -308,6 +310,13 @@ func (s *DirStore) prune(justWritten string) {
 		if Quarantined(name) {
 			continue
 		}
+		// Content-addressed chunk payloads (a CASStore layered over this
+		// DirStore) are not images: they neither count toward Keep nor
+		// get removed here — only the CAS layer's GC can prove a chunk
+		// unreferenced.
+		if cas.IsChunkName(name) {
+			continue
+		}
 		info, err := e.Info()
 		if err != nil {
 			continue // raced with a concurrent delete
@@ -389,17 +398,31 @@ func (s *DirStore) imageParent(name string, info fs.FileInfo) string {
 		return ""
 	}
 	defer f.Close()
-	meta, err := dmtcp.ReadImageMeta(f)
-	if err != nil {
-		return ""
+	// Lineage lives in the prologue of either encoding: a plain image's
+	// v3 header, or — when a CASStore dedups over this directory — the
+	// manifest's.
+	br := bufio.NewReader(f)
+	var parent string
+	if head, _ := br.Peek(8); cas.IsManifestHeader(head) {
+		m, err := cas.ReadManifestMeta(br)
+		if err != nil {
+			return ""
+		}
+		parent = m.Parent
+	} else {
+		meta, err := dmtcp.ReadImageMeta(br)
+		if err != nil {
+			return ""
+		}
+		parent = meta.Parent
 	}
 	if info != nil {
 		if s.parentCache == nil {
 			s.parentCache = make(map[string]parentCacheEntry)
 		}
-		s.parentCache[name] = parentCacheEntry{parent: meta.Parent, mtime: info.ModTime(), size: info.Size()}
+		s.parentCache[name] = parentCacheEntry{parent: parent, mtime: info.ModTime(), size: info.Size()}
 	}
-	return meta.Parent
+	return parent
 }
 
 // Get implements Store.

@@ -59,6 +59,23 @@ func conformanceFixtures() []storeFixture {
 			}
 			return s
 		}},
+		{name: "CASStore", build: func(t *testing.T) Store {
+			// Content-addressed dedup over a local backing: entries become
+			// manifests + chunks, but the Store contract must be
+			// indistinguishable from the backing alone.
+			return NewCASStore(NewMemStore())
+		}},
+		{name: "CASStore-HTTP", build: func(t *testing.T) Store {
+			// The deployment shape migration uses: dedup against a remote
+			// store, batch-exists across real HTTP.
+			srv := httptest.NewServer(ServeStore(NewMemStore()))
+			t.Cleanup(srv.Close)
+			s, err := NewHTTPStore(srv.URL)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return NewCASStore(s)
+		}},
 	}
 }
 

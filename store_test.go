@@ -325,3 +325,80 @@ func TestDirStoreChainAwareRetention(t *testing.T) {
 		t.Fatalf("old chain not pruned after rotation: %v", names)
 	}
 }
+
+// TestDirStoreRetentionQuarantinedAncestor pins the edge where Scrub
+// quarantines a mid-chain ancestor between two retention passes: the
+// parent walk crosses the hole without crashing or looping, surviving
+// descendants stay retained, the quarantined file itself is never
+// pruned, and content-addressed chunk payloads sharing the directory
+// are invisible to retention.
+func TestDirStoreRetentionQuarantinedAncestor(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	store, err := NewDirStore(dir, 2, WithNoSync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(WithIncremental(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	w := newIncrWorkload(t, s.Runtime())
+	for i := 0; i < 4; i++ {
+		w.step(t, i)
+		if _, err := s.CheckpointTo(ctx, store, fmt.Sprintf("gen%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A chunk payload in the same directory, as a CASStore layered over
+	// this DirStore would leave. Ancient mtime: naive retention would
+	// evict it first.
+	chunkName := "cas-" + strings.Repeat("ab", 32)
+	storePutBytes(t, store, chunkName, []byte("chunk payload"))
+	old := time.Now().Add(-24 * time.Hour)
+	os.Chtimes(filepath.Join(dir, chunkName+".img"), old, old)
+
+	// Scrub quarantines gen1 mid-chain (rename, exactly what Scrub's
+	// move-aside leaves behind): gen2 and gen3 now have a hole in their
+	// recorded ancestry.
+	if err := os.Rename(
+		filepath.Join(dir, "gen1.img"),
+		filepath.Join(dir, "gen1~quarantined.img"),
+	); err != nil {
+		t.Fatal(err)
+	}
+
+	// The next Put triggers retention. Keep=2 retains gen4+gen3; the
+	// closure walks gen3→gen2→gen1: gen1 is quarantined (unreadable by
+	// its live name), so the walk stops there — without error, without
+	// touching the quarantined file, and without dropping gen2.
+	w.step(t, 4)
+	if _, err := s.CheckpointTo(ctx, store, "gen4"); err != nil {
+		t.Fatal(err)
+	}
+	names, err := store.List(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var live []string
+	for _, n := range names {
+		if !strings.HasPrefix(n, "cas-") {
+			live = append(live, n)
+		}
+	}
+	if got := strings.Join(live, ","); got != "gen2,gen3,gen4" {
+		t.Fatalf("List after quarantined-ancestor prune = %v, want [gen2 gen3 gen4]", names)
+	}
+	// The quarantined forensic copy survives, fetchable by exact name.
+	rc, err := store.Get(ctx, "gen1~quarantined")
+	if err != nil {
+		t.Fatalf("quarantined ancestor pruned: %v", err)
+	}
+	rc.Close()
+	// The chunk payload survives too: only the CAS layer's GC may
+	// remove chunks, no matter how old they look.
+	if got := storeGetBytes(t, store, chunkName); string(got) != "chunk payload" {
+		t.Fatalf("chunk entry damaged by retention: %q", got)
+	}
+}

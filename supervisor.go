@@ -30,11 +30,17 @@ type SupervisorConfig struct {
 	// OnEvent, when set, observes the supervisor's state transitions.
 	// Called synchronously; keep it fast.
 	OnEvent func(SupervisorEvent)
+	// CompactAfter, when > 0, runs Compact on a checkpoint whose delta
+	// chain reaches that depth — maintenance riding the supervision
+	// loop, so chain depth (and lazy-restart fault chains) stays
+	// bounded without ever pausing the session. 0 disables compaction.
+	CompactAfter int
 }
 
 // SupervisorEvent is one supervisor state transition. Kind is one of
 // "checkpoint", "checkpoint-failed", "failure", "verify-skip",
-// "restart-failed", "recovered", "cold-start".
+// "restart-failed", "recovered", "cold-start", "compact",
+// "compact-failed".
 type SupervisorEvent struct {
 	Kind string
 	Name string // the checkpoint image involved, when there is one
@@ -48,6 +54,7 @@ type SupervisorStats struct {
 	Failures           int // ReportFailure calls + sessions found dead
 	Recoveries         int // successful restarts from a stored image
 	ColdStarts         int // recoveries with no usable image
+	Compactions        int // chain compactions (cfg.CompactAfter)
 
 	// LastRecoveredFrom names the image of the most recent recovery
 	// ("" after a cold start).
@@ -186,7 +193,7 @@ func (sv *Supervisor) Checkpoint(ctx context.Context) error {
 	sv.mu.Unlock()
 
 	start := time.Now()
-	_, err := sess.CheckpointTo(ctx, sv.store, name)
+	st, err := sess.CheckpointTo(ctx, sv.store, name)
 	if err != nil {
 		sv.mu.Lock()
 		sv.stats.CheckpointFailures++
@@ -211,6 +218,21 @@ func (sv *Supervisor) Checkpoint(ctx context.Context) error {
 	sv.stats.CheckpointTime += time.Since(start)
 	sv.mu.Unlock()
 	sv.emit(SupervisorEvent{Kind: "checkpoint", Name: name})
+
+	// Maintenance: a chain that has grown past the configured depth is
+	// squashed in place. The session keeps running — Compact works from
+	// stored bytes alone — and a compaction failure never fails the
+	// checkpoint that triggered it.
+	if sv.cfg.CompactAfter > 0 && st.DeltaDepth >= sv.cfg.CompactAfter {
+		if _, cerr := Compact(ctx, sv.store, name); cerr != nil {
+			sv.emit(SupervisorEvent{Kind: "compact-failed", Name: name, Err: cerr})
+		} else {
+			sv.mu.Lock()
+			sv.stats.Compactions++
+			sv.mu.Unlock()
+			sv.emit(SupervisorEvent{Kind: "compact", Name: name})
+		}
+	}
 	return nil
 }
 
