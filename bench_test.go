@@ -67,6 +67,10 @@ func BenchmarkMigrate(b *testing.B) { runExperiment(b, "migrate") }
 // Beyond the paper: content-addressed dedup, stored bytes plain vs CAS.
 func BenchmarkDedup(b *testing.B) { runExperiment(b, "dedup") }
 
+// Beyond the paper: multi-tenant pool, N concurrent sessions under a
+// seeded checkpoint/restart/mutate mix with staggered epoch cuts.
+func BenchmarkPoolLoad(b *testing.B) { runExperiment(b, "load") }
+
 // Microbenchmarks of the primitives.
 
 // benchSession builds a CRAC session with a registered kernel module and

@@ -16,6 +16,38 @@ import (
 	"repro/internal/harness"
 )
 
+// writeMarkdownSummary appends the gate's verdict as a markdown table
+// — the shape $GITHUB_STEP_SUMMARY renders, so the bench result reads
+// off the PR checks page without opening the log. Append, not
+// truncate: the step summary file accumulates sections from every
+// step of the job.
+func writeMarkdownSummary(path string, comps []comparison, statuses []string, skipped, regressed int, threshold float64) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	verdict := "✅ no regressions"
+	if regressed > 0 {
+		verdict = fmt.Sprintf("❌ %d regression(s)", regressed)
+	}
+	fmt.Fprintf(f, "### Bench gate: %s\n\n", verdict)
+	fmt.Fprintf(f, "%d timing metrics compared (threshold %.0f%%), %d below the noise floor.\n\n",
+		len(comps), threshold*100, skipped)
+	fmt.Fprintln(f, "| Metric | Baseline (ms) | New (ms) | Ratio | Status |")
+	fmt.Fprintln(f, "|---|---:|---:|---:|---|")
+	for i, c := range comps {
+		status := statuses[i]
+		if status == "REGRESSION" {
+			status = "**REGRESSION**"
+		}
+		fmt.Fprintf(f, "| %s | %.2f | %.2f | %.2fx | %s |\n",
+			strings.ReplaceAll(c.metric, "|", "\\|"), c.oldMS, c.newMS, c.ratio(), status)
+	}
+	fmt.Fprintln(f)
+	return nil
+}
+
 // timingUnit classifies a table column as a timing metric by its
 // header, returning the factor converting its values to milliseconds
 // (0: not a timing column).
@@ -129,7 +161,7 @@ func collectComparisons(oldR, newR *benchReport) []comparison {
 // shared CI runners jitter by whole milliseconds, and the gate's job
 // is to catch a lost optimization — an order-of-magnitude shift — not
 // to flap on scheduler noise.
-func runCompare(oldPath, newPath string, threshold, minMS, slackMS float64, stdout, stderr io.Writer) int {
+func runCompare(oldPath, newPath string, threshold, minMS, slackMS float64, summaryPath string, stdout, stderr io.Writer) int {
 	oldR, err := loadReport(oldPath)
 	if err != nil {
 		fmt.Fprintf(stderr, "cracbench: baseline: %v\n", err)
@@ -146,10 +178,11 @@ func runCompare(oldPath, newPath string, threshold, minMS, slackMS float64, stdo
 		return 2
 	}
 	var regressions []comparison
+	statuses := make([]string, len(comps))
 	skipped := 0
 	fmt.Fprintf(stdout, "bench-gate: %s -> %s (threshold %.0f%%, noise floor %.1fms)\n",
 		oldPath, newPath, threshold*100, minMS)
-	for _, c := range comps {
+	for i, c := range comps {
 		status := "ok"
 		switch {
 		case c.oldMS < minMS && c.newMS < minMS:
@@ -163,11 +196,18 @@ func runCompare(oldPath, newPath string, threshold, minMS, slackMS float64, stdo
 			status = "REGRESSION"
 			regressions = append(regressions, c)
 		}
+		statuses[i] = status
 		fmt.Fprintf(stdout, "  %-60s %6.2fms -> %6.2fms  (%.2fx)  %s\n",
 			c.metric, c.oldMS, c.newMS, c.ratio(), status)
 	}
 	fmt.Fprintf(stdout, "bench-gate: %d metrics compared, %d below noise floor, %d regressions\n",
 		len(comps), skipped, len(regressions))
+	if summaryPath != "" {
+		if err := writeMarkdownSummary(summaryPath, comps, statuses, skipped, len(regressions), threshold); err != nil {
+			fmt.Fprintf(stderr, "cracbench: writing summary: %v\n", err)
+			return 2
+		}
+	}
 	if len(regressions) > 0 {
 		fmt.Fprintf(stderr, "cracbench: %d timing metric(s) regressed more than %.0f%%:\n", len(regressions), threshold*100)
 		for _, c := range regressions {

@@ -56,6 +56,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		gateTol   = fs.Float64("gate-threshold", 0.25, "with -compare: maximum allowed slowdown (0.25 = 25%)")
 		gateMinMS = fs.Float64("gate-min-ms", 2.0, "with -compare: ignore baseline timings below this many milliseconds (noise floor)")
 		gateSlack = fs.Float64("gate-slack-ms", 10.0, "with -compare: additionally require the slowdown to exceed this many milliseconds")
+		gateMD    = fs.String("summary", "", "with -compare: append a markdown summary table to this file (e.g. $GITHUB_STEP_SUMMARY)")
 		scale     = fs.Float64("scale", 1.0, "workload scale factor (1.0 = repository default)")
 		iters     = fs.Int("iters", 3, "timed repetitions per data point (paper: 10)")
 		quick     = fs.Bool("quick", false, "shrink workloads for a fast smoke run")
@@ -76,7 +77,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "cracbench: -compare needs exactly one positional argument: cracbench -compare old.json new.json")
 			return 2
 		}
-		return runCompare(*compare, fs.Arg(0), *gateTol, *gateMinMS, *gateSlack, stdout, stderr)
+		return runCompare(*compare, fs.Arg(0), *gateTol, *gateMinMS, *gateSlack, *gateMD, stdout, stderr)
 	}
 
 	if *list {

@@ -111,13 +111,35 @@ func TestCompareGate(t *testing.T) {
 		t.Fatalf("missing summary:\n%s", out)
 	}
 
+	// -summary appends the markdown table CI drops into
+	// $GITHUB_STEP_SUMMARY (appends: the file accumulates sections).
+	sumP := filepath.Join(dir, "summary.md")
+	if err := os.WriteFile(sumP, []byte("prior step\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, out, errOut = runBench(t, "-compare", oldP, "-summary", sumP, newP); code != 0 {
+		t.Fatalf("compare with -summary failed (%d):\n%s\n%s", code, out, errOut)
+	}
+	md, err := os.ReadFile(sumP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"prior step", "### Bench gate", "no regressions", "| Metric |", "eager / Visible (ms)"} {
+		if !strings.Contains(string(md), want) {
+			t.Fatalf("summary missing %q:\n%s", want, md)
+		}
+	}
+
 	gateReport(t, newP, 130, 25) // 2x and 6x slowdowns
-	code, out, errOut = runBench(t, "-compare", oldP, newP)
+	code, out, errOut = runBench(t, "-compare", oldP, "-summary", sumP, newP)
 	if code != 1 {
 		t.Fatalf("regression not flagged (exit %d):\n%s", code, out)
 	}
 	if !strings.Contains(errOut, "regressed") || !strings.Contains(out, "REGRESSION") {
 		t.Fatalf("missing regression report:\n%s\n%s", out, errOut)
+	}
+	if md, err = os.ReadFile(sumP); err != nil || !strings.Contains(string(md), "**REGRESSION**") {
+		t.Fatalf("summary missing regression marker (%v):\n%s", err, md)
 	}
 
 	// A big relative jump on a sub-noise-floor metric passes.

@@ -243,6 +243,40 @@
 // cracrun -verify/-scrub plus cracinspect -verify surface the
 // integrity checks on the command line.
 //
+// # Multi-tenant pools
+//
+// Pool multiplexes many sessions over one Store for fleet-level
+// serving: admission control and per-tenant quotas (sessions,
+// in-flight checkpoints, stored bytes), one shared pipeline worker
+// budget instead of per-session worker pools, and a stagger scheduler
+// that admits epoch cuts against a global retained-page budget so
+// concurrent copy-on-write checkpoints never stampede memory:
+//
+//	p, err := crac.NewPool(store,
+//	    crac.WithPoolMaxSessions(1000),
+//	    crac.WithPoolPageBudget(1<<16),  // pages retained across all cuts
+//	    crac.WithPoolTenantDefaults(crac.TenantQuota{
+//	        MaxSessions:    8,
+//	        MaxStoredBytes: 256 << 20,
+//	    }))
+//	if err != nil { ... }
+//	defer p.Close()
+//
+//	ps, err := p.Open("alice")           // admission + quota check
+//	if errors.Is(err, crac.ErrQuotaExceeded) { ... } // tenant's own limit
+//	if errors.Is(err, crac.ErrPoolSaturated) { ... } // pool full: back off, retry
+//	_, err = ps.Checkpoint(ctx, "gen0")  // staggered cut, tenant-scoped name
+//	err = ps.Restart(ctx, "gen0")
+//
+//	st := p.Stats()                      // p50/p95/p99, rejections,
+//	fmt.Println(st.CheckpointP99)        // retained-page high-water mark
+//
+// Image names are scoped per tenant inside the shared store, stored
+// bytes are metered as images stream in (an over-budget checkpoint
+// aborts atomically and charges nothing), and Pool.Stats /
+// Pool.TenantStats expose the latency distribution and admission
+// counters per tenant and in aggregate.
+//
 // # Performance
 //
 // The checkpoint/restart data path is parallel and pipelined: region

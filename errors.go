@@ -85,6 +85,25 @@ var (
 	// deadlock against the held launch gate (and the rebuilt address
 	// space would never match the pending Resume). Resume first.
 	ErrQuiesced = errors.New("crac: session is quiesced")
+
+	// ErrQuotaExceeded reports a Pool operation rejected by a tenant's
+	// quota: opening a session past MaxSessions, checkpointing past
+	// MaxInFlight, or a checkpoint whose image would push the tenant
+	// past its stored-bytes budget (the partial write is aborted and,
+	// through a Store, leaves nothing behind). The tenant is over its
+	// own limits — retrying without freeing something will fail again.
+	ErrQuotaExceeded = errors.New("crac: tenant quota exceeded")
+
+	// ErrPoolSaturated reports a Pool operation rejected by a
+	// pool-wide limit rather than the caller's own quota: opening a
+	// session past the pool's MaxSessions, or a checkpoint whose
+	// stagger-scheduler wait exceeded the admission timeout. Unlike
+	// ErrQuotaExceeded this is a load signal — backing off and
+	// retrying is reasonable.
+	ErrPoolSaturated = errors.New("crac: pool saturated")
+
+	// ErrPoolClosed reports an operation on a Pool after Close.
+	ErrPoolClosed = errors.New("crac: pool closed")
 )
 
 // Transient reports whether err is worth retrying: it wraps

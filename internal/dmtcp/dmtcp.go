@@ -263,6 +263,15 @@ type Engine struct {
 	// the writer mid-image at a chosen shard.
 	ShardHook func(shard int) error
 
+	// Budget, when set, attaches this engine to a shared resourcing
+	// domain: pipeline workers acquire a slot from it for each shard
+	// they process, and staging/compression buffers recycle through its
+	// pools instead of the package-wide ones. Engines sharing one
+	// budget (a crac.Pool) run a bounded worker set regardless of how
+	// many of them checkpoint at once. nil uses the package default
+	// (unbounded, per-process pools).
+	Budget *WorkerBudget
+
 	plugins []Plugin
 }
 
@@ -624,48 +633,15 @@ func (e *Engine) writeImageV2(ctx context.Context, w io.Writer, view addrspace.V
 	return e.runWritePipeline(ctx, w, view, jobs)
 }
 
-// Package-level pipeline pools: per-shard staging buffers, compression
-// buffers, and per-level gzip writers are recycled across checkpoints
-// (not just within one image write), so a steady checkpoint cadence
-// stops allocating its data path. Buffers whose capacity does not fit
-// the current shard size are simply dropped.
-var (
-	shardRawPool sync.Pool // *[]byte staging buffers
-	shardEncPool sync.Pool // *bytes.Buffer gzip output
-	gzShardPools sync.Map  // gzip level → *sync.Pool of *gzip.Writer
-)
-
-func getShardBuf(shard int) *[]byte {
-	if bp, _ := shardRawPool.Get().(*[]byte); bp != nil && cap(*bp) >= shard {
-		return bp
-	}
-	b := make([]byte, shard)
-	return &b
-}
-
-func getShardGz(level int) (*gzip.Writer, error) {
-	pi, ok := gzShardPools.Load(level)
-	if !ok {
-		pi, _ = gzShardPools.LoadOrStore(level, new(sync.Pool))
-	}
-	pool := pi.(*sync.Pool)
-	if gz, _ := pool.Get().(*gzip.Writer); gz != nil {
-		return gz, nil
-	}
-	return gzip.NewWriterLevel(io.Discard, level)
-}
-
-func putShardGz(level int, gz *gzip.Writer) {
-	if gz == nil {
-		return
-	}
-	if pi, ok := gzShardPools.Load(level); ok {
-		pi.(*sync.Pool).Put(gz)
-	}
-}
-
 func (e *Engine) runWritePipeline(ctx context.Context, w io.Writer, view addrspace.View, jobs []shardJob) error {
 	shard := e.shardSize()
+	// Per-shard staging buffers, compression buffers, and per-level
+	// gzip writers recycle through the engine's WorkerBudget across
+	// checkpoints (not just within one image write), so a steady
+	// checkpoint cadence stops allocating its data path; the budget's
+	// worker slots bound how many shards are in flight across every
+	// engine sharing it.
+	bgt := e.budget()
 	// Reading through a copy-on-write snapshot: drop each region shard's
 	// retained pages as soon as its frame is written, bounding the
 	// snapshot's peak memory to roughly the in-flight shard window.
@@ -682,7 +658,7 @@ func (e *Engine) runWritePipeline(ctx context.Context, w io.Writer, view addrspa
 		}
 		raw := j.src
 		if raw == nil {
-			j.rawBuf = getShardBuf(shard)
+			j.rawBuf = bgt.getShardBuf(shard)
 			raw = (*j.rawBuf)[:j.rawLen]
 			if err := view.ReadAt(j.addr, raw); err != nil {
 				j.err = fmt.Errorf("dmtcp: reading shard %#x+%d: %w", j.addr, j.rawLen, err)
@@ -699,10 +675,7 @@ func (e *Engine) runWritePipeline(ctx context.Context, w io.Writer, view addrspa
 		}
 		// One gzip member per shard: members concatenate into a valid
 		// multistream payload, and each compresses on its own CPU.
-		buf, _ := shardEncPool.Get().(*bytes.Buffer)
-		if buf == nil {
-			buf = new(bytes.Buffer)
-		}
+		buf := bgt.getEncBuf()
 		buf.Reset()
 		gz.Reset(buf)
 		if _, err := gz.Write(raw); err != nil {
@@ -716,7 +689,7 @@ func (e *Engine) runWritePipeline(ctx context.Context, w io.Writer, view addrspa
 		j.enc = buf.Bytes()
 		j.encBuf = buf
 		if j.rawBuf != nil {
-			shardRawPool.Put(j.rawBuf)
+			bgt.putShardBuf(j.rawBuf)
 			j.rawBuf = nil
 		}
 	}
@@ -729,7 +702,7 @@ func (e *Engine) runWritePipeline(ctx context.Context, w io.Writer, view addrspa
 		if !e.Gzip {
 			return nil, nil
 		}
-		return getShardGz(level)
+		return bgt.getGz(level)
 	}
 
 	var hdr [shardHdrV3]byte
@@ -741,11 +714,11 @@ func (e *Engine) runWritePipeline(ctx context.Context, w io.Writer, view addrspa
 			if err := e.ShardHook(i); err != nil {
 				j.enc = nil
 				if j.rawBuf != nil {
-					shardRawPool.Put(j.rawBuf)
+					bgt.putShardBuf(j.rawBuf)
 					j.rawBuf = nil
 				}
 				if j.encBuf != nil {
-					shardEncPool.Put(j.encBuf)
+					bgt.putEncBuf(j.encBuf)
 					j.encBuf = nil
 				}
 				return err
@@ -770,11 +743,11 @@ func (e *Engine) runWritePipeline(ctx context.Context, w io.Writer, view addrspa
 		_, err := w.Write(j.enc)
 		j.enc = nil
 		if j.rawBuf != nil {
-			shardRawPool.Put(j.rawBuf)
+			bgt.putShardBuf(j.rawBuf)
 			j.rawBuf = nil
 		}
 		if j.encBuf != nil {
-			shardEncPool.Put(j.encBuf)
+			bgt.putEncBuf(j.encBuf)
 			j.encBuf = nil
 		}
 		if err == nil && releaser != nil && j.src == nil {
@@ -787,17 +760,20 @@ func (e *Engine) runWritePipeline(ctx context.Context, w io.Writer, view addrspa
 
 	workers := par.Workers(e.Workers)
 	if workers == 1 || len(jobs) <= 1 {
-		// Serial reference path: identical bytes, no goroutines.
+		// Serial reference path: identical bytes, no goroutines. The
+		// budget slot is still taken per shard so even serial engines
+		// share the machine fairly with the rest of their pool.
 		gz, err := newGz()
 		if err != nil {
 			return err
 		}
-		defer putShardGz(level, gz)
+		defer bgt.putGz(level, gz)
 		for i := range jobs {
-			if err := ctx.Err(); err != nil {
+			if err := bgt.acquire(ctx); err != nil {
 				return err
 			}
 			process(&jobs[i], gz)
+			bgt.release()
 			if err := consume(i, &jobs[i]); err != nil {
 				return err
 			}
@@ -826,7 +802,7 @@ func (e *Engine) runWritePipeline(ctx context.Context, w io.Writer, view addrspa
 		wg.Add(1)
 		go func(gz *gzip.Writer) {
 			defer wg.Done()
-			defer putShardGz(level, gz)
+			defer bgt.putGz(level, gz)
 			for {
 				sem <- struct{}{}
 				i, ok := <-idxCh
@@ -834,7 +810,17 @@ func (e *Engine) runWritePipeline(ctx context.Context, w io.Writer, view addrspa
 					<-sem
 					return
 				}
-				process(&jobs[i], gz)
+				// One budget slot per shard: a fleet of engines sharing
+				// a bounded budget processes at most that many shards at
+				// once, no matter how many checkpoints are in flight. A
+				// cancelled wait keeps the pipeline protocol (every job
+				// completes) and surfaces through consume.
+				if err := bgt.acquire(ctx); err != nil {
+					jobs[i].err = err
+				} else {
+					process(&jobs[i], gz)
+					bgt.release()
+				}
 				close(jobs[i].done)
 			}
 		}(gz)
@@ -851,7 +837,7 @@ func (e *Engine) runWritePipeline(ctx context.Context, w io.Writer, view addrspa
 		if firstErr == nil {
 			firstErr = consume(i, &jobs[i])
 		} else if jobs[i].rawBuf != nil {
-			shardRawPool.Put(jobs[i].rawBuf)
+			bgt.putShardBuf(jobs[i].rawBuf)
 			jobs[i].rawBuf = nil
 		}
 		<-sem

@@ -672,14 +672,14 @@ func (ix *ShardIndex) readShard(i int, dst []byte) error {
 			return fmt.Errorf("%w: truncated shard at %d: %v", ErrBadImage, sh.fileOff, err)
 		}
 	default:
-		bp := getShardBuf(int(sh.encLen))
+		bp := defaultBudget.getShardBuf(int(sh.encLen))
 		enc := (*bp)[:sh.encLen]
 		if _, err := ix.src.ReadAt(enc, sh.fileOff); err != nil {
-			shardRawPool.Put(bp)
+			defaultBudget.putShardBuf(bp)
 			return fmt.Errorf("%w: truncated shard at %d: %v", ErrBadImage, sh.fileOff, err)
 		}
 		err := gunzipInto(dst, enc)
-		shardRawPool.Put(bp)
+		defaultBudget.putShardBuf(bp)
 		if err != nil {
 			return fmt.Errorf("%w: shard at %d: %v", ErrBadImage, sh.fileOff, err)
 		}
@@ -773,13 +773,13 @@ func (ix *ShardIndex) readSectionRange(name string, off uint64, dst []byte) erro
 			}
 			continue
 		}
-		bp := getShardBuf(int(sh.rawLen))
+		bp := defaultBudget.getShardBuf(int(sh.rawLen))
 		tmp := (*bp)[:sh.rawLen]
 		err := ix.readShard(k, tmp)
 		if err == nil {
 			copy(dst[lo-off:hi-off], tmp[lo-sh.off:hi-sh.off])
 		}
-		shardRawPool.Put(bp)
+		defaultBudget.putShardBuf(bp)
 		if err != nil {
 			return err
 		}

@@ -439,8 +439,8 @@ func (r *LazyRestorer) ensureShard(ref shardRef) error {
 func (r *LazyRestorer) decodeAndScatter(ref shardRef) error {
 	ix := r.chain[ref.img]
 	sh := &ix.shards[ref.idx]
-	bp := getShardBuf(int(sh.rawLen))
-	defer shardRawPool.Put(bp)
+	bp := defaultBudget.getShardBuf(int(sh.rawLen))
+	defer defaultBudget.putShardBuf(bp)
 	buf := (*bp)[:sh.rawLen]
 	if err := ix.readShard(ref.idx, buf); err != nil {
 		return err

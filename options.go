@@ -1,6 +1,7 @@
 package crac
 
 import (
+	"repro/internal/dmtcp"
 	"repro/internal/gpusim"
 )
 
@@ -26,7 +27,8 @@ type settings struct {
 	lazyRestart  bool // RestartFrom/RestoreFrom use the lazy fault-in path
 	aslr         bool
 	aslrSeed     int64
-	retry        *RetryPolicy // nil: no store retry wrapping
+	retry        *RetryPolicy        // nil: no store retry wrapping
+	budget       *dmtcp.WorkerBudget // nil: per-process default pools
 
 	deviceArenaChunk  uint64
 	pinnedArenaChunk  uint64
@@ -166,6 +168,14 @@ func WithArenaChunks(device, pinned, managed uint64) Option {
 // WithGrowthMmaps tunes how many growth mmaps the arenas may issue.
 func WithGrowthMmaps(n int) Option {
 	return func(s *settings) { s.growthMmaps = n }
+}
+
+// withWorkerBudget attaches the session's checkpoint pipeline to a
+// shared resourcing domain. Pool wires this for every session it
+// opens; it is not part of the public option surface because budgets
+// only make sense with the admission control a Pool adds around them.
+func withWorkerBudget(b *dmtcp.WorkerBudget) Option {
+	return func(s *settings) { s.budget = b }
 }
 
 // WithKernels registers the application's kernel tables on the new

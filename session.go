@@ -173,6 +173,7 @@ func newSession(cfg settings) (*Session, error) {
 	engine.Workers = cfg.workers
 	engine.ShardSize = cfg.shardSize
 	engine.ImageVersion = cfg.imageVersion
+	engine.Budget = cfg.budget
 	engine.Register(plugin)
 	return &Session{
 		cfg:    cfg,

@@ -40,6 +40,32 @@ type Store interface {
 	Delete(ctx context.Context, name string) error
 }
 
+// A CountingStore can report how many images it holds without
+// materializing the sorted name slice List allocates. With thousands
+// of pooled sessions checkpointing against one store, "how many images
+// are there" is asked far more often than "what are they called" —
+// quota accounting, retention checks, test assertions — and Len
+// answers it with no per-call garbage. Optional: StoreLen falls back
+// to List for stores that don't implement it.
+type CountingStore interface {
+	Store
+	// Len returns the number of stored images.
+	Len(ctx context.Context) (int, error)
+}
+
+// StoreLen returns the number of images in s: the allocation-free Len
+// when the store is a CountingStore, a List fallback otherwise.
+func StoreLen(ctx context.Context, s Store) (int, error) {
+	if cs, ok := s.(CountingStore); ok {
+		return cs.Len(ctx)
+	}
+	names, err := s.List(ctx)
+	if err != nil {
+		return 0, err
+	}
+	return len(names), nil
+}
+
 // validateImageName rejects names that could escape a directory store
 // or collide with its temp files.
 func validateImageName(name string) error {
@@ -192,6 +218,20 @@ func (s *FileStore) List(ctx context.Context) ([]string, error) {
 		return nil, err
 	}
 	return []string{filepath.Base(s.Path)}, nil
+}
+
+// Len implements CountingStore: 1 if the slot holds an image, else 0.
+func (s *FileStore) Len(ctx context.Context) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	if _, err := os.Stat(s.Path); err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	return 1, nil
 }
 
 // Delete implements Store.
@@ -471,6 +511,29 @@ func (s *DirStore) List(ctx context.Context) ([]string, error) {
 	return names, nil
 }
 
+// Len implements CountingStore: the live (non-quarantined) image
+// count, with no name slice built or sorted.
+func (s *DirStore) Len(ctx context.Context) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	entries, err := os.ReadDir(s.Dir)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), imageExt) {
+			continue
+		}
+		if Quarantined(strings.TrimSuffix(e.Name(), imageExt)) {
+			continue
+		}
+		n++
+	}
+	return n, nil
+}
+
 // Delete implements Store.
 func (s *DirStore) Delete(ctx context.Context, name string) error {
 	if err := validateImageName(name); err != nil {
@@ -553,6 +616,16 @@ func (s *MemStore) List(ctx context.Context) ([]string, error) {
 	}
 	sort.Strings(names)
 	return names, nil
+}
+
+// Len implements CountingStore with a map length, no allocation.
+func (s *MemStore) Len(ctx context.Context) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m), nil
 }
 
 // Delete implements Store.

@@ -4,10 +4,12 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
 	"io"
 	"net/http/httptest"
 	"path/filepath"
 	"sort"
+	"sync"
 	"testing"
 
 	"repro/internal/faults"
@@ -91,6 +93,8 @@ func TestStoreConformance(t *testing.T) {
 			t.Run("List", func(t *testing.T) { conformList(t, fx) })
 			t.Run("GetAt", func(t *testing.T) { conformGetAt(t, fx) })
 			t.Run("Cancelled", func(t *testing.T) { conformCancelled(t, fx) })
+			t.Run("Len", func(t *testing.T) { conformLen(t, fx) })
+			t.Run("Concurrent", func(t *testing.T) { conformConcurrent(t, fx) })
 		})
 	}
 }
@@ -305,5 +309,178 @@ func conformCancelled(t *testing.T, fx storeFixture) {
 	// The store stays usable after cancelled calls.
 	if got := conformGet(t, s, "img"); string(got) != "x" {
 		t.Fatalf("after cancelled ops: %q, want %q", got, "x")
+	}
+}
+
+// conformLen checks StoreLen against List on every store — the cheap
+// count and the name slice must never disagree.
+func conformLen(t *testing.T, fx storeFixture) {
+	s := fx.build(t)
+	ctx := context.Background()
+	check := func(want int) {
+		t.Helper()
+		n, err := StoreLen(ctx, s)
+		if err != nil {
+			t.Fatalf("StoreLen: %v", err)
+		}
+		names, err := s.List(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != want || n != len(names) {
+			t.Fatalf("StoreLen = %d, List = %d names, want %d", n, len(names), want)
+		}
+	}
+	check(0)
+	if fx.single {
+		conformPut(t, s, "only", []byte("x"))
+		check(1)
+		return
+	}
+	for _, n := range []string{"a", "b", "c"} {
+		conformPut(t, s, n, []byte(n))
+	}
+	check(3)
+	if err := s.Delete(ctx, "b"); err != nil {
+		t.Fatal(err)
+	}
+	check(2)
+}
+
+// conformConcurrent is the concurrent-clients section: the Pool makes
+// parallel store access the default, so every implementation must take
+// interleaved Put/Get/List/Delete from many goroutines without torn
+// reads or lost writes. Each goroutine owns a disjoint name set (the
+// Pool's tenant scoping gives the same shape), so contents stay
+// deterministic while the store-level operations interleave freely.
+func conformConcurrent(t *testing.T, fx storeFixture) {
+	s := fx.build(t)
+	ctx := context.Background()
+	const (
+		clients = 8
+		rounds  = 12
+	)
+	payload := func(g, round int) []byte {
+		return bytes.Repeat([]byte{byte('a' + g), byte(round)}, 2048)
+	}
+
+	if fx.single {
+		// One slot, many writers: every Put must stay atomic, so the
+		// final content is exactly one writer's payload — never a splice.
+		var wg sync.WaitGroup
+		errCh := make(chan error, clients)
+		for g := 0; g < clients; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < rounds; i++ {
+					p := payload(g, i)
+					if err := s.Put(ctx, "slot", func(w io.Writer) error {
+						_, err := w.Write(p)
+						return err
+					}); err != nil {
+						errCh <- fmt.Errorf("client %d put: %w", g, err)
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		close(errCh)
+		for err := range errCh {
+			t.Fatal(err)
+		}
+		got := conformGet(t, s, "slot")
+		if len(got) != 4096 {
+			t.Fatalf("slot is %d bytes, want 4096", len(got))
+		}
+		for i, b := range got {
+			if b != got[i%2] {
+				t.Fatalf("slot content spliced at byte %d: %#x vs %#x", i, b, got[i%2])
+			}
+		}
+		return
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := func(i int) string { return fmt.Sprintf("c%d-%d", g, i%3) }
+			for i := 0; i < rounds; i++ {
+				want := payload(g, i)
+				if err := s.Put(ctx, name(i), func(w io.Writer) error {
+					_, err := w.Write(want)
+					return err
+				}); err != nil {
+					errCh <- fmt.Errorf("client %d put %s: %w", g, name(i), err)
+					return
+				}
+				rc, err := s.Get(ctx, name(i))
+				if err != nil {
+					errCh <- fmt.Errorf("client %d get %s: %w", g, name(i), err)
+					return
+				}
+				got, err := io.ReadAll(rc)
+				rc.Close()
+				if err != nil {
+					errCh <- fmt.Errorf("client %d read %s: %w", g, name(i), err)
+					return
+				}
+				if !bytes.Equal(got, want) {
+					errCh <- fmt.Errorf("client %d: %s holds wrong bytes under concurrency", g, name(i))
+					return
+				}
+				switch {
+				case i%5 == 4: // churn: drop the name just written, re-put next round
+					if err := s.Delete(ctx, name(i)); err != nil {
+						errCh <- fmt.Errorf("client %d delete %s: %w", g, name(i), err)
+						return
+					}
+				case i%4 == 3: // cross-client directory traffic
+					if _, err := s.List(ctx); err != nil {
+						errCh <- fmt.Errorf("client %d list: %w", g, err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	// Reconcile: every client re-puts its names, then the directory
+	// must hold exactly clients x 3 images and Len must agree.
+	for g := 0; g < clients; g++ {
+		for i := 0; i < 3; i++ {
+			conformPut(t, s, fmt.Sprintf("c%d-%d", g, i), payload(g, i))
+		}
+	}
+	names, err := s.List(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != clients*3 {
+		t.Fatalf("after churn: %d images, want %d (%v)", len(names), clients*3, names)
+	}
+	n, err := StoreLen(ctx, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != clients*3 {
+		t.Fatalf("StoreLen after churn = %d, want %d", n, clients*3)
+	}
+	for g := 0; g < clients; g++ {
+		for i := 0; i < 3; i++ {
+			nm := fmt.Sprintf("c%d-%d", g, i)
+			if got := conformGet(t, s, nm); !bytes.Equal(got, payload(g, i)) {
+				t.Fatalf("%s corrupted by concurrent churn", nm)
+			}
+		}
 	}
 }
